@@ -1,0 +1,107 @@
+//! Criterion micro-benchmarks for the NTGA core operators: grouping,
+//! group-filtering, β-unnest (full and partial), join expansions, record
+//! codecs and the query parser.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mrsim::Rec;
+use ntga_core::logical::{beta_group_filter, beta_unnest, group_by_subject, partial_beta_unnest};
+use ntga_core::physical::{join_expansions, phi, JoinRole};
+use std::hint::black_box;
+
+fn bench_grouping(c: &mut Criterion) {
+    let store = datagen::bsbm::generate(&datagen::BsbmConfig::with_products(500));
+    let triples: Vec<_> = store.triples().to_vec();
+    c.bench_function("gamma/group_by_subject/18k_triples", |b| {
+        b.iter(|| group_by_subject(black_box(&triples)))
+    });
+}
+
+fn bench_group_filter(c: &mut Criterion) {
+    let store = datagen::bsbm::generate(&datagen::BsbmConfig::with_products(500));
+    let tgs = group_by_subject(store.triples());
+    let star = rdf_query::parse_query(
+        "SELECT * WHERE { ?p <rdfs:label> ?l . ?p <bsbm:productFeature> ?f . ?p ?u ?x . }",
+    )
+    .unwrap()
+    .stars
+    .remove(0);
+    c.bench_function("sigma_beta_gamma/group_filter", |b| {
+        b.iter(|| beta_group_filter(black_box(&tgs), black_box(&star), 0))
+    });
+}
+
+fn anntg_with_candidates(n: usize) -> ntga_core::AnnTg {
+    ntga_core::AnnTg {
+        subject: "<gene9>".into(),
+        ec: 0,
+        bound: vec![("<rdfs:label>".into(), vec!["\"retinoid receptor\"".into()])],
+        unbound: vec![(0..n)
+            .map(|i| ("<bio:xRef>".to_string(), format!("<ref{i}>")))
+            .collect()],
+    }
+}
+
+fn bench_unnest(c: &mut Criterion) {
+    let mut group = c.benchmark_group("beta_unnest");
+    for n in [4usize, 64, 1024] {
+        let tg = anntg_with_candidates(n);
+        group.bench_with_input(BenchmarkId::new("full", n), &tg, |b, tg| {
+            b.iter(|| beta_unnest(black_box(tg)))
+        });
+        group.bench_with_input(BenchmarkId::new("partial_phi64", n), &tg, |b, tg| {
+            b.iter(|| partial_beta_unnest(black_box(tg), 0, |o| phi(o, 64)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_join_expansions(c: &mut Criterion) {
+    let tg = anntg_with_candidates(256);
+    c.bench_function("join_expansions/unbound_256", |b| {
+        b.iter(|| join_expansions(black_box(&tg), JoinRole::UnboundObj(0)))
+    });
+    c.bench_function("join_expansions/subject", |b| {
+        b.iter(|| join_expansions(black_box(&tg), JoinRole::Subject))
+    });
+}
+
+fn bench_codecs(c: &mut Criterion) {
+    let tg = anntg_with_candidates(64);
+    let tuple = ntga_core::TgTuple(vec![tg]);
+    let bytes = tuple.to_bytes();
+    c.bench_function("codec/anntg_encode_64cand", |b| {
+        b.iter(|| black_box(&tuple).to_bytes())
+    });
+    c.bench_function("codec/anntg_decode_64cand", |b| {
+        b.iter(|| ntga_core::TgTuple::from_bytes(black_box(&bytes)).unwrap())
+    });
+    c.bench_function("codec/anntg_text_size", |b| b.iter(|| black_box(&tuple).text_size()));
+}
+
+fn bench_parser(c: &mut Criterion) {
+    let text = "SELECT ?g ?p WHERE {
+        ?g <rdfs:label> ?l . ?g <bio:xGO> ?go . ?g ?p ?x .
+        ?go <go:label> ?gl .
+        FILTER contains(?x, \"hexokinase\") . }";
+    c.bench_function("parser/two_star_unbound", |b| {
+        b.iter(|| rdf_query::parse_query(black_box(text)).unwrap())
+    });
+    let doc = {
+        let store = datagen::bsbm::generate(&datagen::BsbmConfig::with_products(100));
+        store.iter().map(|t| format!("{t}\n")).collect::<String>()
+    };
+    c.bench_function("parser/ntriples_3k_rows", |b| {
+        b.iter(|| rdf_model::parse_str(black_box(&doc)).unwrap())
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_grouping,
+    bench_group_filter,
+    bench_unnest,
+    bench_join_expansions,
+    bench_codecs,
+    bench_parser
+);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Figure 11 — lazy *full* versus lazy *partial* β-unnesting, measured on
+//! the last MR cycle (the join on the unbound-property pattern).
+//!
+//! Paper shape: for unbound-object patterns (B1) partial unnesting shrinks
+//! the shuffle and wins; for partially-bound-object patterns (B2, B3) the
+//! candidate sets are already small and a full unnest is sufficient —
+//! partial adds reduce-side overhead for nothing. This is the ablation
+//! behind the paper's Auto policy.
+
+use ntga_bench::{report, Runner, Scale};
+use ntga_core::Strategy;
+
+fn main() {
+    let scale = Scale::from_env();
+    let store = datagen::bsbm::generate(&datagen::BsbmConfig {
+        products: scale.entities(150),
+        features: 120,
+        max_features_per_product: 48,
+        multi_feature_fraction: 0.97,
+        ..Default::default()
+    });
+    let cluster = ntga::ClusterConfig {
+        cost: mrsim::CostModel::scaled_to(store.text_bytes()),
+        ..Default::default()
+    };
+    println!(
+        "dataset: BSBM-2M analog, {} triples ({})",
+        store.len(),
+        report::human_bytes(store.text_bytes()),
+    );
+    let queries: Vec<(String, rdf_query::Query)> = ntga::testbed::b_series()
+        .into_iter()
+        .filter(|t| ["B1", "B2", "B3"].contains(&t.id.as_str()))
+        .map(|t| (t.id, t.query))
+        .collect();
+
+    println!(
+        "\n=== Figure 11: last MR cycle (join on unbound pattern), lazy full vs partial ===\n\
+         paper shape: partial unnest wins for unbound objects (B1); full is sufficient for partially-bound objects (B2, B3)\n"
+    );
+    println!(
+        "{:<6} {:<22} {:>12} {:>12} {:>10}",
+        "query", "strategy", "map-out", "shuffle", "last(s)"
+    );
+    for (qid, query) in &queries {
+        for (label, strategy) in [
+            ("LazyUnnest(full)", Strategy::LazyFull),
+            ("LazyUnnest(phi_16)", Strategy::LazyPartial(16)),
+            ("LazyUnnest(phi_64)", Strategy::LazyPartial(64)),
+            ("LazyUnnest(phi_1K)", Strategy::LazyPartial(1024)),
+        ] {
+            let runner = Runner::Ntga(strategy);
+            let run = runner.run(&cluster, &store, query, &format!("{qid}-{label}"));
+            let last = run.stats.jobs.last().expect("join cycle");
+            println!(
+                "{:<6} {:<22} {:>12} {:>12} {:>10.1}",
+                qid,
+                label,
+                report::human_bytes(last.map_output_bytes),
+                report::human_bytes(last.shuffle_bytes()),
+                last.sim_seconds,
+            );
+        }
+        println!("{}", "-".repeat(70));
+    }
+}

@@ -1,0 +1,164 @@
+//! # ntga-bench — benchmark harness for the paper's figures
+//!
+//! One binary per figure/table of the paper's evaluation section
+//! (`cargo run -p ntga-bench --release --bin fig<N>`), plus Criterion
+//! micro-benchmarks for the core operators (`cargo bench`).
+//!
+//! The binaries print tables shaped like the paper's exhibits: per (query,
+//! approach) the MR-cycle count, full scans, HDFS read/write bytes,
+//! shuffle bytes, simulated seconds and OK/FAILED status. Absolute values
+//! differ from the paper (simulated substrate, scaled-down datasets); the
+//! *shape* — who wins, by what factor, who dies of DiskFull — is the
+//! reproduction target recorded in `EXPERIMENTS.md`.
+//!
+//! Scale is controlled by the `NTGA_SCALE` environment variable:
+//! `small` (default; seconds per figure), `medium`, or `large`.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod report;
+
+use mr_rdf::QueryRun;
+use ntga_core::Strategy;
+use rdf_model::TripleStore;
+use rdf_query::Query;
+
+/// Benchmark scale, from `NTGA_SCALE`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Seconds per figure; CI-friendly.
+    Small,
+    /// Tens of seconds.
+    Medium,
+    /// Minutes; closest to the paper's relative regimes.
+    Large,
+}
+
+impl Scale {
+    /// Read the scale from the environment (default `small`).
+    pub fn from_env() -> Scale {
+        match std::env::var("NTGA_SCALE").as_deref() {
+            Ok("medium") => Scale::Medium,
+            Ok("large") => Scale::Large,
+            _ => Scale::Small,
+        }
+    }
+
+    /// Multiply a base entity count by the scale.
+    pub fn entities(self, small: usize) -> usize {
+        match self {
+            Scale::Small => small,
+            Scale::Medium => small * 4,
+            Scale::Large => small * 16,
+        }
+    }
+}
+
+/// An execution approach paired with its report label — thin wrapper so
+/// figure binaries can mix relational flavors, NTGA strategies and the
+/// Figure 3 groupings in one panel.
+pub enum Runner {
+    /// Pig-like or Hive-like relational execution.
+    Relational(relbase::RelFlavor),
+    /// A Figure 3 grouping.
+    Grouping(relbase::Grouping),
+    /// An NTGA strategy.
+    Ntga(Strategy),
+}
+
+impl Runner {
+    /// Report label.
+    pub fn label(&self) -> String {
+        match self {
+            Runner::Relational(f) => f.label().to_string(),
+            Runner::Grouping(g) => g.label().to_string(),
+            Runner::Ntga(s) => s.label(),
+        }
+    }
+
+    /// The panel used by most figures: Pig, Hive, EagerUnnest, LazyUnnest.
+    pub fn paper_panel(phi: u64) -> Vec<Runner> {
+        vec![
+            Runner::Relational(relbase::RelFlavor::Pig),
+            Runner::Relational(relbase::RelFlavor::Hive),
+            Runner::Ntga(Strategy::Eager),
+            Runner::Ntga(Strategy::Auto(phi)),
+        ]
+    }
+
+    /// Execute one query on a fresh engine built from `cluster`.
+    pub fn run(
+        &self,
+        cluster: &ntga::ClusterConfig,
+        store: &TripleStore,
+        query: &Query,
+        label: &str,
+    ) -> QueryRun {
+        let engine = cluster.engine_with(store);
+        let result = match self {
+            Runner::Relational(f) => {
+                relbase::execute(*f, &engine, query, mr_rdf::TRIPLES_FILE, label, false)
+            }
+            Runner::Grouping(g) => {
+                relbase::execute_grouping(*g, &engine, query, mr_rdf::TRIPLES_FILE, label, false)
+            }
+            Runner::Ntga(s) => {
+                ntga_core::execute(*s, &engine, query, mr_rdf::TRIPLES_FILE, label, false)
+            }
+        };
+        result.unwrap_or_else(|e| panic!("{label}: planning failed: {e}"))
+    }
+}
+
+/// Run a panel of runners over a set of queries, returning report rows.
+pub fn run_panel(
+    cluster: &ntga::ClusterConfig,
+    store: &TripleStore,
+    queries: &[(String, Query)],
+    runners: &[Runner],
+) -> Vec<report::Row> {
+    let mut rows = Vec::new();
+    for (qid, query) in queries {
+        for runner in runners {
+            let label = format!("{qid}-{}", runner.label());
+            let run = runner.run(cluster, store, query, &label);
+            rows.push(report::Row::from_run(qid, &runner.label(), &run));
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_entities() {
+        assert_eq!(Scale::Small.entities(10), 10);
+        assert_eq!(Scale::Medium.entities(10), 40);
+        assert_eq!(Scale::Large.entities(10), 160);
+    }
+
+    #[test]
+    fn panel_runs_and_reports() {
+        let store = datagen::bsbm::generate(&datagen::BsbmConfig::with_products(20));
+        let q = rdf_query::parse_query(
+            "SELECT * WHERE { ?p <rdfs:label> ?l . ?p ?u ?x . ?x <rdfs:label> ?l2 . }",
+        )
+        .unwrap();
+        let rows = run_panel(
+            &ntga::ClusterConfig::default(),
+            &store,
+            &[("B1ish".to_string(), q)],
+            &Runner::paper_panel(64),
+        );
+        assert_eq!(rows.len(), 4);
+        assert!(rows.iter().all(|r| r.ok));
+        // NTGA rows should show fewer cycles than relational rows.
+        let ntga_cycles =
+            rows.iter().find(|r| r.approach.contains("Lazy")).unwrap().mr_cycles;
+        let hive_cycles = rows.iter().find(|r| r.approach == "Hive").unwrap().mr_cycles;
+        assert!(ntga_cycles < hive_cycles);
+    }
+}

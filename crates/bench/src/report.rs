@@ -1,0 +1,126 @@
+//! Plain-text report tables for the figure binaries.
+
+use mr_rdf::QueryRun;
+use serde::Serialize;
+
+/// One report row: a (query, approach) measurement.
+#[derive(Debug, Clone, Serialize)]
+pub struct Row {
+    /// Query id (e.g. "B3").
+    pub query: String,
+    /// Approach label (e.g. "LazyUnnest(auto,phi_1024)").
+    pub approach: String,
+    /// MR cycles.
+    pub mr_cycles: u64,
+    /// Full scans of the base relation.
+    pub full_scans: u64,
+    /// Total HDFS read bytes.
+    pub read_bytes: u64,
+    /// Total HDFS write bytes (× replication).
+    pub write_bytes: u64,
+    /// Intermediate HDFS write bytes (all jobs but the last).
+    pub intermediate_write_bytes: u64,
+    /// Total shuffle bytes.
+    pub shuffle_bytes: u64,
+    /// Simulated seconds.
+    pub sim_seconds: f64,
+    /// Completed without failure.
+    pub ok: bool,
+}
+
+impl Row {
+    /// Build a row from a run.
+    pub fn from_run(query: &str, approach: &str, run: &QueryRun) -> Row {
+        Row {
+            query: query.to_string(),
+            approach: approach.to_string(),
+            mr_cycles: run.stats.mr_cycles,
+            full_scans: run.stats.full_scans,
+            read_bytes: run.stats.total_read_bytes(),
+            write_bytes: run.stats.total_write_bytes(),
+            intermediate_write_bytes: run.stats.intermediate_write_bytes(),
+            shuffle_bytes: run.stats.total_shuffle_bytes(),
+            sim_seconds: run.stats.sim_seconds,
+            ok: run.succeeded(),
+        }
+    }
+}
+
+/// Render bytes with binary units.
+pub fn human_bytes(b: u64) -> String {
+    const UNITS: [&str; 5] = ["B", "KiB", "MiB", "GiB", "TiB"];
+    let mut v = b as f64;
+    let mut unit = 0;
+    while v >= 1024.0 && unit < UNITS.len() - 1 {
+        v /= 1024.0;
+        unit += 1;
+    }
+    if unit == 0 {
+        format!("{b} B")
+    } else {
+        format!("{v:.2} {}", UNITS[unit])
+    }
+}
+
+/// Print a figure table: header, one block per query, aligned columns.
+pub fn print_table(title: &str, note: &str, rows: &[Row]) {
+    println!("\n=== {title} ===");
+    if !note.is_empty() {
+        println!("{note}");
+    }
+    println!(
+        "{:<10} {:<26} {:>3} {:>3} {:>12} {:>12} {:>12} {:>12} {:>10}  status",
+        "query", "approach", "MR", "FS", "read", "write", "interm.w", "shuffle", "sim(s)"
+    );
+    let mut last_query = String::new();
+    for r in rows {
+        if r.query != last_query && !last_query.is_empty() {
+            println!("{}", "-".repeat(110));
+        }
+        last_query = r.query.clone();
+        println!(
+            "{:<10} {:<26} {:>3} {:>3} {:>12} {:>12} {:>12} {:>12} {:>10.1}  {}",
+            r.query,
+            r.approach,
+            r.mr_cycles,
+            r.full_scans,
+            human_bytes(r.read_bytes),
+            human_bytes(r.write_bytes),
+            human_bytes(r.intermediate_write_bytes),
+            human_bytes(r.shuffle_bytes),
+            r.sim_seconds,
+            if r.ok { "OK" } else { "FAILED (X)" },
+        );
+    }
+    println!();
+}
+
+/// Percentage reduction of `ours` versus `theirs` (positive = we wrote
+/// less), for the "N % less HDFS writes" comparisons of the paper.
+pub fn pct_less(theirs: u64, ours: u64) -> f64 {
+    if theirs == 0 {
+        return 0.0;
+    }
+    (1.0 - ours as f64 / theirs as f64) * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn human_bytes_units() {
+        assert_eq!(human_bytes(0), "0 B");
+        assert_eq!(human_bytes(1023), "1023 B");
+        assert_eq!(human_bytes(1024), "1.00 KiB");
+        assert_eq!(human_bytes(1536), "1.50 KiB");
+        assert_eq!(human_bytes(1024 * 1024 * 3), "3.00 MiB");
+    }
+
+    #[test]
+    fn pct_less_basics() {
+        assert!((pct_less(100, 20) - 80.0).abs() < 1e-9);
+        assert_eq!(pct_less(0, 5), 0.0);
+        assert!((pct_less(50, 50) - 0.0).abs() < 1e-9);
+    }
+}

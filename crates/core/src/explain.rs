@@ -1,0 +1,238 @@
+//! Plan explanation: render the MR workflow the planner would run,
+//! without executing it.
+//!
+//! Mirrors `EXPLAIN` in SQL engines: one line per MR cycle with the
+//! physical operator, its inputs, the unnest decision the strategy makes
+//! (`TG_UnbJoin` vs `TG_OptUnbJoin` and the φ range), and the paper
+//! vocabulary for each step, so the rewrite from Figure 6 is visible.
+
+use crate::physical::{role_of, JoinRole};
+use crate::planner::Strategy;
+use mr_rdf::{check_query, PlanError};
+use rdf_query::{ObjPattern, Query};
+use std::collections::HashSet;
+use std::fmt::Write as _;
+
+/// A rendered plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanText {
+    /// One entry per MR cycle.
+    pub cycles: Vec<String>,
+    /// The strategy label.
+    pub strategy: String,
+}
+
+impl std::fmt::Display for PlanText {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "NTGA plan [{}]:", self.strategy)?;
+        for (i, c) in self.cycles.iter().enumerate() {
+            writeln!(f, "  MR{}: {}", i + 1, c)?;
+        }
+        Ok(())
+    }
+}
+
+fn role_text(role: JoinRole, star: &rdf_query::StarPattern) -> String {
+    match role {
+        JoinRole::Subject => format!("?{}(subject)", star.subject_var),
+        JoinRole::BoundObj(i) => {
+            let pat = star.bound_patterns()[i];
+            format!("object of {}", pat.property_token())
+        }
+        JoinRole::UnboundObj(i) => {
+            let pat = star.unbound_patterns()[i];
+            let filtered = matches!(pat.object, ObjPattern::Filtered(_, _));
+            format!(
+                "object of unbound pattern #{i}{}",
+                if filtered { " (partially bound)" } else { "" }
+            )
+        }
+    }
+}
+
+/// Internal helper trait so explain can print a pattern's property token.
+trait PropertyToken {
+    fn property_token(&self) -> String;
+}
+
+impl PropertyToken for rdf_query::TriplePattern {
+    fn property_token(&self) -> String {
+        match &self.property {
+            rdf_query::PropPattern::Bound(p) => p.to_string(),
+            rdf_query::PropPattern::Unbound(v) => format!("?{v}"),
+        }
+    }
+}
+
+/// Render the plan the NTGA planner would compile for `query` under
+/// `strategy`. Fails exactly when [`crate::execute`] would fail to plan.
+pub fn explain(strategy: Strategy, query: &Query) -> Result<PlanText, PlanError> {
+    query.validate()?;
+    check_query(query)?;
+    let mut cycles = Vec::new();
+
+    // Job 1.
+    let mut job1 = String::from("TG_GroupByMap(T) + TG_GroupByReduce");
+    let ec_desc: Vec<String> = query
+        .stars
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            let bound: Vec<String> =
+                s.bound_properties().iter().map(|p| p.to_string()).collect();
+            let unb = s.unbound_patterns().len();
+            format!(
+                "EC{i}=?{}{{{}{}}}",
+                s.subject_var,
+                bound.join(","),
+                if unb > 0 { format!(",{unb}×unbound") } else { String::new() }
+            )
+        })
+        .collect();
+    let filter_op = if query.stars.iter().any(rdf_query::StarPattern::has_unbound) {
+        "TG_UnbGrpFilter (σ^βγ)"
+    } else {
+        "TG_GrpFilter (σ^γ)"
+    };
+    write!(job1, " + {filter_op} -> {}", ec_desc.join(", ")).expect("write to string");
+    if strategy == Strategy::Eager {
+        job1.push_str(" + eager μ^β (perfect triplegroups materialized here)");
+    }
+    job1.push_str("   [1 full scan computes ALL star subpatterns]");
+    cycles.push(job1);
+
+    // Join cycles, in the same order execute() picks them.
+    let edges = query.join_edges();
+    let mut joined: HashSet<usize> = HashSet::from([0]);
+    let mut components: Vec<usize> = vec![0];
+    while joined.len() < query.stars.len() {
+        let edge = edges
+            .iter()
+            .find(|e| joined.contains(&e.left) != joined.contains(&e.right))
+            .ok_or_else(|| PlanError::Internal("join graph not connected".into()))?;
+        let other = if joined.contains(&edge.left) { edge.right } else { edge.left };
+        let (lpos, lrole) = components
+            .iter()
+            .enumerate()
+            .find_map(|(pos, &si)| role_of(&query.stars[si], &edge.var).map(|r| (pos, r)))
+            .ok_or_else(|| PlanError::Internal("join var missing on left".into()))?;
+        let rrole = role_of(&query.stars[other], &edge.var)
+            .ok_or_else(|| PlanError::Internal("join var missing on right".into()))?;
+
+        let mut unbound_flags = Vec::new();
+        for (si, role) in [(components[lpos], lrole), (other, rrole)] {
+            if let JoinRole::UnboundObj(u) = role {
+                let pat = query.stars[si].unbound_patterns()[u].clone();
+                unbound_flags.push(matches!(pat.object, ObjPattern::Filtered(_, _)));
+            }
+        }
+        let op = if unbound_flags.is_empty() {
+            "TG_Join".to_string()
+        } else {
+            match strategy {
+                Strategy::Eager => "TG_Join (inputs already β-unnested eagerly)".to_string(),
+                Strategy::LazyFull => {
+                    "TG_UnbJoin (lazy FULL μ^β at this cycle's map)".to_string()
+                }
+                Strategy::LazyPartial(m) => {
+                    format!("TG_OptUnbJoin (lazy PARTIAL μ^β_φ, φ range {m})")
+                }
+                Strategy::Auto(m) => {
+                    if unbound_flags.iter().all(|&f| f) {
+                        "TG_UnbJoin (Auto: partially-bound object -> full unnest)".to_string()
+                    } else {
+                        format!("TG_OptUnbJoin (Auto: unbound object -> partial unnest, φ {m})")
+                    }
+                }
+            }
+        };
+        cycles.push(format!(
+            "{op} on ?{}: left {} ⋈ right EC{} {}",
+            edge.var,
+            role_text(lrole, &query.stars[components[lpos]]),
+            other,
+            role_text(rrole, &query.stars[other]),
+        ));
+        joined.insert(other);
+        components.push(other);
+    }
+    Ok(PlanText { cycles, strategy: strategy.label() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdf_query::parse_query;
+
+    fn q() -> Query {
+        parse_query(
+            r#"SELECT * WHERE {
+                ?g <label> ?l . ?g ?p ?go .
+                ?go <gl> ?x .
+            }"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn explains_two_cycle_plan() {
+        let plan = explain(Strategy::Auto(1024), &q()).unwrap();
+        assert_eq!(plan.cycles.len(), 2);
+        assert!(plan.cycles[0].contains("TG_UnbGrpFilter"));
+        assert!(plan.cycles[0].contains("ALL star subpatterns"));
+        assert!(plan.cycles[1].contains("TG_OptUnbJoin"));
+        assert!(plan.cycles[1].contains("φ 1024"));
+    }
+
+    #[test]
+    fn eager_annotates_job1() {
+        let plan = explain(Strategy::Eager, &q()).unwrap();
+        assert!(plan.cycles[0].contains("eager μ^β"));
+        assert!(plan.cycles[1].contains("already β-unnested"));
+    }
+
+    #[test]
+    fn auto_chooses_full_for_partially_bound() {
+        let q = parse_query(
+            r#"SELECT * WHERE {
+                ?g <label> ?l . ?g ?p ?go .
+                ?go <gl> ?x .
+                FILTER prefix(?go, "<go") .
+            }"#,
+        )
+        .unwrap();
+        let plan = explain(Strategy::Auto(64), &q).unwrap();
+        assert!(plan.cycles[1].contains("full unnest"), "{}", plan.cycles[1]);
+    }
+
+    #[test]
+    fn bound_query_uses_plain_operators() {
+        let q = parse_query("SELECT * WHERE { ?a <p> ?b . ?b <q> ?c . }").unwrap();
+        let plan = explain(Strategy::LazyFull, &q).unwrap();
+        assert!(plan.cycles[0].contains("TG_GrpFilter (σ^γ)"));
+        assert!(plan.cycles[1].starts_with("TG_Join on ?b"));
+    }
+
+    #[test]
+    fn display_renders_numbered_cycles() {
+        let text = explain(Strategy::LazyFull, &q()).unwrap().to_string();
+        assert!(text.contains("MR1:"));
+        assert!(text.contains("MR2:"));
+        assert!(text.contains("LazyUnnest(full)"));
+    }
+
+    #[test]
+    fn rejects_invalid_queries_like_execute() {
+        let q = parse_query("SELECT * WHERE { ?a <p> ?b . }").unwrap();
+        let mut disconnected = q.clone();
+        disconnected.stars.push(rdf_query::StarPattern::new(
+            "z",
+            vec![rdf_query::TriplePattern::bound(
+                "z",
+                "<q>",
+                rdf_query::ObjPattern::Var("w".into()),
+            )],
+        ));
+        assert!(explain(Strategy::LazyFull, &disconnected).is_err());
+    }
+}

@@ -1,0 +1,53 @@
+//! # ntga-core — the Nested TripleGroup Algebra for unbound-property queries
+//!
+//! The paper's contribution (Ravindra & Anyanwu, EDBT 2015), rebuilt on the
+//! `mrsim` MapReduce substrate:
+//!
+//! * [`tg`] — the TripleGroup data model: [`AnnTg`] annotated triplegroups
+//!   (nested property→objects representation with per-unbound-pattern
+//!   candidate lists) and [`TgTuple`] joined tuples;
+//! * [`logical`] — the algebra of Section 3: `γ`, `σ^γ`, `σ^βγ`
+//!   (Definition 1), `μ^β` (Definition 2), `μ^β_φ` (Definition 3);
+//! * [`physical`] — the MapReduce operators of Section 4: `TG_GroupBy` +
+//!   `TG_UnbGrpFilter` (Algorithm 2), `TG_Join`, `TG_UnbJoin` (lazy full
+//!   β-unnest), `TG_OptUnbJoin` (lazy partial β-unnest, Algorithm 3);
+//! * [`planner`] — query → MR workflow under a [`Strategy`]
+//!   (EagerUnnest / LazyUnnest-full / LazyUnnest-partial / Auto);
+//! * [`metrics`] — redundancy factors.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use ntga_core::{execute, Strategy};
+//! use mrsim::Engine;
+//!
+//! let engine = Engine::unbounded();
+//! let store = rdf_model::parse_str(
+//!     "<g1> <label> \"a\" .\n<g1> <xGO> <go1> .\n<go1> <gl> \"x\" .\n",
+//! ).map(rdf_model::TripleStore::from_triples).unwrap();
+//! mr_rdf::load_store(&engine, "triples", &store).unwrap();
+//!
+//! let query = rdf_query::parse_query(
+//!     "SELECT * WHERE { ?g <label> ?l . ?g ?p ?go . ?go <gl> ?x . }",
+//! ).unwrap();
+//! let run = execute(Strategy::Auto(1024), &engine, &query, "triples", "demo", true).unwrap();
+//! assert!(run.succeeded());
+//! assert_eq!(run.stats.mr_cycles, 2); // all star joins in ONE grouping cycle
+//! assert_eq!(run.solutions.unwrap().len(), 1);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod aggregate;
+pub mod explain;
+pub mod logical;
+pub mod metrics;
+pub mod physical;
+pub mod planner;
+pub mod rewrite;
+pub mod tg;
+
+pub use explain::{explain, PlanText};
+pub use planner::{execute, expand_tuples, Strategy};
+pub use tg::{AnnTg, TgTuple};

@@ -1,0 +1,500 @@
+//! Physical NTGA operators on MapReduce (Section 4, Algorithms 1–3).
+//!
+//! * [`group_filter_job`] — **Job 1**: `TG_GroupBy` (map tags triples by
+//!   subject) + `TG_UnbGrpFilter` (reduce builds subject triplegroups and
+//!   matches them against every star subpattern at once — the single
+//!   grouping cycle that computes ALL star joins). With `eager = true` the
+//!   reduce additionally β-unnests (the paper's **EagerUnnest**); otherwise
+//!   annotated triplegroups stay nested (**LazyUnnest**).
+//! * [`tg_join_job`] — **Job 2**: join between two triplegroup equivalence
+//!   classes. The map side evaluates the join role of each side:
+//!   subject joins ship the triplegroup as-is; bound-object joins pin the
+//!   join object; unbound-object joins β-unnest **lazily at the map of
+//!   this cycle** — fully (`TG_UnbJoin`, [`UnnestMode::Exact`]) or
+//!   partially to reducer-partition granularity (`TG_OptUnbJoin`,
+//!   [`UnnestMode::Partial`], Algorithm 3) with the reduce side finishing
+//!   the unnest and hash-joining on the real key.
+
+use crate::logical::{match_star, partial_beta_unnest, TripleGroup};
+use crate::tg::{AnnTg, TgTuple};
+use mrsim::{map_fn, reduce_fn, InputBinding, JobSpec, MrError, TypedMapEmitter, TypedOutEmitter};
+use mr_rdf::TripleRec;
+use rdf_model::atom::fnv1a;
+use rdf_query::{Query, StarPattern};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Default reducer count for NTGA jobs.
+pub const REDUCERS: usize = 8;
+
+/// The partition function `φ_m` over a join-key token.
+pub fn phi(key: &str, m: u64) -> u64 {
+    fnv1a(key.as_bytes()) % m.max(1)
+}
+
+// ---------------------------------------------------------------------------
+// Job 1: TG_GroupBy + TG_UnbGrpFilter (+ optional eager β-unnest)
+// ---------------------------------------------------------------------------
+
+/// Build Job 1 for a query: one full scan computes every star subpattern.
+///
+/// The job writes one output per star: `outputs[i]` holds the annotated
+/// triplegroups of equivalence class `i` (wrapped as single-component
+/// [`TgTuple`]s).
+pub fn group_filter_job(
+    name: impl Into<String>,
+    query: &Query,
+    input: &str,
+    outputs: Vec<String>,
+    eager: bool,
+) -> JobSpec {
+    assert_eq!(outputs.len(), query.stars.len(), "one output per star");
+    let stars_map = query.stars.clone();
+    let mapper = map_fn(
+        move |rec: TripleRec, out: &mut TypedMapEmitter<'_, String, (String, String)>| {
+            let t = &rec.0;
+            // Map-side relevance filter: ship the triple only if it can
+            // match some pattern of some star (this is where
+            // partially-bound-object filters prune, as the paper notes for
+            // query B2).
+            let relevant = stars_map.iter().any(|star| {
+                star.subject_accepts(&t.s)
+                    && star.patterns.iter().any(|p| p.matches_structurally(t))
+            });
+            if relevant {
+                out.emit(&t.s.to_string(), &(t.p.to_string(), t.o.to_string()));
+            }
+            Ok(())
+        },
+    );
+    let stars_red = query.stars.clone();
+    let reducer = reduce_fn(
+        move |subject: String, pairs: Vec<(String, String)>, out: &mut TypedOutEmitter<'_, TgTuple>| {
+            let tg = TripleGroup { subject, pairs };
+            for (i, star) in stars_red.iter().enumerate() {
+                if let Some(ann) = match_star(&tg, star, i as u64) {
+                    if eager {
+                        for perfect in crate::logical::beta_unnest(&ann) {
+                            out.emit_to(i, &TgTuple(vec![perfect]))?;
+                        }
+                    } else {
+                        out.emit_to(i, &TgTuple(vec![ann]))?;
+                    }
+                }
+            }
+            Ok(())
+        },
+    );
+    let mut outs = outputs.into_iter();
+    let first = outs.next().expect("at least one star");
+    let mut spec = JobSpec::map_reduce(
+        name,
+        vec![InputBinding { file: input.to_string(), mapper }],
+        reducer,
+        REDUCERS,
+        first,
+    )
+    .with_full_scan();
+    for o in outs {
+        spec = spec.with_extra_output(o);
+    }
+    spec
+}
+
+// ---------------------------------------------------------------------------
+// Job 2: TG_Join / TG_UnbJoin / TG_OptUnbJoin
+// ---------------------------------------------------------------------------
+
+/// How a star participates in a join.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinRole {
+    /// The join variable is the star's subject.
+    Subject,
+    /// The join variable is the object of bound pattern `i` (index into
+    /// [`StarPattern::bound_patterns`]).
+    BoundObj(usize),
+    /// The join variable is the object of unbound pattern `i` (index into
+    /// [`StarPattern::unbound_patterns`]) — the case that needs β-unnest.
+    UnboundObj(usize),
+}
+
+/// Determine how `var` occurs in `star`.
+pub fn role_of(star: &StarPattern, var: &str) -> Option<JoinRole> {
+    if star.subject_var == var {
+        return Some(JoinRole::Subject);
+    }
+    for (i, pat) in star.bound_patterns().iter().enumerate() {
+        if pat.object.var() == Some(var) {
+            return Some(JoinRole::BoundObj(i));
+        }
+    }
+    for (i, pat) in star.unbound_patterns().iter().enumerate() {
+        if pat.object.var() == Some(var) {
+            return Some(JoinRole::UnboundObj(i));
+        }
+    }
+    None
+}
+
+/// Enumerate `(join key, pinned triplegroup)` pairs for a triplegroup
+/// under a role. Pinning fixes the joined position to the key's match and
+/// leaves everything else nested (the full β-unnest of `TG_UnbJoin` when
+/// the role is [`JoinRole::UnboundObj`]).
+pub fn join_expansions(tg: &AnnTg, role: JoinRole) -> Vec<(String, AnnTg)> {
+    match role {
+        JoinRole::Subject => vec![(tg.subject.clone(), tg.clone())],
+        JoinRole::BoundObj(b) => tg.bound[b]
+            .1
+            .iter()
+            .map(|o| {
+                let mut pinned = tg.clone();
+                pinned.bound[b].1 = vec![o.clone()];
+                (o.clone(), pinned)
+            })
+            .collect(),
+        JoinRole::UnboundObj(u) => tg.unbound[u]
+            .iter()
+            .map(|(p, o)| {
+                let mut pinned = tg.clone();
+                pinned.unbound[u] = vec![(p.clone(), o.clone())];
+                (o.clone(), pinned)
+            })
+            .collect(),
+    }
+}
+
+/// Partition-granular expansions for [`UnnestMode::Partial`]: one pinned
+/// triplegroup per φ-partition, keyed by the partition id.
+pub fn partial_expansions(tg: &AnnTg, role: JoinRole, m: u64) -> Vec<(u64, AnnTg)> {
+    match role {
+        JoinRole::Subject => vec![(phi(&tg.subject, m), tg.clone())],
+        JoinRole::BoundObj(b) => {
+            let mut parts: std::collections::BTreeMap<u64, Vec<String>> = Default::default();
+            for o in &tg.bound[b].1 {
+                parts.entry(phi(o, m)).or_default().push(o.clone());
+            }
+            parts
+                .into_iter()
+                .map(|(k, objs)| {
+                    let mut pinned = tg.clone();
+                    pinned.bound[b].1 = objs;
+                    (k, pinned)
+                })
+                .collect()
+        }
+        JoinRole::UnboundObj(u) => partial_beta_unnest(tg, u, |o| phi(o, m)),
+    }
+}
+
+/// One side of a triplegroup join.
+#[derive(Debug, Clone)]
+pub struct JoinSide {
+    /// DFS file of [`TgTuple`] records.
+    pub file: String,
+    /// Index of the component (within each tuple) that carries the join
+    /// variable.
+    pub component: usize,
+    /// How that component's star holds the join variable.
+    pub role: JoinRole,
+}
+
+/// β-unnest placement for the join's map phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnnestMode {
+    /// Map output keys are actual join values (plain `TG_Join`, or lazy
+    /// *full* β-unnest — `TG_UnbJoin`).
+    Exact,
+    /// Map output keys are `φ_m` partitions; the reduce completes the
+    /// unnest and hash-joins on real keys (`TG_OptUnbJoin`).
+    Partial(u64),
+}
+
+/// Shuffle value: `(side tag, tuple)`.
+type SidedTuple = (u64, TgTuple);
+
+fn join_mapper(side: u64, spec: JoinSide, mode: UnnestMode) -> Arc<dyn mrsim::RawMapOp> {
+    map_fn(move |tuple: TgTuple, out: &mut TypedMapEmitter<'_, String, SidedTuple>| {
+        let comp = tuple
+            .0
+            .get(spec.component)
+            .ok_or_else(|| MrError::Op("join component out of range".into()))?;
+        match mode {
+            UnnestMode::Exact => {
+                for (key, pinned) in join_expansions(comp, spec.role) {
+                    let mut t = tuple.clone();
+                    t.0[spec.component] = pinned;
+                    out.emit(&key, &(side, t));
+                }
+            }
+            UnnestMode::Partial(m) => {
+                for (k, pinned) in partial_expansions(comp, spec.role, m) {
+                    let mut t = tuple.clone();
+                    t.0[spec.component] = pinned;
+                    out.emit(&k.to_string(), &(side, t));
+                }
+            }
+        }
+        Ok(())
+    })
+}
+
+/// Build the join job between two equivalence-class relations.
+///
+/// Output records are [`TgTuple`]s: left components followed by right
+/// components, with the joined positions pinned to the matching values.
+pub fn tg_join_job(
+    name: impl Into<String>,
+    left: JoinSide,
+    right: JoinSide,
+    mode: UnnestMode,
+    output: impl Into<String>,
+) -> JobSpec {
+    let (lrole, lcomp) = (left.role, left.component);
+    let (rrole, rcomp) = (right.role, right.component);
+    let reducer = reduce_fn(
+        move |_key: String, values: Vec<SidedTuple>, out: &mut TypedOutEmitter<'_, TgTuple>| {
+            match mode {
+                UnnestMode::Exact => {
+                    // All values share the actual join key: cross join.
+                    let mut lefts = Vec::new();
+                    let mut rights = Vec::new();
+                    for (side, t) in &values {
+                        if *side == 0 {
+                            lefts.push(t);
+                        } else {
+                            rights.push(t);
+                        }
+                    }
+                    for l in &lefts {
+                        for r in &rights {
+                            let mut joined = l.0.clone();
+                            joined.extend(r.0.iter().cloned());
+                            out.emit(&TgTuple(joined))?;
+                        }
+                    }
+                }
+                UnnestMode::Partial(_) => {
+                    // Algorithm 3: β-unnest the right side into perfect
+                    // triplegroups hashed by the real join key, then probe
+                    // with each left candidate.
+                    let mut right_hash: HashMap<String, Vec<TgTuple>> = HashMap::new();
+                    for (side, t) in &values {
+                        if *side != 1 {
+                            continue;
+                        }
+                        for (key, pinned) in join_expansions(&t.0[rcomp], rrole) {
+                            let mut pt = t.clone();
+                            pt.0[rcomp] = pinned;
+                            right_hash.entry(key).or_default().push(pt);
+                        }
+                    }
+                    for (side, t) in &values {
+                        if *side != 0 {
+                            continue;
+                        }
+                        for (key, pinned) in join_expansions(&t.0[lcomp], lrole) {
+                            if let Some(matches) = right_hash.get(&key) {
+                                for r in matches {
+                                    let mut joined = t.0.clone();
+                                    joined[lcomp] = pinned.clone();
+                                    joined.extend(r.0.iter().cloned());
+                                    out.emit(&TgTuple(joined))?;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            Ok(())
+        },
+    );
+    JobSpec::map_reduce(
+        name,
+        vec![
+            InputBinding { file: left.file.clone(), mapper: join_mapper(0, left, mode) },
+            InputBinding { file: right.file.clone(), mapper: join_mapper(1, right, mode) },
+        ],
+        reducer,
+        REDUCERS,
+        output,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrsim::Engine;
+    use mr_rdf::load_store;
+    use rdf_model::{STriple, TripleStore};
+
+    fn store() -> TripleStore {
+        TripleStore::from_triples(vec![
+            STriple::new("<g1>", "<label>", "\"a\""),
+            STriple::new("<g1>", "<xGO>", "<go1>"),
+            STriple::new("<g1>", "<xGO>", "<go2>"),
+            STriple::new("<g1>", "<syn>", "\"s\""),
+            STriple::new("<g2>", "<label>", "\"b\""),
+            STriple::new("<go1>", "<gl>", "\"nucleus\""),
+            STriple::new("<go2>", "<gl>", "\"membrane\""),
+        ])
+    }
+
+    fn unbound_query() -> Query {
+        rdf_query::parse_query(
+            "SELECT * WHERE { ?g <label> ?l . ?g ?p ?go . ?go <gl> ?x . }",
+        )
+        .unwrap()
+    }
+
+    fn run_job1(eager: bool) -> (Engine, Query) {
+        let engine = Engine::unbounded();
+        load_store(&engine, "t", &store()).unwrap();
+        let query = unbound_query();
+        let job = group_filter_job(
+            "job1",
+            &query,
+            "t",
+            vec!["ec0".into(), "ec1".into()],
+            eager,
+        );
+        engine.run_job(&job).unwrap();
+        (engine, query)
+    }
+
+    #[test]
+    fn job1_lazy_emits_one_anntg_per_matching_subject() {
+        let (engine, _) = run_job1(false);
+        let ec0: Vec<TgTuple> = engine.read_records("ec0").unwrap();
+        let ec1: Vec<TgTuple> = engine.read_records("ec1").unwrap();
+        // Star 0 (label + unbound): g1 and g2 qualify. go1/go2 lack label.
+        assert_eq!(ec0.len(), 2);
+        // Star 1 (gl): go1, go2.
+        assert_eq!(ec1.len(), 2);
+        // g1's AnnTG has all 4 pairs as unbound candidates.
+        let g1 = ec0.iter().find(|t| t.0[0].subject == "<g1>").unwrap();
+        assert_eq!(g1.0[0].unbound[0].len(), 4);
+    }
+
+    #[test]
+    fn job1_eager_materializes_perfect_tgs() {
+        let (engine, _) = run_job1(true);
+        let ec0: Vec<TgTuple> = engine.read_records("ec0").unwrap();
+        // g1: 4 candidates -> 4 perfect TGs; g2: 1 -> 1.
+        assert_eq!(ec0.len(), 5);
+        for t in &ec0 {
+            assert_eq!(t.0[0].unbound[0].len(), 1);
+        }
+    }
+
+    #[test]
+    fn eager_output_is_larger_than_lazy() {
+        let (engine_l, _) = run_job1(false);
+        let lazy_bytes = engine_l.hdfs().lock().get("ec0").unwrap().text_bytes;
+        let (engine_e, _) = run_job1(true);
+        let eager_bytes = engine_e.hdfs().lock().get("ec0").unwrap().text_bytes;
+        assert!(eager_bytes > lazy_bytes, "eager {eager_bytes} <= lazy {lazy_bytes}");
+    }
+
+    #[test]
+    fn role_detection() {
+        let q = unbound_query();
+        assert_eq!(role_of(&q.stars[0], "g"), Some(JoinRole::Subject));
+        assert_eq!(role_of(&q.stars[0], "l"), Some(JoinRole::BoundObj(0)));
+        assert_eq!(role_of(&q.stars[0], "go"), Some(JoinRole::UnboundObj(0)));
+        assert_eq!(role_of(&q.stars[1], "go"), Some(JoinRole::Subject));
+        assert_eq!(role_of(&q.stars[0], "zz"), None);
+    }
+
+    fn join_and_expand(mode: UnnestMode, eager: bool) -> rdf_query::SolutionSet {
+        let (engine, query) = run_job1(eager);
+        let job = tg_join_job(
+            "join",
+            JoinSide { file: "ec0".into(), component: 0, role: JoinRole::UnboundObj(0) },
+            JoinSide { file: "ec1".into(), component: 0, role: JoinRole::Subject },
+            mode,
+            "out",
+        );
+        engine.run_job(&job).unwrap();
+        let tuples: Vec<TgTuple> = engine.read_records("out").unwrap();
+        let mut set = rdf_query::SolutionSet::new();
+        for t in &tuples {
+            let mut partials: Vec<rdf_query::Binding> = vec![rdf_query::Binding::new()];
+            for (tg, star) in t.0.iter().zip(&query.stars) {
+                let expansions = tg.expand(star).unwrap();
+                let mut next = Vec::new();
+                for p in &partials {
+                    for e in &expansions {
+                        let mut m = p.clone();
+                        if m.merge(e) {
+                            next.push(m);
+                        }
+                    }
+                }
+                partials = next;
+            }
+            for b in partials {
+                set.insert(b);
+            }
+        }
+        set
+    }
+
+    #[test]
+    fn join_modes_agree_with_naive() {
+        let gold = rdf_query::naive::evaluate(&unbound_query(), &store());
+        assert!(!gold.is_empty());
+        for (mode, eager) in [
+            (UnnestMode::Exact, false),
+            (UnnestMode::Exact, true),
+            (UnnestMode::Partial(1), false),
+            (UnnestMode::Partial(2), false),
+            (UnnestMode::Partial(64), false),
+        ] {
+            let got = join_and_expand(mode, eager);
+            assert_eq!(got, gold, "mode {mode:?} eager {eager}");
+        }
+    }
+
+    #[test]
+    fn partial_mode_shrinks_map_output() {
+        // With many candidates per subject, φ_2 caps map output per TG at
+        // 2 records instead of one per candidate.
+        let mut s = store();
+        for i in 3..40 {
+            s.insert(STriple::new("<g1>", "<xRef>", format!("<r{i}>")));
+        }
+        let engine = Engine::unbounded();
+        load_store(&engine, "t", &s).unwrap();
+        let query = unbound_query();
+        let job1 = group_filter_job("j1", &query, "t", vec!["ec0".into(), "ec1".into()], false);
+        engine.run_job(&job1).unwrap();
+        let mk_join = |mode, out: &str| {
+            tg_join_job(
+                format!("join-{out}"),
+                JoinSide { file: "ec0".into(), component: 0, role: JoinRole::UnboundObj(0) },
+                JoinSide { file: "ec1".into(), component: 0, role: JoinRole::Subject },
+                mode,
+                out,
+            )
+        };
+        let full = engine.run_job(&mk_join(UnnestMode::Exact, "of")).unwrap();
+        let partial = engine.run_job(&mk_join(UnnestMode::Partial(2), "op")).unwrap();
+        assert!(
+            partial.map_output_bytes < full.map_output_bytes,
+            "partial {} >= full {}",
+            partial.map_output_bytes,
+            full.map_output_bytes
+        );
+    }
+
+    #[test]
+    fn phi_is_deterministic_and_bounded() {
+        for m in [1u64, 2, 1000] {
+            for key in ["<a>", "<b>", "\"literal\""] {
+                let k = phi(key, m);
+                assert!(k < m);
+                assert_eq!(k, phi(key, m));
+            }
+        }
+    }
+}

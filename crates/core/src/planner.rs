@@ -1,0 +1,345 @@
+//! The NTGA query planner: query → grouping cycle + triplegroup join
+//! cycles, under an unnesting [`Strategy`].
+
+use crate::physical::{
+    group_filter_job, role_of, tg_join_job, JoinRole, JoinSide, UnnestMode,
+};
+use crate::tg::TgTuple;
+use mrsim::{Engine, Workflow};
+use mr_rdf::{check_query, PlanError, QueryRun};
+use rdf_query::{Binding, ObjPattern, Query, SolutionSet};
+use std::collections::HashSet;
+
+/// When and how β-unnesting happens (Section 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// β-unnest during the star-join cycle (Job 1 reduce): intermediate
+    /// results carry full redundancy from the start.
+    Eager,
+    /// Delay the β-unnest to the map phase of the join cycle that needs
+    /// it, unnesting fully there (`TG_UnbJoin`).
+    LazyFull,
+    /// Delay and unnest only to φ_m partition granularity
+    /// (`TG_OptUnbJoin`); the reduce completes the unnest.
+    LazyPartial(u64),
+    /// The paper's recommended policy: lazy, choosing *full* unnest for
+    /// unbound patterns with partially-bound objects (selective, few
+    /// candidates) and *partial* unnest with the given φ range for
+    /// unbound-object patterns (many candidates).
+    Auto(u64),
+}
+
+impl Strategy {
+    /// Short label for reports.
+    pub fn label(self) -> String {
+        match self {
+            Strategy::Eager => "EagerUnnest".into(),
+            Strategy::LazyFull => "LazyUnnest(full)".into(),
+            Strategy::LazyPartial(m) => format!("LazyUnnest(phi_{m})"),
+            Strategy::Auto(m) => format!("LazyUnnest(auto,phi_{m})"),
+        }
+    }
+}
+
+/// Expand joined triplegroup tuples into a canonical solution set.
+///
+/// `components` maps each tuple position to its star index in `query`.
+pub fn expand_tuples(
+    tuples: &[TgTuple],
+    components: &[usize],
+    query: &Query,
+) -> Result<SolutionSet, PlanError> {
+    let mut set = SolutionSet::new();
+    for t in tuples {
+        if t.0.len() != components.len() {
+            return Err(PlanError::Internal("tuple arity mismatch".into()));
+        }
+        let mut partials: Vec<Binding> = vec![Binding::new()];
+        for (tg, &star_idx) in t.0.iter().zip(components) {
+            let star = &query.stars[star_idx];
+            let expansions = tg
+                .expand(star)
+                .ok_or_else(|| PlanError::Internal("triplegroup/star shape mismatch".into()))?;
+            let mut next = Vec::with_capacity(partials.len() * expansions.len());
+            for p in &partials {
+                for e in &expansions {
+                    let mut m = p.clone();
+                    if m.merge(e) {
+                        next.push(m);
+                    }
+                }
+            }
+            partials = next;
+        }
+        for b in partials {
+            set.insert(b);
+        }
+    }
+    Ok(match &query.projection {
+        Some(vars) => set.project(vars),
+        None => set,
+    })
+}
+
+/// Pick the unnest mode for one join under a strategy.
+///
+/// `unbound_sides` carries, for each side with an [`JoinRole::UnboundObj`]
+/// role, whether that unbound pattern's object is partially bound
+/// (filtered).
+fn mode_for(strategy: Strategy, unbound_sides: &[bool]) -> UnnestMode {
+    if unbound_sides.is_empty() {
+        return UnnestMode::Exact;
+    }
+    match strategy {
+        // Eager: triplegroups are already perfect; keys are exact.
+        Strategy::Eager => UnnestMode::Exact,
+        Strategy::LazyFull => UnnestMode::Exact,
+        Strategy::LazyPartial(m) => UnnestMode::Partial(m),
+        Strategy::Auto(m) => {
+            // Partially-bound objects are selective: full unnest is enough
+            // (paper, Figure 11 discussion). Unbound objects benefit from
+            // partial unnest.
+            if unbound_sides.iter().all(|&filtered| filtered) {
+                UnnestMode::Exact
+            } else {
+                UnnestMode::Partial(m)
+            }
+        }
+    }
+}
+
+/// Execute `query` with the NTGA plan over the triple relation in DFS file
+/// `input`.
+///
+/// Mirrors `relbase::execute`'s contract: planning problems are `Err`,
+/// runtime failures (DiskFull) come back inside the [`QueryRun`].
+pub fn execute(
+    strategy: Strategy,
+    engine: &Engine,
+    query: &Query,
+    input: &str,
+    label: &str,
+    extract_solutions: bool,
+) -> Result<QueryRun, PlanError> {
+    query.validate()?;
+    check_query(query)?;
+
+    let mut wf = Workflow::new(engine, format!("NTGA-{}/{label}", strategy.label()));
+    let fail = |wf: Workflow<'_>, e: &mrsim::MrError| {
+        Ok(QueryRun { stats: wf.finish_failed(e), solutions: None })
+    };
+
+    // Job 1: one grouping cycle computes every star subpattern.
+    let ec_files: Vec<String> =
+        (0..query.stars.len()).map(|i| format!("{label}.ec{i}")).collect();
+    let job1 = group_filter_job(
+        format!("{label}.group"),
+        query,
+        input,
+        ec_files.clone(),
+        strategy == Strategy::Eager,
+    );
+    if let Err(e) = wf.run_job(job1) {
+        return fail(wf, &e);
+    }
+
+    // Join cycles, left-deep over the join graph.
+    let edges = query.join_edges();
+    let mut joined: HashSet<usize> = HashSet::from([0]);
+    let mut components: Vec<usize> = vec![0];
+    let mut current_file = ec_files[0].clone();
+    let mut join_no = 0;
+    while joined.len() < query.stars.len() {
+        let edge = edges
+            .iter()
+            .find(|e| joined.contains(&e.left) != joined.contains(&e.right))
+            .ok_or_else(|| PlanError::Internal("join graph not connected".into()))?;
+        let other = if joined.contains(&edge.left) { edge.right } else { edge.left };
+        // Left side: which already-joined component carries the join var?
+        let (lpos, lrole) = components
+            .iter()
+            .enumerate()
+            .find_map(|(pos, &star_idx)| {
+                role_of(&query.stars[star_idx], &edge.var).map(|r| (pos, r))
+            })
+            .ok_or_else(|| PlanError::Internal("join var missing on left".into()))?;
+        let rrole = role_of(&query.stars[other], &edge.var)
+            .ok_or_else(|| PlanError::Internal("join var missing on right".into()))?;
+
+        // Collect the "is the unbound object partially bound?" flags.
+        let mut unbound_flags = Vec::new();
+        for (star_idx, role) in [(components[lpos], lrole), (other, rrole)] {
+            if let JoinRole::UnboundObj(u) = role {
+                let pat = query.stars[star_idx].unbound_patterns()[u].clone();
+                unbound_flags.push(matches!(pat.object, ObjPattern::Filtered(_, _)));
+            }
+        }
+        let mode = mode_for(strategy, &unbound_flags);
+
+        let out = format!("{label}.tgjoin{join_no}");
+        let job = tg_join_job(
+            format!("{label}.tgjoin{join_no}"),
+            JoinSide { file: current_file.clone(), component: lpos, role: lrole },
+            JoinSide { file: ec_files[other].clone(), component: 0, role: rrole },
+            mode,
+            &out,
+        );
+        if let Err(e) = wf.run_job(job) {
+            return fail(wf, &e);
+        }
+        joined.insert(other);
+        components.push(other);
+        current_file = out;
+        join_no += 1;
+    }
+
+    let stats = wf.finish(&[&current_file]);
+    let solutions = if extract_solutions {
+        let tuples: Vec<TgTuple> = engine
+            .read_records(&current_file)
+            .map_err(|e| PlanError::Internal(format!("reading final output: {e}")))?;
+        Some(expand_tuples(&tuples, &components, query)?)
+    } else {
+        None
+    };
+    Ok(QueryRun { stats, solutions })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrsim::SimHdfs;
+    use mr_rdf::load_store;
+    use rdf_model::{STriple, TripleStore};
+    use rdf_query::parse_query;
+
+    fn store() -> TripleStore {
+        TripleStore::from_triples(vec![
+            STriple::new("<g1>", "<label>", "\"a\""),
+            STriple::new("<g1>", "<xGO>", "<go1>"),
+            STriple::new("<g1>", "<xGO>", "<go2>"),
+            STriple::new("<g1>", "<syn>", "\"s\""),
+            STriple::new("<g2>", "<label>", "\"b\""),
+            STriple::new("<go1>", "<gl>", "\"nucleus\""),
+            STriple::new("<go2>", "<gl>", "\"membrane\""),
+        ])
+    }
+
+    fn run(strategy: Strategy, q: &str) -> QueryRun {
+        let engine = Engine::unbounded();
+        load_store(&engine, "t", &store()).unwrap();
+        let query = parse_query(q).unwrap();
+        execute(strategy, &engine, &query, "t", "q", true).unwrap()
+    }
+
+    const ALL: [Strategy; 5] = [
+        Strategy::Eager,
+        Strategy::LazyFull,
+        Strategy::LazyPartial(2),
+        Strategy::LazyPartial(1024),
+        Strategy::Auto(1024),
+    ];
+
+    const UNBOUND_2STAR: &str =
+        "SELECT * WHERE { ?g <label> ?l . ?g ?p ?go . ?go <gl> ?x . }";
+
+    #[test]
+    fn all_strategies_match_naive() {
+        let query = parse_query(UNBOUND_2STAR).unwrap();
+        let gold = rdf_query::naive::evaluate(&query, &store());
+        assert!(!gold.is_empty());
+        for strategy in ALL {
+            let r = run(strategy, UNBOUND_2STAR);
+            assert!(r.succeeded(), "{strategy:?}");
+            assert_eq!(r.solutions.unwrap(), gold, "{strategy:?}");
+        }
+    }
+
+    #[test]
+    fn two_star_query_takes_two_cycles() {
+        // The paper's headline structural claim: grouping computes all
+        // star joins at once, so 2 cycles and ONE full scan (vs 3 cycles /
+        // 2+ full scans relationally).
+        let r = run(Strategy::LazyFull, UNBOUND_2STAR);
+        assert_eq!(r.stats.mr_cycles, 2);
+        assert_eq!(r.stats.full_scans, 1);
+    }
+
+    #[test]
+    fn single_star_is_one_cycle() {
+        let q = "SELECT * WHERE { ?g <label> ?l . ?g ?p ?o . }";
+        let query = parse_query(q).unwrap();
+        let gold = rdf_query::naive::evaluate(&query, &store());
+        for strategy in ALL {
+            let r = run(strategy, q);
+            assert_eq!(r.stats.mr_cycles, 1, "{strategy:?}");
+            assert_eq!(r.solutions.unwrap(), gold, "{strategy:?}");
+        }
+    }
+
+    #[test]
+    fn lazy_writes_less_than_eager_in_job1() {
+        let eager = run(Strategy::Eager, UNBOUND_2STAR);
+        let lazy = run(Strategy::LazyFull, UNBOUND_2STAR);
+        let eager_job1 = eager.stats.jobs[0].hdfs_write_bytes;
+        let lazy_job1 = lazy.stats.jobs[0].hdfs_write_bytes;
+        assert!(lazy_job1 < eager_job1, "lazy {lazy_job1} >= eager {eager_job1}");
+    }
+
+    #[test]
+    fn bound_only_query_matches_naive() {
+        let q = "SELECT * WHERE { ?g <label> ?l . ?g <xGO> ?go . ?go <gl> ?x . }";
+        let query = parse_query(q).unwrap();
+        let gold = rdf_query::naive::evaluate(&query, &store());
+        for strategy in ALL {
+            assert_eq!(run(strategy, q).solutions.unwrap(), gold, "{strategy:?}");
+        }
+    }
+
+    #[test]
+    fn partially_bound_object_query() {
+        let q = r#"SELECT * WHERE { ?g <label> ?l . ?g ?p ?go . ?go <gl> ?x . FILTER prefix(?go, "<go") }"#;
+        let query = parse_query(q).unwrap();
+        let gold = rdf_query::naive::evaluate(&query, &store());
+        assert!(!gold.is_empty());
+        for strategy in ALL {
+            assert_eq!(run(strategy, q).solutions.unwrap(), gold, "{strategy:?}");
+        }
+    }
+
+    #[test]
+    fn unbound_not_in_join_stays_nested_to_the_end() {
+        // B4-shaped: the unbound pattern's object is NOT the join var.
+        let q = "SELECT * WHERE { ?g <label> ?l . ?g <xGO> ?go . ?g ?p ?o . ?go <gl> ?x . }";
+        let query = parse_query(q).unwrap();
+        let gold = rdf_query::naive::evaluate(&query, &store());
+        let lazy = run(Strategy::LazyFull, q);
+        assert_eq!(lazy.solutions.unwrap(), gold);
+        // Final output keeps candidates nested: fewer records than
+        // solutions.
+        let eager = run(Strategy::Eager, q);
+        let lazy_final = run(Strategy::LazyFull, q).stats.jobs.last().unwrap().output_text_bytes;
+        let eager_final = eager.stats.jobs.last().unwrap().output_text_bytes;
+        assert!(lazy_final < eager_final, "lazy {lazy_final} >= eager {eager_final}");
+    }
+
+    #[test]
+    fn disk_full_reported() {
+        let s = store();
+        let engine = Engine::new(SimHdfs::new(s.text_bytes() + 40, 1));
+        load_store(&engine, "t", &s).unwrap();
+        let query = parse_query(UNBOUND_2STAR).unwrap();
+        let r = execute(Strategy::Eager, &engine, &query, "t", "q", true).unwrap();
+        assert!(!r.succeeded());
+        assert!(r.solutions.is_none());
+    }
+
+    #[test]
+    fn auto_uses_full_for_partially_bound() {
+        assert_eq!(mode_for(Strategy::Auto(8), &[true]), UnnestMode::Exact);
+        assert_eq!(mode_for(Strategy::Auto(8), &[false]), UnnestMode::Partial(8));
+        assert_eq!(mode_for(Strategy::Auto(8), &[]), UnnestMode::Exact);
+        assert_eq!(mode_for(Strategy::LazyPartial(4), &[true]), UnnestMode::Partial(4));
+        assert_eq!(mode_for(Strategy::LazyFull, &[false]), UnnestMode::Exact);
+    }
+}

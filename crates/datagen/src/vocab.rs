@@ -1,0 +1,128 @@
+//! Well-known property tokens shared by the generators and the testbed
+//! query catalog.
+//!
+//! Tokens are canonical N-Triples IRIs, kept short (as namespace-prefixed
+//! data would be after dictionary compression) so laptop-scale runs stay
+//! fast while preserving *relative* sizes.
+
+/// BSBM-like e-commerce vocabulary (Products / Producers / Offers /
+/// Reviews), mirroring the Berlin SPARQL Benchmark schema the paper uses
+/// for its B-series queries and the Figure 3 case study.
+pub mod bsbm {
+    /// `rdf:type`.
+    pub const TYPE: &str = "<rdf:type>";
+    /// `rdfs:label` — single-valued.
+    pub const LABEL: &str = "<rdfs:label>";
+    /// `rdfs:comment` — single-valued, long literal.
+    pub const COMMENT: &str = "<rdfs:comment>";
+    /// `bsbm:productFeature` — **multi-valued** (the paper's redundancy
+    /// driver for the B queries).
+    pub const PRODUCT_FEATURE: &str = "<bsbm:productFeature>";
+    /// `bsbm:producer` — single-valued product → producer edge (OS joins).
+    pub const PRODUCER: &str = "<bsbm:producer>";
+    /// `bsbm:productPropertyNumeric1..3` — single-valued numeric props.
+    pub const NUMERIC: [&str; 3] =
+        ["<bsbm:productPropertyNumeric1>", "<bsbm:productPropertyNumeric2>", "<bsbm:productPropertyNumeric3>"];
+    /// `bsbm:productPropertyTextual1..3`.
+    pub const TEXTUAL: [&str; 3] =
+        ["<bsbm:productPropertyTextual1>", "<bsbm:productPropertyTextual2>", "<bsbm:productPropertyTextual3>"];
+    /// Producer's country.
+    pub const COUNTRY: &str = "<bsbm:country>";
+    /// Producer's homepage.
+    pub const HOMEPAGE: &str = "<foaf:homepage>";
+    /// Offer → product edge.
+    pub const OFFER_PRODUCT: &str = "<bsbm:product>";
+    /// Offer price.
+    pub const PRICE: &str = "<bsbm:price>";
+    /// Offer vendor.
+    pub const VENDOR: &str = "<bsbm:vendor>";
+    /// Review → product edge.
+    pub const REVIEW_FOR: &str = "<bsbm:reviewFor>";
+    /// Review rating.
+    pub const RATING: &str = "<bsbm:rating1>";
+    /// Review title.
+    pub const REVIEW_TITLE: &str = "<dc:title>";
+    /// Class token for products.
+    pub const CLASS_PRODUCT: &str = "<bsbm:Product>";
+    /// Class token for producers.
+    pub const CLASS_PRODUCER: &str = "<bsbm:Producer>";
+    /// Class token for offers.
+    pub const CLASS_OFFER: &str = "<bsbm:Offer>";
+    /// Class token for reviews.
+    pub const CLASS_REVIEW: &str = "<bsbm:Review>";
+}
+
+/// Bio2RDF-like life-sciences vocabulary (genes, GO terms, cross
+/// references) for the A-series queries. `XREF` is the high-multiplicity
+/// property (Uniprot-style skew).
+pub mod bio2rdf {
+    /// Gene label.
+    pub const LABEL: &str = "<rdfs:label>";
+    /// Gene symbol.
+    pub const SYMBOL: &str = "<bio:geneSymbol>";
+    /// Gene synonym — multi-valued.
+    pub const SYNONYM: &str = "<bio:synonym>";
+    /// Gene → GO-term edge — multi-valued.
+    pub const X_GO: &str = "<bio:xGO>";
+    /// Gene → external reference — **high multiplicity** (Zipf tail).
+    pub const X_REF: &str = "<bio:xRef>";
+    /// Gene → pathway edge.
+    pub const PATHWAY: &str = "<bio:pathway>";
+    /// Gene → encoded protein.
+    pub const ENCODES: &str = "<bio:encodes>";
+    /// GO term label.
+    pub const GO_LABEL: &str = "<go:label>";
+    /// GO term namespace (process/function/component).
+    pub const GO_NAMESPACE: &str = "<go:namespace>";
+    /// Reference database name.
+    pub const REF_DB: &str = "<ref:database>";
+    /// Reference identifier literal.
+    pub const REF_ID: &str = "<ref:identifier>";
+    /// Article title for publication references.
+    pub const ARTICLE_TITLE: &str = "<ref:title>";
+}
+
+/// DBpedia-Infobox / BTC-like vocabulary: a large open property set with a
+/// high multi-valued fraction, for the C-series queries.
+pub mod dbpedia {
+    /// `rdf:type`.
+    pub const TYPE: &str = "<rdf:type>";
+    /// `rdfs:label`.
+    pub const LABEL: &str = "<rdfs:label>";
+    /// Entity class: scientist.
+    pub const CLASS_SCIENTIST: &str = "<dbo:Scientist>";
+    /// Entity class: TV series.
+    pub const CLASS_TVSHOW: &str = "<dbo:TelevisionShow>";
+    /// Entity class: city.
+    pub const CLASS_CITY: &str = "<dbo:City>";
+    /// Link between entities (birthPlace-like) — the known relation used in
+    /// C3/C4 alongside unknown ones.
+    pub const BIRTH_PLACE: &str = "<dbo:birthPlace>";
+    /// Prefix for the open infobox property space `<dbp:propN>`.
+    pub const INFOBOX_PREFIX: &str = "<dbp:prop";
+    /// Build the `i`-th infobox property token.
+    pub fn infobox(i: usize) -> String {
+        format!("{INFOBOX_PREFIX}{i}>")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn infobox_tokens_are_iris() {
+        let t = super::dbpedia::infobox(17);
+        assert!(t.starts_with('<') && t.ends_with('>'));
+        assert!(t.contains("prop17"));
+    }
+
+    #[test]
+    fn vocab_tokens_are_bracketed() {
+        for t in [
+            super::bsbm::PRODUCT_FEATURE,
+            super::bio2rdf::X_REF,
+            super::dbpedia::BIRTH_PLACE,
+        ] {
+            assert!(t.starts_with('<') && t.ends_with('>'), "{t}");
+        }
+    }
+}

@@ -1,0 +1,287 @@
+//! Record codecs.
+//!
+//! Everything that moves through the engine — job inputs, map output
+//! key/value pairs, reduce outputs — implements [`Rec`]:
+//!
+//! * `encode`/`decode` define the physical wire form (compact,
+//!   length-prefixed binary, via the `bytes` crate);
+//! * [`Rec::text_size`] defines the *simulated* size: the number of bytes
+//!   the record would occupy as a text row in Hadoop (tab/space-separated
+//!   tokens plus newline). All HDFS-read/write and shuffle counters are in
+//!   text bytes, because that is what the paper measures — Pig and Hive
+//!   move text through HDFS.
+//!
+//! Keys are compared as raw encoded bytes during the shuffle sort, so an
+//! implementation must be *canonical*: equal values encode to equal bytes.
+//! All implementations here are.
+
+use crate::error::MrError;
+use bytes::{Buf, BufMut};
+
+/// A readable slice with position tracking for decoding.
+pub struct SliceReader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> SliceReader<'a> {
+    /// Wrap a byte slice.
+    pub fn new(buf: &'a [u8]) -> Self {
+        SliceReader { buf }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Read a little-endian u32 length / tag.
+    pub fn read_u32(&mut self) -> Result<u32, MrError> {
+        if self.buf.remaining() < 4 {
+            return Err(MrError::Codec("unexpected end of buffer (u32)".into()));
+        }
+        Ok(self.buf.get_u32_le())
+    }
+
+    /// Read a little-endian u64.
+    pub fn read_u64(&mut self) -> Result<u64, MrError> {
+        if self.buf.remaining() < 8 {
+            return Err(MrError::Codec("unexpected end of buffer (u64)".into()));
+        }
+        Ok(self.buf.get_u64_le())
+    }
+
+    /// Read a single byte.
+    pub fn read_u8(&mut self) -> Result<u8, MrError> {
+        if self.buf.remaining() < 1 {
+            return Err(MrError::Codec("unexpected end of buffer (u8)".into()));
+        }
+        Ok(self.buf.get_u8())
+    }
+
+    /// Read `n` raw bytes.
+    pub fn read_bytes(&mut self, n: usize) -> Result<&'a [u8], MrError> {
+        if self.buf.len() < n {
+            return Err(MrError::Codec("unexpected end of buffer (bytes)".into()));
+        }
+        let (head, tail) = self.buf.split_at(n);
+        self.buf = tail;
+        Ok(head)
+    }
+
+    /// Read a length-prefixed UTF-8 string.
+    pub fn read_str(&mut self) -> Result<&'a str, MrError> {
+        let len = self.read_u32()? as usize;
+        let raw = self.read_bytes(len)?;
+        std::str::from_utf8(raw).map_err(|e| MrError::Codec(format!("invalid utf-8: {e}")))
+    }
+}
+
+/// A record that can move through the engine.
+pub trait Rec: Sized + Send + Sync + Clone + 'static {
+    /// Append the canonical binary encoding of `self` to `buf`.
+    fn encode(&self, buf: &mut Vec<u8>);
+
+    /// Decode one record from the reader.
+    fn decode(r: &mut SliceReader<'_>) -> Result<Self, MrError>;
+
+    /// Simulated on-disk/wire size in bytes: the record as one text row
+    /// (tokens + separators + newline).
+    fn text_size(&self) -> u64;
+
+    /// Convenience: encode into a fresh vector.
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut v = Vec::with_capacity(16);
+        self.encode(&mut v);
+        v
+    }
+
+    /// Convenience: decode from a full slice, requiring full consumption.
+    fn from_bytes(buf: &[u8]) -> Result<Self, MrError> {
+        let mut r = SliceReader::new(buf);
+        let v = Self::decode(&mut r)?;
+        if r.remaining() != 0 {
+            return Err(MrError::Codec(format!("{} trailing bytes after record", r.remaining())));
+        }
+        Ok(v)
+    }
+}
+
+impl Rec for String {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.put_u32_le(u32::try_from(self.len()).expect("string too long"));
+        buf.put_slice(self.as_bytes());
+    }
+
+    fn decode(r: &mut SliceReader<'_>) -> Result<Self, MrError> {
+        Ok(r.read_str()?.to_string())
+    }
+
+    fn text_size(&self) -> u64 {
+        self.len() as u64 + 1 // + newline
+    }
+}
+
+impl Rec for u64 {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.put_u64_le(*self);
+    }
+
+    fn decode(r: &mut SliceReader<'_>) -> Result<Self, MrError> {
+        r.read_u64()
+    }
+
+    fn text_size(&self) -> u64 {
+        // Decimal digits + newline, as a text row would store it.
+        decimal_digits(*self) + 1
+    }
+}
+
+/// Number of decimal digits of `n` (at least 1).
+pub fn decimal_digits(n: u64) -> u64 {
+    if n == 0 {
+        1
+    } else {
+        n.ilog10() as u64 + 1
+    }
+}
+
+impl<T: Rec> Rec for Vec<T> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.put_u32_le(u32::try_from(self.len()).expect("vec too long"));
+        for item in self {
+            item.encode(buf);
+        }
+    }
+
+    fn decode(r: &mut SliceReader<'_>) -> Result<Self, MrError> {
+        let n = r.read_u32()? as usize;
+        let mut out = Vec::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            out.push(T::decode(r)?);
+        }
+        Ok(out)
+    }
+
+    fn text_size(&self) -> u64 {
+        // Items lose their own newline; joined by a 1-byte separator, one
+        // trailing newline for the row.
+        if self.is_empty() {
+            1
+        } else {
+            self.iter().map(|x| x.text_size()).sum::<u64>()
+        }
+    }
+}
+
+impl<A: Rec, B: Rec> Rec for (A, B) {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.0.encode(buf);
+        self.1.encode(buf);
+    }
+
+    fn decode(r: &mut SliceReader<'_>) -> Result<Self, MrError> {
+        Ok((A::decode(r)?, B::decode(r)?))
+    }
+
+    fn text_size(&self) -> u64 {
+        // Two fields on one row: drop one of the two newlines, add one tab.
+        self.0.text_size() + self.1.text_size() - 1
+    }
+}
+
+impl Rec for () {
+    fn encode(&self, _buf: &mut Vec<u8>) {}
+
+    fn decode(_r: &mut SliceReader<'_>) -> Result<Self, MrError> {
+        Ok(())
+    }
+
+    fn text_size(&self) -> u64 {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Rec + PartialEq + std::fmt::Debug>(v: T) {
+        let enc = v.to_bytes();
+        let dec = T::from_bytes(&enc).unwrap();
+        assert_eq!(v, dec);
+    }
+
+    #[test]
+    fn string_roundtrip() {
+        roundtrip(String::from("hello world"));
+        roundtrip(String::new());
+        roundtrip(String::from("unicode: \u{1F980}"));
+    }
+
+    #[test]
+    fn u64_roundtrip() {
+        roundtrip(0u64);
+        roundtrip(u64::MAX);
+    }
+
+    #[test]
+    fn vec_roundtrip() {
+        roundtrip(vec![String::from("a"), String::from("bb")]);
+        roundtrip(Vec::<String>::new());
+        roundtrip(vec![1u64, 2, 3]);
+    }
+
+    #[test]
+    fn tuple_roundtrip() {
+        roundtrip((String::from("k"), 42u64));
+        roundtrip((String::from("k"), vec![String::from("v")]));
+    }
+
+    #[test]
+    fn decode_rejects_trailing_bytes() {
+        let mut enc = String::from("x").to_bytes();
+        enc.push(0);
+        assert!(String::from_bytes(&enc).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_truncation() {
+        let enc = String::from("hello").to_bytes();
+        assert!(String::from_bytes(&enc[..3]).is_err());
+        assert!(u64::from_bytes(&[1, 2]).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_bad_utf8() {
+        let mut enc = Vec::new();
+        enc.put_u32_le(2);
+        enc.extend_from_slice(&[0xFF, 0xFE]);
+        assert!(String::from_bytes(&enc).is_err());
+    }
+
+    #[test]
+    fn text_sizes() {
+        assert_eq!(String::from("abc").text_size(), 4);
+        assert_eq!(0u64.text_size(), 2);
+        assert_eq!(12345u64.text_size(), 6);
+        assert_eq!(vec![String::from("ab"), String::from("c")].text_size(), 5);
+        assert_eq!((String::from("ab"), String::from("c")).text_size(), 4);
+        assert_eq!(Vec::<String>::new().text_size(), 1);
+    }
+
+    #[test]
+    fn canonical_key_encoding() {
+        // Equal strings must encode to equal bytes (shuffle grouping
+        // relies on it).
+        assert_eq!(String::from("k1").to_bytes(), String::from("k1").to_bytes());
+        assert_ne!(String::from("k1").to_bytes(), String::from("k2").to_bytes());
+    }
+
+    #[test]
+    fn decimal_digit_helper() {
+        assert_eq!(decimal_digits(0), 1);
+        assert_eq!(decimal_digits(9), 1);
+        assert_eq!(decimal_digits(10), 2);
+        assert_eq!(decimal_digits(u64::MAX), 20);
+    }
+}

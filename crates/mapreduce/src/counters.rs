@@ -1,0 +1,156 @@
+//! Job and workflow statistics — the quantities the paper reports.
+//!
+//! Every figure in the evaluation is ultimately a function of these
+//! counters: number of MR cycles, full scans of the input relation, HDFS
+//! bytes read and written (× replication), and shuffle (map-output) bytes.
+
+use serde::Serialize;
+
+/// Counters for one MapReduce job.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct JobStats {
+    /// Job name (for reports).
+    pub name: String,
+    /// Records read from DFS input files.
+    pub input_records: u64,
+    /// Text bytes read from DFS input files.
+    pub hdfs_read_bytes: u64,
+    /// Map output records before any combiner ran.
+    pub pre_combine_records: u64,
+    /// Map output records (== shuffle records for jobs with a reduce;
+    /// after the combiner, if one ran).
+    pub map_output_records: u64,
+    /// Map output text bytes (== shuffle bytes for jobs with a reduce;
+    /// after the combiner, if one ran).
+    pub map_output_bytes: u64,
+    /// Number of distinct reduce keys (groups).
+    pub reduce_groups: u64,
+    /// Records delivered to reducers (equals map output records).
+    pub reduce_input_records: u64,
+    /// Records written to the output file.
+    pub output_records: u64,
+    /// Text bytes written to the output file (before replication).
+    pub output_text_bytes: u64,
+    /// Bytes charged to DFS for the output (text bytes × replication).
+    pub hdfs_write_bytes: u64,
+    /// Number of map tasks.
+    pub map_tasks: u64,
+    /// Number of reduce tasks (0 for map-only jobs).
+    pub reduce_tasks: u64,
+    /// Wasted task attempts due to injected failures (each failed attempt
+    /// was retried; the successful attempt's output is what shipped).
+    pub task_retries: u64,
+    /// True if this job scanned the base input relation in full
+    /// (the paper's "FS" column in Figure 3).
+    pub full_input_scan: bool,
+    /// Simulated wall-clock seconds for this job (from the cost model).
+    pub sim_seconds: f64,
+    /// Portion of `sim_seconds` that is fixed job-startup overhead.
+    pub startup_seconds: f64,
+}
+
+impl JobStats {
+    /// Shuffle bytes (alias for map output bytes on jobs with a reduce
+    /// phase; 0 for map-only jobs).
+    pub fn shuffle_bytes(&self) -> u64 {
+        if self.reduce_tasks > 0 {
+            self.map_output_bytes
+        } else {
+            0
+        }
+    }
+}
+
+/// Aggregated counters for a whole workflow (one query execution).
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct WorkflowStats {
+    /// Label for reports (e.g. "Pig/B3").
+    pub label: String,
+    /// Per-job statistics in execution order.
+    pub jobs: Vec<JobStats>,
+    /// Number of MR cycles (stages); concurrent jobs in a stage count as
+    /// one cycle, matching how the paper counts Pig's concurrent jobs.
+    pub mr_cycles: u64,
+    /// Number of full scans of the base input relation.
+    pub full_scans: u64,
+    /// Total simulated seconds (stage makespans summed).
+    pub sim_seconds: f64,
+    /// True if the workflow completed; false if it aborted (e.g. DiskFull).
+    pub succeeded: bool,
+    /// Error message when `succeeded` is false.
+    pub failure: Option<String>,
+    /// Peak DFS usage observed during the workflow.
+    pub peak_disk_bytes: u64,
+}
+
+impl WorkflowStats {
+    /// Sum of HDFS read bytes over all jobs.
+    pub fn total_read_bytes(&self) -> u64 {
+        self.jobs.iter().map(|j| j.hdfs_read_bytes).sum()
+    }
+
+    /// Sum of HDFS write bytes (× replication) over all jobs.
+    pub fn total_write_bytes(&self) -> u64 {
+        self.jobs.iter().map(|j| j.hdfs_write_bytes).sum()
+    }
+
+    /// Sum of HDFS write bytes for *intermediate* jobs only (all but the
+    /// last) — what the paper means by "intermediate HDFS writes".
+    pub fn intermediate_write_bytes(&self) -> u64 {
+        if self.jobs.len() <= 1 {
+            return 0;
+        }
+        self.jobs[..self.jobs.len() - 1].iter().map(|j| j.hdfs_write_bytes).sum()
+    }
+
+    /// Sum of shuffle bytes over all jobs.
+    pub fn total_shuffle_bytes(&self) -> u64 {
+        self.jobs.iter().map(JobStats::shuffle_bytes).sum()
+    }
+
+    /// Records in the final output (0 if the workflow failed before the
+    /// last job).
+    pub fn final_output_records(&self) -> u64 {
+        self.jobs.last().map_or(0, |j| j.output_records)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(read: u64, write: u64, shuffle: u64, reduce_tasks: u64) -> JobStats {
+        JobStats {
+            hdfs_read_bytes: read,
+            hdfs_write_bytes: write,
+            map_output_bytes: shuffle,
+            reduce_tasks,
+            ..JobStats::default()
+        }
+    }
+
+    #[test]
+    fn totals() {
+        let wf = WorkflowStats {
+            jobs: vec![job(100, 50, 80, 2), job(50, 20, 30, 2)],
+            ..WorkflowStats::default()
+        };
+        assert_eq!(wf.total_read_bytes(), 150);
+        assert_eq!(wf.total_write_bytes(), 70);
+        assert_eq!(wf.intermediate_write_bytes(), 50);
+        assert_eq!(wf.total_shuffle_bytes(), 110);
+    }
+
+    #[test]
+    fn map_only_jobs_do_not_shuffle() {
+        let j = job(10, 10, 999, 0);
+        assert_eq!(j.shuffle_bytes(), 0);
+    }
+
+    #[test]
+    fn single_job_has_no_intermediate_writes() {
+        let wf = WorkflowStats { jobs: vec![job(1, 9, 0, 1)], ..WorkflowStats::default() };
+        assert_eq!(wf.intermediate_write_bytes(), 0);
+        assert_eq!(wf.total_write_bytes(), 9);
+    }
+}

@@ -1,0 +1,633 @@
+//! The MapReduce execution engine.
+//!
+//! [`Engine::run_job`] executes one job: parallel map over input splits,
+//! deterministic hash partitioning of the shuffle, per-partition sort,
+//! parallel reduce, and an output write to the simulated HDFS (which may
+//! fail with `DiskFull`). Every phase updates the byte/record counters of
+//! [`JobStats`], and the configured [`CostModel`] converts them into
+//! simulated seconds.
+//!
+//! Determinism: the same job over the same inputs produces byte-identical
+//! output files and identical counters regardless of worker count. Map
+//! output is concatenated in input order, partitioned with FNV-1a (not
+//! Rust's randomly-seeded default hasher), and each partition is stably
+//! sorted by `(key bytes, value bytes)` before grouping.
+
+use crate::cost::CostModel;
+use crate::counters::JobStats;
+use crate::faults::FaultConfig;
+use crate::error::MrError;
+use crate::hdfs::{DfsFile, SimHdfs};
+use crate::job::{JobKind, JobSpec, MapEmitter, OutEmitter, RawCombineOp, RawMapOp, RawMapOnlyOp};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Deterministic 64-bit FNV-1a hash used for reducer partitioning.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// An encoded shuffle pair: `(key bytes, value bytes)`.
+type RawPair = (Vec<u8>, Vec<u8>);
+
+/// Partition a reduce key to one of `n` reducers (Hadoop's
+/// `hash(key) % numReducers` with a deterministic hash).
+pub fn default_partition(key: &[u8], n: usize) -> usize {
+    (fnv1a(key) % n as u64) as usize
+}
+
+/// The engine: a simulated cluster (DFS + workers + cost model).
+pub struct Engine {
+    hdfs: Arc<Mutex<SimHdfs>>,
+    /// Cost model used to fill `JobStats::sim_seconds`.
+    pub cost: CostModel,
+    /// Number of OS worker threads for map/reduce task execution.
+    pub workers: usize,
+    /// Simulated HDFS block size (drives the `map_tasks` statistic).
+    pub block_size: u64,
+    /// Task-failure injection (default: no failures).
+    pub faults: FaultConfig,
+}
+
+impl Engine {
+    /// Create an engine over the given DFS with default cost model and one
+    /// worker per available core.
+    pub fn new(hdfs: SimHdfs) -> Self {
+        let workers = std::thread::available_parallelism().map_or(4, |n| n.get());
+        Engine {
+            hdfs: Arc::new(Mutex::new(hdfs)),
+            cost: CostModel::default(),
+            workers,
+            block_size: 256 * 1024 * 1024, // paper: 256 MB blocks
+            faults: FaultConfig::none(),
+        }
+    }
+
+    /// Engine over an unbounded DFS (convenient in tests).
+    pub fn unbounded() -> Self {
+        Engine::new(SimHdfs::unbounded())
+    }
+
+    /// Set the cost model.
+    pub fn with_cost(mut self, cost: CostModel) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// Set the worker-thread count.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Enable deterministic task-failure injection.
+    pub fn with_faults(mut self, faults: FaultConfig) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Resolve injected failures for `n_tasks` tasks of one phase: returns
+    /// the number of wasted (retried) attempts, or the error for a task
+    /// that exhausted its attempts. Task identities mix the job name and a
+    /// phase tag so map and reduce tasks fail independently.
+    fn resolve_faults(&self, job: &str, phase: u64, n_tasks: usize) -> Result<u64, MrError> {
+        if self.faults.task_failure_probability <= 0.0 {
+            return Ok(0);
+        }
+        let base = fnv1a(job.as_bytes()) ^ (phase << 56);
+        let mut retries = 0u64;
+        for i in 0..n_tasks {
+            match self.faults.attempts_needed(base.wrapping_add(i as u64)) {
+                Some(attempts) => retries += u64::from(attempts - 1),
+                None => {
+                    return Err(MrError::Op(format!(
+                        "task {i} of {job} failed {} consecutive attempts",
+                        self.faults.max_attempts
+                    )))
+                }
+            }
+        }
+        Ok(retries)
+    }
+
+    /// Access the DFS (e.g. to load inputs or read final outputs).
+    pub fn hdfs(&self) -> &Mutex<SimHdfs> {
+        &self.hdfs
+    }
+
+    /// Helper: store a collection of typed records as a DFS input file.
+    pub fn put_records<T: crate::codec::Rec>(
+        &self,
+        name: &str,
+        records: impl IntoIterator<Item = T>,
+    ) -> Result<(), MrError> {
+        let mut file = DfsFile::default();
+        for r in records {
+            file.text_bytes += r.text_size();
+            file.records.push(r.to_bytes());
+        }
+        self.hdfs.lock().put(name, file)
+    }
+
+    /// Helper: read a DFS file back as typed records.
+    pub fn read_records<T: crate::codec::Rec>(&self, name: &str) -> Result<Vec<T>, MrError> {
+        let file = self.hdfs.lock().get(name)?;
+        file.records.iter().map(|r| T::from_bytes(r)).collect()
+    }
+
+    /// Execute one job to completion.
+    pub fn run_job(&self, spec: &JobSpec) -> Result<JobStats, MrError> {
+        let mut stats = JobStats { name: spec.name.clone(), ..JobStats::default() };
+        stats.full_input_scan = spec.full_input_scan;
+        let replication =
+            spec.replication.unwrap_or_else(|| self.hdfs.lock().default_replication());
+        // Budget for early abort: text bytes this job may write.
+        let budget = {
+            let fs = self.hdfs.lock();
+            if fs.capacity() == u64::MAX {
+                None
+            } else {
+                Some(fs.available() / u64::from(replication.max(1)))
+            }
+        };
+
+        let n_outputs = spec.outputs.len();
+        let outputs = match &spec.kind {
+            JobKind::MapOnly { files, mapper } => {
+                self.run_map_only(files, mapper.as_ref(), budget, n_outputs, &mut stats)?
+            }
+            JobKind::MapReduce { inputs, combiner, reducer, reduce_tasks } => {
+                let pairs = self.run_map_phase(inputs, combiner.as_deref(), &mut stats)?;
+                stats.reduce_tasks = *reduce_tasks as u64;
+                self.run_reduce_phase(
+                    pairs,
+                    reducer.as_ref(),
+                    *reduce_tasks,
+                    budget,
+                    n_outputs,
+                    &mut stats,
+                )?
+            }
+        };
+
+        let mut outputs = outputs;
+        if spec.output_compression < 1.0 {
+            for output in &mut outputs {
+                output.text_bytes =
+                    (output.text_bytes as f64 * spec.output_compression).ceil() as u64;
+            }
+        }
+        for output in &outputs {
+            stats.output_records += output.records.len() as u64;
+            stats.output_text_bytes += output.text_bytes;
+            stats.hdfs_write_bytes += output.text_bytes * u64::from(replication);
+        }
+        let mut written: Vec<&String> = Vec::new();
+        for (name, output) in spec.outputs.iter().zip(outputs) {
+            if let Err(e) = self.hdfs.lock().put_with_replication(name, output, replication) {
+                // A failed job must not leave partial outputs behind.
+                let mut fs = self.hdfs.lock();
+                for w in written {
+                    let _ = fs.delete(w);
+                }
+                return Err(e);
+            }
+            written.push(name);
+        }
+
+        stats.startup_seconds = self.cost.job_startup_s;
+        stats.sim_seconds = self.cost.job_seconds(&stats);
+        Ok(stats)
+    }
+
+    /// Read one input file and account its bytes/records.
+    fn load_input(&self, name: &str, stats: &mut JobStats) -> Result<Arc<DfsFile>, MrError> {
+        let file = self.hdfs.lock().get(name)?;
+        stats.input_records += file.records.len() as u64;
+        stats.hdfs_read_bytes += file.text_bytes;
+        stats.map_tasks += file.text_bytes.div_ceil(self.block_size).max(1);
+        Ok(file)
+    }
+
+    fn run_map_only(
+        &self,
+        files: &[String],
+        mapper: &dyn RawMapOnlyOp,
+        budget: Option<u64>,
+        n_outputs: usize,
+        stats: &mut JobStats,
+    ) -> Result<Vec<DfsFile>, MrError> {
+        let mut inputs = Vec::new();
+        for f in files {
+            inputs.push(self.load_input(f, stats)?);
+        }
+        // Map-only output order must be deterministic: process chunks in
+        // parallel but concatenate in input order.
+        let chunks: Vec<&[Vec<u8>]> = inputs.iter().flat_map(|f| self.chunk(&f.records)).collect();
+        stats.task_retries += self.resolve_faults(&stats.name, 0, chunks.len())?;
+        let results = self.parallel_over(&chunks, |chunk| {
+            let mut out = OutEmitter::with_outputs(budget, n_outputs);
+            for rec in *chunk {
+                mapper.run(rec, &mut out)?;
+            }
+            Ok(out)
+        })?;
+        let mut files: Vec<DfsFile> = (0..n_outputs).map(|_| DfsFile::default()).collect();
+        for out in results {
+            for (idx, rec, text) in out.records {
+                files[idx].text_bytes += text;
+                files[idx].records.push(rec);
+            }
+        }
+        // `stats.map_output_*` double as "records produced by map" even for
+        // map-only jobs, but they are NOT shuffle bytes (reduce_tasks == 0).
+        stats.map_output_records = files.iter().map(|f| f.records.len() as u64).sum();
+        stats.map_output_bytes = files.iter().map(|f| f.text_bytes).sum();
+        Ok(files)
+    }
+
+    fn run_map_phase(
+        &self,
+        inputs: &[crate::job::InputBinding],
+        combiner: Option<&dyn RawCombineOp>,
+        stats: &mut JobStats,
+    ) -> Result<Vec<RawPair>, MrError> {
+        // (mapper, chunk) work items, order-preserving.
+        let mut work: Vec<(&dyn RawMapOp, &[Vec<u8>])> = Vec::new();
+        let mut files = Vec::new();
+        for binding in inputs {
+            let file = self.load_input(&binding.file, stats)?;
+            files.push((binding.mapper.clone(), file));
+        }
+        for (mapper, file) in &files {
+            // Safety note: `files` outlives `work` within this function.
+            for chunk in self.chunk(&file.records) {
+                work.push((mapper.as_ref(), chunk));
+            }
+        }
+        stats.task_retries += self.resolve_faults(&stats.name, 0, work.len())?;
+        let results = self.parallel_over(&work, |(mapper, chunk)| {
+            let mut out = MapEmitter::new();
+            for rec in *chunk {
+                mapper.run(rec, &mut out)?;
+            }
+            let pre_combine = out.pairs.len() as u64;
+            if let Some(c) = combiner {
+                out = Self::run_combiner(c, out)?;
+            }
+            Ok((out, pre_combine))
+        })?;
+        let mut pairs = Vec::new();
+        for (out, pre_combine) in results {
+            stats.pre_combine_records += pre_combine;
+            for (k, v, text) in out.pairs {
+                stats.map_output_records += 1;
+                stats.map_output_bytes += text;
+                pairs.push((k, v));
+            }
+        }
+        Ok(pairs)
+    }
+
+    /// Run the combiner over one map task's buffered output: sort by key,
+    /// group, feed each group to the combiner (exactly Hadoop's in-memory
+    /// combine before spill).
+    fn run_combiner(combiner: &dyn RawCombineOp, out: MapEmitter) -> Result<MapEmitter, MrError> {
+        let mut pairs = out.pairs;
+        pairs.sort_unstable_by(|a, b| (&a.0, &a.1).cmp(&(&b.0, &b.1)));
+        let mut combined = MapEmitter::new();
+        let mut i = 0;
+        while i < pairs.len() {
+            let key = pairs[i].0.clone();
+            let mut j = i;
+            while j < pairs.len() && pairs[j].0 == key {
+                j += 1;
+            }
+            let values: Vec<Vec<u8>> = pairs[i..j].iter().map(|(_, v, _)| v.clone()).collect();
+            combiner.run(&key, &values, &mut combined)?;
+            i = j;
+        }
+        Ok(combined)
+    }
+
+    fn run_reduce_phase(
+        &self,
+        pairs: Vec<RawPair>,
+        reducer: &dyn crate::job::RawReduceOp,
+        reduce_tasks: usize,
+        budget: Option<u64>,
+        n_outputs: usize,
+        stats: &mut JobStats,
+    ) -> Result<Vec<DfsFile>, MrError> {
+        stats.reduce_input_records = pairs.len() as u64;
+        // Partition.
+        let mut partitions: Vec<Vec<(Vec<u8>, Vec<u8>)>> = vec![Vec::new(); reduce_tasks];
+        for (k, v) in pairs {
+            let p = default_partition(&k, reduce_tasks);
+            partitions[p].push((k, v));
+        }
+        stats.task_retries += self.resolve_faults(&stats.name, 1, reduce_tasks)?;
+        // Sort + group + reduce each partition in parallel.
+        let shared_budget = budget;
+        let results = self.parallel_over(&partitions, |part| {
+            let mut part: Vec<(&[u8], &[u8])> =
+                part.iter().map(|(k, v)| (k.as_slice(), v.as_slice())).collect();
+            part.sort_unstable();
+            let mut out = OutEmitter::with_outputs(shared_budget, n_outputs);
+            let mut groups = 0u64;
+            let mut i = 0;
+            while i < part.len() {
+                let key = part[i].0;
+                let mut j = i;
+                while j < part.len() && part[j].0 == key {
+                    j += 1;
+                }
+                let values: Vec<Vec<u8>> = part[i..j].iter().map(|(_, v)| v.to_vec()).collect();
+                reducer.run(key, &values, &mut out)?;
+                groups += 1;
+                i = j;
+            }
+            Ok((out, groups))
+        })?;
+        let mut files: Vec<DfsFile> = (0..n_outputs).map(|_| DfsFile::default()).collect();
+        let mut total_text = 0u64;
+        for (out, groups) in results {
+            stats.reduce_groups += groups;
+            total_text += out.emitted_text;
+            if let Some(b) = budget {
+                // Early-abort check across partitions: each partition only
+                // bounds itself, so re-check the aggregate here.
+                if total_text > b {
+                    return Err(MrError::DiskFull {
+                        file: "<job output>".into(),
+                        needed: total_text,
+                        available: b,
+                    });
+                }
+            }
+            for (idx, rec, text) in out.records {
+                files[idx].text_bytes += text;
+                files[idx].records.push(rec);
+            }
+        }
+        Ok(files)
+    }
+
+    /// Split a record slice into roughly worker-count×4 chunks.
+    fn chunk<'a>(&self, records: &'a [Vec<u8>]) -> Vec<&'a [Vec<u8>]> {
+        if records.is_empty() {
+            return Vec::new();
+        }
+        let target = (records.len() / (self.workers * 4)).max(1024).min(records.len());
+        records.chunks(target).collect()
+    }
+
+    /// Run `f` over every item of `work` on the worker pool, preserving
+    /// item order in the results.
+    fn parallel_over<T: Sync, R: Send>(
+        &self,
+        work: &[T],
+        f: impl Fn(&T) -> Result<R, MrError> + Sync,
+    ) -> Result<Vec<R>, MrError> {
+        if work.is_empty() {
+            return Ok(Vec::new());
+        }
+        if self.workers <= 1 || work.len() == 1 {
+            return work.iter().map(&f).collect();
+        }
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let results: Vec<Mutex<Option<Result<R, MrError>>>> =
+            work.iter().map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..self.workers.min(work.len()) {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= work.len() {
+                        break;
+                    }
+                    let r = f(&work[i]);
+                    *results[i].lock() = Some(r);
+                });
+            }
+        });
+        results.into_iter().map(|m| m.into_inner().expect("worker completed")).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{map_fn, reduce_fn, InputBinding};
+
+    fn word_count_engine(words: &[&str]) -> Engine {
+        let engine = Engine::unbounded().with_workers(4);
+        engine
+            .put_records("input", words.iter().map(|w| w.to_string()))
+            .unwrap();
+        engine
+    }
+
+    fn word_count_spec() -> JobSpec {
+        let mapper = map_fn(|word: String, out: &mut crate::job::TypedMapEmitter<'_, String, u64>| {
+            out.emit(&word, &1);
+            Ok(())
+        });
+        let reducer = reduce_fn(
+            |key: String, values: Vec<u64>, out: &mut crate::job::TypedOutEmitter<'_, String>| {
+                out.emit(&format!("{key}:{}", values.iter().sum::<u64>()))
+            },
+        );
+        JobSpec::map_reduce(
+            "wordcount",
+            vec![InputBinding { file: "input".into(), mapper }],
+            reducer,
+            3,
+            "out",
+        )
+    }
+
+    #[test]
+    fn word_count_end_to_end() {
+        let engine = word_count_engine(&["a", "b", "a", "c", "a", "b"]);
+        let stats = engine.run_job(&word_count_spec()).unwrap();
+        let mut out: Vec<String> = engine.read_records("out").unwrap();
+        out.sort();
+        assert_eq!(out, vec!["a:3", "b:2", "c:1"]);
+        assert_eq!(stats.input_records, 6);
+        assert_eq!(stats.map_output_records, 6);
+        assert_eq!(stats.reduce_input_records, 6);
+        assert_eq!(stats.reduce_groups, 3);
+        assert_eq!(stats.output_records, 3);
+    }
+
+    #[test]
+    fn deterministic_across_worker_counts() {
+        let run = |workers| {
+            let engine =
+                word_count_engine(&["x", "y", "x", "z", "w", "w", "w"]).with_workers(workers);
+            let stats = engine.run_job(&word_count_spec()).unwrap();
+            let out: Vec<String> = engine.read_records("out").unwrap();
+            (stats.map_output_bytes, stats.output_text_bytes, out)
+        };
+        let a = run(1);
+        let b = run(8);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn counters_conserve_shuffle() {
+        let engine = word_count_engine(&["a"; 100]);
+        let stats = engine.run_job(&word_count_spec()).unwrap();
+        assert_eq!(stats.map_output_records, stats.reduce_input_records);
+        assert_eq!(stats.shuffle_bytes(), stats.map_output_bytes);
+    }
+
+    #[test]
+    fn map_only_job() {
+        let engine = word_count_engine(&["one", "two"]);
+        let mapper = crate::job::map_only_fn(
+            |w: String, out: &mut crate::job::TypedOutEmitter<'_, String>| {
+                out.emit(&w.to_uppercase())
+            },
+        );
+        let spec = JobSpec::map_only("upper", vec!["input".into()], mapper, "out");
+        let stats = engine.run_job(&spec).unwrap();
+        assert_eq!(stats.reduce_tasks, 0);
+        assert_eq!(stats.shuffle_bytes(), 0);
+        let out: Vec<String> = engine.read_records("out").unwrap();
+        assert_eq!(out, vec!["ONE", "TWO"]);
+    }
+
+    #[test]
+    fn missing_input_errors() {
+        let engine = Engine::unbounded();
+        let spec = word_count_spec();
+        assert!(matches!(engine.run_job(&spec), Err(MrError::NoSuchFile(_))));
+    }
+
+    #[test]
+    fn disk_full_during_output() {
+        // Input (60 B) fits; job output (~60 B more) exceeds the 80 B budget.
+        let engine = Engine::new(SimHdfs::new(80, 1)).with_workers(2);
+        engine
+            .put_records("input", (0..10).map(|i| format!("word{i}")))
+            .unwrap();
+        let err = engine.run_job(&word_count_spec()).unwrap_err();
+        assert!(err.is_disk_full(), "{err:?}");
+        // Output file must not exist after a failed write.
+        assert!(!engine.hdfs().lock().exists("out"));
+    }
+
+    #[test]
+    fn replication_charged_on_write() {
+        let engine = Engine::new(SimHdfs::new(u64::MAX / 4, 3));
+        engine.put_records("input", ["a".to_string()]).unwrap();
+        let stats = engine.run_job(&word_count_spec()).unwrap();
+        assert_eq!(stats.hdfs_write_bytes, stats.output_text_bytes * 3);
+    }
+
+    #[test]
+    fn multiple_inputs_tagged_by_mapper() {
+        let engine = Engine::unbounded();
+        engine.put_records("left", ["l1".to_string()]).unwrap();
+        engine.put_records("right", ["r1".to_string()]).unwrap();
+        let tag = |t: &'static str| {
+            map_fn(move |w: String, out: &mut crate::job::TypedMapEmitter<'_, String, String>| {
+                out.emit(&"k".to_string(), &format!("{t}:{w}"));
+                Ok(())
+            })
+        };
+        let reducer = reduce_fn(
+            |_k: String, values: Vec<String>, out: &mut crate::job::TypedOutEmitter<'_, String>| {
+                out.emit(&values.join(","))
+            },
+        );
+        let spec = JobSpec::map_reduce(
+            "join",
+            vec![
+                InputBinding { file: "left".into(), mapper: tag("L") },
+                InputBinding { file: "right".into(), mapper: tag("R") },
+            ],
+            reducer,
+            1,
+            "out",
+        );
+        engine.run_job(&spec).unwrap();
+        let out: Vec<String> = engine.read_records("out").unwrap();
+        assert_eq!(out, vec!["L:l1,R:r1"]);
+    }
+
+    #[test]
+    fn sim_seconds_filled() {
+        let engine = word_count_engine(&["a", "b"]);
+        let stats = engine.run_job(&word_count_spec()).unwrap();
+        assert!(stats.sim_seconds >= stats.startup_seconds);
+        assert!(stats.sim_seconds > 0.0);
+    }
+
+    #[test]
+    fn combiner_shrinks_shuffle_without_changing_results() {
+        use crate::job::combine_fn;
+        let engine = word_count_engine(&["a"; 200]).with_workers(4);
+        let baseline = engine.run_job(&word_count_spec()).unwrap();
+        let base_out: Vec<String> = engine.read_records("out").unwrap();
+
+        let combiner = combine_fn(
+            |key: String, ones: Vec<u64>, out: &mut crate::job::TypedMapEmitter<'_, String, u64>| {
+                out.emit(&key, &ones.iter().sum());
+                Ok(())
+            },
+        );
+        let spec = {
+            let mut s = word_count_spec();
+            s.outputs = vec!["out2".into()];
+            s.with_combiner(combiner)
+        };
+        let combined = engine.run_job(&spec).unwrap();
+        let comb_out: Vec<String> = engine.read_records("out2").unwrap();
+        assert_eq!(base_out, comb_out, "combiner must not change results");
+        assert!(combined.map_output_records < baseline.map_output_records);
+        assert!(combined.map_output_bytes < baseline.map_output_bytes);
+        assert_eq!(combined.pre_combine_records, baseline.map_output_records);
+    }
+
+    #[test]
+    fn output_compression_scales_accounted_bytes() {
+        let engine = word_count_engine(&["alpha", "beta", "alpha"]);
+        let plain = engine.run_job(&word_count_spec()).unwrap();
+        let spec = {
+            let mut s = word_count_spec();
+            s.outputs = vec!["out2".into()];
+            s.with_output_compression(0.5)
+        };
+        let compressed = engine.run_job(&spec).unwrap();
+        // Same records, half the accounted bytes (ceil per file).
+        assert_eq!(compressed.output_records, plain.output_records);
+        assert!(compressed.output_text_bytes <= plain.output_text_bytes / 2 + 1);
+        // Readers of the compressed file are charged the compressed size.
+        let file = engine.hdfs().lock().get("out2").unwrap();
+        assert_eq!(file.text_bytes, compressed.output_text_bytes);
+    }
+
+    #[test]
+    #[should_panic(expected = "compression ratio")]
+    fn rejects_bad_compression_ratio() {
+        word_count_spec().with_output_compression(0.0);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let engine = Engine::unbounded();
+        engine.put_records::<String>("input", []).unwrap();
+        let stats = engine.run_job(&word_count_spec()).unwrap();
+        assert_eq!(stats.output_records, 0);
+        assert!(engine.hdfs().lock().exists("out"));
+    }
+}

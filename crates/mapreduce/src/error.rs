@@ -1,0 +1,74 @@
+//! Engine error types.
+
+use std::fmt;
+
+/// Errors surfaced by the MapReduce engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MrError {
+    /// The simulated HDFS ran out of space while a job was writing.
+    ///
+    /// This reproduces the paper's failed executions (bars marked `X` in
+    /// Figures 9(a), 12, 13): Pig/Hive runs on BSBM-2M with replication 2
+    /// died because redundant intermediate results exceeded the cluster's
+    /// 20 GB-per-node disk budget.
+    DiskFull {
+        /// File being written when space ran out.
+        file: String,
+        /// Bytes the write would have required (after replication).
+        needed: u64,
+        /// Bytes actually available.
+        available: u64,
+    },
+    /// A record could not be decoded (wrong type read from a file, or a
+    /// corrupted buffer).
+    Codec(String),
+    /// An input file does not exist in the simulated DFS.
+    NoSuchFile(String),
+    /// A job wrote to a file name that already exists (Hadoop refuses to
+    /// overwrite job output directories; so do we).
+    OutputExists(String),
+    /// Catch-all for operator-level failures.
+    Op(String),
+}
+
+impl fmt::Display for MrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MrError::DiskFull { file, needed, available } => write!(
+                f,
+                "simulated HDFS full while writing '{file}': needed {needed} B, available {available} B"
+            ),
+            MrError::Codec(m) => write!(f, "codec error: {m}"),
+            MrError::NoSuchFile(name) => write!(f, "no such DFS file: {name}"),
+            MrError::OutputExists(name) => write!(f, "output already exists: {name}"),
+            MrError::Op(m) => write!(f, "operator error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for MrError {}
+
+impl MrError {
+    /// True if this error is the disk-capacity failure mode.
+    pub fn is_disk_full(&self) -> bool {
+        matches!(self, MrError::DiskFull { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_disk_full() {
+        let e = MrError::DiskFull { file: "out".into(), needed: 10, available: 5 };
+        assert!(e.to_string().contains("out"));
+        assert!(e.is_disk_full());
+    }
+
+    #[test]
+    fn display_others() {
+        assert!(!MrError::Codec("x".into()).is_disk_full());
+        assert!(MrError::NoSuchFile("f".into()).to_string().contains('f'));
+    }
+}

@@ -1,0 +1,120 @@
+//! Deterministic task-failure injection.
+//!
+//! Hadoop materializes and replicates every job's output *because tasks
+//! and nodes fail*; the paper's cost analysis (intermediate HDFS writes ×
+//! replication) exists precisely to pay for this fault tolerance. The
+//! engine therefore models the failure side too: map/reduce task attempts
+//! can be made to fail with a configured probability, and the engine
+//! retries each task up to a bounded number of attempts (Hadoop's
+//! `mapreduce.map.maxattempts`, default 4) before failing the job.
+//!
+//! Injection is deterministic: whether attempt `a` of task `t` fails is a
+//! pure function of `(seed, task, attempt)`, so runs are reproducible and
+//! results must be bit-identical with and without injected failures —
+//! which the tests assert.
+
+use serde::{Deserialize, Serialize};
+
+/// Failure-injection configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FaultConfig {
+    /// Probability in `[0, 1)` that any single task attempt fails.
+    pub task_failure_probability: f64,
+    /// Maximum attempts per task before the job is failed.
+    pub max_attempts: u32,
+    /// Seed making the injection deterministic.
+    pub seed: u64,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig { task_failure_probability: 0.0, max_attempts: 4, seed: 0 }
+    }
+}
+
+impl FaultConfig {
+    /// No injected failures.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Fail each attempt with probability `p` under `seed`.
+    pub fn with_probability(p: f64, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&p), "probability must be in [0, 1)");
+        FaultConfig { task_failure_probability: p, max_attempts: 4, seed }
+    }
+
+    /// True if attempt `attempt` of task `task_id` should fail.
+    ///
+    /// Deterministic splitmix64-style hash of `(seed, task, attempt)`
+    /// mapped to `[0, 1)` and compared against the probability.
+    pub fn attempt_fails(&self, task_id: u64, attempt: u32) -> bool {
+        if self.task_failure_probability <= 0.0 {
+            return false;
+        }
+        let mut x = self
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(task_id)
+            .wrapping_mul(0xBF58_476D_1CE4_E5B9)
+            .wrapping_add(u64::from(attempt));
+        x ^= x >> 30;
+        x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x ^= x >> 27;
+        x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^= x >> 31;
+        let unit = (x >> 11) as f64 / (1u64 << 53) as f64;
+        unit < self.task_failure_probability
+    }
+
+    /// Number of attempts task `task_id` needs before succeeding, or
+    /// `None` if it exhausts `max_attempts`.
+    pub fn attempts_needed(&self, task_id: u64) -> Option<u32> {
+        (1..=self.max_attempts).find(|&attempt| !self.attempt_fails(task_id, attempt))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_probability_never_fails() {
+        let f = FaultConfig::none();
+        for t in 0..100 {
+            assert_eq!(f.attempts_needed(t), Some(1));
+        }
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let a = FaultConfig::with_probability(0.5, 7);
+        let b = FaultConfig::with_probability(0.5, 7);
+        for t in 0..200 {
+            assert_eq!(a.attempts_needed(t), b.attempts_needed(t));
+        }
+        let c = FaultConfig::with_probability(0.5, 8);
+        assert!((0..200).any(|t| a.attempts_needed(t) != c.attempts_needed(t)));
+    }
+
+    #[test]
+    fn probability_roughly_respected() {
+        let f = FaultConfig::with_probability(0.3, 42);
+        let failures = (0..10_000).filter(|&t| f.attempt_fails(t, 1)).count();
+        assert!((2_500..3_500).contains(&failures), "got {failures}");
+    }
+
+    #[test]
+    fn high_probability_exhausts_attempts() {
+        let f = FaultConfig { task_failure_probability: 0.95, max_attempts: 2, seed: 1 };
+        let exhausted = (0..1000).filter(|&t| f.attempts_needed(t).is_none()).count();
+        // ~0.95^2 ≈ 90 % of tasks exhaust two attempts.
+        assert!(exhausted > 800, "{exhausted}");
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn rejects_certain_failure() {
+        FaultConfig::with_probability(1.0, 0);
+    }
+}

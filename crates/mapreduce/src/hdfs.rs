@@ -1,0 +1,227 @@
+//! Simulated HDFS: an in-memory distributed file system with replication
+//! accounting and a bounded disk budget.
+//!
+//! The paper's clusters had only 20 GB of disk per node; with a replication
+//! factor of 2 the redundant intermediate results of relational plans
+//! exceeded the budget and jobs failed. [`SimHdfs`] reproduces exactly that
+//! failure mode: every stored file consumes `text_bytes × replication` of
+//! the configured capacity, and a write that would exceed capacity fails
+//! with [`MrError::DiskFull`].
+
+use crate::error::MrError;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// One file in the simulated DFS.
+///
+/// Records are stored in their compact binary encoding (see
+/// [`crate::codec::Rec`]), but the *accounted* size is `text_bytes` — the
+/// size the file would have as Hadoop text rows.
+#[derive(Debug, Clone, Default)]
+pub struct DfsFile {
+    /// Encoded records.
+    pub records: Vec<Vec<u8>>,
+    /// Simulated text size of the file in bytes.
+    pub text_bytes: u64,
+    /// Replication factor this file was written with.
+    pub replication: u32,
+}
+
+impl DfsFile {
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True if the file holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Disk consumption including replication.
+    pub fn disk_bytes(&self) -> u64 {
+        self.text_bytes * u64::from(self.replication)
+    }
+}
+
+/// The simulated cluster file system.
+#[derive(Debug)]
+pub struct SimHdfs {
+    files: BTreeMap<String, Arc<DfsFile>>,
+    /// Total disk capacity across the cluster in bytes. `u64::MAX` means
+    /// effectively unbounded.
+    capacity: u64,
+    /// Default replication factor for new files (`dfs.replication`).
+    default_replication: u32,
+    /// High-water mark of disk usage ever observed.
+    peak_usage: u64,
+}
+
+impl SimHdfs {
+    /// An unbounded DFS with replication factor 1 (unit-test friendly).
+    pub fn unbounded() -> Self {
+        SimHdfs::new(u64::MAX, 1)
+    }
+
+    /// Create a DFS with the given total capacity and default replication.
+    pub fn new(capacity: u64, default_replication: u32) -> Self {
+        assert!(default_replication >= 1, "replication must be >= 1");
+        SimHdfs { files: BTreeMap::new(), capacity, default_replication, peak_usage: 0 }
+    }
+
+    /// Convenience: capacity expressed as `nodes × bytes-per-node`, the way
+    /// the paper describes its clusters (e.g. 60 nodes × 20 GB).
+    pub fn with_cluster(nodes: u32, bytes_per_node: u64, replication: u32) -> Self {
+        SimHdfs::new(u64::from(nodes) * bytes_per_node, replication)
+    }
+
+    /// Default replication factor.
+    pub fn default_replication(&self) -> u32 {
+        self.default_replication
+    }
+
+    /// Current disk usage (text bytes × replication, summed over files).
+    pub fn usage(&self) -> u64 {
+        self.files.values().map(|f| f.disk_bytes()).sum()
+    }
+
+    /// Highest disk usage ever reached.
+    pub fn peak_usage(&self) -> u64 {
+        self.peak_usage
+    }
+
+    /// Total capacity.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Bytes still available.
+    pub fn available(&self) -> u64 {
+        self.capacity.saturating_sub(self.usage())
+    }
+
+    /// Store a file with the default replication factor.
+    pub fn put(&mut self, name: &str, file: DfsFile) -> Result<(), MrError> {
+        self.put_with_replication(name, file, self.default_replication)
+    }
+
+    /// Store a file with an explicit replication factor.
+    pub fn put_with_replication(
+        &mut self,
+        name: &str,
+        mut file: DfsFile,
+        replication: u32,
+    ) -> Result<(), MrError> {
+        if self.files.contains_key(name) {
+            return Err(MrError::OutputExists(name.to_string()));
+        }
+        file.replication = replication.max(1);
+        let needed = file.disk_bytes();
+        let available = self.available();
+        if needed > available {
+            return Err(MrError::DiskFull { file: name.to_string(), needed, available });
+        }
+        self.files.insert(name.to_string(), Arc::new(file));
+        self.peak_usage = self.peak_usage.max(self.usage());
+        Ok(())
+    }
+
+    /// Fetch a file by name. The returned handle is cheap to clone and
+    /// can be read outside the DFS lock.
+    pub fn get(&self, name: &str) -> Result<Arc<DfsFile>, MrError> {
+        self.files.get(name).cloned().ok_or_else(|| MrError::NoSuchFile(name.to_string()))
+    }
+
+    /// True if a file with this name exists.
+    pub fn exists(&self, name: &str) -> bool {
+        self.files.contains_key(name)
+    }
+
+    /// Delete a file, freeing its space. Deleting a missing file is an
+    /// error (catching workflow-cleanup bugs early).
+    pub fn delete(&mut self, name: &str) -> Result<Arc<DfsFile>, MrError> {
+        self.files.remove(name).ok_or_else(|| MrError::NoSuchFile(name.to_string()))
+    }
+
+    /// Names of all stored files, sorted.
+    pub fn file_names(&self) -> Vec<String> {
+        self.files.keys().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(bytes: u64) -> DfsFile {
+        DfsFile { records: vec![vec![0u8; 4]], text_bytes: bytes, replication: 1 }
+    }
+
+    #[test]
+    fn put_get_roundtrip() {
+        let mut fs = SimHdfs::unbounded();
+        fs.put("a", file(100)).unwrap();
+        assert_eq!(fs.get("a").unwrap().text_bytes, 100);
+        assert!(fs.exists("a"));
+        assert!(!fs.exists("b"));
+    }
+
+    #[test]
+    fn refuses_overwrite() {
+        let mut fs = SimHdfs::unbounded();
+        fs.put("a", file(1)).unwrap();
+        assert!(matches!(fs.put("a", file(1)), Err(MrError::OutputExists(_))));
+    }
+
+    #[test]
+    fn replication_multiplies_usage() {
+        let mut fs = SimHdfs::new(1000, 2);
+        fs.put("a", file(100)).unwrap();
+        assert_eq!(fs.usage(), 200);
+        fs.put_with_replication("b", file(100), 3).unwrap();
+        assert_eq!(fs.usage(), 500);
+    }
+
+    #[test]
+    fn disk_full_failure() {
+        let mut fs = SimHdfs::new(250, 2);
+        fs.put("a", file(100)).unwrap(); // 200 used
+        let err = fs.put("b", file(100)).unwrap_err(); // needs 200, only 50 left
+        match err {
+            MrError::DiskFull { needed, available, .. } => {
+                assert_eq!(needed, 200);
+                assert_eq!(available, 50);
+            }
+            other => panic!("expected DiskFull, got {other:?}"),
+        }
+        // The failed write must not consume space.
+        assert_eq!(fs.usage(), 200);
+    }
+
+    #[test]
+    fn delete_frees_space() {
+        let mut fs = SimHdfs::new(100, 1);
+        fs.put("a", file(100)).unwrap();
+        assert!(fs.put("b", file(1)).is_err());
+        fs.delete("a").unwrap();
+        fs.put("b", file(1)).unwrap();
+        assert!(fs.delete("missing").is_err());
+    }
+
+    #[test]
+    fn peak_usage_tracks_high_water() {
+        let mut fs = SimHdfs::new(1000, 1);
+        fs.put("a", file(300)).unwrap();
+        fs.put("b", file(200)).unwrap();
+        fs.delete("a").unwrap();
+        assert_eq!(fs.usage(), 200);
+        assert_eq!(fs.peak_usage(), 500);
+    }
+
+    #[test]
+    fn cluster_constructor() {
+        let fs = SimHdfs::with_cluster(60, 20 * 1024, 2);
+        assert_eq!(fs.capacity(), 60 * 20 * 1024);
+        assert_eq!(fs.default_replication(), 2);
+    }
+}

@@ -1,0 +1,481 @@
+//! Job definitions: raw byte-level operator traits, typed adapters, and the
+//! [`JobSpec`] builder.
+//!
+//! The engine itself moves opaque encoded records (so heterogeneous jobs can
+//! be chained without generics leaking into the engine), while user code
+//! writes *typed* mappers/reducers via [`map_fn`], [`map_only_fn`] and
+//! [`reduce_fn`], which handle encode/decode and text-size accounting.
+
+use crate::codec::Rec;
+use crate::error::MrError;
+use std::marker::PhantomData;
+use std::sync::Arc;
+
+/// Buffered output of one map task: `(reduce key, value, row text size)`.
+/// For map-only jobs the key is empty and ignored.
+pub struct MapEmitter {
+    pub(crate) pairs: Vec<RawEmission>,
+}
+
+impl MapEmitter {
+    pub(crate) fn new() -> Self {
+        MapEmitter { pairs: Vec::new() }
+    }
+
+    /// Emit a raw key/value pair with its simulated text row size.
+    pub fn emit_raw(&mut self, key: Vec<u8>, value: Vec<u8>, text_size: u64) {
+        self.pairs.push((key, value, text_size));
+    }
+}
+
+/// Buffered output of one reduce (or map-only) task:
+/// `(output index, record, text size)`.
+///
+/// Jobs normally have one output file (index 0); Hadoop-style
+/// `MultipleOutputs` jobs (e.g. NTGA's group-filter cycle, which writes one
+/// file per triplegroup equivalence class) route records with
+/// [`OutEmitter::emit_raw_to`].
+pub struct OutEmitter {
+    pub(crate) records: Vec<(usize, Vec<u8>, u64)>,
+    pub(crate) budget: Option<u64>,
+    pub(crate) emitted_text: u64,
+    pub(crate) n_outputs: usize,
+}
+
+impl OutEmitter {
+    #[cfg(test)]
+    pub(crate) fn new(budget: Option<u64>) -> Self {
+        Self::with_outputs(budget, 1)
+    }
+
+    pub(crate) fn with_outputs(budget: Option<u64>, n_outputs: usize) -> Self {
+        OutEmitter { records: Vec::new(), budget, emitted_text: 0, n_outputs }
+    }
+
+    /// Emit a raw record to the job's primary output (index 0).
+    ///
+    /// Fails with [`MrError::DiskFull`] as soon as the cumulative output
+    /// text exceeds the job's disk budget, so a cross-product explosion
+    /// aborts early instead of first materializing in memory (mirrors a
+    /// Hadoop task dying mid-write).
+    pub fn emit_raw(&mut self, record: Vec<u8>, text_size: u64) -> Result<(), MrError> {
+        self.emit_raw_to(0, record, text_size)
+    }
+
+    /// Emit a raw record to output `idx` (see [`crate::JobSpec::outputs`]).
+    pub fn emit_raw_to(&mut self, idx: usize, record: Vec<u8>, text_size: u64) -> Result<(), MrError> {
+        if idx >= self.n_outputs {
+            return Err(MrError::Op(format!(
+                "output index {idx} out of range (job has {} outputs)",
+                self.n_outputs
+            )));
+        }
+        self.emitted_text += text_size;
+        if let Some(budget) = self.budget {
+            if self.emitted_text > budget {
+                return Err(MrError::DiskFull {
+                    file: "<job output>".into(),
+                    needed: self.emitted_text,
+                    available: budget,
+                });
+            }
+        }
+        self.records.push((idx, record, text_size));
+        Ok(())
+    }
+}
+
+/// A raw shuffle emission: `(key bytes, value bytes, text size)`.
+pub type RawEmission = (Vec<u8>, Vec<u8>, u64);
+
+/// Byte-level map operator.
+pub trait RawMapOp: Send + Sync {
+    /// Process one input record. Emit shuffle pairs via `out`.
+    fn run(&self, record: &[u8], out: &mut MapEmitter) -> Result<(), MrError>;
+}
+
+/// Byte-level map operator for map-only jobs (emits output records
+/// directly).
+pub trait RawMapOnlyOp: Send + Sync {
+    /// Process one input record. Emit output records via `out`.
+    fn run(&self, record: &[u8], out: &mut OutEmitter) -> Result<(), MrError>;
+}
+
+/// Byte-level reduce operator.
+pub trait RawReduceOp: Send + Sync {
+    /// Process one key group. `values` holds every shuffled value for `key`
+    /// in deterministic (sorted) order.
+    fn run(&self, key: &[u8], values: &[Vec<u8>], out: &mut OutEmitter) -> Result<(), MrError>;
+}
+
+/// Byte-level combiner: runs on each map task's local output before the
+/// shuffle (Hadoop's combiner), re-emitting key/value pairs. Input and
+/// output key/value types must match the mapper's.
+pub trait RawCombineOp: Send + Sync {
+    /// Combine one locally-grouped key. Emit replacement pairs via `out`.
+    fn run(&self, key: &[u8], values: &[Vec<u8>], out: &mut MapEmitter) -> Result<(), MrError>;
+}
+
+// ---------------------------------------------------------------------------
+// Typed adapters
+// ---------------------------------------------------------------------------
+
+/// Typed emit handle passed to map closures.
+pub struct TypedMapEmitter<'a, K: Rec, V: Rec> {
+    raw: &'a mut MapEmitter,
+    _pd: PhantomData<(K, V)>,
+}
+
+impl<K: Rec, V: Rec> TypedMapEmitter<'_, K, V> {
+    /// Emit one key/value pair. The simulated row size is
+    /// `key.text_size() + value.text_size() - 1` (the pair shares a single
+    /// row: one newline, one tab separator).
+    pub fn emit(&mut self, key: &K, value: &V) {
+        let text = key.text_size() + value.text_size() - 1;
+        self.raw.emit_raw(key.to_bytes(), value.to_bytes(), text);
+    }
+}
+
+/// Typed emit handle passed to reduce / map-only closures.
+pub struct TypedOutEmitter<'a, O: Rec> {
+    raw: &'a mut OutEmitter,
+    _pd: PhantomData<O>,
+}
+
+impl<O: Rec> TypedOutEmitter<'_, O> {
+    /// Emit one output record to the primary output.
+    pub fn emit(&mut self, record: &O) -> Result<(), MrError> {
+        self.raw.emit_raw(record.to_bytes(), record.text_size())
+    }
+
+    /// Emit one output record to the named output `idx`.
+    pub fn emit_to(&mut self, idx: usize, record: &O) -> Result<(), MrError> {
+        self.raw.emit_raw_to(idx, record.to_bytes(), record.text_size())
+    }
+}
+
+struct MapFnOp<I, K, V, F> {
+    f: F,
+    _pd: PhantomData<fn(I) -> (K, V)>,
+}
+
+impl<I, K, V, F> RawMapOp for MapFnOp<I, K, V, F>
+where
+    I: Rec,
+    K: Rec,
+    V: Rec,
+    F: Fn(I, &mut TypedMapEmitter<'_, K, V>) -> Result<(), MrError> + Send + Sync,
+{
+    fn run(&self, record: &[u8], out: &mut MapEmitter) -> Result<(), MrError> {
+        let input = I::from_bytes(record)?;
+        let mut emitter = TypedMapEmitter { raw: out, _pd: PhantomData };
+        (self.f)(input, &mut emitter)
+    }
+}
+
+struct MapOnlyFnOp<I, O, F> {
+    f: F,
+    _pd: PhantomData<fn(I) -> O>,
+}
+
+impl<I, O, F> RawMapOnlyOp for MapOnlyFnOp<I, O, F>
+where
+    I: Rec,
+    O: Rec,
+    F: Fn(I, &mut TypedOutEmitter<'_, O>) -> Result<(), MrError> + Send + Sync,
+{
+    fn run(&self, record: &[u8], out: &mut OutEmitter) -> Result<(), MrError> {
+        let input = I::from_bytes(record)?;
+        let mut emitter = TypedOutEmitter { raw: out, _pd: PhantomData };
+        (self.f)(input, &mut emitter)
+    }
+}
+
+struct ReduceFnOp<K, V, O, F> {
+    f: F,
+    _pd: PhantomData<fn(K, V) -> O>,
+}
+
+impl<K, V, O, F> RawReduceOp for ReduceFnOp<K, V, O, F>
+where
+    K: Rec,
+    V: Rec,
+    O: Rec,
+    F: Fn(K, Vec<V>, &mut TypedOutEmitter<'_, O>) -> Result<(), MrError> + Send + Sync,
+{
+    fn run(&self, key: &[u8], values: &[Vec<u8>], out: &mut OutEmitter) -> Result<(), MrError> {
+        let key = K::from_bytes(key)?;
+        let values: Result<Vec<V>, MrError> =
+            values.iter().map(|v| V::from_bytes(v)).collect();
+        let mut emitter = TypedOutEmitter { raw: out, _pd: PhantomData };
+        (self.f)(key, values?, &mut emitter)
+    }
+}
+
+/// Wrap a typed closure as a shuffle-producing map operator.
+pub fn map_fn<I, K, V, F>(f: F) -> Arc<dyn RawMapOp>
+where
+    I: Rec,
+    K: Rec,
+    V: Rec,
+    F: Fn(I, &mut TypedMapEmitter<'_, K, V>) -> Result<(), MrError> + Send + Sync + 'static,
+{
+    Arc::new(MapFnOp { f, _pd: PhantomData })
+}
+
+/// Wrap a typed closure as a map-only operator.
+pub fn map_only_fn<I, O, F>(f: F) -> Arc<dyn RawMapOnlyOp>
+where
+    I: Rec,
+    O: Rec,
+    F: Fn(I, &mut TypedOutEmitter<'_, O>) -> Result<(), MrError> + Send + Sync + 'static,
+{
+    Arc::new(MapOnlyFnOp { f, _pd: PhantomData })
+}
+
+struct CombineFnOp<K, V, F> {
+    f: F,
+    #[allow(clippy::type_complexity)]
+    _pd: PhantomData<fn(K, V) -> (K, V)>,
+}
+
+impl<K, V, F> RawCombineOp for CombineFnOp<K, V, F>
+where
+    K: Rec,
+    V: Rec,
+    F: Fn(K, Vec<V>, &mut TypedMapEmitter<'_, K, V>) -> Result<(), MrError> + Send + Sync,
+{
+    fn run(&self, key: &[u8], values: &[Vec<u8>], out: &mut MapEmitter) -> Result<(), MrError> {
+        let key = K::from_bytes(key)?;
+        let values: Result<Vec<V>, MrError> = values.iter().map(|v| V::from_bytes(v)).collect();
+        let mut emitter = TypedMapEmitter { raw: out, _pd: PhantomData };
+        (self.f)(key, values?, &mut emitter)
+    }
+}
+
+/// Wrap a typed closure as a combiner.
+pub fn combine_fn<K, V, F>(f: F) -> Arc<dyn RawCombineOp>
+where
+    K: Rec,
+    V: Rec,
+    F: Fn(K, Vec<V>, &mut TypedMapEmitter<'_, K, V>) -> Result<(), MrError> + Send + Sync + 'static,
+{
+    Arc::new(CombineFnOp { f, _pd: PhantomData })
+}
+
+/// Wrap a typed closure as a reduce operator.
+pub fn reduce_fn<K, V, O, F>(f: F) -> Arc<dyn RawReduceOp>
+where
+    K: Rec,
+    V: Rec,
+    O: Rec,
+    F: Fn(K, Vec<V>, &mut TypedOutEmitter<'_, O>) -> Result<(), MrError> + Send + Sync + 'static,
+{
+    Arc::new(ReduceFnOp { f, _pd: PhantomData })
+}
+
+// ---------------------------------------------------------------------------
+// Job specification
+// ---------------------------------------------------------------------------
+
+/// One input of a job: a DFS file plus the mapper applied to its records
+/// (Hadoop `MultipleInputs`). Binary joins bind a different mapper to each
+/// side.
+pub struct InputBinding {
+    /// DFS file name.
+    pub file: String,
+    /// Mapper for this input's records.
+    pub mapper: Arc<dyn RawMapOp>,
+}
+
+/// What the job does after the map phase.
+pub enum JobKind {
+    /// Full map-shuffle-reduce cycle.
+    MapReduce {
+        /// Inputs with their mappers.
+        inputs: Vec<InputBinding>,
+        /// Optional map-side combiner (runs per map task before the
+        /// shuffle).
+        combiner: Option<Arc<dyn RawCombineOp>>,
+        /// The reduce operator.
+        reducer: Arc<dyn RawReduceOp>,
+        /// Number of reduce tasks (partitions).
+        reduce_tasks: usize,
+    },
+    /// Map-only job (no shuffle; mappers write output directly).
+    MapOnly {
+        /// Input files sharing one mapper.
+        files: Vec<String>,
+        /// The map-only operator.
+        mapper: Arc<dyn RawMapOnlyOp>,
+    },
+}
+
+/// A complete job description.
+pub struct JobSpec {
+    /// Job name (for stats and reports).
+    pub name: String,
+    /// Map/reduce structure.
+    pub kind: JobKind,
+    /// Output DFS file names. Index 0 is the primary output; reducers
+    /// route to further outputs with [`TypedOutEmitter::emit_to`]
+    /// (Hadoop `MultipleOutputs`).
+    pub outputs: Vec<String>,
+    /// Replication override for the outputs (defaults to the DFS default).
+    pub replication: Option<u32>,
+    /// Simulated output compression ratio in `(0, 1]`: the stored file's
+    /// accounted text size is `ratio ×` the raw text size (Pig/Hive jobs
+    /// frequently compress intermediates; the paper's Pig plans start with
+    /// a compression pass).
+    pub output_compression: f64,
+    /// Marks the job as scanning the base input relation in full — the
+    /// paper's "full scan" (FS) metric. Set by planners.
+    pub full_input_scan: bool,
+}
+
+impl JobSpec {
+    /// Build a map-reduce job.
+    pub fn map_reduce(
+        name: impl Into<String>,
+        inputs: Vec<InputBinding>,
+        reducer: Arc<dyn RawReduceOp>,
+        reduce_tasks: usize,
+        output: impl Into<String>,
+    ) -> Self {
+        assert!(reduce_tasks >= 1, "need at least one reduce task");
+        JobSpec {
+            name: name.into(),
+            kind: JobKind::MapReduce { inputs, combiner: None, reducer, reduce_tasks },
+            outputs: vec![output.into()],
+            replication: None,
+            output_compression: 1.0,
+            full_input_scan: false,
+        }
+    }
+
+    /// Attach a map-side combiner (only meaningful for map-reduce jobs).
+    ///
+    /// # Panics
+    /// Panics when called on a map-only job.
+    pub fn with_combiner(mut self, c: Arc<dyn RawCombineOp>) -> Self {
+        match &mut self.kind {
+            JobKind::MapReduce { combiner, .. } => *combiner = Some(c),
+            JobKind::MapOnly { .. } => panic!("combiners require a reduce phase"),
+        }
+        self
+    }
+
+    /// Set the simulated output compression ratio (`0 < ratio <= 1`).
+    pub fn with_output_compression(mut self, ratio: f64) -> Self {
+        assert!(ratio > 0.0 && ratio <= 1.0, "compression ratio must be in (0, 1]");
+        self.output_compression = ratio;
+        self
+    }
+
+    /// Build a map-only job.
+    pub fn map_only(
+        name: impl Into<String>,
+        files: Vec<String>,
+        mapper: Arc<dyn RawMapOnlyOp>,
+        output: impl Into<String>,
+    ) -> Self {
+        JobSpec {
+            name: name.into(),
+            kind: JobKind::MapOnly { files, mapper },
+            outputs: vec![output.into()],
+            replication: None,
+            output_compression: 1.0,
+            full_input_scan: false,
+        }
+    }
+
+    /// Add a further named output (Hadoop `MultipleOutputs`). Reducers
+    /// reach it via [`TypedOutEmitter::emit_to`] with the output's index.
+    pub fn with_extra_output(mut self, name: impl Into<String>) -> Self {
+        self.outputs.push(name.into());
+        self
+    }
+
+    /// Mark this job as performing a full scan of the base relation.
+    pub fn with_full_scan(mut self) -> Self {
+        self.full_input_scan = true;
+        self
+    }
+
+    /// Override the output replication factor.
+    pub fn with_replication(mut self, r: u32) -> Self {
+        self.replication = Some(r);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn typed_map_emitter_accounts_row_text() {
+        let mut raw = MapEmitter::new();
+        let mut typed: TypedMapEmitter<'_, String, String> =
+            TypedMapEmitter { raw: &mut raw, _pd: PhantomData };
+        typed.emit(&"key".to_string(), &"value".to_string());
+        assert_eq!(raw.pairs.len(), 1);
+        // "key\tvalue\n" = 4 + 6 - 1 = 9
+        assert_eq!(raw.pairs[0].2, 9);
+    }
+
+    #[test]
+    fn out_emitter_budget_aborts() {
+        let mut out = OutEmitter::new(Some(10));
+        assert!(out.emit_raw(vec![1], 6).is_ok());
+        let err = out.emit_raw(vec![2], 6).unwrap_err();
+        assert!(err.is_disk_full());
+        // Budget is shared across named outputs too.
+        let mut multi = OutEmitter::with_outputs(Some(10), 2);
+        assert!(multi.emit_raw_to(1, vec![1], 6).is_ok());
+        assert!(multi.emit_raw_to(0, vec![1], 6).unwrap_err().is_disk_full());
+        assert!(multi.emit_raw_to(7, vec![1], 1).is_err());
+    }
+
+    #[test]
+    fn out_emitter_unbounded() {
+        let mut out = OutEmitter::new(None);
+        for _ in 0..100 {
+            out.emit_raw(vec![0], 1000).unwrap();
+        }
+        assert_eq!(out.emitted_text, 100_000);
+    }
+
+    #[test]
+    fn map_fn_decodes_and_emits() {
+        let op = map_fn(|rec: String, out: &mut TypedMapEmitter<'_, String, u64>| {
+            out.emit(&rec, &(rec.len() as u64));
+            Ok(())
+        });
+        let mut out = MapEmitter::new();
+        op.run(&"abc".to_string().to_bytes(), &mut out).unwrap();
+        assert_eq!(out.pairs.len(), 1);
+        assert_eq!(String::from_bytes(&out.pairs[0].0).unwrap(), "abc");
+        assert_eq!(u64::from_bytes(&out.pairs[0].1).unwrap(), 3);
+    }
+
+    #[test]
+    fn reduce_fn_decodes_group() {
+        let op = reduce_fn(|key: String, values: Vec<u64>, out: &mut TypedOutEmitter<'_, String>| {
+            let sum: u64 = values.iter().sum();
+            out.emit(&format!("{key}={sum}"))
+        });
+        let mut out = OutEmitter::new(None);
+        let values = [1u64.to_bytes(), 2u64.to_bytes()];
+        op.run(&"k".to_string().to_bytes(), &values, &mut out).unwrap();
+        assert_eq!(out.records.len(), 1);
+        assert_eq!(String::from_bytes(&out.records[0].1).unwrap(), "k=3");
+    }
+
+    #[test]
+    fn map_fn_propagates_codec_errors() {
+        let op = map_fn(|_rec: u64, _out: &mut TypedMapEmitter<'_, String, String>| Ok(()));
+        let mut out = MapEmitter::new();
+        assert!(op.run(&[1, 2], &mut out).is_err());
+    }
+}

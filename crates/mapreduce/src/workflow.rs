@@ -1,0 +1,250 @@
+//! Workflows: sequences of stages, where a stage is a set of jobs that run
+//! concurrently (Pig runs independent MR cycles in parallel; Hive and the
+//! NTGA plans run one job per stage).
+//!
+//! A workflow accumulates [`WorkflowStats`]: per-job counters, the MR-cycle
+//! count (a stage of concurrent jobs counts as ONE cycle, matching how the
+//! paper counts Pig's concurrent star-join jobs), full-scan count, and
+//! simulated makespan. Stage makespan = max over jobs of startup + the sum
+//! of all jobs' work time (the jobs share one cluster's aggregate I/O), so
+//! concurrency buys overlapping of fixed startup, not free bandwidth.
+//!
+//! On the first failing job (typically `DiskFull`) the workflow records the
+//! failure and refuses to run further stages — exactly the "X" bars of the
+//! paper's figures.
+
+use crate::counters::WorkflowStats;
+use crate::engine::Engine;
+use crate::error::MrError;
+use crate::job::JobSpec;
+
+/// A running workflow over an [`Engine`].
+pub struct Workflow<'e> {
+    engine: &'e Engine,
+    stats: WorkflowStats,
+    intermediates: Vec<String>,
+    failed: bool,
+}
+
+impl<'e> Workflow<'e> {
+    /// Start a workflow with the given report label.
+    pub fn new(engine: &'e Engine, label: impl Into<String>) -> Self {
+        Workflow {
+            engine,
+            stats: WorkflowStats { label: label.into(), succeeded: true, ..Default::default() },
+            intermediates: Vec::new(),
+            failed: false,
+        }
+    }
+
+    /// Run one stage of concurrent jobs. Returns the first error, if any;
+    /// the workflow is dead afterwards.
+    pub fn run_stage(&mut self, specs: Vec<JobSpec>) -> Result<(), MrError> {
+        assert!(!specs.is_empty(), "empty stage");
+        if self.failed {
+            return Err(MrError::Op("workflow already failed".into()));
+        }
+        let mut max_startup = 0.0f64;
+        let mut sum_work = 0.0f64;
+        let outputs: Vec<String> =
+            specs.iter().flat_map(|s| s.outputs.iter().cloned()).collect();
+        for spec in &specs {
+            match self.engine.run_job(spec) {
+                Ok(stats) => {
+                    max_startup = max_startup.max(stats.startup_seconds);
+                    sum_work += self.engine.cost.work_seconds(&stats);
+                    if stats.full_input_scan {
+                        self.stats.full_scans += 1;
+                    }
+                    self.stats.jobs.push(stats);
+                }
+                Err(e) => {
+                    self.failed = true;
+                    self.stats.succeeded = false;
+                    self.stats.failure = Some(e.to_string());
+                    self.record_peak();
+                    return Err(e);
+                }
+            }
+        }
+        self.stats.mr_cycles += 1;
+        self.stats.sim_seconds += max_startup + sum_work;
+        self.intermediates.extend(outputs);
+        self.record_peak();
+        Ok(())
+    }
+
+    /// Run a stage of exactly one job.
+    pub fn run_job(&mut self, spec: JobSpec) -> Result<(), MrError> {
+        self.run_stage(vec![spec])
+    }
+
+    fn record_peak(&mut self) {
+        self.stats.peak_disk_bytes = self.engine.hdfs().lock().peak_usage();
+    }
+
+    /// Finish the workflow: optionally delete every intermediate output
+    /// except `keep` (the final result), then return the stats.
+    ///
+    /// During execution all intermediates stay on the DFS (Hadoop keeps
+    /// them for fault tolerance), which is why peak disk usage — and the
+    /// DiskFull failures — reflect the whole workflow's footprint.
+    pub fn finish(mut self, keep: &[&str]) -> WorkflowStats {
+        let mut fs = self.engine.hdfs().lock();
+        for name in &self.intermediates {
+            if !keep.contains(&name.as_str()) && fs.exists(name) {
+                let _ = fs.delete(name);
+            }
+        }
+        drop(fs);
+        self.record_peak();
+        self.stats
+    }
+
+    /// Finish, recording a failure produced outside a stage run.
+    pub fn finish_failed(mut self, error: &MrError) -> WorkflowStats {
+        self.stats.succeeded = false;
+        if self.stats.failure.is_none() {
+            self.stats.failure = Some(error.to_string());
+        }
+        self.finish(&[])
+    }
+
+    /// Stats so far (workflow still running).
+    pub fn stats(&self) -> &WorkflowStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hdfs::SimHdfs;
+    use crate::job::{map_fn, reduce_fn, InputBinding, TypedMapEmitter, TypedOutEmitter};
+
+    fn identity_job(input: &str, output: &str, full_scan: bool) -> JobSpec {
+        let mapper = map_fn(|w: String, out: &mut TypedMapEmitter<'_, String, String>| {
+            out.emit(&w, &w);
+            Ok(())
+        });
+        let reducer =
+            reduce_fn(|k: String, _v: Vec<String>, out: &mut TypedOutEmitter<'_, String>| {
+                out.emit(&k)
+            });
+        let spec = JobSpec::map_reduce(
+            format!("{input}->{output}"),
+            vec![InputBinding { file: input.into(), mapper }],
+            reducer,
+            2,
+            output,
+        );
+        if full_scan {
+            spec.with_full_scan()
+        } else {
+            spec
+        }
+    }
+
+    #[test]
+    fn two_stage_workflow() {
+        let engine = Engine::unbounded();
+        engine.put_records("in", ["a".to_string(), "b".to_string()]).unwrap();
+        let mut wf = Workflow::new(&engine, "test");
+        wf.run_job(identity_job("in", "mid", true)).unwrap();
+        wf.run_job(identity_job("mid", "out", false)).unwrap();
+        let stats = wf.finish(&["out"]);
+        assert!(stats.succeeded);
+        assert_eq!(stats.mr_cycles, 2);
+        assert_eq!(stats.full_scans, 1);
+        assert_eq!(stats.jobs.len(), 2);
+        // Intermediate deleted, final kept.
+        assert!(!engine.hdfs().lock().exists("mid"));
+        assert!(engine.hdfs().lock().exists("out"));
+    }
+
+    #[test]
+    fn concurrent_stage_counts_one_cycle() {
+        let engine = Engine::unbounded();
+        engine.put_records("in", ["a".to_string()]).unwrap();
+        let mut wf = Workflow::new(&engine, "test");
+        wf.run_stage(vec![identity_job("in", "o1", true), identity_job("in", "o2", true)])
+            .unwrap();
+        let stats = wf.finish(&[]);
+        assert_eq!(stats.mr_cycles, 1);
+        assert_eq!(stats.full_scans, 2);
+        assert_eq!(stats.jobs.len(), 2);
+    }
+
+    #[test]
+    fn concurrency_overlaps_startup_only() {
+        // Two identical jobs concurrently vs sequentially: concurrent pays
+        // startup once, sequential twice; work time identical.
+        let engine = Engine::unbounded();
+        engine.put_records("in", (0..50).map(|i| format!("w{i}"))).unwrap();
+
+        let mut wf = Workflow::new(&engine, "conc");
+        wf.run_stage(vec![identity_job("in", "c1", false), identity_job("in", "c2", false)])
+            .unwrap();
+        let conc = wf.finish(&[]);
+
+        let mut wf = Workflow::new(&engine, "seq");
+        wf.run_job(identity_job("in", "s1", false)).unwrap();
+        wf.run_job(identity_job("in", "s2", false)).unwrap();
+        let seq = wf.finish(&[]);
+
+        let startup = engine.cost.job_startup_s;
+        assert!((seq.sim_seconds - conc.sim_seconds - startup).abs() < 1e-6);
+    }
+
+    #[test]
+    fn failure_marks_workflow() {
+        let engine = Engine::new(SimHdfs::new(10, 1));
+        // Input barely fits; job output won't.
+        {
+            let mut fs = engine.hdfs().lock();
+            fs.put(
+                "in",
+                crate::hdfs::DfsFile {
+                    records: vec!["aaaa".to_string().to_bytes()],
+                    text_bytes: 5,
+                    replication: 1,
+                },
+            )
+            .unwrap();
+        }
+        use crate::codec::Rec;
+        let mut wf = Workflow::new(&engine, "fail");
+        // Job emits 3 copies -> won't fit in remaining 5 bytes.
+        let mapper = map_fn(|w: String, out: &mut TypedMapEmitter<'_, String, String>| {
+            out.emit(&w, &w);
+            Ok(())
+        });
+        let reducer =
+            reduce_fn(|k: String, _v: Vec<String>, out: &mut TypedOutEmitter<'_, String>| {
+                out.emit(&k)?;
+                out.emit(&k)?;
+                out.emit(&k)
+            });
+        let spec = JobSpec::map_reduce(
+            "explode",
+            vec![InputBinding { file: "in".into(), mapper }],
+            reducer,
+            1,
+            "out",
+        );
+        let err = wf.run_job(spec).unwrap_err();
+        assert!(err.is_disk_full());
+        let stats = wf.finish_failed(&err);
+        assert!(!stats.succeeded);
+        assert!(stats.failure.unwrap().contains("full"));
+        // Further stages refused.
+    }
+
+    #[test]
+    fn dead_workflow_refuses_stages() {
+        let engine = Engine::new(SimHdfs::new(1, 1));
+        let mut wf = Workflow::new(&engine, "dead");
+        assert!(wf.run_job(identity_job("missing", "x", false)).is_err());
+        assert!(wf.run_job(identity_job("missing", "y", false)).is_err());
+    }
+}

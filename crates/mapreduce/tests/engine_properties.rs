@@ -1,0 +1,191 @@
+//! Property-based tests of the MapReduce engine: codec roundtrips for all
+//! record shapes, shuffle-grouping correctness, determinism across worker
+//! counts, and counter conservation laws.
+
+use mrsim::{map_fn, reduce_fn, Engine, InputBinding, JobSpec, Rec, TypedMapEmitter, TypedOutEmitter};
+use proptest::prelude::{prop, prop_assert, prop_assert_eq, proptest};
+use proptest::strategy::Strategy;
+
+fn arb_string() -> impl Strategy<Value = String> {
+    prop::collection::vec(
+        prop::sample::select(vec!['a', 'B', '0', ' ', '\t', '"', '\\', 'é', '\u{1F980}']),
+        0..20,
+    )
+    .prop_map(|cs| cs.into_iter().collect())
+}
+
+proptest! {
+    #[test]
+    fn codec_roundtrip_string(s in arb_string()) {
+        prop_assert_eq!(String::from_bytes(&s.to_bytes()).unwrap(), s);
+    }
+
+    #[test]
+    fn codec_roundtrip_compound(
+        v in prop::collection::vec((arb_string(), 0u64..u64::MAX), 0..10)
+    ) {
+        let rec: Vec<(String, u64)> = v;
+        let back = Vec::<(String, u64)>::from_bytes(&rec.to_bytes()).unwrap();
+        prop_assert_eq!(back, rec);
+    }
+
+    #[test]
+    fn codec_roundtrip_nested(
+        v in prop::collection::vec(prop::collection::vec(arb_string(), 0..4), 0..6)
+    ) {
+        let back = Vec::<Vec<String>>::from_bytes(&v.to_bytes()).unwrap();
+        prop_assert_eq!(back, v);
+    }
+
+    #[test]
+    fn canonical_encoding_for_grouping(a in arb_string(), b in arb_string()) {
+        // Equal values encode equal; distinct values encode distinct —
+        // the property shuffle grouping relies on.
+        prop_assert_eq!(a == b, a.to_bytes() == b.to_bytes());
+    }
+
+    #[test]
+    fn truncated_buffers_error_not_panic(s in arb_string(), cut in 0usize..8) {
+        let enc = s.to_bytes();
+        let cut = cut.min(enc.len());
+        let truncated = &enc[..enc.len() - cut];
+        // Either decodes to the original (cut == 0) or errors; never panics.
+        match String::from_bytes(truncated) {
+            Ok(v) => prop_assert_eq!(v, s),
+            Err(_) => prop_assert!(cut > 0),
+        }
+    }
+
+    #[test]
+    fn wordcount_matches_hashmap_and_is_deterministic(
+        words in prop::collection::vec(prop::sample::select(vec!["a", "b", "c", "dd", "eee"]), 0..60),
+        workers in 1usize..6,
+        reducers in 1usize..5,
+    ) {
+        let mut expected: std::collections::BTreeMap<String, u64> = Default::default();
+        for w in &words {
+            *expected.entry(w.to_string()).or_insert(0) += 1;
+        }
+
+        let engine = Engine::unbounded().with_workers(workers);
+        engine.put_records("in", words.iter().map(|w| w.to_string())).unwrap();
+        let mapper = map_fn(|w: String, out: &mut TypedMapEmitter<'_, String, u64>| {
+            out.emit(&w, &1);
+            Ok(())
+        });
+        let reducer = reduce_fn(
+            |w: String, ones: Vec<u64>, out: &mut TypedOutEmitter<'_, (String, u64)>| {
+                out.emit(&(w, ones.iter().sum()))
+            },
+        );
+        let spec = JobSpec::map_reduce(
+            "wc",
+            vec![InputBinding { file: "in".into(), mapper }],
+            reducer,
+            reducers,
+            "out",
+        );
+        let stats = engine.run_job(&spec).unwrap();
+        let got: std::collections::BTreeMap<String, u64> =
+            engine.read_records::<(String, u64)>("out").unwrap().into_iter().collect();
+        prop_assert_eq!(got, expected);
+
+        // Conservation laws.
+        prop_assert_eq!(stats.input_records, words.len() as u64);
+        prop_assert_eq!(stats.map_output_records, stats.reduce_input_records);
+        prop_assert_eq!(stats.reduce_groups, stats.output_records);
+        prop_assert_eq!(stats.reduce_tasks, reducers as u64);
+    }
+
+    #[test]
+    fn replication_scales_write_accounting(repl in 1u32..5) {
+        let engine = Engine::new(mrsim::SimHdfs::new(u64::MAX / 8, repl));
+        engine.put_records("in", ["x".to_string(), "y".to_string()]).unwrap();
+        let mapper = map_fn(|w: String, out: &mut TypedMapEmitter<'_, String, u64>| {
+            out.emit(&w, &1);
+            Ok(())
+        });
+        let reducer = reduce_fn(|w: String, _: Vec<u64>, out: &mut TypedOutEmitter<'_, String>| {
+            out.emit(&w)
+        });
+        let spec = JobSpec::map_reduce(
+            "j",
+            vec![InputBinding { file: "in".into(), mapper }],
+            reducer,
+            1,
+            "out",
+        );
+        let stats = engine.run_job(&spec).unwrap();
+        prop_assert_eq!(stats.hdfs_write_bytes, stats.output_text_bytes * u64::from(repl));
+    }
+}
+
+mod fault_injection {
+    use super::*;
+    use mrsim::FaultConfig;
+
+    fn wordcount(engine: &Engine) -> Result<(mrsim::JobStats, Vec<(String, u64)>), mrsim::MrError> {
+        engine.put_records("in", (0..80).map(|i| format!("w{}", i % 7)))?;
+        let mapper = map_fn(|w: String, out: &mut TypedMapEmitter<'_, String, u64>| {
+            out.emit(&w, &1);
+            Ok(())
+        });
+        let reducer = reduce_fn(
+            |w: String, ones: Vec<u64>, out: &mut TypedOutEmitter<'_, (String, u64)>| {
+                out.emit(&(w, ones.iter().sum()))
+            },
+        );
+        let spec = JobSpec::map_reduce(
+            "wc-faults",
+            vec![InputBinding { file: "in".into(), mapper }],
+            reducer,
+            4,
+            "out",
+        );
+        let stats = engine.run_job(&spec)?;
+        let mut rows = engine.read_records::<(String, u64)>("out")?;
+        rows.sort();
+        Ok((stats, rows))
+    }
+
+    #[test]
+    fn injected_failures_do_not_change_results() {
+        let clean = Engine::unbounded();
+        let (clean_stats, clean_rows) = wordcount(&clean).unwrap();
+        assert_eq!(clean_stats.task_retries, 0);
+
+        let faulty = Engine::unbounded().with_faults(FaultConfig::with_probability(0.4, 11));
+        let (faulty_stats, faulty_rows) = wordcount(&faulty).unwrap();
+        assert!(faulty_stats.task_retries > 0, "p=0.4 should force retries");
+        assert_eq!(clean_rows, faulty_rows, "retried tasks must reproduce output");
+        assert_eq!(clean_stats.output_text_bytes, faulty_stats.output_text_bytes);
+    }
+
+    #[test]
+    fn exhausted_attempts_fail_the_job() {
+        let engine = Engine::unbounded().with_faults(FaultConfig {
+            task_failure_probability: 0.99,
+            max_attempts: 2,
+            seed: 3,
+        });
+        let err = wordcount(&engine).unwrap_err();
+        assert!(err.to_string().contains("consecutive attempts"), "{err}");
+    }
+
+    #[test]
+    fn retries_are_deterministic() {
+        // Determinism must hold whether a given seed completes or exhausts
+        // its attempts, so compare the full outcome.
+        let run = |seed| {
+            let engine =
+                Engine::unbounded().with_faults(FaultConfig::with_probability(0.3, seed));
+            match wordcount(&engine) {
+                Ok((stats, rows)) => format!("ok retries={} rows={rows:?}", stats.task_retries),
+                Err(e) => format!("err {e}"),
+            }
+        };
+        for seed in 0..8 {
+            assert_eq!(run(seed), run(seed), "seed {seed}");
+        }
+    }
+}

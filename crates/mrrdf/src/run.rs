@@ -1,0 +1,80 @@
+//! Shared planner error and run-result types.
+
+use crate::support::UnsupportedReason;
+use mrsim::WorkflowStats;
+use rdf_query::{QueryError, SolutionSet};
+use std::fmt;
+
+/// Errors raised while *planning* a query (before any job runs).
+///
+/// Runtime failures (e.g. `DiskFull`) are not errors at this level: they
+/// come back as a [`QueryRun`] whose stats record the failure, mirroring
+/// how the paper reports failed executions as data points.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanError {
+    /// The query is structurally invalid.
+    Query(QueryError),
+    /// The query shape is valid but unsupported by the MR planners.
+    Unsupported(UnsupportedReason),
+    /// Planner invariant violation (a bug).
+    Internal(String),
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::Query(e) => write!(f, "invalid query: {e}"),
+            PlanError::Unsupported(e) => write!(f, "unsupported by MR planners: {e}"),
+            PlanError::Internal(m) => write!(f, "planner bug: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+impl From<QueryError> for PlanError {
+    fn from(e: QueryError) -> Self {
+        PlanError::Query(e)
+    }
+}
+
+impl From<UnsupportedReason> for PlanError {
+    fn from(e: UnsupportedReason) -> Self {
+        PlanError::Unsupported(e)
+    }
+}
+
+/// The outcome of executing one query with one strategy.
+#[derive(Debug, Clone)]
+pub struct QueryRun {
+    /// Workflow counters (cycles, bytes, simulated seconds, success flag).
+    pub stats: WorkflowStats,
+    /// The solution set, present only when the workflow succeeded and the
+    /// caller asked for result extraction.
+    pub solutions: Option<SolutionSet>,
+}
+
+impl QueryRun {
+    /// True if the workflow completed.
+    pub fn succeeded(&self) -> bool {
+        self.stats.succeeded
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_from() {
+        let e: PlanError = QueryError::Empty.into();
+        assert!(e.to_string().contains("invalid query"));
+        let u: PlanError = UnsupportedReason::MultiVarJoin {
+            left: "a".into(),
+            right: "b".into(),
+        }
+        .into();
+        assert!(u.to_string().contains("unsupported"));
+        assert!(PlanError::Internal("x".into()).to_string().contains("bug"));
+    }
+}

@@ -1,0 +1,76 @@
+//! Triples as engine records.
+
+use mrsim::{DfsFile, Engine, MrError, Rec, SliceReader};
+use rdf_model::{STriple, TripleStore};
+
+/// Conventional DFS name for the base triple relation.
+pub const TRIPLES_FILE: &str = "triples";
+
+/// An [`STriple`] wrapped as an `mrsim` record.
+///
+/// The simulated text size is the N-Triples row size
+/// ([`STriple::text_size`]), so scans of the base relation cost exactly
+/// what scanning the N-Triples file would cost.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TripleRec(pub STriple);
+
+impl Rec for TripleRec {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.0.s.to_string().encode(buf);
+        self.0.p.to_string().encode(buf);
+        self.0.o.to_string().encode(buf);
+    }
+
+    fn decode(r: &mut SliceReader<'_>) -> Result<Self, MrError> {
+        let s = r.read_str()?.to_string();
+        let p = r.read_str()?.to_string();
+        let o = r.read_str()?.to_string();
+        Ok(TripleRec(STriple::new(s, p, o)))
+    }
+
+    fn text_size(&self) -> u64 {
+        self.0.text_size()
+    }
+}
+
+/// Load a triple store into the engine's DFS under `name`.
+pub fn load_store(engine: &Engine, name: &str, store: &TripleStore) -> Result<(), MrError> {
+    let mut file = DfsFile::default();
+    for t in store.iter() {
+        let rec = TripleRec(t.clone());
+        file.text_bytes += rec.text_size();
+        file.records.push(rec.to_bytes());
+    }
+    engine.hdfs().lock().put(name, file)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let rec = TripleRec(STriple::new("<s>", "<p>", "\"o value\""));
+        let back = TripleRec::from_bytes(&rec.to_bytes()).unwrap();
+        assert_eq!(rec, back);
+    }
+
+    #[test]
+    fn text_size_is_ntriples_row() {
+        let t = STriple::new("<s>", "<p>", "<o>");
+        assert_eq!(TripleRec(t.clone()).text_size(), t.text_size());
+    }
+
+    #[test]
+    fn load_store_accounts_bytes() {
+        let engine = Engine::unbounded();
+        let store = TripleStore::from_triples(vec![
+            STriple::new("<a>", "<p>", "<b>"),
+            STriple::new("<a>", "<q>", "\"x\""),
+        ]);
+        load_store(&engine, TRIPLES_FILE, &store).unwrap();
+        let file = engine.hdfs().lock().get(TRIPLES_FILE).unwrap();
+        assert_eq!(file.records.len(), 2);
+        assert_eq!(file.text_bytes, store.text_bytes());
+    }
+}

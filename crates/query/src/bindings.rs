@@ -1,0 +1,190 @@
+//! Query solutions: variable bindings and canonical solution sets.
+//!
+//! Every evaluation strategy in the workspace (naive reference, Pig-like,
+//! Hive-like, NTGA eager/lazy) reduces its final output to a
+//! [`SolutionSet`] so results can be compared for exact equality — the
+//! workspace's headline correctness invariant.
+
+use rdf_model::Atom;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// One solution: a mapping from variable name to the bound token.
+///
+/// Ordered map so solutions have a canonical form and implement `Ord`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub struct Binding(pub BTreeMap<String, Atom>);
+
+impl Binding {
+    /// Empty binding.
+    pub fn new() -> Self {
+        Binding::default()
+    }
+
+    /// Value bound to `var`, if any.
+    pub fn get(&self, var: &str) -> Option<&Atom> {
+        self.0.get(var)
+    }
+
+    /// Bind `var` to `value`, returning `false` (and leaving the binding
+    /// unchanged) if `var` is already bound to a *different* value.
+    pub fn bind(&mut self, var: &str, value: Atom) -> bool {
+        match self.0.get(var) {
+            Some(existing) => *existing == value,
+            None => {
+                self.0.insert(var.to_string(), value);
+                true
+            }
+        }
+    }
+
+    /// Merge another binding in; `false` on any conflict.
+    pub fn merge(&mut self, other: &Binding) -> bool {
+        for (k, v) in &other.0 {
+            if !self.bind(k, v.clone()) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Restrict to the given variables (missing variables are dropped).
+    pub fn project(&self, vars: &[String]) -> Binding {
+        let mut out = BTreeMap::new();
+        for v in vars {
+            if let Some(val) = self.0.get(v) {
+                out.insert(v.clone(), val.clone());
+            }
+        }
+        Binding(out)
+    }
+
+    /// Number of bound variables.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True if nothing is bound.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Iterate over `(var, value)` pairs in variable order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Atom)> {
+        self.0.iter()
+    }
+}
+
+impl fmt::Display for Binding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (k, v)) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "?{k}={v}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl FromIterator<(String, Atom)> for Binding {
+    fn from_iter<I: IntoIterator<Item = (String, Atom)>>(iter: I) -> Self {
+        Binding(iter.into_iter().collect())
+    }
+}
+
+/// A canonical set of solutions (set semantics; duplicates collapse).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SolutionSet(pub BTreeSet<Binding>);
+
+impl SolutionSet {
+    /// Empty set.
+    pub fn new() -> Self {
+        SolutionSet::default()
+    }
+
+    /// Insert one solution.
+    pub fn insert(&mut self, b: Binding) {
+        self.0.insert(b);
+    }
+
+    /// Number of distinct solutions.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True if there are no solutions.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Project every solution onto `vars` (collapsing duplicates).
+    pub fn project(&self, vars: &[String]) -> SolutionSet {
+        SolutionSet(self.0.iter().map(|b| b.project(vars)).collect())
+    }
+
+    /// Iterate in canonical order.
+    pub fn iter(&self) -> impl Iterator<Item = &Binding> {
+        self.0.iter()
+    }
+}
+
+impl FromIterator<Binding> for SolutionSet {
+    fn from_iter<I: IntoIterator<Item = Binding>>(iter: I) -> Self {
+        SolutionSet(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdf_model::atom::atom;
+
+    #[test]
+    fn bind_conflicts_detected() {
+        let mut b = Binding::new();
+        assert!(b.bind("x", atom("<a>")));
+        assert!(b.bind("x", atom("<a>"))); // same value ok
+        assert!(!b.bind("x", atom("<b>"))); // conflict
+        assert_eq!(b.get("x").unwrap().as_ref(), "<a>");
+    }
+
+    #[test]
+    fn merge_conflict() {
+        let mut b1: Binding = [("x".to_string(), atom("<a>"))].into_iter().collect();
+        let b2: Binding = [("x".to_string(), atom("<b>"))].into_iter().collect();
+        assert!(!b1.merge(&b2));
+        let b3: Binding = [("y".to_string(), atom("<c>"))].into_iter().collect();
+        assert!(b1.merge(&b3));
+        assert_eq!(b1.len(), 2);
+    }
+
+    #[test]
+    fn projection_drops_and_dedups() {
+        let mut set = SolutionSet::new();
+        set.insert([("x".to_string(), atom("<a>")), ("y".to_string(), atom("<1>"))]
+            .into_iter()
+            .collect());
+        set.insert([("x".to_string(), atom("<a>")), ("y".to_string(), atom("<2>"))]
+            .into_iter()
+            .collect());
+        assert_eq!(set.len(), 2);
+        let proj = set.project(&["x".to_string()]);
+        assert_eq!(proj.len(), 1);
+    }
+
+    #[test]
+    fn display_is_stable() {
+        let b: Binding =
+            [("y".to_string(), atom("<b>")), ("x".to_string(), atom("<a>"))].into_iter().collect();
+        assert_eq!(b.to_string(), "{?x=<a>, ?y=<b>}");
+    }
+
+    #[test]
+    fn solution_set_dedups() {
+        let b: Binding = [("x".to_string(), atom("<a>"))].into_iter().collect();
+        let set: SolutionSet = vec![b.clone(), b].into_iter().collect();
+        assert_eq!(set.len(), 1);
+    }
+}

@@ -1,0 +1,522 @@
+//! A SPARQL-subset parser for the query shapes the paper evaluates.
+//!
+//! Supported grammar (whitespace-insensitive, `#` line comments):
+//!
+//! ```text
+//! query    := SELECT ( '*' | var+ ) WHERE '{' clause* '}'
+//! clause   := triple '.' | filter '.'?
+//! triple   := term term term          (subject property object)
+//! term     := var | iri | literal
+//! filter   := FILTER '(' var '=' (iri|literal) ')'
+//!           | FILTER contains '(' var ',' string ')'
+//!           | FILTER prefix '(' var ',' string ')'
+//! ```
+//!
+//! Variables in the property position produce *unbound-property* triple
+//! patterns. Filters on an object variable become
+//! [`ObjPattern::Filtered`] (the paper's "partially-bound object").
+//! Constant subjects are rewritten to fresh variables with an `Equals`
+//! subject filter on the star.
+
+use crate::pattern::{ObjFilter, ObjPattern, PropPattern, SubjPattern, TriplePattern};
+use crate::query::Query;
+use crate::star::StarPattern;
+use rdf_model::atom::atom;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Error from [`parse_query`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "query parse error: {}", self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn perr<T>(msg: impl Into<String>) -> Result<T, ParseError> {
+    Err(ParseError { message: msg.into() })
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Keyword(String), // SELECT, WHERE, FILTER, contains, prefix (case-insensitive keywords)
+    Var(String),     // ?x
+    Iri(String),     // <...> (token includes brackets)
+    Literal(String), // "..." (token includes quotes and any suffix)
+    Punct(char),     // { } ( ) . , = *
+}
+
+fn tokenize(input: &str) -> Result<Vec<Tok>, ParseError> {
+    let mut toks = Vec::new();
+    let mut chars = input.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        match c {
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '#' => {
+                for c in chars.by_ref() {
+                    if c == '\n' {
+                        break;
+                    }
+                }
+            }
+            '?' | '$' => {
+                chars.next();
+                let mut name = String::new();
+                while matches!(chars.peek(), Some(c) if c.is_alphanumeric() || *c == '_') {
+                    name.push(chars.next().expect("peeked"));
+                }
+                if name.is_empty() {
+                    return perr("empty variable name");
+                }
+                toks.push(Tok::Var(name));
+            }
+            '<' => {
+                let mut iri = String::from("<");
+                chars.next();
+                loop {
+                    match chars.next() {
+                        Some('>') => {
+                            iri.push('>');
+                            break;
+                        }
+                        Some(c) if !c.is_whitespace() => iri.push(c),
+                        _ => return perr("unterminated IRI"),
+                    }
+                }
+                toks.push(Tok::Iri(iri));
+            }
+            '"' => {
+                let mut lit = String::from("\"");
+                chars.next();
+                loop {
+                    match chars.next() {
+                        Some('\\') => {
+                            lit.push('\\');
+                            match chars.next() {
+                                Some(e) => lit.push(e),
+                                None => return perr("dangling escape in literal"),
+                            }
+                        }
+                        Some('"') => {
+                            lit.push('"');
+                            break;
+                        }
+                        Some(c) => lit.push(c),
+                        None => return perr("unterminated literal"),
+                    }
+                }
+                // Optional ^^<dt> or @lang suffix — kept in the token.
+                if let Some('^') = chars.peek() {
+                    chars.next();
+                    if chars.next() != Some('^') {
+                        return perr("expected ^^ after literal");
+                    }
+                    lit.push_str("^^");
+                    if chars.peek() != Some(&'<') {
+                        return perr("expected <datatype> after ^^");
+                    }
+                    chars.next();
+                    lit.push('<');
+                    loop {
+                        match chars.next() {
+                            Some('>') => {
+                                lit.push('>');
+                                break;
+                            }
+                            Some(c) if !c.is_whitespace() => lit.push(c),
+                            _ => return perr("unterminated datatype IRI"),
+                        }
+                    }
+                } else if let Some('@') = chars.peek() {
+                    chars.next();
+                    lit.push('@');
+                    while matches!(chars.peek(), Some(c) if c.is_ascii_alphanumeric() || *c == '-')
+                    {
+                        lit.push(chars.next().expect("peeked"));
+                    }
+                }
+                toks.push(Tok::Literal(lit));
+            }
+            '{' | '}' | '(' | ')' | '.' | ',' | '=' | '*' => {
+                toks.push(Tok::Punct(c));
+                chars.next();
+            }
+            c if c.is_alphabetic() => {
+                let mut word = String::new();
+                while matches!(chars.peek(), Some(c) if c.is_alphanumeric() || *c == '_') {
+                    word.push(chars.next().expect("peeked"));
+                }
+                toks.push(Tok::Keyword(word));
+            }
+            other => return perr(format!("unexpected character '{other}'")),
+        }
+    }
+    Ok(toks)
+}
+
+struct Parser {
+    toks: Vec<Tok>,
+    pos: usize,
+    fresh: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), ParseError> {
+        match self.next() {
+            Some(Tok::Keyword(w)) if w.eq_ignore_ascii_case(kw) => Ok(()),
+            other => perr(format!("expected '{kw}', found {other:?}")),
+        }
+    }
+
+    fn expect_punct(&mut self, c: char) -> Result<(), ParseError> {
+        match self.next() {
+            Some(Tok::Punct(p)) if p == c => Ok(()),
+            other => perr(format!("expected '{c}', found {other:?}")),
+        }
+    }
+
+}
+
+/// A raw parsed triple before star grouping.
+struct RawTriple {
+    subj_var: String,
+    subj_const: Option<String>,
+    prop: PropPattern,
+    obj: ObjPattern,
+}
+
+/// Parse a query text into a [`Query`]. The result is validated.
+pub fn parse_query(input: &str) -> Result<Query, ParseError> {
+    let toks = tokenize(input)?;
+    let mut p = Parser { toks, pos: 0, fresh: 0 };
+
+    p.expect_keyword("SELECT")?;
+    let mut projection: Option<Vec<String>> = None;
+    match p.peek() {
+        Some(Tok::Punct('*')) => {
+            p.next();
+        }
+        Some(Tok::Var(_)) => {
+            let mut vars = Vec::new();
+            while let Some(Tok::Var(v)) = p.peek() {
+                vars.push(v.clone());
+                p.next();
+            }
+            projection = Some(vars);
+        }
+        other => return perr(format!("expected '*' or variables after SELECT, found {other:?}")),
+    }
+    p.expect_keyword("WHERE")?;
+    p.expect_punct('{')?;
+
+    let mut triples: Vec<RawTriple> = Vec::new();
+    let mut filters: Vec<(String, ObjFilter)> = Vec::new();
+    // subject-const token -> synthesized var, so repeated const subjects
+    // share one star.
+    let mut const_subjects: HashMap<String, String> = HashMap::new();
+
+    loop {
+        match p.peek() {
+            Some(Tok::Punct('}')) => {
+                p.next();
+                break;
+            }
+            Some(Tok::Keyword(w)) if w.eq_ignore_ascii_case("FILTER") => {
+                p.next();
+                filters.push(parse_filter(&mut p)?);
+                if matches!(p.peek(), Some(Tok::Punct('.'))) {
+                    p.next();
+                }
+            }
+            Some(_) => {
+                triples.push(parse_triple(&mut p, &mut const_subjects)?);
+                match p.peek() {
+                    Some(Tok::Punct('.')) => {
+                        p.next();
+                    }
+                    Some(Tok::Punct('}')) => {}
+                    other => return perr(format!("expected '.' or '}}' after triple, found {other:?}")),
+                }
+            }
+            None => return perr("unexpected end of query (missing '}')"),
+        }
+    }
+    if p.peek().is_some() {
+        return perr("trailing tokens after '}'");
+    }
+
+    // Apply filters to every object position binding that variable.
+    let mut filter_used = vec![false; filters.len()];
+    for t in &mut triples {
+        if let Some(v) = t.obj.var().map(str::to_string) {
+            for (i, (fv, f)) in filters.iter().enumerate() {
+                if *fv == v {
+                    t.obj = ObjPattern::Filtered(v.clone(), f.clone());
+                    filter_used[i] = true;
+                }
+            }
+        }
+    }
+    // Remaining filters may constrain subject variables.
+    let mut subj_filters: HashMap<String, ObjFilter> = HashMap::new();
+    for (i, (fv, f)) in filters.iter().enumerate() {
+        if filter_used[i] {
+            continue;
+        }
+        if triples.iter().any(|t| t.subj_var == *fv) {
+            subj_filters.insert(fv.clone(), f.clone());
+        } else {
+            return perr(format!("filter on unknown variable ?{fv}"));
+        }
+    }
+
+    // Group into stars, preserving first-appearance order of subjects.
+    let mut order: Vec<String> = Vec::new();
+    let mut grouped: HashMap<String, Vec<TriplePattern>> = HashMap::new();
+    let mut const_of: HashMap<String, String> = HashMap::new();
+    for t in triples {
+        if !grouped.contains_key(&t.subj_var) {
+            order.push(t.subj_var.clone());
+        }
+        if let Some(c) = &t.subj_const {
+            const_of.insert(t.subj_var.clone(), c.clone());
+        }
+        grouped.entry(t.subj_var.clone()).or_default().push(TriplePattern {
+            subject: SubjPattern::Var(t.subj_var.clone()),
+            property: t.prop,
+            object: t.obj,
+        });
+    }
+    let stars: Vec<StarPattern> = order
+        .into_iter()
+        .map(|v| {
+            let star = StarPattern::new(v.clone(), grouped.remove(&v).expect("grouped"));
+            if let Some(c) = const_of.get(&v) {
+                star.with_subject_filter(ObjFilter::Equals(atom(c)))
+            } else if let Some(f) = subj_filters.get(&v) {
+                star.with_subject_filter(f.clone())
+            } else {
+                star
+            }
+        })
+        .collect();
+
+    let mut query = Query::new(stars);
+    if let Some(vars) = projection {
+        query = query.with_projection(vars);
+    }
+    query.validate().map_err(|e| ParseError { message: e.to_string() })?;
+    Ok(query)
+}
+
+fn parse_triple(
+    p: &mut Parser,
+    const_subjects: &mut HashMap<String, String>,
+) -> Result<RawTriple, ParseError> {
+    let (subj_var, subj_const) = match p.next() {
+        Some(Tok::Var(v)) => (v, None),
+        Some(Tok::Iri(iri)) => {
+            let var = const_subjects
+                .entry(iri.clone())
+                .or_insert_with(|| {
+                    p.fresh += 1;
+                    format!("_s{}", p.fresh)
+                })
+                .clone();
+            (var, Some(iri))
+        }
+        other => return perr(format!("expected subject, found {other:?}")),
+    };
+    let prop = match p.next() {
+        Some(Tok::Var(v)) => PropPattern::Unbound(v),
+        Some(Tok::Iri(iri)) => PropPattern::Bound(atom(&iri)),
+        other => return perr(format!("expected property, found {other:?}")),
+    };
+    let obj = match p.next() {
+        Some(Tok::Var(v)) => ObjPattern::Var(v),
+        Some(Tok::Iri(iri)) => ObjPattern::Const(atom(&iri)),
+        Some(Tok::Literal(lit)) => ObjPattern::Const(atom(&lit)),
+        other => return perr(format!("expected object, found {other:?}")),
+    };
+    Ok(RawTriple { subj_var, subj_const, prop, obj })
+}
+
+fn parse_filter(p: &mut Parser) -> Result<(String, ObjFilter), ParseError> {
+    match p.next() {
+        // FILTER (?v = term)
+        Some(Tok::Punct('(')) => {
+            let var = match p.next() {
+                Some(Tok::Var(v)) => v,
+                other => return perr(format!("expected variable in FILTER, found {other:?}")),
+            };
+            p.expect_punct('=')?;
+            let value = match p.next() {
+                Some(Tok::Iri(t)) | Some(Tok::Literal(t)) => t,
+                other => return perr(format!("expected constant in FILTER, found {other:?}")),
+            };
+            p.expect_punct(')')?;
+            Ok((var, ObjFilter::Equals(atom(&value))))
+        }
+        // FILTER contains(?v, "s") | FILTER prefix(?v, "s")
+        Some(Tok::Keyword(fun)) => {
+            let make: fn(String) -> ObjFilter = if fun.eq_ignore_ascii_case("contains") {
+                ObjFilter::Contains
+            } else if fun.eq_ignore_ascii_case("prefix") || fun.eq_ignore_ascii_case("strstarts") {
+                ObjFilter::Prefix
+            } else {
+                return perr(format!("unknown filter function '{fun}'"));
+            };
+            p.expect_punct('(')?;
+            let var = match p.next() {
+                Some(Tok::Var(v)) => v,
+                other => return perr(format!("expected variable, found {other:?}")),
+            };
+            p.expect_punct(',')?;
+            let needle = match p.next() {
+                Some(Tok::Literal(lit)) => lit.trim_matches('"').to_string(),
+                other => return perr(format!("expected string, found {other:?}")),
+            };
+            p.expect_punct(')')?;
+            Ok((var, make(needle)))
+        }
+        other => perr(format!("malformed FILTER at {other:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_two_star_query() {
+        let q = parse_query(
+            "SELECT * WHERE {
+                ?g <label> ?l .
+                ?g <xGO> ?go .
+                ?go <go_label> ?gl .
+            }",
+        )
+        .unwrap();
+        assert_eq!(q.stars.len(), 2);
+        assert_eq!(q.stars[0].arity(), 2);
+        assert_eq!(q.stars[1].subject_var, "go");
+        assert!(q.projection.is_none());
+    }
+
+    #[test]
+    fn parses_unbound_property() {
+        let q = parse_query("SELECT ?g ?p WHERE { ?g <label> ?l . ?g ?p ?o . }").unwrap();
+        assert_eq!(q.unbound_pattern_count(), 1);
+        assert_eq!(q.projection, Some(vec!["g".to_string(), "p".to_string()]));
+    }
+
+    #[test]
+    fn parses_contains_filter_as_partially_bound_object() {
+        let q = parse_query(
+            r#"SELECT * WHERE { ?g ?p ?o . FILTER contains(?o, "hexokinase") }"#,
+        )
+        .unwrap();
+        let pat = &q.stars[0].patterns[0];
+        match &pat.object {
+            ObjPattern::Filtered(v, ObjFilter::Contains(s)) => {
+                assert_eq!(v, "o");
+                assert_eq!(s, "hexokinase");
+            }
+            other => panic!("expected filtered object, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_equality_filter() {
+        let q =
+            parse_query("SELECT * WHERE { ?g ?p ?o . FILTER (?o = <nur77>) }").unwrap();
+        match &q.stars[0].patterns[0].object {
+            ObjPattern::Filtered(_, ObjFilter::Equals(a)) => assert_eq!(&**a, "<nur77>"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn const_subject_becomes_filtered_star() {
+        let q = parse_query("SELECT * WHERE { <sopranos> ?p ?o . }").unwrap();
+        assert_eq!(q.stars.len(), 1);
+        match &q.stars[0].subject_filter {
+            Some(ObjFilter::Equals(a)) => assert_eq!(&**a, "<sopranos>"),
+            other => panic!("{other:?}"),
+        }
+        // Same const subject reused -> same star.
+        let q2 =
+            parse_query("SELECT * WHERE { <s> <p> ?a . <s> <q> ?b . }").unwrap();
+        assert_eq!(q2.stars.len(), 1);
+        assert_eq!(q2.stars[0].arity(), 2);
+    }
+
+    #[test]
+    fn literal_objects_and_datatypes() {
+        let q = parse_query(
+            r#"SELECT * WHERE { ?s <p> "v"^^<http://x> . ?s <q> "w"@en . ?s <r> "plain" . }"#,
+        )
+        .unwrap();
+        assert_eq!(q.stars[0].arity(), 3);
+        match &q.stars[0].patterns[0].object {
+            ObjPattern::Const(c) => assert_eq!(&**c, "\"v\"^^<http://x>"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn comments_ignored() {
+        let q = parse_query(
+            "SELECT * WHERE { # star one\n ?s <p> ?o . # done\n }",
+        )
+        .unwrap();
+        assert_eq!(q.stars.len(), 1);
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(parse_query("SELECT WHERE { ?s <p> ?o . }").is_err());
+        assert!(parse_query("SELECT * { ?s <p> ?o . }").is_err());
+        assert!(parse_query("SELECT * WHERE { ?s <p> . }").is_err());
+        assert!(parse_query("SELECT * WHERE { ?s <p> ?o . ").is_err());
+        assert!(parse_query("SELECT * WHERE { ?s <p> ?o . } trailing").is_err());
+        assert!(parse_query(r#"SELECT * WHERE { ?s <p> ?o . FILTER bogus(?o, "x") }"#).is_err());
+        assert!(parse_query(r#"SELECT * WHERE { ?s <p> ?o . FILTER contains(?zz, "x") }"#).is_err());
+    }
+
+    #[test]
+    fn rejects_disconnected_stars() {
+        let r = parse_query("SELECT * WHERE { ?a <p> ?x . ?b <q> ?y . }");
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn filter_on_subject_var() {
+        let q = parse_query(
+            r#"SELECT * WHERE { ?s <p> ?o . FILTER prefix(?s, "<gene") }"#,
+        )
+        .unwrap();
+        assert!(matches!(q.stars[0].subject_filter, Some(ObjFilter::Prefix(_))));
+    }
+}

@@ -1,0 +1,181 @@
+//! Star subpatterns: groups of triple patterns sharing a subject variable.
+//!
+//! The paper's algebra is organized around star subpatterns
+//! `St = {P_bnd, P_unbnd}`: the set of *bound* properties plus zero or more
+//! *unbound*-property triple patterns. Every planner in this workspace
+//! (relational and NTGA) consumes queries decomposed into stars.
+
+use crate::pattern::{PropPattern, SubjPattern, TriplePattern};
+use rdf_model::Atom;
+
+/// A star subpattern: all triple patterns sharing one subject variable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StarPattern {
+    /// The shared subject variable name.
+    pub subject_var: String,
+    /// The triple patterns of this star (bound and unbound).
+    pub patterns: Vec<TriplePattern>,
+    /// Optional constraint on the subject token itself. Queries like
+    /// "everything about `<Hexokinase>`" are a star on a fresh variable
+    /// with an `Equals` subject filter; planners push it into the scan.
+    pub subject_filter: Option<crate::pattern::ObjFilter>,
+}
+
+impl StarPattern {
+    /// Build a star, checking that all patterns use `subject_var` as a
+    /// variable subject.
+    ///
+    /// # Panics
+    /// Panics if a pattern has a different subject.
+    pub fn new(subject_var: impl Into<String>, patterns: Vec<TriplePattern>) -> Self {
+        let subject_var = subject_var.into();
+        for p in &patterns {
+            match &p.subject {
+                SubjPattern::Var(v) if *v == subject_var => {}
+                other => panic!(
+                    "star pattern on ?{subject_var} contains pattern with subject {other:?}"
+                ),
+            }
+        }
+        StarPattern { subject_var, patterns, subject_filter: None }
+    }
+
+    /// Attach a subject-token filter (selection pushed into the scan).
+    pub fn with_subject_filter(mut self, f: crate::pattern::ObjFilter) -> Self {
+        self.subject_filter = Some(f);
+        self
+    }
+
+    /// True if a subject token passes this star's subject filter (or there
+    /// is none).
+    pub fn subject_accepts(&self, token: &str) -> bool {
+        self.subject_filter.as_ref().is_none_or(|f| f.accepts(token))
+    }
+
+    /// The set of bound properties `P_bnd`, in pattern order (duplicates
+    /// removed).
+    pub fn bound_properties(&self) -> Vec<Atom> {
+        let mut out: Vec<Atom> = Vec::new();
+        for p in &self.patterns {
+            if let PropPattern::Bound(prop) = &p.property {
+                if !out.contains(prop) {
+                    out.push(prop.clone());
+                }
+            }
+        }
+        out
+    }
+
+    /// The bound-property triple patterns.
+    pub fn bound_patterns(&self) -> Vec<&TriplePattern> {
+        self.patterns.iter().filter(|p| !p.is_unbound_property()).collect()
+    }
+
+    /// The unbound-property triple patterns `P_unbnd`.
+    pub fn unbound_patterns(&self) -> Vec<&TriplePattern> {
+        self.patterns.iter().filter(|p| p.is_unbound_property()).collect()
+    }
+
+    /// True if the star contains at least one unbound-property pattern.
+    pub fn has_unbound(&self) -> bool {
+        self.patterns.iter().any(TriplePattern::is_unbound_property)
+    }
+
+    /// Number of triple patterns (the star's arity).
+    pub fn arity(&self) -> usize {
+        self.patterns.len()
+    }
+
+    /// All variables bound anywhere in this star, in first-occurrence
+    /// order.
+    pub fn variables(&self) -> Vec<String> {
+        let mut out: Vec<String> = Vec::new();
+        for p in &self.patterns {
+            for v in p.variables() {
+                if !out.iter().any(|x| x == v) {
+                    out.push(v.to_string());
+                }
+            }
+        }
+        out
+    }
+
+    /// Object variables of this star (the positions through which stars
+    /// join), in pattern order.
+    pub fn object_vars(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for p in &self.patterns {
+            if let Some(v) = p.object.var() {
+                if !out.iter().any(|x: &String| x == v) {
+                    out.push(v.to_string());
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::ObjPattern;
+
+    fn star() -> StarPattern {
+        StarPattern::new(
+            "g",
+            vec![
+                TriplePattern::bound("g", "<label>", ObjPattern::Var("l".into())),
+                TriplePattern::bound("g", "<xGO>", ObjPattern::Var("go".into())),
+                TriplePattern::unbound("g", "p", ObjPattern::Var("o".into())),
+            ],
+        )
+    }
+
+    #[test]
+    fn bound_and_unbound_partition() {
+        let s = star();
+        assert_eq!(s.bound_properties().len(), 2);
+        assert_eq!(s.bound_patterns().len(), 2);
+        assert_eq!(s.unbound_patterns().len(), 1);
+        assert!(s.has_unbound());
+        assert_eq!(s.arity(), 3);
+    }
+
+    #[test]
+    fn duplicate_bound_properties_deduped() {
+        let s = StarPattern::new(
+            "x",
+            vec![
+                TriplePattern::bound("x", "<p>", ObjPattern::Var("a".into())),
+                TriplePattern::bound("x", "<p>", ObjPattern::Var("b".into())),
+            ],
+        );
+        assert_eq!(s.bound_properties().len(), 1);
+    }
+
+    #[test]
+    fn variables_in_order() {
+        let s = star();
+        assert_eq!(s.variables(), vec!["g", "l", "go", "p", "o"]);
+        assert_eq!(s.object_vars(), vec!["l", "go", "o"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "contains pattern with subject")]
+    fn rejects_foreign_subject() {
+        StarPattern::new(
+            "x",
+            vec![TriplePattern::bound("y", "<p>", ObjPattern::Var("a".into()))],
+        );
+    }
+
+    #[test]
+    fn bound_only_star() {
+        let s = StarPattern::new(
+            "x",
+            vec![TriplePattern::bound("x", "<p>", ObjPattern::Var("a".into()))],
+        );
+        assert!(!s.has_unbound());
+        assert!(s.unbound_patterns().is_empty());
+    }
+}

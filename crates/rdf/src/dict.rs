@@ -1,0 +1,100 @@
+//! Numeric string dictionary (token ↔ dense id).
+//!
+//! Used where a compact fixed-width encoding of terms is convenient —
+//! e.g. building adjacency statistics, or compact columnar side files.
+//! The MapReduce pipelines themselves stay lexical (see crate docs), since
+//! the paper's byte accounting is over text rows.
+
+use std::collections::HashMap;
+
+/// A dense-id string dictionary. Ids are assigned in first-seen order
+/// starting from 0 and never change.
+#[derive(Debug, Default, Clone)]
+pub struct Dictionary {
+    forward: HashMap<String, u32>,
+    reverse: Vec<String>,
+}
+
+impl Dictionary {
+    /// Create an empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Return the id for `s`, assigning the next dense id if unseen.
+    pub fn encode(&mut self, s: &str) -> u32 {
+        if let Some(&id) = self.forward.get(s) {
+            return id;
+        }
+        let id = u32::try_from(self.reverse.len()).expect("dictionary overflow (> 4Gi entries)");
+        self.forward.insert(s.to_string(), id);
+        self.reverse.push(s.to_string());
+        id
+    }
+
+    /// Look up an id without inserting.
+    pub fn get(&self, s: &str) -> Option<u32> {
+        self.forward.get(s).copied()
+    }
+
+    /// Decode an id back to its string.
+    ///
+    /// # Panics
+    /// Panics if `id` was never assigned.
+    pub fn decode(&self, id: u32) -> &str {
+        &self.reverse[id as usize]
+    }
+
+    /// Decode an id, returning `None` when unassigned.
+    pub fn try_decode(&self, id: u32) -> Option<&str> {
+        self.reverse.get(id as usize).map(String::as_str)
+    }
+
+    /// Number of distinct entries.
+    pub fn len(&self) -> usize {
+        self.reverse.len()
+    }
+
+    /// True if no entries exist.
+    pub fn is_empty(&self) -> bool {
+        self.reverse.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_is_idempotent() {
+        let mut d = Dictionary::new();
+        let a = d.encode("x");
+        let b = d.encode("x");
+        assert_eq!(a, b);
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn ids_are_dense_and_ordered() {
+        let mut d = Dictionary::new();
+        assert_eq!(d.encode("a"), 0);
+        assert_eq!(d.encode("b"), 1);
+        assert_eq!(d.encode("c"), 2);
+    }
+
+    #[test]
+    fn decode_roundtrip() {
+        let mut d = Dictionary::new();
+        let id = d.encode("hello");
+        assert_eq!(d.decode(id), "hello");
+        assert_eq!(d.try_decode(id), Some("hello"));
+        assert_eq!(d.try_decode(99), None);
+    }
+
+    #[test]
+    fn get_does_not_insert() {
+        let d = Dictionary::new();
+        assert_eq!(d.get("nope"), None);
+        assert!(d.is_empty());
+    }
+}

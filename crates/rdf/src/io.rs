@@ -1,0 +1,146 @@
+//! Streaming N-Triples file I/O.
+//!
+//! [`read_ntriples`] parses from any [`BufRead`] with a reused line buffer
+//! (no per-line allocation beyond the triples themselves), reporting the
+//! line number of the first syntax error. [`write_ntriples`] streams a
+//! store back out. Used by `ntga-cli` and anything ingesting real files.
+
+use crate::ntriples::parse_line;
+use crate::store::TripleStore;
+use crate::triple::STriple;
+use std::fmt;
+use std::io::{BufRead, Write};
+use std::path::Path;
+
+/// Error while reading an N-Triples stream.
+#[derive(Debug)]
+pub enum NtIoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Syntax error with its 1-based line number.
+    Parse {
+        /// Line number (1-based).
+        line: u64,
+        /// The parser's message.
+        message: String,
+    },
+}
+
+impl fmt::Display for NtIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NtIoError::Io(e) => write!(f, "I/O error: {e}"),
+            NtIoError::Parse { line, message } => write!(f, "line {line}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for NtIoError {}
+
+impl From<std::io::Error> for NtIoError {
+    fn from(e: std::io::Error) -> Self {
+        NtIoError::Io(e)
+    }
+}
+
+/// Read an N-Triples stream into a [`TripleStore`].
+pub fn read_ntriples<R: BufRead>(mut reader: R) -> Result<TripleStore, NtIoError> {
+    let mut store = TripleStore::new();
+    let mut line = String::new();
+    let mut lineno: u64 = 0;
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Ok(store);
+        }
+        lineno += 1;
+        match parse_line(&line) {
+            Ok(Some((s, p, o))) => store.insert(STriple::from_terms(&s, &p, &o)),
+            Ok(None) => {}
+            Err(e) => {
+                return Err(NtIoError::Parse { line: lineno, message: e.to_string() })
+            }
+        }
+    }
+}
+
+/// Read an N-Triples file into a [`TripleStore`].
+pub fn read_ntriples_file(path: impl AsRef<Path>) -> Result<TripleStore, NtIoError> {
+    let file = std::fs::File::open(path)?;
+    read_ntriples(std::io::BufReader::new(file))
+}
+
+/// Stream a store as N-Triples rows.
+pub fn write_ntriples<W: Write>(mut writer: W, store: &TripleStore) -> std::io::Result<()> {
+    for t in store.iter() {
+        writeln!(writer, "{t}")?;
+    }
+    Ok(())
+}
+
+/// Write a store to an N-Triples file.
+pub fn write_ntriples_file(
+    path: impl AsRef<Path>,
+    store: &TripleStore,
+) -> std::io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    let mut buf = std::io::BufWriter::new(file);
+    write_ntriples(&mut buf, store)?;
+    std::io::Write::flush(&mut buf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TripleStore {
+        TripleStore::from_triples(vec![
+            STriple::new("<a>", "<p>", "<b>"),
+            STriple::new("<a>", "<q>", "\"x y\""),
+            STriple::new("_:b1", "<p>", "\"esc\\\"aped\""),
+        ])
+    }
+
+    #[test]
+    fn stream_roundtrip() {
+        let store = sample();
+        let mut buf = Vec::new();
+        write_ntriples(&mut buf, &store).unwrap();
+        let back = read_ntriples(buf.as_slice()).unwrap();
+        assert_eq!(back.triples(), store.triples());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let path = std::env::temp_dir().join(format!("ntio-{}.nt", std::process::id()));
+        let store = sample();
+        write_ntriples_file(&path, &store).unwrap();
+        let back = read_ntriples_file(&path).unwrap();
+        assert_eq!(back.triples(), store.triples());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn parse_error_reports_line_number() {
+        let doc = "<a> <p> <b> .\n# fine\nnot a triple\n";
+        match read_ntriples(doc.as_bytes()) {
+            Err(NtIoError::Parse { line, .. }) => assert_eq!(line, 3),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        assert!(matches!(
+            read_ntriples_file("/definitely/not/here.nt"),
+            Err(NtIoError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let doc = "\n# c\n<a> <p> <b> .\n\n";
+        let store = read_ntriples(doc.as_bytes()).unwrap();
+        assert_eq!(store.len(), 1);
+    }
+}

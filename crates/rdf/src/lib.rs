@@ -1,0 +1,46 @@
+//! # rdf-model — RDF data-model substrate
+//!
+//! This crate provides the RDF plumbing that every other crate in the
+//! workspace builds on:
+//!
+//! * [`Term`] — a parsed RDF term (IRI / literal / blank node) with
+//!   N-Triples-conformant display and parsing;
+//! * [`Atom`] and [`AtomTable`] — cheap reference-counted interned strings
+//!   used for the lexical (token) representation of terms that flows through
+//!   the MapReduce pipelines;
+//! * [`STriple`] — a triple of atoms (the workhorse record type);
+//! * [`ntriples`] — a streaming N-Triples parser and serializer;
+//! * [`TripleStore`] — an in-memory triple collection with property
+//!   statistics (multiplicity distributions drive the redundancy phenomenon
+//!   studied by the paper);
+//! * [`vp`] — vertical partitioning (the storage model of the relational
+//!   baselines);
+//! * [`Dictionary`] — a numeric string dictionary for compact encodings.
+//!
+//! The paper operates on lexical triples (Pig/Hive move text through HDFS),
+//! so the pipeline-facing representation here is lexical too: an [`STriple`]
+//! holds the canonical N-Triples token for each position, and
+//! [`STriple::text_size`] is the number of bytes the triple occupies in a
+//! text row — the quantity all HDFS/shuffle counters in `mrsim` are built
+//! from.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod atom;
+pub mod dict;
+pub mod io;
+pub mod ntriples;
+pub mod store;
+pub mod term;
+pub mod triple;
+pub mod vp;
+
+pub use atom::{Atom, AtomTable};
+pub use dict::Dictionary;
+pub use io::{read_ntriples, read_ntriples_file, write_ntriples, write_ntriples_file, NtIoError};
+pub use ntriples::{parse_line, parse_str, write_triple, NtParseError};
+pub use store::{PropertyStats, StoreStats, TripleStore};
+pub use term::Term;
+pub use triple::STriple;
+pub use vp::VerticalPartitions;

@@ -1,0 +1,161 @@
+//! Parsed RDF terms.
+
+use std::fmt;
+
+/// A parsed RDF term.
+///
+/// The lexical (token) form used throughout the pipelines is produced by
+/// [`Term::to_token`] / `Display`, which emits canonical N-Triples syntax:
+///
+/// ```
+/// use rdf_model::Term;
+/// assert_eq!(Term::iri("http://ex.org/a").to_token(), "<http://ex.org/a>");
+/// assert_eq!(Term::plain_literal("hi").to_token(), "\"hi\"");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Term {
+    /// An IRI reference, stored without the surrounding angle brackets.
+    Iri(String),
+    /// An RDF literal.
+    Literal {
+        /// The lexical form, unescaped.
+        lexical: String,
+        /// Optional datatype IRI (without angle brackets).
+        datatype: Option<String>,
+        /// Optional language tag (without the leading `@`).
+        language: Option<String>,
+    },
+    /// A blank node, stored without the `_:` prefix.
+    BNode(String),
+}
+
+impl Term {
+    /// Construct an IRI term.
+    pub fn iri(i: impl Into<String>) -> Self {
+        Term::Iri(i.into())
+    }
+
+    /// Construct a plain (untyped, untagged) literal.
+    pub fn plain_literal(lex: impl Into<String>) -> Self {
+        Term::Literal { lexical: lex.into(), datatype: None, language: None }
+    }
+
+    /// Construct a typed literal.
+    pub fn typed_literal(lex: impl Into<String>, dt: impl Into<String>) -> Self {
+        Term::Literal { lexical: lex.into(), datatype: Some(dt.into()), language: None }
+    }
+
+    /// Construct a language-tagged literal.
+    pub fn lang_literal(lex: impl Into<String>, lang: impl Into<String>) -> Self {
+        Term::Literal { lexical: lex.into(), datatype: None, language: Some(lang.into()) }
+    }
+
+    /// Construct a blank node.
+    pub fn bnode(label: impl Into<String>) -> Self {
+        Term::BNode(label.into())
+    }
+
+    /// True if this term is an IRI.
+    pub fn is_iri(&self) -> bool {
+        matches!(self, Term::Iri(_))
+    }
+
+    /// True if this term is a literal.
+    pub fn is_literal(&self) -> bool {
+        matches!(self, Term::Literal { .. })
+    }
+
+    /// True if this term is a blank node.
+    pub fn is_bnode(&self) -> bool {
+        matches!(self, Term::BNode(_))
+    }
+
+    /// Canonical N-Triples token for this term.
+    pub fn to_token(&self) -> String {
+        self.to_string()
+    }
+}
+
+/// Escape a literal's lexical form per N-Triples rules.
+fn escape_into(out: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
+    for c in s.chars() {
+        match c {
+            '"' => out.write_str("\\\"")?,
+            '\\' => out.write_str("\\\\")?,
+            '\n' => out.write_str("\\n")?,
+            '\r' => out.write_str("\\r")?,
+            '\t' => out.write_str("\\t")?,
+            _ => fmt::Write::write_char(out, c)?,
+        }
+    }
+    Ok(())
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Iri(i) => write!(f, "<{i}>"),
+            Term::BNode(b) => write!(f, "_:{b}"),
+            Term::Literal { lexical, datatype, language } => {
+                f.write_str("\"")?;
+                escape_into(f, lexical)?;
+                f.write_str("\"")?;
+                if let Some(dt) = datatype {
+                    write!(f, "^^<{dt}>")?;
+                } else if let Some(lang) = language {
+                    write!(f, "@{lang}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_iri() {
+        assert_eq!(Term::iri("http://a/b").to_token(), "<http://a/b>");
+    }
+
+    #[test]
+    fn display_bnode() {
+        assert_eq!(Term::bnode("x1").to_token(), "_:x1");
+    }
+
+    #[test]
+    fn display_plain_literal() {
+        assert_eq!(Term::plain_literal("abc").to_token(), "\"abc\"");
+    }
+
+    #[test]
+    fn display_typed_literal() {
+        assert_eq!(
+            Term::typed_literal("5", "http://www.w3.org/2001/XMLSchema#int").to_token(),
+            "\"5\"^^<http://www.w3.org/2001/XMLSchema#int>"
+        );
+    }
+
+    #[test]
+    fn display_lang_literal() {
+        assert_eq!(Term::lang_literal("chat", "fr").to_token(), "\"chat\"@fr");
+    }
+
+    #[test]
+    fn escapes_special_chars() {
+        assert_eq!(
+            Term::plain_literal("a\"b\\c\nd").to_token(),
+            "\"a\\\"b\\\\c\\nd\""
+        );
+    }
+
+    #[test]
+    fn kind_predicates() {
+        assert!(Term::iri("x").is_iri());
+        assert!(Term::plain_literal("x").is_literal());
+        assert!(Term::bnode("x").is_bnode());
+        assert!(!Term::iri("x").is_literal());
+    }
+}

@@ -1,0 +1,108 @@
+//! Vertical partitioning (VP) — the storage model of the relational
+//! baselines.
+//!
+//! VP splits the triple relation `T` into one two-column relation per
+//! property type. Bound-property star joins become joins of the matching VP
+//! relations; an *unbound*-property pattern, however, must touch the union
+//! of **all** VP relations (i.e. the whole of `T`) — the inefficiency that
+//! motivates the paper (Section 1.1, "Optimizing unbound-property
+//! queries").
+
+use crate::atom::Atom;
+use crate::store::TripleStore;
+use crate::triple::STriple;
+use std::collections::BTreeMap;
+
+/// A vertically-partitioned view of a triple store: property token →
+/// triples carrying that property.
+#[derive(Debug, Default, Clone)]
+pub struct VerticalPartitions {
+    parts: BTreeMap<Atom, Vec<STriple>>,
+}
+
+impl VerticalPartitions {
+    /// Partition a store by property.
+    pub fn build(store: &TripleStore) -> Self {
+        let mut parts: BTreeMap<Atom, Vec<STriple>> = BTreeMap::new();
+        for t in store.iter() {
+            parts.entry(t.p.clone()).or_default().push(t.clone());
+        }
+        VerticalPartitions { parts }
+    }
+
+    /// The relation for one property, if present.
+    pub fn relation(&self, prop: &str) -> Option<&[STriple]> {
+        self.parts.get(prop).map(Vec::as_slice)
+    }
+
+    /// Number of property relations.
+    pub fn len(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// True if there are no partitions.
+    pub fn is_empty(&self) -> bool {
+        self.parts.is_empty()
+    }
+
+    /// Iterate over `(property, relation)` pairs in property order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Atom, &[STriple])> {
+        self.parts.iter().map(|(p, v)| (p, v.as_slice()))
+    }
+
+    /// The union of all VP relations — what an unbound-property pattern
+    /// must scan. Returned in property order; total size equals the store.
+    pub fn union_all(&self) -> Vec<STriple> {
+        self.parts.values().flatten().cloned().collect()
+    }
+
+    /// Total text bytes across a subset of relations (used to cost
+    /// selective VP scans versus a full union scan).
+    pub fn text_bytes_of(&self, props: &[&str]) -> u64 {
+        props
+            .iter()
+            .filter_map(|p| self.parts.get(*p))
+            .flatten()
+            .map(STriple::text_size)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> TripleStore {
+        TripleStore::from_triples(vec![
+            STriple::new("<s1>", "<p1>", "<a>"),
+            STriple::new("<s1>", "<p2>", "<b>"),
+            STriple::new("<s2>", "<p1>", "<c>"),
+        ])
+    }
+
+    #[test]
+    fn partitions_by_property() {
+        let vp = VerticalPartitions::build(&store());
+        assert_eq!(vp.len(), 2);
+        assert_eq!(vp.relation("<p1>").unwrap().len(), 2);
+        assert_eq!(vp.relation("<p2>").unwrap().len(), 1);
+        assert!(vp.relation("<p3>").is_none());
+    }
+
+    #[test]
+    fn union_all_recovers_store_size() {
+        let s = store();
+        let vp = VerticalPartitions::build(&s);
+        assert_eq!(vp.union_all().len(), s.len());
+    }
+
+    #[test]
+    fn text_bytes_of_subsets() {
+        let s = store();
+        let vp = VerticalPartitions::build(&s);
+        let all = vp.text_bytes_of(&["<p1>", "<p2>"]);
+        assert_eq!(all, s.text_bytes());
+        assert!(vp.text_bytes_of(&["<p1>"]) < all);
+        assert_eq!(vp.text_bytes_of(&["<missing>"]), 0);
+    }
+}

@@ -1,0 +1,90 @@
+//! Choosing a β-unnesting strategy — the paper's Section 4/Figure 11
+//! guidance as an interactive experiment.
+//!
+//! Sweeps the φ partition range of `TG_OptUnbJoin` on two query shapes:
+//! an *unbound-object* join (B1-shaped, benefits from partial unnesting)
+//! and a *partially-bound-object* join (B2-shaped, where full unnesting is
+//! already cheap). Prints shuffle bytes and simulated seconds of the join
+//! cycle so the Auto policy's decision rule is visible in the data.
+//!
+//! ```sh
+//! cargo run --release --example strategy_tuning
+//! ```
+
+use ntga::prelude::*;
+
+fn join_cycle_profile(
+    store: &TripleStore,
+    cluster: &ClusterConfig,
+    query: &rdf_query::Query,
+    strategy: Strategy,
+    label: &str,
+) -> (u64, f64) {
+    let engine = cluster.engine_with(store);
+    let run = ntga_core::execute(strategy, &engine, query, TRIPLES_FILE, label, false)
+        .expect("plannable");
+    let last = run.stats.jobs.last().expect("join cycle");
+    (last.shuffle_bytes(), last.sim_seconds)
+}
+
+fn main() {
+    let store = datagen::bsbm::generate(&datagen::BsbmConfig {
+        products: 150,
+        features: 120,
+        max_features_per_product: 48,
+        multi_feature_fraction: 0.97,
+        ..Default::default()
+    });
+    let cluster = ClusterConfig {
+        cost: CostModel::scaled_to(store.text_bytes()),
+        ..Default::default()
+    };
+    println!("dataset: {} triples; sweeping φ on the unbound join cycle\n", store.len());
+
+    let unbound_object = ntga::testbed::b_series().remove(1).query; // B1
+    let partially_bound = ntga::testbed::b_series().remove(2).query; // B2
+
+    for (name, query) in
+        [("B1 (unbound object)", &unbound_object), ("B2 (partially bound)", &partially_bound)]
+    {
+        println!("{name}:");
+        let (full_shuffle, full_s) =
+            join_cycle_profile(&store, &cluster, query, Strategy::LazyFull, "full");
+        println!(
+            "  {:<18} shuffle {:>10} B   join cycle {:>7.1}s   (baseline)",
+            "full unnest", full_shuffle, full_s
+        );
+        for m in [4u64, 16, 64, 256, 1024] {
+            let (shuffle, secs) = join_cycle_profile(
+                &store,
+                &cluster,
+                query,
+                Strategy::LazyPartial(m),
+                &format!("phi{m}"),
+            );
+            println!(
+                "  {:<18} shuffle {:>10} B   join cycle {:>7.1}s   ({:+.0}% shuffle)",
+                format!("partial φ_{m}"),
+                shuffle,
+                secs,
+                (shuffle as f64 / full_shuffle as f64 - 1.0) * 100.0,
+            );
+        }
+        println!();
+    }
+
+    println!(
+        "Observation (matches the paper's Figure 11): partial unnesting only pays\n\
+         off when the unbound pattern has many candidates per subject — the\n\
+         unbound-object case. With a partially-bound object the candidate lists\n\
+         are already short and φ makes little difference, so the Auto strategy\n\
+         picks full unnesting there and partial unnesting otherwise."
+    );
+
+    // Show the Auto policy choosing per query.
+    for (name, query) in [("B1", &unbound_object), ("B2", &partially_bound)] {
+        let (shuffle, _) =
+            join_cycle_profile(&store, &cluster, query, Strategy::Auto(1024), "auto");
+        println!("Auto(1024) on {name}: join-cycle shuffle {shuffle} B");
+    }
+}

@@ -1,0 +1,319 @@
+//! `ntga-cli` — run unbound-property queries over N-Triples files on the
+//! simulated MapReduce cluster.
+//!
+//! ```text
+//! ntga-cli generate --dataset bsbm --scale 100 --out data.nt [--seed 42]
+//! ntga-cli stats    --data data.nt
+//! ntga-cli explain  --query q.rq [--approach auto:1024]
+//! ntga-cli query    --data data.nt --query q.rq [--approach auto:1024]
+//!                   [--replication 2] [--disk-factor 6.5] [--limit 20] [--no-solutions]
+//! ntga-cli compare  --data data.nt --query q.rq [--replication 2] [--disk-factor F]
+//! ```
+//!
+//! `--approach` is one of `pig`, `hive`, `eager`, `lazy`, `partial:M`,
+//! `auto:M`. `--disk-factor F` bounds the cluster's disk to `F ×` the
+//! replicated input (reproducing the paper's constrained clusters);
+//! without it the disk is unbounded.
+
+use ntga::prelude::*;
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    // Exit quietly when stdout is closed early (e.g. piping into `head`).
+    std::panic::set_hook(Box::new(|info| {
+        let msg = info
+            .payload()
+            .downcast_ref::<String>()
+            .map(String::as_str)
+            .or_else(|| info.payload().downcast_ref::<&str>().copied())
+            .unwrap_or("");
+        if msg.contains("Broken pipe") {
+            std::process::exit(0);
+        }
+        eprintln!("{info}");
+    }));
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let opts = match parse_flags(rest) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match command.as_str() {
+        "generate" => cmd_generate(&opts),
+        "stats" => cmd_stats(&opts),
+        "explain" => cmd_explain(&opts),
+        "query" => cmd_query(&opts),
+        "compare" => cmd_compare(&opts),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        other => Err(format!("unknown command '{other}'")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "ntga-cli — unbound-property RDF queries on a simulated MapReduce cluster
+
+USAGE:
+  ntga-cli generate --dataset bsbm|bio2rdf|dbpedia|btc --scale N --out FILE [--seed S]
+  ntga-cli stats    --data FILE
+  ntga-cli explain  --query FILE [--approach APPROACH]
+  ntga-cli query    --data FILE --query FILE [--approach APPROACH]
+                    [--replication N] [--disk-factor F] [--limit N] [--no-solutions]
+  ntga-cli compare  --data FILE --query FILE [--replication N] [--disk-factor F]
+
+APPROACH: pig | hive | eager | lazy | partial:M | auto:M   (default auto:1024)";
+
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut out = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let flag = &args[i];
+        if !flag.starts_with("--") {
+            return Err(format!("expected a --flag, found '{flag}'"));
+        }
+        let key = flag.trim_start_matches("--").to_string();
+        if key == "no-solutions" {
+            out.insert(key, "true".to_string());
+            i += 1;
+            continue;
+        }
+        let value =
+            args.get(i + 1).ok_or_else(|| format!("flag --{key} needs a value"))?.clone();
+        out.insert(key, value);
+        i += 2;
+    }
+    Ok(out)
+}
+
+fn required<'a>(opts: &'a HashMap<String, String>, key: &str) -> Result<&'a str, String> {
+    opts.get(key).map(String::as_str).ok_or_else(|| format!("missing --{key}"))
+}
+
+fn parse_approach(spec: &str) -> Result<Approach, String> {
+    let (name, param) = match spec.split_once(':') {
+        Some((n, p)) => (n, Some(p)),
+        None => (spec, None),
+    };
+    let m = |p: Option<&str>| -> Result<u64, String> {
+        p.unwrap_or("1024").parse().map_err(|_| format!("bad φ range in '{spec}'"))
+    };
+    match name {
+        "pig" => Ok(Approach::Pig),
+        "hive" => Ok(Approach::Hive),
+        "eager" => Ok(Approach::NtgaEager),
+        "lazy" | "lazyfull" => Ok(Approach::NtgaLazyFull),
+        "partial" => Ok(Approach::NtgaLazyPartial(m(param)?)),
+        "auto" => Ok(Approach::NtgaAuto(m(param)?)),
+        other => Err(format!("unknown approach '{other}'")),
+    }
+}
+
+fn load_data(opts: &HashMap<String, String>) -> Result<TripleStore, String> {
+    let path = required(opts, "data")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    TripleStore::from_ntriples(&text).map_err(|e| format!("parsing {path}: {e}"))
+}
+
+fn load_query(opts: &HashMap<String, String>) -> Result<Query, String> {
+    let path = required(opts, "query")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    parse_query(&text).map_err(|e| e.to_string())
+}
+
+fn cluster_for(
+    opts: &HashMap<String, String>,
+    store: &TripleStore,
+) -> Result<ClusterConfig, String> {
+    let replication: u32 = opts
+        .get("replication")
+        .map(|r| r.parse().map_err(|_| "bad --replication".to_string()))
+        .transpose()?
+        .unwrap_or(1);
+    let mut cfg = ClusterConfig { replication, ..Default::default() };
+    cfg.cost = CostModel::scaled_to(store.text_bytes());
+    if let Some(f) = opts.get("disk-factor") {
+        let factor: f64 = f.parse().map_err(|_| "bad --disk-factor".to_string())?;
+        cfg = cfg.tight_disk(store, factor);
+    }
+    Ok(cfg)
+}
+
+fn cmd_generate(opts: &HashMap<String, String>) -> Result<(), String> {
+    let dataset = required(opts, "dataset")?;
+    let scale: usize = required(opts, "scale")?
+        .parse()
+        .map_err(|_| "bad --scale".to_string())?;
+    let seed: u64 = opts
+        .get("seed")
+        .map(|s| s.parse().map_err(|_| "bad --seed".to_string()))
+        .transpose()?
+        .unwrap_or(42);
+    let out = required(opts, "out")?;
+    let store = match dataset {
+        "bsbm" => datagen::bsbm::generate(&datagen::BsbmConfig::with_products(scale).with_seed(seed)),
+        "bio2rdf" => {
+            datagen::bio2rdf::generate(&datagen::Bio2RdfConfig::with_genes(scale).with_seed(seed))
+        }
+        "dbpedia" => {
+            datagen::dbpedia::generate(&datagen::DbpediaConfig::with_entities(scale).with_seed(seed))
+        }
+        "btc" => datagen::dbpedia::generate(&datagen::DbpediaConfig::btc_like(scale)),
+        other => return Err(format!("unknown dataset '{other}' (bsbm|bio2rdf|dbpedia|btc)")),
+    };
+    let mut text = String::with_capacity(store.len() * 48);
+    for t in store.iter() {
+        text.push_str(&t.to_string());
+        text.push('\n');
+    }
+    std::fs::write(out, text).map_err(|e| format!("writing {out}: {e}"))?;
+    println!("wrote {} triples ({} B) to {out}", store.len(), store.text_bytes());
+    Ok(())
+}
+
+fn cmd_stats(opts: &HashMap<String, String>) -> Result<(), String> {
+    let store = load_data(opts)?;
+    let stats = store.stats();
+    println!("triples:             {}", stats.triples);
+    println!("distinct subjects:   {}", stats.distinct_subjects);
+    println!("distinct properties: {}", stats.distinct_properties);
+    println!("text bytes:          {}", stats.text_bytes);
+    println!("multi-valued props:  {:.1}%", stats.multi_valued_fraction * 100.0);
+    let mut props: Vec<_> = stats.per_property.iter().collect();
+    props.sort_by_key(|(_, s)| std::cmp::Reverse(s.max_multiplicity));
+    println!("\ntop properties by multiplicity:");
+    for (prop, p) in props.iter().take(10) {
+        println!(
+            "  {:<40} count={:<8} max-multiplicity={}",
+            prop, p.count, p.max_multiplicity
+        );
+    }
+    Ok(())
+}
+
+fn cmd_explain(opts: &HashMap<String, String>) -> Result<(), String> {
+    let query = load_query(opts)?;
+    let approach = parse_approach(opts.get("approach").map_or("auto:1024", String::as_str))?;
+    let strategy = match approach {
+        Approach::Pig | Approach::Hive => {
+            return Err("explain currently covers the NTGA strategies".into())
+        }
+        Approach::NtgaEager => Strategy::Eager,
+        Approach::NtgaLazyFull => Strategy::LazyFull,
+        Approach::NtgaLazyPartial(m) => Strategy::LazyPartial(m),
+        Approach::NtgaAuto(m) => Strategy::Auto(m),
+    };
+    let plan = ntga_core::explain(strategy, &query).map_err(|e| e.to_string())?;
+    print!("{plan}");
+    Ok(())
+}
+
+fn print_stats(stats: &WorkflowStats) {
+    println!("  MR cycles:          {}", stats.mr_cycles);
+    println!("  full input scans:   {}", stats.full_scans);
+    println!("  HDFS read bytes:    {}", stats.total_read_bytes());
+    println!("  HDFS write bytes:   {}", stats.total_write_bytes());
+    println!("  shuffle bytes:      {}", stats.total_shuffle_bytes());
+    println!("  peak disk bytes:    {}", stats.peak_disk_bytes);
+    println!("  simulated seconds:  {:.1}", stats.sim_seconds);
+}
+
+fn cmd_query(opts: &HashMap<String, String>) -> Result<(), String> {
+    let store = load_data(opts)?;
+    let query = load_query(opts)?;
+    let approach = parse_approach(opts.get("approach").map_or("auto:1024", String::as_str))?;
+    let want_solutions = !opts.contains_key("no-solutions");
+    let cluster = cluster_for(opts, &store)?;
+    let engine = cluster.engine_with(&store);
+    let run = run_query(approach, &engine, &query, "cli", want_solutions)
+        .map_err(|e| e.to_string())?;
+    if !run.succeeded() {
+        println!(
+            "execution FAILED: {}",
+            run.stats.failure.as_deref().unwrap_or("unknown failure")
+        );
+        print_stats(&run.stats);
+        return Ok(());
+    }
+    if let Some(solutions) = &run.solutions {
+        let limit: usize = opts
+            .get("limit")
+            .map(|l| l.parse().map_err(|_| "bad --limit".to_string()))
+            .transpose()?
+            .unwrap_or(20);
+        println!("{} solution(s){}:", solutions.len(), if solutions.len() > limit {
+            format!(", showing {limit}")
+        } else {
+            String::new()
+        });
+        for b in solutions.iter().take(limit) {
+            println!("  {b}");
+        }
+    }
+    println!("\nexecution profile [{}]:", approach.label());
+    print_stats(&run.stats);
+    Ok(())
+}
+
+fn cmd_compare(opts: &HashMap<String, String>) -> Result<(), String> {
+    let store = load_data(opts)?;
+    let query = load_query(opts)?;
+    let cluster = cluster_for(opts, &store)?;
+    println!(
+        "{:<22} {:>6} {:>4} {:>14} {:>14} {:>12} {:>10}  status",
+        "approach", "cycles", "FS", "read B", "written B", "shuffled B", "sim(s)"
+    );
+    let mut reference: Option<SolutionSet> = None;
+    for approach in [
+        Approach::Pig,
+        Approach::Hive,
+        Approach::NtgaEager,
+        Approach::NtgaLazyFull,
+        Approach::NtgaAuto(1024),
+    ] {
+        let engine = cluster.engine_with(&store);
+        let run = run_query(approach, &engine, &query, "cmp", true).map_err(|e| e.to_string())?;
+        println!(
+            "{:<22} {:>6} {:>4} {:>14} {:>14} {:>12} {:>10.1}  {}",
+            approach.label(),
+            run.stats.mr_cycles,
+            run.stats.full_scans,
+            run.stats.total_read_bytes(),
+            run.stats.total_write_bytes(),
+            run.stats.total_shuffle_bytes(),
+            run.stats.sim_seconds,
+            if run.succeeded() { "OK" } else { "FAILED" },
+        );
+        if let Some(sols) = run.solutions {
+            match &reference {
+                None => reference = Some(sols),
+                Some(r) => {
+                    if *r != sols {
+                        return Err(format!(
+                            "approach {} returned different solutions!",
+                            approach.label()
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    if let Some(r) = reference {
+        println!("\nall completed approaches agree on {} solution(s)", r.len());
+    }
+    Ok(())
+}

@@ -1,0 +1,445 @@
+//! The paper's testbed queries, expressed against the `datagen`
+//! vocabularies.
+//!
+//! * **Case study Q1a–Q3b** (Figure 3): bound-only two-star queries with
+//!   object-subject and object-object joins, ± selective object filters.
+//! * **B-series** (Figures 9, 10, 11, 12): BSBM-like scalability queries
+//!   with varying numbers and placements of unbound-property patterns.
+//! * **A-series** (Figure 13): Bio2RDF-like real-world exploration
+//!   queries, extracted shapes of the Bio2RDF demo queries.
+//! * **C-series** (Figure 14): DBpedia/BTC-like open-property-space
+//!   queries.
+//!
+//! Every query is written as query text and parsed with
+//! [`rdf_query::parse_query`], so the catalog doubles as an end-to-end
+//! exercise of the parser.
+
+use datagen::vocab::{bio2rdf, bsbm, dbpedia};
+use rdf_query::{parse_query, Query};
+
+/// One testbed query: its paper id, source text, and parsed form.
+#[derive(Debug, Clone)]
+pub struct TestQuery {
+    /// Paper identifier (e.g. "B3").
+    pub id: String,
+    /// Query text (the SPARQL subset of [`rdf_query::parse_query`]).
+    pub text: String,
+    /// Parsed, validated query.
+    pub query: Query,
+}
+
+fn tq(id: &str, text: String) -> TestQuery {
+    let query = parse_query(&text)
+        .unwrap_or_else(|e| panic!("testbed query {id} failed to parse: {e}\n{text}"));
+    TestQuery { id: id.to_string(), text, query }
+}
+
+// ---------------------------------------------------------------------------
+// Case study (Figure 3): bound-only grouping comparison
+// ---------------------------------------------------------------------------
+
+/// Q1a/Q1b, Q2a/Q2b (object-subject joins) and Q3a/Q3b (object-object
+/// join); the `b` variants add selective object filters.
+pub fn case_study() -> Vec<TestQuery> {
+    let q1 = |id: &str, filtered: bool| {
+        let filter = if filtered {
+            "FILTER (?c = <country0>) . FILTER contains(?l1, \"Product 1\") .".to_string()
+        } else {
+            String::new()
+        };
+        tq(
+            id,
+            format!(
+                "SELECT * WHERE {{
+                    ?p {label} ?l1 .
+                    ?p {feature} ?f .
+                    ?p {producer} ?pr .
+                    ?pr {label} ?l2 .
+                    ?pr {country} ?c .
+                    {filter}
+                 }}",
+                label = bsbm::LABEL,
+                feature = bsbm::PRODUCT_FEATURE,
+                producer = bsbm::PRODUCER,
+                country = bsbm::COUNTRY,
+            ),
+        )
+    };
+    let q2 = |id: &str, filtered: bool| {
+        let filter = if filtered {
+            "FILTER contains(?price, \"1\") . FILTER contains(?l, \"Product 2\") ."
+        } else {
+            ""
+        };
+        tq(
+            id,
+            format!(
+                "SELECT * WHERE {{
+                    ?o {offer_product} ?p .
+                    ?o {price} ?price .
+                    ?o {vendor} ?v .
+                    ?p {label} ?l .
+                    ?p {feature} ?f .
+                    {filter}
+                 }}",
+                offer_product = bsbm::OFFER_PRODUCT,
+                price = bsbm::PRICE,
+                vendor = bsbm::VENDOR,
+                label = bsbm::LABEL,
+                feature = bsbm::PRODUCT_FEATURE,
+            ),
+        )
+    };
+    let q3 = |id: &str, filtered: bool| {
+        let filter = if filtered {
+            "FILTER contains(?rating, \"5\") . FILTER contains(?price, \"9\") ."
+        } else {
+            ""
+        };
+        tq(
+            id,
+            format!(
+                // Object-object join: offers and reviews about the same
+                // product.
+                "SELECT * WHERE {{
+                    ?o {offer_product} ?x .
+                    ?o {price} ?price .
+                    ?r {review_for} ?x .
+                    ?r {rating} ?rating .
+                    {filter}
+                 }}",
+                offer_product = bsbm::OFFER_PRODUCT,
+                price = bsbm::PRICE,
+                review_for = bsbm::REVIEW_FOR,
+                rating = bsbm::RATING,
+            ),
+        )
+    };
+    vec![
+        q1("Q1a", false),
+        q1("Q1b", true),
+        q2("Q2a", false),
+        q2("Q2b", true),
+        q3("Q3a", false),
+        q3("Q3b", true),
+    ]
+}
+
+// ---------------------------------------------------------------------------
+// B-series (BSBM-like)
+// ---------------------------------------------------------------------------
+
+/// B0–B6: the scalability queries of Figures 9 and 12.
+///
+/// * B0 — two stars, all bound (baseline; includes the multi-valued
+///   `productFeature`).
+/// * B1 — one unbound-property pattern whose (unbound) object is the join
+///   variable.
+/// * B2 — like B1 but the unbound pattern's object is partially bound
+///   (selective prefix filter).
+/// * B3 — two unbound patterns in the same star, one with a partially
+///   bound object.
+/// * B4 — an unbound pattern that does **not** participate in the join
+///   (stays nested to the very end under lazy unnesting).
+/// * B5 — three stars (product → producer and product → feature).
+/// * B6 — unbound patterns in both stars.
+pub fn b_series() -> Vec<TestQuery> {
+    let label = bsbm::LABEL;
+    let feature = bsbm::PRODUCT_FEATURE;
+    let producer = bsbm::PRODUCER;
+    let country = bsbm::COUNTRY;
+    let ty = bsbm::TYPE;
+    vec![
+        tq(
+            "B0",
+            format!(
+                "SELECT * WHERE {{
+                    ?p {label} ?l1 . ?p {feature} ?f . ?p {producer} ?pr .
+                    ?pr {label} ?l2 . ?pr {country} ?c .
+                 }}"
+            ),
+        ),
+        tq(
+            "B1",
+            format!(
+                "SELECT * WHERE {{
+                    ?p {ty} <bsbm:Product> . ?p {label} ?l1 . ?p {feature} ?f . ?p ?u ?x .
+                    ?x {label} ?l2 .
+                 }}"
+            ),
+        ),
+        tq(
+            "B2",
+            format!(
+                "SELECT * WHERE {{
+                    ?p {ty} <bsbm:Product> . ?p {label} ?l1 . ?p {feature} ?f . ?p ?u ?x .
+                    ?x {label} ?l2 .
+                    FILTER prefix(?x, \"<bsbm:producer\") .
+                 }}"
+            ),
+        ),
+        tq(
+            "B3",
+            format!(
+                "SELECT * WHERE {{
+                    ?p {label} ?l1 . ?p {feature} ?f . ?p ?u1 ?x . ?p ?u2 ?y .
+                    ?x {label} ?l2 .
+                    FILTER prefix(?y, \"<bsbm:\") .
+                 }}"
+            ),
+        ),
+        tq(
+            "B4",
+            format!(
+                "SELECT * WHERE {{
+                    ?p {label} ?l1 . ?p {feature} ?f . ?p {producer} ?pr . ?p ?u ?any .
+                    ?pr {label} ?l2 . ?pr {country} ?c .
+                 }}"
+            ),
+        ),
+        tq(
+            "B5",
+            format!(
+                "SELECT * WHERE {{
+                    ?p {label} ?l1 . ?p {feature} ?f . ?p {producer} ?pr . ?p ?u ?x .
+                    ?pr {label} ?l2 . ?pr {country} ?c .
+                    ?x {label} ?l3 .
+                 }}"
+            ),
+        ),
+        tq(
+            "B6",
+            format!(
+                "SELECT * WHERE {{
+                    ?p {ty} <bsbm:Product> . ?p {label} ?l1 . ?p ?u1 ?x .
+                    ?x {label} ?l2 . ?x ?u2 ?y .
+                 }}"
+            ),
+        ),
+    ]
+}
+
+/// B1 with `k ∈ 3..=6` bound-property patterns (Figures 9(c) and 10).
+pub fn b1_varying_bound(k: usize) -> TestQuery {
+    assert!((3..=6).contains(&k), "paper varies 3..=6 bound patterns");
+    let bound_props = [
+        (bsbm::TYPE, "?t"),
+        (bsbm::LABEL, "?l1"),
+        (bsbm::COMMENT, "?cm"),
+        (bsbm::NUMERIC[0], "?n1"),
+        (bsbm::NUMERIC[1], "?n2"),
+        (bsbm::NUMERIC[2], "?n3"),
+    ];
+    let mut clauses = String::new();
+    for (prop, var) in &bound_props[..k] {
+        clauses.push_str(&format!("?p {prop} {var} . "));
+    }
+    tq(
+        &format!("B1-{k}bnd"),
+        format!(
+            "SELECT * WHERE {{
+                {clauses} ?p {feature} ?f . ?p ?u ?x .
+                ?x {label} ?l2 .
+             }}",
+            feature = bsbm::PRODUCT_FEATURE,
+            label = bsbm::LABEL,
+        ),
+    )
+}
+
+// ---------------------------------------------------------------------------
+// A-series (Bio2RDF-like)
+// ---------------------------------------------------------------------------
+
+/// A1–A6: shapes of the Bio2RDF demo queries (Figure 13).
+pub fn a_series() -> Vec<TestQuery> {
+    let label = bio2rdf::LABEL;
+    let symbol = bio2rdf::SYMBOL;
+    let synonym = bio2rdf::SYNONYM;
+    let xgo = bio2rdf::X_GO;
+    let go_label = bio2rdf::GO_LABEL;
+    let ref_db = bio2rdf::REF_DB;
+    let ref_id = bio2rdf::REF_ID;
+    vec![
+        // A1/A2: single star, unbound pattern with partially-bound object.
+        tq(
+            "A1",
+            format!(
+                "SELECT * WHERE {{
+                    ?g {label} ?l . ?g ?u ?x .
+                    FILTER prefix(?x, \"<ref\") .
+                 }}"
+            ),
+        ),
+        tq(
+            "A2",
+            format!(
+                "SELECT * WHERE {{
+                    ?g {symbol} ?s . ?g {xgo} ?go . ?g ?u ?x .
+                    FILTER prefix(?x, \"<go\") .
+                 }}"
+            ),
+        ),
+        // A3/A4: two stars, an unbound pattern in each (one partially
+        // bound).
+        tq(
+            "A3",
+            format!(
+                "SELECT * WHERE {{
+                    ?g {label} ?l . ?g ?u1 ?r .
+                    ?r {ref_db} ?db . ?r ?u2 ?z .
+                    FILTER contains(?z, \"pubmed\") .
+                 }}"
+            ),
+        ),
+        tq(
+            "A4",
+            format!(
+                "SELECT * WHERE {{
+                    ?g {label} ?l . ?g {synonym} ?syn . ?g ?u1 ?r .
+                    ?r {ref_db} ?db . ?r {ref_id} ?id . ?r ?u2 ?z .
+                    FILTER contains(?z, \"pubmed\") .
+                 }}"
+            ),
+        ),
+        // A5: two unbound patterns — one matching a gene word, the other
+        // connecting to a single-edge star retrieving labels.
+        tq(
+            "A5",
+            format!(
+                "SELECT * WHERE {{
+                    ?g ?u1 ?n . ?g ?u2 ?go .
+                    ?go {go_label} ?gl .
+                    FILTER contains(?n, \"nur77\") .
+                 }}"
+            ),
+        ),
+        // A6: unbound pattern partially bound to "hexokinase", two stars.
+        tq(
+            "A6",
+            format!(
+                "SELECT * WHERE {{
+                    ?g {symbol} ?s . ?g {xgo} ?go . ?g ?u ?x .
+                    ?go {go_label} ?gl .
+                    FILTER contains(?x, \"hexokinase\") .
+                 }}"
+            ),
+        ),
+    ]
+}
+
+// ---------------------------------------------------------------------------
+// C-series (DBpedia / BTC-like)
+// ---------------------------------------------------------------------------
+
+/// C1–C4: exploration queries over the open infobox property space
+/// (Figure 14).
+pub fn c_series() -> Vec<TestQuery> {
+    let ty = dbpedia::TYPE;
+    let label = dbpedia::LABEL;
+    let scientist = dbpedia::CLASS_SCIENTIST;
+    let city = dbpedia::CLASS_CITY;
+    vec![
+        // C1: everything about scientists (selective class + unbound).
+        tq("C1", format!("SELECT * WHERE {{ ?s {ty} {scientist} . ?s ?p ?o . }}")),
+        // C2: everything about one entity (constant subject).
+        tq("C2", "SELECT * WHERE { <entity3> ?p ?o . }".to_string()),
+        // C3: unknown relationship between scientists and cities.
+        tq(
+            "C3",
+            format!(
+                "SELECT * WHERE {{
+                    ?a {ty} {scientist} . ?a ?p ?c .
+                    ?c {ty} {city} . ?c {label} ?l .
+                 }}"
+            ),
+        ),
+        // C4: unknown relationships on both sides.
+        tq(
+            "C4",
+            format!(
+                "SELECT * WHERE {{
+                    ?a {ty} {scientist} . ?a ?p1 ?c .
+                    ?c {ty} {city} . ?c ?p2 ?o .
+                 }}"
+            ),
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_queries_parse_and_are_supported_by_planners() {
+        let mut all = case_study();
+        all.extend(b_series());
+        all.extend(a_series());
+        all.extend(c_series());
+        for k in 3..=6 {
+            all.push(b1_varying_bound(k));
+        }
+        assert_eq!(all.len(), 6 + 7 + 6 + 4 + 4);
+        for q in &all {
+            q.query.validate().unwrap_or_else(|e| panic!("{}: {e}", q.id));
+            mr_rdf::check_query(&q.query).unwrap_or_else(|e| panic!("{}: {e}", q.id));
+        }
+    }
+
+    #[test]
+    fn unbound_pattern_counts_match_paper() {
+        let b: std::collections::HashMap<String, usize> =
+            b_series().iter().map(|q| (q.id.clone(), q.query.unbound_pattern_count())).collect();
+        assert_eq!(b["B0"], 0);
+        assert_eq!(b["B1"], 1);
+        assert_eq!(b["B2"], 1);
+        assert_eq!(b["B3"], 2);
+        assert_eq!(b["B4"], 1);
+        assert_eq!(b["B6"], 2);
+        let a: std::collections::HashMap<String, usize> =
+            a_series().iter().map(|q| (q.id.clone(), q.query.unbound_pattern_count())).collect();
+        assert_eq!(a["A1"], 1);
+        assert_eq!(a["A3"], 2);
+        assert_eq!(a["A5"], 2);
+        let c: std::collections::HashMap<String, usize> =
+            c_series().iter().map(|q| (q.id.clone(), q.query.unbound_pattern_count())).collect();
+        assert_eq!(c["C4"], 2);
+    }
+
+    #[test]
+    fn case_study_join_kinds() {
+        use rdf_query::JoinKind;
+        let qs = case_study();
+        for q in &qs {
+            let edges = q.query.join_edges();
+            assert_eq!(edges.len(), 1, "{}", q.id);
+            let expect_oo = q.id.starts_with("Q3");
+            let is_oo = edges[0].kind == JoinKind::ObjectObject;
+            assert_eq!(is_oo, expect_oo, "{}", q.id);
+        }
+    }
+
+    #[test]
+    fn b4_unbound_object_is_not_the_join_var() {
+        let b4 = b_series().into_iter().find(|q| q.id == "B4").unwrap();
+        let join_vars: Vec<String> =
+            b4.query.join_edges().iter().map(|e| e.var.clone()).collect();
+        assert!(!join_vars.contains(&"any".to_string()));
+    }
+
+    #[test]
+    fn b1_bound_arity_varies() {
+        for k in 3..=6 {
+            let q = b1_varying_bound(k);
+            // k bound + productFeature + unbound = k+2 patterns in star 1.
+            assert_eq!(q.query.stars[0].arity(), k + 2, "{}", q.id);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "3..=6")]
+    fn b1_rejects_out_of_range() {
+        b1_varying_bound(7);
+    }
+}

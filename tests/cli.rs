@@ -1,0 +1,180 @@
+//! End-to-end tests of the `ntga-cli` binary: generate → stats → explain →
+//! query → compare, through real files and real process invocations.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_ntga-cli"))
+}
+
+fn tempdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ntga-cli-test-{name}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+fn run_ok(cmd: &mut Command) -> Output {
+    let out = cmd.output().expect("spawn ntga-cli");
+    assert!(
+        out.status.success(),
+        "command failed\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    out
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).to_string()
+}
+
+#[test]
+fn generate_stats_query_compare_pipeline() {
+    let dir = tempdir("pipeline");
+    let data = dir.join("d.nt");
+    let query = dir.join("q.rq");
+
+    // generate
+    let out = run_ok(cli().args([
+        "generate",
+        "--dataset",
+        "bio2rdf",
+        "--scale",
+        "40",
+        "--out",
+        data.to_str().unwrap(),
+        "--seed",
+        "9",
+    ]));
+    assert!(stdout(&out).contains("wrote"));
+    assert!(data.exists());
+
+    // stats
+    let out = run_ok(cli().args(["stats", "--data", data.to_str().unwrap()]));
+    let text = stdout(&out);
+    assert!(text.contains("triples:"));
+    assert!(text.contains("multi-valued props:"));
+
+    // query file
+    std::fs::write(
+        &query,
+        "SELECT * WHERE { ?g <rdfs:label> ?l . ?g ?p ?go . ?go <go:label> ?gl . }",
+    )
+    .unwrap();
+
+    // explain
+    let out = run_ok(cli().args(["explain", "--query", query.to_str().unwrap()]));
+    let text = stdout(&out);
+    assert!(text.contains("MR1:"), "{text}");
+    assert!(text.contains("TG_UnbGrpFilter"), "{text}");
+
+    // query (lazy)
+    let out = run_ok(cli().args([
+        "query",
+        "--data",
+        data.to_str().unwrap(),
+        "--query",
+        query.to_str().unwrap(),
+        "--approach",
+        "lazy",
+        "--limit",
+        "2",
+    ]));
+    let text = stdout(&out);
+    assert!(text.contains("solution(s)"), "{text}");
+    assert!(text.contains("MR cycles:          2"), "{text}");
+
+    // compare: all approaches agree
+    let out = run_ok(cli().args([
+        "compare",
+        "--data",
+        data.to_str().unwrap(),
+        "--query",
+        query.to_str().unwrap(),
+    ]));
+    let text = stdout(&out);
+    assert!(text.contains("all completed approaches agree"), "{text}");
+    assert!(text.contains("Pig"));
+    assert!(text.contains("LazyUnnest-auto1024"));
+
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn constrained_disk_reports_failure() {
+    let dir = tempdir("diskfail");
+    let data = dir.join("d.nt");
+    let query = dir.join("q.rq");
+    run_ok(cli().args([
+        "generate",
+        "--dataset",
+        "bsbm",
+        "--scale",
+        "60",
+        "--out",
+        data.to_str().unwrap(),
+    ]));
+    std::fs::write(
+        &query,
+        "SELECT * WHERE { ?p <rdfs:label> ?l . ?p ?u ?x . ?x <rdfs:label> ?l2 . }",
+    )
+    .unwrap();
+    let out = run_ok(cli().args([
+        "query",
+        "--data",
+        data.to_str().unwrap(),
+        "--query",
+        query.to_str().unwrap(),
+        "--approach",
+        "hive",
+        "--replication",
+        "2",
+        "--disk-factor",
+        "1.3",
+    ]));
+    let text = stdout(&out);
+    assert!(text.contains("FAILED"), "{text}");
+    assert!(text.contains("full"), "{text}");
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn bad_usage_fails_cleanly() {
+    let out = cli().args(["query", "--data"]).output().expect("spawn");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("needs a value"));
+
+    let out = cli().args(["frobnicate"]).output().expect("spawn");
+    assert!(!out.status.success());
+
+    let out = cli().output().expect("spawn");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("USAGE"));
+}
+
+#[test]
+fn unknown_approach_is_an_error() {
+    let dir = tempdir("badapproach");
+    let data = dir.join("d.nt");
+    let query = dir.join("q.rq");
+    run_ok(cli().args([
+        "generate", "--dataset", "bsbm", "--scale", "5", "--out", data.to_str().unwrap(),
+    ]));
+    std::fs::write(&query, "SELECT * WHERE { ?s <rdfs:label> ?l . }").unwrap();
+    let out = cli()
+        .args([
+            "query",
+            "--data",
+            data.to_str().unwrap(),
+            "--query",
+            query.to_str().unwrap(),
+            "--approach",
+            "magic",
+        ])
+        .output()
+        .expect("spawn");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown approach"));
+    std::fs::remove_dir_all(dir).ok();
+}
