@@ -26,11 +26,12 @@ fn main() {
         store.len(),
         report::human_bytes(store.text_bytes()),
     );
-    let queries: Vec<(String, rdf_query::Query)> =
-        (3..=6).map(|k| {
+    let queries: Vec<(String, rdf_query::Query)> = (3..=6)
+        .map(|k| {
             let t = ntga::testbed::b1_varying_bound(k);
             (t.id, t.query)
-        }).collect();
+        })
+        .collect();
     let rows = run_panel(&cluster, &store, &queries, &Runner::paper_panel(1024));
     report::print_table(
         "Figure 10: total HDFS writes, varying bound-property count",
@@ -51,7 +52,5 @@ fn main() {
         );
     }
     let growth = *lazy_writes.last().unwrap() as f64 / lazy_writes[0] as f64;
-    println!(
-        "LazyUnnest write growth from 3 to 6 bound patterns: {growth:.2}x (paper: ~constant)"
-    );
+    println!("LazyUnnest write growth from 3 to 6 bound patterns: {growth:.2}x (paper: ~constant)");
 }

@@ -39,8 +39,8 @@ fn main() {
          paper shape: partial unnest wins for unbound objects (B1); full is sufficient for partially-bound objects (B2, B3)\n"
     );
     println!(
-        "{:<6} {:<22} {:>12} {:>12} {:>10}",
-        "query", "strategy", "map-out", "shuffle", "last(s)"
+        "{:<6} {:<22} {:>12} {:>12} {:>12} {:>6} {:>10}",
+        "query", "strategy", "map-out", "shuffle", "max-part", "skew", "last(s)"
     );
     for (qid, query) in &queries {
         for (label, strategy) in [
@@ -53,14 +53,16 @@ fn main() {
             let run = runner.run(&cluster, &store, query, &format!("{qid}-{label}"));
             let last = run.stats.jobs.last().expect("join cycle");
             println!(
-                "{:<6} {:<22} {:>12} {:>12} {:>10.1}",
+                "{:<6} {:<22} {:>12} {:>12} {:>12} {:>6.2} {:>10.1}",
                 qid,
                 label,
                 report::human_bytes(last.map_output_bytes),
                 report::human_bytes(last.shuffle_bytes()),
+                report::human_bytes(last.max_partition_shuffle_bytes()),
+                last.reduce_skew(),
                 last.sim_seconds,
             );
         }
-        println!("{}", "-".repeat(70));
+        println!("{}", "-".repeat(90));
     }
 }

@@ -17,8 +17,8 @@ fn main() {
         max_features_per_product: 16,
         ..Default::default()
     });
-    let mut cluster = ntga::ClusterConfig { replication: 2, ..Default::default() }
-        .tight_disk(&store, 20.0);
+    let mut cluster =
+        ntga::ClusterConfig { replication: 2, ..Default::default() }.tight_disk(&store, 20.0);
     cluster.cost = mrsim::CostModel::scaled_to(store.text_bytes());
     println!(
         "dataset: BSBM-1M analog, {} triples ({}); replication 2, disk budget {}",
@@ -26,10 +26,8 @@ fn main() {
         report::human_bytes(store.text_bytes()),
         report::human_bytes(cluster.disk_per_node * u64::from(cluster.nodes)),
     );
-    let queries: Vec<(String, rdf_query::Query)> = ntga::testbed::b_series()
-        .into_iter()
-        .map(|t| (t.id, t.query))
-        .collect();
+    let queries: Vec<(String, rdf_query::Query)> =
+        ntga::testbed::b_series().into_iter().map(|t| (t.id, t.query)).collect();
     let rows = run_panel(&cluster, &store, &queries, &Runner::paper_panel(1024));
     report::print_table(
         "Figure 12: BSBM-1M analog, replication 2 — B0-B6",
@@ -37,8 +35,7 @@ fn main() {
         &rows,
     );
     let b1_hive = rows.iter().find(|r| r.query == "B1" && r.approach == "Hive").unwrap();
-    let b1_lazy =
-        rows.iter().find(|r| r.query == "B1" && r.approach.contains("Lazy")).unwrap();
+    let b1_lazy = rows.iter().find(|r| r.query == "B1" && r.approach.contains("Lazy")).unwrap();
     if b1_hive.ok {
         println!(
             "B1: LazyUnnest intermediate writes {:.0}% less than Hive (paper: ~80%)",

@@ -26,18 +26,15 @@ fn main() {
         "dataset: Bio2RDF-like, {} triples ({}); max xRef multiplicity {}",
         store.len(),
         report::human_bytes(store.text_bytes()),
-        stats.per_property[&rdf_model::atom::atom(datagen::vocab::bio2rdf::X_REF)]
-            .max_multiplicity,
+        stats.per_property[&rdf_model::atom::atom(datagen::vocab::bio2rdf::X_REF)].max_multiplicity,
     );
     // 80-node cluster with enough disk for the lazily-unnested plans but
     // not for runaway relational intermediates.
     let mut cluster = ntga::ClusterConfig { nodes: 80, replication: 2, ..Default::default() }
         .tight_disk(&store, 12.7);
     cluster.cost = mrsim::CostModel::scaled_to(store.text_bytes());
-    let queries: Vec<(String, rdf_query::Query)> = ntga::testbed::a_series()
-        .into_iter()
-        .map(|t| (t.id, t.query))
-        .collect();
+    let queries: Vec<(String, rdf_query::Query)> =
+        ntga::testbed::a_series().into_iter().map(|t| (t.id, t.query)).collect();
     let rows = run_panel(&cluster, &store, &queries, &Runner::paper_panel(1024));
     report::print_table(
         "Figure 13: Bio2RDF A1-A6",
@@ -46,8 +43,7 @@ fn main() {
     );
     for q in ["A1", "A3", "A4"] {
         let hive = rows.iter().find(|r| r.query == q && r.approach == "Hive").unwrap();
-        let eager =
-            rows.iter().find(|r| r.query == q && r.approach == "EagerUnnest").unwrap();
+        let eager = rows.iter().find(|r| r.query == q && r.approach == "EagerUnnest").unwrap();
         let lazy = rows.iter().find(|r| r.query == q && r.approach.contains("Lazy")).unwrap();
         println!(
             "{q}: writes Hive={} Eager={} Lazy={}  (lazy {:.0}% less than Hive)",

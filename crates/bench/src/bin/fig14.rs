@@ -22,10 +22,8 @@ fn run_dataset(name: &str, store: &rdf_model::TripleStore, nodes: u32, note: &st
     );
     let mut cluster = ntga::ClusterConfig { nodes, replication: 2, ..Default::default() };
     cluster.cost = mrsim::CostModel::scaled_to(store.text_bytes());
-    let queries: Vec<(String, rdf_query::Query)> = ntga::testbed::c_series()
-        .into_iter()
-        .map(|t| (t.id, t.query))
-        .collect();
+    let queries: Vec<(String, rdf_query::Query)> =
+        ntga::testbed::c_series().into_iter().map(|t| (t.id, t.query)).collect();
     let rows = run_panel(&cluster, store, &queries, &Runner::paper_panel(1024));
     report::print_table(&format!("Figure 14 ({name}): C1-C4"), note, &rows);
     for q in ["C3", "C4"] {
@@ -44,18 +42,15 @@ fn run_dataset(name: &str, store: &rdf_model::TripleStore, nodes: u32, note: &st
 
 fn main() {
     let scale = Scale::from_env();
-    let dbp = datagen::dbpedia::generate(&datagen::DbpediaConfig::with_entities(
-        scale.entities(250),
-    ));
+    let dbp =
+        datagen::dbpedia::generate(&datagen::DbpediaConfig::with_entities(scale.entities(250)));
     run_dataset(
         "DBInfobox-like",
         &dbp,
         5,
         "paper shape: little NTGA benefit on C1/C2 (small data); 20-50% gains and ~80% fewer writes on C3/C4",
     );
-    let btc = datagen::dbpedia::generate(&datagen::DbpediaConfig::btc_like(
-        scale.entities(500),
-    ));
+    let btc = datagen::dbpedia::generate(&datagen::DbpediaConfig::btc_like(scale.entities(500)));
     run_dataset(
         "BTC-09-like",
         &btc,

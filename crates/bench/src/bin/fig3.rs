@@ -12,18 +12,14 @@ use relbase::Grouping;
 
 fn main() {
     let scale = Scale::from_env();
-    let store = datagen::bsbm::generate(&datagen::BsbmConfig::with_products(
-        scale.entities(120),
-    ));
+    let store = datagen::bsbm::generate(&datagen::BsbmConfig::with_products(scale.entities(120)));
     println!(
         "dataset: BSBM-like, {} triples ({})",
         store.len(),
         report::human_bytes(store.text_bytes())
     );
-    let queries: Vec<(String, rdf_query::Query)> = ntga::testbed::case_study()
-        .into_iter()
-        .map(|t| (t.id, t.query))
-        .collect();
+    let queries: Vec<(String, rdf_query::Query)> =
+        ntga::testbed::case_study().into_iter().map(|t| (t.id, t.query)).collect();
     let runners = vec![
         Runner::Grouping(Grouping::SjPerCycle),
         Runner::Grouping(Grouping::SelSjFirst),
@@ -45,10 +41,7 @@ fn main() {
         let get = |a: &str| rows.iter().find(|r| r.query == q && r.approach == a).unwrap();
         let sj = get("SJ-per-cycle");
         let sel = get("Sel-SJ-first");
-        let ntga = rows
-            .iter()
-            .find(|r| r.query == q && r.approach.contains("Lazy"))
-            .unwrap();
+        let ntga = rows.iter().find(|r| r.query == q && r.approach.contains("Lazy")).unwrap();
         println!(
             "{q}: MR/FS  SJ-per-cycle={}/{}  Sel-SJ-first={}/{}  NTGA={}/{}   NTGA reads {:.0}% less than SJ-per-cycle",
             sj.mr_cycles, sj.full_scans, sel.mr_cycles, sel.full_scans,

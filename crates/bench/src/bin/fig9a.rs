@@ -19,8 +19,8 @@ fn main() {
     // at replication 2 — single-digit headroom over the replicated input.
     // 6.5× reproduces the failure pattern: every approach whose
     // intermediates carry unbound-match redundancy dies.
-    let mut cluster = ntga::ClusterConfig { replication: 2, ..Default::default() }
-        .tight_disk(&store, 6.5);
+    let mut cluster =
+        ntga::ClusterConfig { replication: 2, ..Default::default() }.tight_disk(&store, 6.5);
     cluster.cost = mrsim::CostModel::scaled_to(store.text_bytes());
     println!(
         "dataset: BSBM-2M analog, {} triples ({}); disk budget {} (replication 2)",
@@ -39,11 +39,8 @@ fn main() {
         "paper shape: Pig/Hive fail the unbound queries; EagerUnnest fails B3,B4; LazyUnnest completes all\n(deviation: our B0/B2 relational footprints are milder than BSBM's, so they fit; see EXPERIMENTS.md)",
         &rows,
     );
-    let failures: Vec<String> = rows
-        .iter()
-        .filter(|r| !r.ok)
-        .map(|r| format!("{}/{}", r.query, r.approach))
-        .collect();
+    let failures: Vec<String> =
+        rows.iter().filter(|r| !r.ok).map(|r| format!("{}/{}", r.query, r.approach)).collect();
     println!("failed executions: {}", failures.join(", "));
     let lazy_ok = rows.iter().filter(|r| r.approach.contains("Lazy")).all(|r| r.ok);
     println!("LazyUnnest completed all queries: {lazy_ok}");

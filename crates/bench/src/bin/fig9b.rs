@@ -20,8 +20,8 @@ fn main() {
     // Replication 1: disk is still the paper's 1.2 TB total, which the
     // relational B3/B4 intermediate explosions exceed anyway. 25×
     // headroom: enough for everything except those explosions.
-    let mut cluster = ntga::ClusterConfig { replication: 1, ..Default::default() }
-        .tight_disk(&store, 25.0);
+    let mut cluster =
+        ntga::ClusterConfig { replication: 1, ..Default::default() }.tight_disk(&store, 25.0);
     cluster.cost = mrsim::CostModel::scaled_to(store.text_bytes());
     println!(
         "dataset: BSBM-2M analog, {} triples ({}); replication 1",
@@ -41,8 +41,7 @@ fn main() {
     );
     for q in ["B1", "B3", "B4"] {
         let lazy = rows.iter().find(|r| r.query == q && r.approach.contains("Lazy")).unwrap();
-        let eager =
-            rows.iter().find(|r| r.query == q && r.approach == "EagerUnnest").unwrap();
+        let eager = rows.iter().find(|r| r.query == q && r.approach == "EagerUnnest").unwrap();
         if eager.ok && lazy.ok {
             println!(
                 "{q}: LazyUnnest writes {:.0}% less HDFS than EagerUnnest (paper: 80% on B3, 61% on B4), sim time {:.0}s vs {:.0}s",

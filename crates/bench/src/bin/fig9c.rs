@@ -17,19 +17,20 @@ fn main() {
     });
     // Moderate disk pressure: relational intermediates for wide unbound
     // stars blow past it, lazy stays inside.
-    let mut cluster = ntga::ClusterConfig { replication: 1, ..Default::default() }
-        .tight_disk(&store, 36.0);
+    let mut cluster =
+        ntga::ClusterConfig { replication: 1, ..Default::default() }.tight_disk(&store, 36.0);
     cluster.cost = mrsim::CostModel::scaled_to(store.text_bytes());
     println!(
         "dataset: BSBM-2M analog, {} triples ({})",
         store.len(),
         report::human_bytes(store.text_bytes()),
     );
-    let queries: Vec<(String, rdf_query::Query)> =
-        (3..=6).map(|k| {
+    let queries: Vec<(String, rdf_query::Query)> = (3..=6)
+        .map(|k| {
             let t = ntga::testbed::b1_varying_bound(k);
             (t.id, t.query)
-        }).collect();
+        })
+        .collect();
     let rows = run_panel(&cluster, &store, &queries, &Runner::paper_panel(1024));
     report::print_table(
         "Figure 9(c): execution times, varying bound-property count",

@@ -156,8 +156,7 @@ mod tests {
         assert_eq!(rows.len(), 4);
         assert!(rows.iter().all(|r| r.ok));
         // NTGA rows should show fewer cycles than relational rows.
-        let ntga_cycles =
-            rows.iter().find(|r| r.approach.contains("Lazy")).unwrap().mr_cycles;
+        let ntga_cycles = rows.iter().find(|r| r.approach.contains("Lazy")).unwrap().mr_cycles;
         let hive_cycles = rows.iter().find(|r| r.approach == "Hive").unwrap().mr_cycles;
         assert!(ntga_cycles < hive_cycles);
     }

@@ -24,6 +24,9 @@ pub struct Row {
     pub shuffle_bytes: u64,
     /// Simulated seconds.
     pub sim_seconds: f64,
+    /// Worst reduce skew over the workflow's jobs (heaviest partition ÷
+    /// mean partition load; 1.0 = perfectly balanced shuffles).
+    pub reduce_skew: f64,
     /// Completed without failure.
     pub ok: bool,
 }
@@ -41,6 +44,7 @@ impl Row {
             intermediate_write_bytes: run.stats.intermediate_write_bytes(),
             shuffle_bytes: run.stats.total_shuffle_bytes(),
             sim_seconds: run.stats.sim_seconds,
+            reduce_skew: run.stats.max_reduce_skew(),
             ok: run.succeeded(),
         }
     }
@@ -69,17 +73,17 @@ pub fn print_table(title: &str, note: &str, rows: &[Row]) {
         println!("{note}");
     }
     println!(
-        "{:<10} {:<26} {:>3} {:>3} {:>12} {:>12} {:>12} {:>12} {:>10}  status",
-        "query", "approach", "MR", "FS", "read", "write", "interm.w", "shuffle", "sim(s)"
+        "{:<10} {:<26} {:>3} {:>3} {:>12} {:>12} {:>12} {:>12} {:>10} {:>6}  status",
+        "query", "approach", "MR", "FS", "read", "write", "interm.w", "shuffle", "sim(s)", "skew"
     );
     let mut last_query = String::new();
     for r in rows {
         if r.query != last_query && !last_query.is_empty() {
-            println!("{}", "-".repeat(110));
+            println!("{}", "-".repeat(117));
         }
         last_query = r.query.clone();
         println!(
-            "{:<10} {:<26} {:>3} {:>3} {:>12} {:>12} {:>12} {:>12} {:>10.1}  {}",
+            "{:<10} {:<26} {:>3} {:>3} {:>12} {:>12} {:>12} {:>12} {:>10.1} {:>6.2}  {}",
             r.query,
             r.approach,
             r.mr_cycles,
@@ -89,6 +93,7 @@ pub fn print_table(title: &str, note: &str, rows: &[Row]) {
             human_bytes(r.intermediate_write_bytes),
             human_bytes(r.shuffle_bytes),
             r.sim_seconds,
+            r.reduce_skew,
             if r.ok { "OK" } else { "FAILED (X)" },
         );
     }

@@ -57,9 +57,7 @@ fn fig10_shows_flat_ntga_writes() {
     let reductions: Vec<f64> = text
         .lines()
         .filter(|l| l.contains("less than Hive ("))
-        .filter_map(|l| {
-            l.split("writes ").nth(1)?.split('%').next()?.trim().parse().ok()
-        })
+        .filter_map(|l| l.split("writes ").nth(1)?.split('%').next()?.trim().parse().ok())
         .collect();
     assert_eq!(reductions.len(), 4, "{text}");
     for r in reductions {

@@ -16,7 +16,9 @@
 //! shuffle.
 
 use crate::tg::TgTuple;
-use mrsim::{combine_fn, map_fn, reduce_fn, InputBinding, JobSpec, TypedMapEmitter, TypedOutEmitter};
+use mrsim::{
+    combine_fn, map_fn, reduce_fn, InputBinding, JobSpec, TypedMapEmitter, TypedOutEmitter,
+};
 use std::collections::BTreeMap;
 
 /// Bag-semantics solution count of a joined triplegroup relation, computed
@@ -26,10 +28,7 @@ use std::collections::BTreeMap;
 /// equals the number of flat rows a relational plan would have
 /// materialized.
 pub fn solution_count_fast(tuples: &[TgTuple]) -> u64 {
-    tuples
-        .iter()
-        .map(|t| t.0.iter().map(|tg| tg.combination_count()).product::<u64>())
-        .sum()
+    tuples.iter().map(|t| t.0.iter().map(|tg| tg.combination_count()).product::<u64>()).sum()
 }
 
 /// Per-group bag counts, grouped by the subject of tuple component
@@ -66,15 +65,15 @@ pub fn count_job(
         out.emit(&tg.subject.clone(), &combos);
         Ok(())
     });
-    let combiner = combine_fn(|key: String, counts: Vec<u64>, out: &mut TypedMapEmitter<'_, String, u64>| {
-        out.emit(&key, &counts.iter().sum());
-        Ok(())
-    });
-    let reducer = reduce_fn(
-        |key: String, counts: Vec<u64>, out: &mut TypedOutEmitter<'_, (String, u64)>| {
+    let combiner =
+        combine_fn(|key: String, counts: Vec<u64>, out: &mut TypedMapEmitter<'_, String, u64>| {
+            out.emit(&key, &counts.iter().sum());
+            Ok(())
+        });
+    let reducer =
+        reduce_fn(|key: String, counts: Vec<u64>, out: &mut TypedOutEmitter<'_, (String, u64)>| {
             out.emit(&(key, counts.iter().sum()))
-        },
-    );
+        });
     JobSpec::map_reduce(
         name,
         vec![InputBinding { file: input.to_string(), mapper }],
@@ -89,8 +88,8 @@ pub fn count_job(
 mod tests {
     use super::*;
     use crate::planner::{execute, Strategy};
-    use mrsim::Engine;
     use mr_rdf::load_store;
+    use mrsim::Engine;
     use rdf_model::{STriple, TripleStore};
     use rdf_query::parse_query;
 
@@ -111,12 +110,8 @@ mod tests {
     fn final_tuples(engine: &Engine, label: &str) -> Vec<TgTuple> {
         // The planner keeps the final join output; find it.
         let names = engine.hdfs().lock().file_names();
-        let final_name = names
-            .iter()
-            .filter(|n| n.contains(label))
-            .max()
-            .expect("final output")
-            .clone();
+        let final_name =
+            names.iter().filter(|n| n.contains(label)).max().expect("final output").clone();
         engine.read_records(&final_name).unwrap()
     }
 
@@ -189,8 +184,9 @@ mod tests {
         // fewer bytes than materializing the flat result would. Use a
         // B4-shaped query whose unbound pattern is OUTSIDE the join, so
         // its candidates stay nested in the final output.
-        let (_, tuples, query, _) =
-            run_lazy("SELECT * WHERE { ?g <label> ?l . ?g <xGO> ?go . ?g ?p ?any . ?go <gl> ?x . }");
+        let (_, tuples, query, _) = run_lazy(
+            "SELECT * WHERE { ?g <label> ?l . ?g <xGO> ?go . ?g ?p ?any . ?go <gl> ?x . }",
+        );
         let nested_bytes: u64 = tuples.iter().map(mrsim::Rec::text_size).sum();
         let mut flat_rows = 0u64;
         for t in &tuples {

@@ -78,8 +78,7 @@ pub fn explain(strategy: Strategy, query: &Query) -> Result<PlanText, PlanError>
         .iter()
         .enumerate()
         .map(|(i, s)| {
-            let bound: Vec<String> =
-                s.bound_properties().iter().map(|p| p.to_string()).collect();
+            let bound: Vec<String> = s.bound_properties().iter().map(|p| p.to_string()).collect();
             let unb = s.unbound_patterns().len();
             format!(
                 "EC{i}=?{}{{{}{}}}",
@@ -131,9 +130,7 @@ pub fn explain(strategy: Strategy, query: &Query) -> Result<PlanText, PlanError>
         } else {
             match strategy {
                 Strategy::Eager => "TG_Join (inputs already β-unnested eagerly)".to_string(),
-                Strategy::LazyFull => {
-                    "TG_UnbJoin (lazy FULL μ^β at this cycle's map)".to_string()
-                }
+                Strategy::LazyFull => "TG_UnbJoin (lazy FULL μ^β at this cycle's map)".to_string(),
                 Strategy::LazyPartial(m) => {
                     format!("TG_OptUnbJoin (lazy PARTIAL μ^β_φ, φ range {m})")
                 }

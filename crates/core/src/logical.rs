@@ -143,11 +143,7 @@ pub fn beta_unnest(tg: &AnnTg) -> Vec<AnnTg> {
 /// triplegroup, so at most `m` triplegroups are produced per input — the
 /// map-output redundancy becomes a function of `m` instead of the
 /// candidate count. Other unbound patterns are left untouched.
-pub fn partial_beta_unnest(
-    tg: &AnnTg,
-    u: usize,
-    phi: impl Fn(&str) -> u64,
-) -> Vec<(u64, AnnTg)> {
+pub fn partial_beta_unnest(tg: &AnnTg, u: usize, phi: impl Fn(&str) -> u64) -> Vec<(u64, AnnTg)> {
     let mut parts: BTreeMap<u64, Vec<(String, String)>> = BTreeMap::new();
     for (p, o) in &tg.unbound[u] {
         parts.entry(phi(o)).or_default().push((p.clone(), o.clone()));
@@ -292,13 +288,12 @@ mod tests {
     #[test]
     fn partial_then_full_unnest_equals_full_unnest() {
         let anns = beta_group_filter(&group_by_subject(&triples()), &unbound_star(), 0);
-        let full: std::collections::BTreeSet<AnnTg> =
-            beta_unnest(&anns[0]).into_iter().collect();
+        let full: std::collections::BTreeSet<AnnTg> = beta_unnest(&anns[0]).into_iter().collect();
         for m in [1u64, 2, 3, 7] {
             let mut via_partial = std::collections::BTreeSet::new();
-            for (_, part) in partial_beta_unnest(&anns[0], 0, |o| {
-                (o.bytes().map(u64::from).sum::<u64>()) % m
-            }) {
+            for (_, part) in
+                partial_beta_unnest(&anns[0], 0, |o| (o.bytes().map(u64::from).sum::<u64>()) % m)
+            {
                 via_partial.extend(beta_unnest(&part));
             }
             assert_eq!(via_partial, full, "m={m}");

@@ -17,8 +17,8 @@
 
 use crate::logical::{match_star, partial_beta_unnest, TripleGroup};
 use crate::tg::{AnnTg, TgTuple};
-use mrsim::{map_fn, reduce_fn, InputBinding, JobSpec, MrError, TypedMapEmitter, TypedOutEmitter};
 use mr_rdf::TripleRec;
+use mrsim::{map_fn, reduce_fn, InputBinding, JobSpec, MrError, TypedMapEmitter, TypedOutEmitter};
 use rdf_model::atom::fnv1a;
 use rdf_query::{Query, StarPattern};
 use std::collections::HashMap;
@@ -50,8 +50,8 @@ pub fn group_filter_job(
 ) -> JobSpec {
     assert_eq!(outputs.len(), query.stars.len(), "one output per star");
     let stars_map = query.stars.clone();
-    let mapper = map_fn(
-        move |rec: TripleRec, out: &mut TypedMapEmitter<'_, String, (String, String)>| {
+    let mapper =
+        map_fn(move |rec: TripleRec, out: &mut TypedMapEmitter<'_, String, (String, String)>| {
             let t = &rec.0;
             // Map-side relevance filter: ship the triple only if it can
             // match some pattern of some star (this is where
@@ -65,11 +65,12 @@ pub fn group_filter_job(
                 out.emit(&t.s.to_string(), &(t.p.to_string(), t.o.to_string()));
             }
             Ok(())
-        },
-    );
+        });
     let stars_red = query.stars.clone();
     let reducer = reduce_fn(
-        move |subject: String, pairs: Vec<(String, String)>, out: &mut TypedOutEmitter<'_, TgTuple>| {
+        move |subject: String,
+              pairs: Vec<(String, String)>,
+              out: &mut TypedOutEmitter<'_, TgTuple>| {
             let tg = TripleGroup { subject, pairs };
             for (i, star) in stars_red.iter().enumerate() {
                 if let Some(ann) = match_star(&tg, star, i as u64) {
@@ -323,8 +324,8 @@ pub fn tg_join_job(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mrsim::Engine;
     use mr_rdf::load_store;
+    use mrsim::Engine;
     use rdf_model::{STriple, TripleStore};
 
     fn store() -> TripleStore {
@@ -340,23 +341,15 @@ mod tests {
     }
 
     fn unbound_query() -> Query {
-        rdf_query::parse_query(
-            "SELECT * WHERE { ?g <label> ?l . ?g ?p ?go . ?go <gl> ?x . }",
-        )
-        .unwrap()
+        rdf_query::parse_query("SELECT * WHERE { ?g <label> ?l . ?g ?p ?go . ?go <gl> ?x . }")
+            .unwrap()
     }
 
     fn run_job1(eager: bool) -> (Engine, Query) {
         let engine = Engine::unbounded();
         load_store(&engine, "t", &store()).unwrap();
         let query = unbound_query();
-        let job = group_filter_job(
-            "job1",
-            &query,
-            "t",
-            vec!["ec0".into(), "ec1".into()],
-            eager,
-        );
+        let job = group_filter_job("job1", &query, "t", vec!["ec0".into(), "ec1".into()], eager);
         engine.run_job(&job).unwrap();
         (engine, query)
     }

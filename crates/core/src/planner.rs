@@ -1,12 +1,10 @@
 //! The NTGA query planner: query → grouping cycle + triplegroup join
 //! cycles, under an unnesting [`Strategy`].
 
-use crate::physical::{
-    group_filter_job, role_of, tg_join_job, JoinRole, JoinSide, UnnestMode,
-};
+use crate::physical::{group_filter_job, role_of, tg_join_job, JoinRole, JoinSide, UnnestMode};
 use crate::tg::TgTuple;
-use mrsim::{Engine, Workflow};
 use mr_rdf::{check_query, PlanError, QueryRun};
+use mrsim::{Engine, Workflow};
 use rdf_query::{Binding, ObjPattern, Query, SolutionSet};
 use std::collections::HashSet;
 
@@ -130,8 +128,7 @@ pub fn execute(
     };
 
     // Job 1: one grouping cycle computes every star subpattern.
-    let ec_files: Vec<String> =
-        (0..query.stars.len()).map(|i| format!("{label}.ec{i}")).collect();
+    let ec_files: Vec<String> = (0..query.stars.len()).map(|i| format!("{label}.ec{i}")).collect();
     let job1 = group_filter_job(
         format!("{label}.group"),
         query,
@@ -208,8 +205,8 @@ pub fn execute(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mrsim::SimHdfs;
     use mr_rdf::load_store;
+    use mrsim::SimHdfs;
     use rdf_model::{STriple, TripleStore};
     use rdf_query::parse_query;
 
@@ -240,8 +237,7 @@ mod tests {
         Strategy::Auto(1024),
     ];
 
-    const UNBOUND_2STAR: &str =
-        "SELECT * WHERE { ?g <label> ?l . ?g ?p ?go . ?go <gl> ?x . }";
+    const UNBOUND_2STAR: &str = "SELECT * WHERE { ?g <label> ?l . ?g ?p ?go . ?go <gl> ?x . }";
 
     #[test]
     fn all_strategies_match_naive() {

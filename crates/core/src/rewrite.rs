@@ -168,10 +168,7 @@ pub fn check_rewrites(star: &StarPattern, store: &TripleStore) -> Result<Solutio
 /// Expansion helper mirroring the naive evaluator's treatment of
 /// solutions (exported for doc completeness; bindings are canonical).
 pub fn binding_of_pairs(pairs: &[(&str, &str)]) -> Binding {
-    pairs
-        .iter()
-        .map(|(k, v)| (k.to_string(), rdf_model::atom::atom(v)))
-        .collect()
+    pairs.iter().map(|(k, v)| (k.to_string(), rdf_model::atom::atom(v))).collect()
 }
 
 #[cfg(test)]
@@ -221,10 +218,7 @@ mod tests {
             ],
         );
         let props = store().properties();
-        assert_eq!(
-            enumerate_combinations(&star, &props).len(),
-            props.len() * props.len()
-        );
+        assert_eq!(enumerate_combinations(&star, &props).len(), props.len() * props.len());
     }
 
     #[test]

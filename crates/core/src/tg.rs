@@ -256,10 +256,8 @@ mod tests {
         let tg = anntg();
         let bindings = tg.expand(&star()).unwrap();
         assert_eq!(bindings.len(), 8);
-        let flat_bytes: u64 = bindings
-            .iter()
-            .map(|b| b.iter().map(|(_, v)| v.len() as u64 + 1).sum::<u64>())
-            .sum();
+        let flat_bytes: u64 =
+            bindings.iter().map(|b| b.iter().map(|(_, v)| v.len() as u64 + 1).sum::<u64>()).sum();
         assert!(tg.text_size() < flat_bytes);
     }
 

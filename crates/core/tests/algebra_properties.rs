@@ -153,6 +153,92 @@ proptest! {
     }
 }
 
+/// The checked-in regression seed from `algebra_properties.proptest-regressions`,
+/// pinned verbatim: the offline proptest stand-in does not replay hashed
+/// `cc` seeds, so every known shrunk failure must also live here as an
+/// explicit unit test.
+///
+/// Shrunk case: empty store + star mixing bound `<p3>` with an unbound
+/// pattern. Nothing matches, so `match_star` must reject every
+/// triplegroup outright and all evaluators must agree on the empty
+/// solution set — without `beta_unnest` ever seeing (or panicking on) an
+/// empty candidate list.
+#[test]
+fn regression_seed_empty_store_bound_p3_with_unbound() {
+    let star = StarPattern::new(
+        "s",
+        vec![
+            TriplePattern::bound("s", "<p3>", ObjPattern::Var("b0".into())),
+            TriplePattern::unbound("s", "u0", ObjPattern::Var("o0".into())),
+        ],
+    );
+    let empty = TripleStore::from_triples(vec![]);
+    assert!(lemma1_holds(&star, &empty));
+    assert_eq!(check_rewrites(&star, &empty).unwrap().len(), 0);
+
+    // The non-matching neighbourhood of the seed: subjects carry triples
+    // (so the unbound pattern has candidates) but never `<p3>`, so the
+    // bound pattern fails and σ^βγ must reject the whole group.
+    let non_matching = TripleStore::from_triples(vec![
+        STriple::new("<s1>", "<p1>", "<o1>"),
+        STriple::new("<s1>", "<p2>", "\"lit1\""),
+        STriple::new("<s2>", "<p4>", "<x9>"),
+    ]);
+    assert!(lemma1_holds(&star, &non_matching));
+    assert_eq!(check_rewrites(&star, &non_matching).unwrap().len(), 0);
+    assert!(beta_group_filter(&group_by_subject(non_matching.triples()), &star, 0).is_empty());
+
+    // One matching subject among decoys: exactly its cross product
+    // survives — <p3> objects × all four pairs of the subject.
+    let mixed = TripleStore::from_triples(vec![
+        STriple::new("<s1>", "<p1>", "<o1>"),
+        STriple::new("<s2>", "<p3>", "<o1>"),
+        STriple::new("<s2>", "<p3>", "<o2>"),
+        STriple::new("<s2>", "<p1>", "\"lit1\""),
+        STriple::new("<s2>", "<p2>", "\"lit2\""),
+        STriple::new("<s3>", "<p4>", "<x9>"),
+    ]);
+    assert!(lemma1_holds(&star, &mixed));
+    // ?b0 ∈ {<o1>, <o2>} × (?u0, ?o0) over all 4 pairs of <s2>.
+    assert_eq!(check_rewrites(&star, &mixed).unwrap().len(), 8);
+}
+
+/// Direct edge-behaviour checks for the seed's code path: `match_star`
+/// must return `None` (not an annotated group with empty lists) when a
+/// bound property is absent, and `beta_unnest` must treat an empty
+/// candidate list as zero perfect triplegroups rather than panicking.
+#[test]
+fn match_star_and_beta_unnest_empty_edges() {
+    use ntga_core::logical::{match_star, TripleGroup};
+
+    let star = StarPattern::new(
+        "s",
+        vec![
+            TriplePattern::bound("s", "<p3>", ObjPattern::Var("b0".into())),
+            TriplePattern::unbound("s", "u0", ObjPattern::Var("o0".into())),
+        ],
+    );
+    let no_p3 = TripleGroup {
+        subject: "<s1>".into(),
+        pairs: vec![("<p1>".into(), "<o1>".into()), ("<p2>".into(), "\"lit1\"".into())],
+    };
+    assert!(match_star(&no_p3, &star, 0).is_none());
+
+    let empty_group = TripleGroup { subject: "<s1>".into(), pairs: vec![] };
+    assert!(match_star(&empty_group, &star, 0).is_none());
+
+    // A hand-built annotated group with an empty candidate list (not
+    // producible via match_star, which rejects such groups) must unnest
+    // to nothing.
+    let degenerate = ntga_core::tg::AnnTg {
+        subject: "<s1>".into(),
+        ec: 0,
+        bound: vec![("<p3>".into(), vec!["<o1>".into()])],
+        unbound: vec![vec![]],
+    };
+    assert!(beta_unnest(&degenerate).is_empty());
+}
+
 #[test]
 fn lemma1_on_generated_bio_data() {
     // Lemma 1 at a realistic scale: the Bio2RDF-like generator with its

@@ -124,7 +124,11 @@ pub fn generate(cfg: &Bio2RdfConfig) -> TripleStore {
         store.insert(STriple::new(&s, v::REF_DB, format!("\"{db}\"")));
         store.insert(STriple::new(&s, v::REF_ID, format!("\"{db}:{r}\"")));
         if r % 4 == 0 {
-            store.insert(STriple::new(&s, v::ARTICLE_TITLE, format!("\"Study {r} of gene function\"")));
+            store.insert(STriple::new(
+                &s,
+                v::ARTICLE_TITLE,
+                format!("\"Study {r} of gene function\""),
+            ));
         }
     }
 
@@ -154,26 +158,17 @@ mod tests {
     #[test]
     fn labels_contain_gene_words() {
         let store = generate(&Bio2RdfConfig::with_genes(100));
-        let hexo = store
-            .iter()
-            .filter(|t| &*t.p == v::LABEL && t.o.contains("hexokinase"))
-            .count();
+        let hexo = store.iter().filter(|t| &*t.p == v::LABEL && t.o.contains("hexokinase")).count();
         assert!(hexo > 0, "no hexokinase labels generated");
     }
 
     #[test]
     fn go_terms_have_labels() {
         let store = generate(&Bio2RdfConfig::with_genes(30));
-        let gos: std::collections::BTreeSet<_> = store
-            .iter()
-            .filter(|t| &*t.p == v::X_GO)
-            .map(|t| t.o.clone())
-            .collect();
-        let labelled: std::collections::BTreeSet<_> = store
-            .iter()
-            .filter(|t| &*t.p == v::GO_LABEL)
-            .map(|t| t.s.clone())
-            .collect();
+        let gos: std::collections::BTreeSet<_> =
+            store.iter().filter(|t| &*t.p == v::X_GO).map(|t| t.o.clone()).collect();
+        let labelled: std::collections::BTreeSet<_> =
+            store.iter().filter(|t| &*t.p == v::GO_LABEL).map(|t| t.s.clone()).collect();
         for g in gos {
             assert!(labelled.contains(&g), "GO {g} has no label");
         }

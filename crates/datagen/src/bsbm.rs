@@ -95,7 +95,11 @@ pub fn generate(cfg: &BsbmConfig) -> TripleStore {
             store.insert(STriple::new(&s, p, format!("\"{}\"", rng.random_range(0..2000))));
         }
         for p in v::TEXTUAL {
-            store.insert(STriple::new(&s, p, format!("\"text value {}\"", rng.random_range(0..500))));
+            store.insert(STriple::new(
+                &s,
+                p,
+                format!("\"text value {}\"", rng.random_range(0..500)),
+            ));
         }
         // Multi-valued productFeature — the redundancy driver.
         let k = sample_multiplicity(

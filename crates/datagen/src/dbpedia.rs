@@ -179,11 +179,8 @@ mod tests {
             .map(|t| t.s.clone())
             .collect();
         assert!(!scientists.is_empty());
-        let with_bp: std::collections::BTreeSet<_> = store
-            .iter()
-            .filter(|t| &*t.p == v::BIRTH_PLACE)
-            .map(|t| t.s.clone())
-            .collect();
+        let with_bp: std::collections::BTreeSet<_> =
+            store.iter().filter(|t| &*t.p == v::BIRTH_PLACE).map(|t| t.s.clone()).collect();
         for s in &scientists {
             assert!(with_bp.contains(s), "scientist {s} lacks birthPlace");
         }

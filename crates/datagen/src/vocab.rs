@@ -21,11 +21,17 @@ pub mod bsbm {
     /// `bsbm:producer` — single-valued product → producer edge (OS joins).
     pub const PRODUCER: &str = "<bsbm:producer>";
     /// `bsbm:productPropertyNumeric1..3` — single-valued numeric props.
-    pub const NUMERIC: [&str; 3] =
-        ["<bsbm:productPropertyNumeric1>", "<bsbm:productPropertyNumeric2>", "<bsbm:productPropertyNumeric3>"];
+    pub const NUMERIC: [&str; 3] = [
+        "<bsbm:productPropertyNumeric1>",
+        "<bsbm:productPropertyNumeric2>",
+        "<bsbm:productPropertyNumeric3>",
+    ];
     /// `bsbm:productPropertyTextual1..3`.
-    pub const TEXTUAL: [&str; 3] =
-        ["<bsbm:productPropertyTextual1>", "<bsbm:productPropertyTextual2>", "<bsbm:productPropertyTextual3>"];
+    pub const TEXTUAL: [&str; 3] = [
+        "<bsbm:productPropertyTextual1>",
+        "<bsbm:productPropertyTextual2>",
+        "<bsbm:productPropertyTextual3>",
+    ];
     /// Producer's country.
     pub const COUNTRY: &str = "<bsbm:country>";
     /// Producer's homepage.
@@ -117,11 +123,8 @@ mod tests {
 
     #[test]
     fn vocab_tokens_are_bracketed() {
-        for t in [
-            super::bsbm::PRODUCT_FEATURE,
-            super::bio2rdf::X_REF,
-            super::dbpedia::BIRTH_PLACE,
-        ] {
+        for t in [super::bsbm::PRODUCT_FEATURE, super::bio2rdf::X_REF, super::dbpedia::BIRTH_PLACE]
+        {
             assert!(t.starts_with('<') && t.ends_with('>'), "{t}");
         }
     }

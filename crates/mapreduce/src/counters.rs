@@ -23,6 +23,10 @@ pub struct JobStats {
     /// Map output text bytes (== shuffle bytes for jobs with a reduce;
     /// after the combiner, if one ran).
     pub map_output_bytes: u64,
+    /// Shuffle bytes routed to each reduce partition (indexed by partition
+    /// number; empty for map-only jobs). Sums to `map_output_bytes` on
+    /// jobs with a reduce phase.
+    pub shuffle_partition_bytes: Vec<u64>,
     /// Number of distinct reduce keys (groups).
     pub reduce_groups: u64,
     /// Records delivered to reducers (equals map output records).
@@ -58,6 +62,29 @@ impl JobStats {
         } else {
             0
         }
+    }
+
+    /// Shuffle bytes routed to the most-loaded reduce partition (0 when
+    /// the job has no reduce phase).
+    pub fn max_partition_shuffle_bytes(&self) -> u64 {
+        if self.reduce_tasks == 0 {
+            return 0;
+        }
+        self.shuffle_partition_bytes.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Reduce skew: the most-loaded partition's shuffle bytes divided by
+    /// the mean per-partition load. `1.0` means perfectly balanced; `r`
+    /// (the reduce-task count) means one partition received everything.
+    /// Returns `1.0` when there was no shuffle at all.
+    pub fn reduce_skew(&self) -> f64 {
+        let total: u64 = self.shuffle_partition_bytes.iter().sum();
+        if self.reduce_tasks == 0 || total == 0 {
+            return 1.0;
+        }
+        let max = self.max_partition_shuffle_bytes() as f64;
+        let mean = total as f64 / self.shuffle_partition_bytes.len() as f64;
+        max / mean
     }
 }
 
@@ -113,6 +140,12 @@ impl WorkflowStats {
     pub fn final_output_records(&self) -> u64 {
         self.jobs.last().map_or(0, |j| j.output_records)
     }
+
+    /// Worst reduce skew over all jobs in the workflow (1.0 when no job
+    /// shuffled anything).
+    pub fn max_reduce_skew(&self) -> f64 {
+        self.jobs.iter().map(JobStats::reduce_skew).fold(1.0, f64::max)
+    }
 }
 
 #[cfg(test)]
@@ -145,6 +178,36 @@ mod tests {
     fn map_only_jobs_do_not_shuffle() {
         let j = job(10, 10, 999, 0);
         assert_eq!(j.shuffle_bytes(), 0);
+    }
+
+    #[test]
+    fn skew_is_max_over_mean() {
+        let mut j = job(0, 0, 90, 3);
+        j.shuffle_partition_bytes = vec![60, 20, 10];
+        // mean = 30, max = 60
+        assert_eq!(j.max_partition_shuffle_bytes(), 60);
+        assert!((j.reduce_skew() - 2.0).abs() < 1e-9);
+
+        let balanced = JobStats {
+            reduce_tasks: 2,
+            shuffle_partition_bytes: vec![40, 40],
+            ..JobStats::default()
+        };
+        assert!((balanced.reduce_skew() - 1.0).abs() < 1e-9);
+
+        // Map-only and empty-shuffle jobs report neutral skew.
+        assert!((job(1, 1, 0, 0).reduce_skew() - 1.0).abs() < 1e-9);
+        assert!((job(1, 1, 0, 4).reduce_skew() - 1.0).abs() < 1e-9);
+        assert_eq!(job(1, 1, 0, 0).max_partition_shuffle_bytes(), 0);
+    }
+
+    #[test]
+    fn workflow_max_reduce_skew() {
+        let mut skewed = job(0, 0, 100, 2);
+        skewed.shuffle_partition_bytes = vec![100, 0];
+        let wf = WorkflowStats { jobs: vec![job(1, 1, 0, 0), skewed], ..WorkflowStats::default() };
+        assert!((wf.max_reduce_skew() - 2.0).abs() < 1e-9);
+        assert!((WorkflowStats::default().max_reduce_skew() - 1.0).abs() < 1e-9);
     }
 
     #[test]

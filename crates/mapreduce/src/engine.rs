@@ -1,24 +1,32 @@
 //! The MapReduce execution engine.
 //!
-//! [`Engine::run_job`] executes one job: parallel map over input splits,
-//! deterministic hash partitioning of the shuffle, per-partition sort,
-//! parallel reduce, and an output write to the simulated HDFS (which may
-//! fail with `DiskFull`). Every phase updates the byte/record counters of
+//! [`Engine::run_job`] executes one job: parallel map over input splits
+//! with map-side shuffle partitioning, per-partition sort, parallel
+//! reduce, and an output write to the simulated HDFS (which may fail with
+//! `DiskFull`). Every phase updates the byte/record counters of
 //! [`JobStats`], and the configured [`CostModel`] converts them into
 //! simulated seconds.
 //!
+//! The shuffle mirrors Hadoop's: each map task spills its output into one
+//! bucket per reduce partition as it emits (FNV-1a on the key bytes — not
+//! Rust's randomly-seeded default hasher), and the driver merely
+//! concatenates per-partition buckets in input order. No single global
+//! pair vector is built and no per-pair work happens on the driver, so
+//! the map→reduce handoff parallelizes with the map tasks.
+//!
 //! Determinism: the same job over the same inputs produces byte-identical
 //! output files and identical counters regardless of worker count. Map
-//! output is concatenated in input order, partitioned with FNV-1a (not
-//! Rust's randomly-seeded default hasher), and each partition is stably
-//! sorted by `(key bytes, value bytes)` before grouping.
+//! output is concatenated in input order, and each reduce partition is
+//! sorted by `(key bytes, value bytes)` before grouping — the sort is an
+//! unstable `sort_unstable_by`, which is observationally deterministic
+//! because equal elements are byte-identical pairs.
 
 use crate::cost::CostModel;
 use crate::counters::JobStats;
-use crate::faults::FaultConfig;
 use crate::error::MrError;
+use crate::faults::FaultConfig;
 use crate::hdfs::{DfsFile, SimHdfs};
-use crate::job::{JobKind, JobSpec, MapEmitter, OutEmitter, RawCombineOp, RawMapOp, RawMapOnlyOp};
+use crate::job::{JobKind, JobSpec, MapEmitter, OutEmitter, RawCombineOp, RawMapOnlyOp, RawMapOp};
 use parking_lot::Mutex;
 use std::sync::Arc;
 
@@ -39,7 +47,14 @@ type RawPair = (Vec<u8>, Vec<u8>);
 
 /// Partition a reduce key to one of `n` reducers (Hadoop's
 /// `hash(key) % numReducers` with a deterministic hash).
+///
+/// Total over all `n`: with one (or zero) partitions every key maps to
+/// partition 0 instead of panicking on `% 0`, so callers may feed it a
+/// partition count straight from a possibly-degenerate job spec.
 pub fn default_partition(key: &[u8], n: usize) -> usize {
+    if n <= 1 {
+        return 0;
+    }
     (fnv1a(key) % n as u64) as usize
 }
 
@@ -144,6 +159,7 @@ impl Engine {
 
     /// Execute one job to completion.
     pub fn run_job(&self, spec: &JobSpec) -> Result<JobStats, MrError> {
+        spec.validate()?;
         let mut stats = JobStats { name: spec.name.clone(), ..JobStats::default() };
         stats.full_input_scan = spec.full_input_scan;
         let replication =
@@ -164,16 +180,10 @@ impl Engine {
                 self.run_map_only(files, mapper.as_ref(), budget, n_outputs, &mut stats)?
             }
             JobKind::MapReduce { inputs, combiner, reducer, reduce_tasks } => {
-                let pairs = self.run_map_phase(inputs, combiner.as_deref(), &mut stats)?;
+                let partitions =
+                    self.run_map_phase(inputs, combiner.as_deref(), *reduce_tasks, &mut stats)?;
                 stats.reduce_tasks = *reduce_tasks as u64;
-                self.run_reduce_phase(
-                    pairs,
-                    reducer.as_ref(),
-                    *reduce_tasks,
-                    budget,
-                    n_outputs,
-                    &mut stats,
-                )?
+                self.run_reduce_phase(partitions, reducer.as_ref(), budget, n_outputs, &mut stats)?
             }
         };
 
@@ -240,7 +250,21 @@ impl Engine {
             Ok(out)
         })?;
         let mut files: Vec<DfsFile> = (0..n_outputs).map(|_| DfsFile::default()).collect();
+        let mut total_text = 0u64;
         for out in results {
+            total_text += out.emitted_text;
+            if let Some(b) = budget {
+                // Each task only bounds its own output against the budget;
+                // re-check the aggregate across tasks here, mirroring
+                // `run_reduce_phase`'s cross-partition early abort.
+                if total_text > b {
+                    return Err(MrError::DiskFull {
+                        file: "<job output>".into(),
+                        needed: total_text,
+                        available: b,
+                    });
+                }
+            }
             for (idx, rec, text) in out.records {
                 files[idx].text_bytes += text;
                 files[idx].records.push(rec);
@@ -253,12 +277,18 @@ impl Engine {
         Ok(files)
     }
 
+    /// Map phase with map-side shuffle partitioning: every map task spills
+    /// into one bucket per reduce partition as it emits, and this driver
+    /// only moves whole buckets — concatenating each partition's buckets
+    /// in deterministic input (task) order, exactly the per-partition
+    /// sequence the old global-vector shuffle produced.
     fn run_map_phase(
         &self,
         inputs: &[crate::job::InputBinding],
         combiner: Option<&dyn RawCombineOp>,
+        reduce_tasks: usize,
         stats: &mut JobStats,
-    ) -> Result<Vec<RawPair>, MrError> {
+    ) -> Result<Vec<Vec<RawPair>>, MrError> {
         // (mapper, chunk) work items, order-preserving.
         let mut work: Vec<(&dyn RawMapOp, &[Vec<u8>])> = Vec::new();
         let mut files = Vec::new();
@@ -274,66 +304,68 @@ impl Engine {
         }
         stats.task_retries += self.resolve_faults(&stats.name, 0, work.len())?;
         let results = self.parallel_over(&work, |(mapper, chunk)| {
-            let mut out = MapEmitter::new();
+            let mut out = MapEmitter::partitioned(reduce_tasks);
             for rec in *chunk {
                 mapper.run(rec, &mut out)?;
             }
-            let pre_combine = out.pairs.len() as u64;
+            let pre_combine = out.len() as u64;
             if let Some(c) = combiner {
                 out = Self::run_combiner(c, out)?;
             }
             Ok((out, pre_combine))
         })?;
-        let mut pairs = Vec::new();
+        let mut partitions: Vec<Vec<RawPair>> = vec![Vec::new(); reduce_tasks];
+        stats.shuffle_partition_bytes = vec![0; reduce_tasks];
         for (out, pre_combine) in results {
             stats.pre_combine_records += pre_combine;
-            for (k, v, text) in out.pairs {
-                stats.map_output_records += 1;
-                stats.map_output_bytes += text;
-                pairs.push((k, v));
+            for (p, bucket) in out.buckets.into_iter().enumerate() {
+                for (k, v, text) in bucket {
+                    stats.map_output_records += 1;
+                    stats.map_output_bytes += text;
+                    stats.shuffle_partition_bytes[p] += text;
+                    partitions[p].push((k, v));
+                }
             }
         }
-        Ok(pairs)
+        Ok(partitions)
     }
 
-    /// Run the combiner over one map task's buffered output: sort by key,
-    /// group, feed each group to the combiner (exactly Hadoop's in-memory
-    /// combine before spill).
+    /// Run the combiner over one map task's buffered output: sort and
+    /// group each spill bucket, feed every group to the combiner (exactly
+    /// Hadoop's in-memory combine before spill). Keys and values are
+    /// borrowed from the bucket — no per-group clones. Combiner output is
+    /// re-partitioned by its (possibly rewritten) keys.
     fn run_combiner(combiner: &dyn RawCombineOp, out: MapEmitter) -> Result<MapEmitter, MrError> {
-        let mut pairs = out.pairs;
-        pairs.sort_unstable_by(|a, b| (&a.0, &a.1).cmp(&(&b.0, &b.1)));
-        let mut combined = MapEmitter::new();
-        let mut i = 0;
-        while i < pairs.len() {
-            let key = pairs[i].0.clone();
-            let mut j = i;
-            while j < pairs.len() && pairs[j].0 == key {
-                j += 1;
+        let mut combined = MapEmitter::partitioned(out.buckets.len());
+        for mut pairs in out.buckets {
+            pairs.sort_unstable_by(|a, b| (&a.0, &a.1).cmp(&(&b.0, &b.1)));
+            let mut i = 0;
+            while i < pairs.len() {
+                let key = &pairs[i].0;
+                let mut j = i;
+                while j < pairs.len() && pairs[j].0 == *key {
+                    j += 1;
+                }
+                let values: Vec<&[u8]> = pairs[i..j].iter().map(|(_, v, _)| v.as_slice()).collect();
+                combiner.run(key, &values, &mut combined)?;
+                i = j;
             }
-            let values: Vec<Vec<u8>> = pairs[i..j].iter().map(|(_, v, _)| v.clone()).collect();
-            combiner.run(&key, &values, &mut combined)?;
-            i = j;
         }
         Ok(combined)
     }
 
+    /// Reduce phase over pre-partitioned shuffle data: each partition
+    /// sorts and groups borrowed slices and streams groups to the reducer.
     fn run_reduce_phase(
         &self,
-        pairs: Vec<RawPair>,
+        partitions: Vec<Vec<RawPair>>,
         reducer: &dyn crate::job::RawReduceOp,
-        reduce_tasks: usize,
         budget: Option<u64>,
         n_outputs: usize,
         stats: &mut JobStats,
     ) -> Result<Vec<DfsFile>, MrError> {
-        stats.reduce_input_records = pairs.len() as u64;
-        // Partition.
-        let mut partitions: Vec<Vec<(Vec<u8>, Vec<u8>)>> = vec![Vec::new(); reduce_tasks];
-        for (k, v) in pairs {
-            let p = default_partition(&k, reduce_tasks);
-            partitions[p].push((k, v));
-        }
-        stats.task_retries += self.resolve_faults(&stats.name, 1, reduce_tasks)?;
+        stats.reduce_input_records = partitions.iter().map(|p| p.len() as u64).sum();
+        stats.task_retries += self.resolve_faults(&stats.name, 1, partitions.len())?;
         // Sort + group + reduce each partition in parallel.
         let shared_budget = budget;
         let results = self.parallel_over(&partitions, |part| {
@@ -349,7 +381,7 @@ impl Engine {
                 while j < part.len() && part[j].0 == key {
                     j += 1;
                 }
-                let values: Vec<Vec<u8>> = part[i..j].iter().map(|(_, v)| v.to_vec()).collect();
+                let values: Vec<&[u8]> = part[i..j].iter().map(|(_, v)| *v).collect();
                 reducer.run(key, &values, &mut out)?;
                 groups += 1;
                 i = j;
@@ -428,17 +460,16 @@ mod tests {
 
     fn word_count_engine(words: &[&str]) -> Engine {
         let engine = Engine::unbounded().with_workers(4);
-        engine
-            .put_records("input", words.iter().map(|w| w.to_string()))
-            .unwrap();
+        engine.put_records("input", words.iter().map(|w| w.to_string())).unwrap();
         engine
     }
 
     fn word_count_spec() -> JobSpec {
-        let mapper = map_fn(|word: String, out: &mut crate::job::TypedMapEmitter<'_, String, u64>| {
-            out.emit(&word, &1);
-            Ok(())
-        });
+        let mapper =
+            map_fn(|word: String, out: &mut crate::job::TypedMapEmitter<'_, String, u64>| {
+                out.emit(&word, &1);
+                Ok(())
+            });
         let reducer = reduce_fn(
             |key: String, values: Vec<u64>, out: &mut crate::job::TypedOutEmitter<'_, String>| {
                 out.emit(&format!("{key}:{}", values.iter().sum::<u64>()))
@@ -469,16 +500,81 @@ mod tests {
 
     #[test]
     fn deterministic_across_worker_counts() {
-        let run = |workers| {
+        // Byte-identical outputs AND counters for every worker count, with
+        // and without a combiner.
+        let run = |workers: usize, with_combiner: bool| {
             let engine =
                 word_count_engine(&["x", "y", "x", "z", "w", "w", "w"]).with_workers(workers);
-            let stats = engine.run_job(&word_count_spec()).unwrap();
+            let mut spec = word_count_spec();
+            if with_combiner {
+                let combiner = crate::job::combine_fn(
+                    |key: String,
+                     ones: Vec<u64>,
+                     out: &mut crate::job::TypedMapEmitter<'_, String, u64>| {
+                        out.emit(&key, &ones.iter().sum());
+                        Ok(())
+                    },
+                );
+                spec = spec.with_combiner(combiner);
+            }
+            let stats = engine.run_job(&spec).unwrap();
             let out: Vec<String> = engine.read_records("out").unwrap();
-            (stats.map_output_bytes, stats.output_text_bytes, out)
+            (format!("{stats:?}"), out)
         };
-        let a = run(1);
-        let b = run(8);
-        assert_eq!(a, b);
+        for combined in [false, true] {
+            let baseline = run(1, combined);
+            for workers in [4, 8] {
+                assert_eq!(run(workers, combined), baseline, "workers={workers}");
+            }
+        }
+    }
+
+    #[test]
+    fn partition_bytes_sum_to_shuffle_bytes() {
+        let engine = word_count_engine(&["a", "b", "c", "d", "e", "f", "a", "b"]);
+        let stats = engine.run_job(&word_count_spec()).unwrap();
+        assert_eq!(stats.shuffle_partition_bytes.len(), 3);
+        assert_eq!(stats.shuffle_partition_bytes.iter().sum::<u64>(), stats.map_output_bytes);
+        assert!(stats.max_partition_shuffle_bytes() >= stats.map_output_bytes / 3);
+        assert!(stats.reduce_skew() >= 1.0);
+    }
+
+    #[test]
+    fn single_reduce_task_concentrates_all_shuffle() {
+        let engine = word_count_engine(&["a", "b", "c"]);
+        let spec = {
+            let mut s = word_count_spec();
+            if let JobKind::MapReduce { reduce_tasks, .. } = &mut s.kind {
+                *reduce_tasks = 1;
+            }
+            s
+        };
+        let stats = engine.run_job(&spec).unwrap();
+        assert_eq!(stats.shuffle_partition_bytes, vec![stats.map_output_bytes]);
+        assert!((stats.reduce_skew() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_reduce_tasks_error_not_panic() {
+        let engine = word_count_engine(&["a"]);
+        let spec = {
+            let mut s = word_count_spec();
+            if let JobKind::MapReduce { reduce_tasks, .. } = &mut s.kind {
+                *reduce_tasks = 0; // bypass the builder assert via the pub field
+            }
+            s
+        };
+        let err = engine.run_job(&spec).unwrap_err();
+        assert!(err.to_string().contains("reduce tasks"), "{err}");
+    }
+
+    #[test]
+    fn default_partition_total_on_degenerate_counts() {
+        assert_eq!(default_partition(b"anything", 0), 0);
+        assert_eq!(default_partition(b"anything", 1), 0);
+        for n in [2usize, 3, 7, 64] {
+            assert!(default_partition(b"anything", n) < n);
+        }
     }
 
     #[test]
@@ -516,9 +612,7 @@ mod tests {
     fn disk_full_during_output() {
         // Input (60 B) fits; job output (~60 B more) exceeds the 80 B budget.
         let engine = Engine::new(SimHdfs::new(80, 1)).with_workers(2);
-        engine
-            .put_records("input", (0..10).map(|i| format!("word{i}")))
-            .unwrap();
+        engine.put_records("input", (0..10).map(|i| format!("word{i}"))).unwrap();
         let err = engine.run_job(&word_count_spec()).unwrap_err();
         assert!(err.is_disk_full(), "{err:?}");
         // Output file must not exist after a failed write.
@@ -580,7 +674,9 @@ mod tests {
         let base_out: Vec<String> = engine.read_records("out").unwrap();
 
         let combiner = combine_fn(
-            |key: String, ones: Vec<u64>, out: &mut crate::job::TypedMapEmitter<'_, String, u64>| {
+            |key: String,
+             ones: Vec<u64>,
+             out: &mut crate::job::TypedMapEmitter<'_, String, u64>| {
                 out.emit(&key, &ones.iter().sum());
                 Ok(())
             },

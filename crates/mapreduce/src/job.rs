@@ -11,20 +11,43 @@ use crate::error::MrError;
 use std::marker::PhantomData;
 use std::sync::Arc;
 
-/// Buffered output of one map task: `(reduce key, value, row text size)`.
-/// For map-only jobs the key is empty and ignored.
+/// Buffered, map-side-partitioned output of one map task.
+///
+/// Each emission is routed to one of `reduce_tasks` spill buckets as it is
+/// produced, keyed by [`crate::engine::default_partition`] — Hadoop's
+/// map-side partitioning, where the map task writes one spill segment per
+/// reducer and the driver never touches individual pairs. Combiners also
+/// emit into a partitioned emitter, so their (possibly rewritten) keys are
+/// re-routed to the correct reducer.
 pub struct MapEmitter {
-    pub(crate) pairs: Vec<RawEmission>,
+    /// One spill bucket per reduce partition; bucket `p` holds every
+    /// `(key, value, row text size)` emission whose key partitions to `p`.
+    pub(crate) buckets: Vec<Vec<RawEmission>>,
 }
 
 impl MapEmitter {
+    /// Single-partition emitter (tests only; the engine always builds
+    /// partitioned emitters).
+    #[cfg(test)]
     pub(crate) fn new() -> Self {
-        MapEmitter { pairs: Vec::new() }
+        Self::partitioned(1)
     }
 
-    /// Emit a raw key/value pair with its simulated text row size.
+    /// Emitter spilling into `reduce_tasks` partition buckets.
+    pub(crate) fn partitioned(reduce_tasks: usize) -> Self {
+        MapEmitter { buckets: vec![Vec::new(); reduce_tasks.max(1)] }
+    }
+
+    /// Emit a raw key/value pair with its simulated text row size, routing
+    /// it to its reduce partition's bucket.
     pub fn emit_raw(&mut self, key: Vec<u8>, value: Vec<u8>, text_size: u64) {
-        self.pairs.push((key, value, text_size));
+        let p = crate::engine::default_partition(&key, self.buckets.len());
+        self.buckets[p].push((key, value, text_size));
+    }
+
+    /// Total emissions across all partition buckets.
+    pub(crate) fn len(&self) -> usize {
+        self.buckets.iter().map(Vec::len).sum()
     }
 }
 
@@ -63,7 +86,12 @@ impl OutEmitter {
     }
 
     /// Emit a raw record to output `idx` (see [`crate::JobSpec::outputs`]).
-    pub fn emit_raw_to(&mut self, idx: usize, record: Vec<u8>, text_size: u64) -> Result<(), MrError> {
+    pub fn emit_raw_to(
+        &mut self,
+        idx: usize,
+        record: Vec<u8>,
+        text_size: u64,
+    ) -> Result<(), MrError> {
         if idx >= self.n_outputs {
             return Err(MrError::Op(format!(
                 "output index {idx} out of range (job has {} outputs)",
@@ -102,18 +130,22 @@ pub trait RawMapOnlyOp: Send + Sync {
 }
 
 /// Byte-level reduce operator.
+///
+/// `values` borrows directly from the sorted shuffle buffer — the engine
+/// hands out slices instead of cloning every value into an owned vector.
 pub trait RawReduceOp: Send + Sync {
     /// Process one key group. `values` holds every shuffled value for `key`
     /// in deterministic (sorted) order.
-    fn run(&self, key: &[u8], values: &[Vec<u8>], out: &mut OutEmitter) -> Result<(), MrError>;
+    fn run(&self, key: &[u8], values: &[&[u8]], out: &mut OutEmitter) -> Result<(), MrError>;
 }
 
 /// Byte-level combiner: runs on each map task's local output before the
 /// shuffle (Hadoop's combiner), re-emitting key/value pairs. Input and
-/// output key/value types must match the mapper's.
+/// output key/value types must match the mapper's. Like [`RawReduceOp`],
+/// `values` borrows from the map task's spill buffer.
 pub trait RawCombineOp: Send + Sync {
     /// Combine one locally-grouped key. Emit replacement pairs via `out`.
-    fn run(&self, key: &[u8], values: &[Vec<u8>], out: &mut MapEmitter) -> Result<(), MrError>;
+    fn run(&self, key: &[u8], values: &[&[u8]], out: &mut MapEmitter) -> Result<(), MrError>;
 }
 
 // ---------------------------------------------------------------------------
@@ -203,10 +235,9 @@ where
     O: Rec,
     F: Fn(K, Vec<V>, &mut TypedOutEmitter<'_, O>) -> Result<(), MrError> + Send + Sync,
 {
-    fn run(&self, key: &[u8], values: &[Vec<u8>], out: &mut OutEmitter) -> Result<(), MrError> {
+    fn run(&self, key: &[u8], values: &[&[u8]], out: &mut OutEmitter) -> Result<(), MrError> {
         let key = K::from_bytes(key)?;
-        let values: Result<Vec<V>, MrError> =
-            values.iter().map(|v| V::from_bytes(v)).collect();
+        let values: Result<Vec<V>, MrError> = values.iter().map(|v| V::from_bytes(v)).collect();
         let mut emitter = TypedOutEmitter { raw: out, _pd: PhantomData };
         (self.f)(key, values?, &mut emitter)
     }
@@ -245,7 +276,7 @@ where
     V: Rec,
     F: Fn(K, Vec<V>, &mut TypedMapEmitter<'_, K, V>) -> Result<(), MrError> + Send + Sync,
 {
-    fn run(&self, key: &[u8], values: &[Vec<u8>], out: &mut MapEmitter) -> Result<(), MrError> {
+    fn run(&self, key: &[u8], values: &[&[u8]], out: &mut MapEmitter) -> Result<(), MrError> {
         let key = K::from_bytes(key)?;
         let values: Result<Vec<V>, MrError> = values.iter().map(|v| V::from_bytes(v)).collect();
         let mut emitter = TypedMapEmitter { raw: out, _pd: PhantomData };
@@ -407,6 +438,25 @@ impl JobSpec {
         self.replication = Some(r);
         self
     }
+
+    /// Check cross-field invariants before execution. The builders assert
+    /// these eagerly, but [`JobKind`]'s fields are public, so a hand-built
+    /// spec can bypass them; the engine re-validates here rather than
+    /// panicking deep inside the shuffle (`key % 0`).
+    pub fn validate(&self) -> Result<(), MrError> {
+        if let JobKind::MapReduce { reduce_tasks, .. } = &self.kind {
+            if *reduce_tasks == 0 {
+                return Err(MrError::Op(format!(
+                    "job '{}' declares 0 reduce tasks; map-reduce jobs need at least 1",
+                    self.name
+                )));
+            }
+        }
+        if self.outputs.is_empty() {
+            return Err(MrError::Op(format!("job '{}' declares no output files", self.name)));
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -419,9 +469,53 @@ mod tests {
         let mut typed: TypedMapEmitter<'_, String, String> =
             TypedMapEmitter { raw: &mut raw, _pd: PhantomData };
         typed.emit(&"key".to_string(), &"value".to_string());
-        assert_eq!(raw.pairs.len(), 1);
+        assert_eq!(raw.len(), 1);
         // "key\tvalue\n" = 4 + 6 - 1 = 9
-        assert_eq!(raw.pairs[0].2, 9);
+        assert_eq!(raw.buckets[0][0].2, 9);
+    }
+
+    #[test]
+    fn map_emitter_routes_to_partition_buckets() {
+        let mut part = MapEmitter::partitioned(4);
+        for i in 0..64u64 {
+            let key = format!("key{i}").into_bytes();
+            part.emit_raw(key, vec![], 1);
+        }
+        assert_eq!(part.len(), 64);
+        // Every emission sits in the bucket its key hashes to.
+        for (p, bucket) in part.buckets.iter().enumerate() {
+            for (k, _, _) in bucket {
+                assert_eq!(crate::engine::default_partition(k, 4), p);
+            }
+        }
+        // With 64 distinct keys over 4 buckets, FNV-1a should spread load.
+        assert!(part.buckets.iter().all(|b| !b.is_empty()));
+    }
+
+    #[test]
+    fn validate_rejects_zero_reduce_tasks() {
+        let reducer =
+            reduce_fn(|_k: String, _v: Vec<u64>, _o: &mut TypedOutEmitter<'_, String>| Ok(()));
+        let mut spec = JobSpec::map_reduce("j", vec![], reducer, 1, "out");
+        assert!(spec.validate().is_ok());
+        if let JobKind::MapReduce { reduce_tasks, .. } = &mut spec.kind {
+            *reduce_tasks = 0; // bypass the builder assert via the pub field
+        }
+        let err = spec.validate().unwrap_err();
+        assert!(err.to_string().contains("reduce tasks"), "{err}");
+        spec.outputs.clear();
+        if let JobKind::MapReduce { reduce_tasks, .. } = &mut spec.kind {
+            *reduce_tasks = 1;
+        }
+        assert!(spec.validate().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one reduce task")]
+    fn builder_rejects_zero_reduce_tasks() {
+        let reducer =
+            reduce_fn(|_k: String, _v: Vec<u64>, _o: &mut TypedOutEmitter<'_, String>| Ok(()));
+        let _ = JobSpec::map_reduce("j", vec![], reducer, 0, "out");
     }
 
     #[test]
@@ -454,19 +548,21 @@ mod tests {
         });
         let mut out = MapEmitter::new();
         op.run(&"abc".to_string().to_bytes(), &mut out).unwrap();
-        assert_eq!(out.pairs.len(), 1);
-        assert_eq!(String::from_bytes(&out.pairs[0].0).unwrap(), "abc");
-        assert_eq!(u64::from_bytes(&out.pairs[0].1).unwrap(), 3);
+        assert_eq!(out.len(), 1);
+        assert_eq!(String::from_bytes(&out.buckets[0][0].0).unwrap(), "abc");
+        assert_eq!(u64::from_bytes(&out.buckets[0][0].1).unwrap(), 3);
     }
 
     #[test]
     fn reduce_fn_decodes_group() {
-        let op = reduce_fn(|key: String, values: Vec<u64>, out: &mut TypedOutEmitter<'_, String>| {
-            let sum: u64 = values.iter().sum();
-            out.emit(&format!("{key}={sum}"))
-        });
+        let op =
+            reduce_fn(|key: String, values: Vec<u64>, out: &mut TypedOutEmitter<'_, String>| {
+                let sum: u64 = values.iter().sum();
+                out.emit(&format!("{key}={sum}"))
+            });
         let mut out = OutEmitter::new(None);
-        let values = [1u64.to_bytes(), 2u64.to_bytes()];
+        let owned = [1u64.to_bytes(), 2u64.to_bytes()];
+        let values: Vec<&[u8]> = owned.iter().map(Vec::as_slice).collect();
         op.run(&"k".to_string().to_bytes(), &values, &mut out).unwrap();
         assert_eq!(out.records.len(), 1);
         assert_eq!(String::from_bytes(&out.records[0].1).unwrap(), "k=3");

@@ -46,8 +46,7 @@ impl<'e> Workflow<'e> {
         }
         let mut max_startup = 0.0f64;
         let mut sum_work = 0.0f64;
-        let outputs: Vec<String> =
-            specs.iter().flat_map(|s| s.outputs.iter().cloned()).collect();
+        let outputs: Vec<String> = specs.iter().flat_map(|s| s.outputs.iter().cloned()).collect();
         for spec in &specs {
             match self.engine.run_job(spec) {
                 Ok(stats) => {
@@ -167,8 +166,7 @@ mod tests {
         let engine = Engine::unbounded();
         engine.put_records("in", ["a".to_string()]).unwrap();
         let mut wf = Workflow::new(&engine, "test");
-        wf.run_stage(vec![identity_job("in", "o1", true), identity_job("in", "o2", true)])
-            .unwrap();
+        wf.run_stage(vec![identity_job("in", "o1", true), identity_job("in", "o2", true)]).unwrap();
         let stats = wf.finish(&[]);
         assert_eq!(stats.mr_cycles, 1);
         assert_eq!(stats.full_scans, 2);

@@ -2,7 +2,9 @@
 //! record shapes, shuffle-grouping correctness, determinism across worker
 //! counts, and counter conservation laws.
 
-use mrsim::{map_fn, reduce_fn, Engine, InputBinding, JobSpec, Rec, TypedMapEmitter, TypedOutEmitter};
+use mrsim::{
+    map_fn, reduce_fn, Engine, InputBinding, JobSpec, Rec, TypedMapEmitter, TypedOutEmitter,
+};
 use proptest::prelude::{prop, prop_assert, prop_assert_eq, proptest};
 use proptest::strategy::Strategy;
 
@@ -98,6 +100,99 @@ proptest! {
     }
 
     #[test]
+    fn byte_identical_across_worker_counts(
+        words in prop::collection::vec(
+            prop::sample::select(vec!["a", "b", "c", "dd", "eee", "ffff"]),
+            0..80,
+        ),
+        with_combiner in 0usize..2,
+        with_faults in 0usize..2,
+    ) {
+        // The engine's core invariant: the same job over the same input
+        // yields byte-identical output files and identical counters for
+        // every worker count — with and without a combiner, and with
+        // fault injection (retries must not perturb results).
+        let run = |workers: usize| {
+            let mut engine = Engine::unbounded().with_workers(workers);
+            if with_faults == 1 {
+                engine = engine.with_faults(mrsim::FaultConfig::with_probability(0.3, 7));
+            }
+            engine.put_records("in", words.iter().map(|w| w.to_string())).unwrap();
+            let mapper = map_fn(|w: String, out: &mut TypedMapEmitter<'_, String, u64>| {
+                out.emit(&w, &1);
+                Ok(())
+            });
+            let reducer = reduce_fn(
+                |w: String, ones: Vec<u64>, out: &mut TypedOutEmitter<'_, (String, u64)>| {
+                    out.emit(&(w, ones.iter().sum()))
+                },
+            );
+            let mut spec = JobSpec::map_reduce(
+                "det",
+                vec![InputBinding { file: "in".into(), mapper }],
+                reducer,
+                3,
+                "out",
+            );
+            if with_combiner == 1 {
+                spec = spec.with_combiner(mrsim::combine_fn(
+                    |w: String, ones: Vec<u64>, out: &mut TypedMapEmitter<'_, String, u64>| {
+                        out.emit(&w, &ones.iter().sum());
+                        Ok(())
+                    },
+                ));
+            }
+            let stats = engine.run_job(&spec).unwrap();
+            let file = engine.hdfs().lock().get("out").unwrap();
+            (format!("{stats:?}"), file.records.clone(), file.text_bytes)
+        };
+        let baseline = run(1);
+        for workers in [4usize, 8] {
+            let other = run(workers);
+            prop_assert_eq!(&other.1, &baseline.1, "output bytes diverged at {} workers", workers);
+            prop_assert_eq!(other.2, baseline.2);
+            prop_assert_eq!(&other.0, &baseline.0, "counters diverged at {} workers", workers);
+        }
+    }
+
+    #[test]
+    fn partition_attribution_conserves_bytes(
+        words in prop::collection::vec(
+            prop::sample::select(vec!["k1", "k2", "k3", "k4", "k5"]),
+            1..50,
+        ),
+        reducers in 1usize..6,
+    ) {
+        let engine = Engine::unbounded();
+        engine.put_records("in", words.iter().map(|w| w.to_string())).unwrap();
+        let mapper = map_fn(|w: String, out: &mut TypedMapEmitter<'_, String, u64>| {
+            out.emit(&w, &1);
+            Ok(())
+        });
+        let reducer = reduce_fn(
+            |w: String, ones: Vec<u64>, out: &mut TypedOutEmitter<'_, (String, u64)>| {
+                out.emit(&(w, ones.iter().sum()))
+            },
+        );
+        let spec = JobSpec::map_reduce(
+            "attr",
+            vec![InputBinding { file: "in".into(), mapper }],
+            reducer,
+            reducers,
+            "out",
+        );
+        let stats = engine.run_job(&spec).unwrap();
+        prop_assert_eq!(stats.shuffle_partition_bytes.len(), reducers);
+        prop_assert_eq!(
+            stats.shuffle_partition_bytes.iter().sum::<u64>(),
+            stats.shuffle_bytes()
+        );
+        prop_assert!(stats.max_partition_shuffle_bytes() <= stats.map_output_bytes);
+        prop_assert!(stats.reduce_skew() >= 1.0 - 1e-9);
+        prop_assert!(stats.reduce_skew() <= reducers as f64 + 1e-9);
+    }
+
+    #[test]
     fn replication_scales_write_accounting(repl in 1u32..5) {
         let engine = Engine::new(mrsim::SimHdfs::new(u64::MAX / 8, repl));
         engine.put_records("in", ["x".to_string(), "y".to_string()]).unwrap();
@@ -130,11 +225,10 @@ mod fault_injection {
             out.emit(&w, &1);
             Ok(())
         });
-        let reducer = reduce_fn(
-            |w: String, ones: Vec<u64>, out: &mut TypedOutEmitter<'_, (String, u64)>| {
+        let reducer =
+            reduce_fn(|w: String, ones: Vec<u64>, out: &mut TypedOutEmitter<'_, (String, u64)>| {
                 out.emit(&(w, ones.iter().sum()))
-            },
-        );
+            });
         let spec = JobSpec::map_reduce(
             "wc-faults",
             vec![InputBinding { file: "in".into(), mapper }],
@@ -177,8 +271,7 @@ mod fault_injection {
         // Determinism must hold whether a given seed completes or exhausts
         // its attempts, so compare the full outcome.
         let run = |seed| {
-            let engine =
-                Engine::unbounded().with_faults(FaultConfig::with_probability(0.3, seed));
+            let engine = Engine::unbounded().with_faults(FaultConfig::with_probability(0.3, seed));
             match wordcount(&engine) {
                 Ok((stats, rows)) => format!("ok retries={} rows={rows:?}", stats.task_retries),
                 Err(e) => format!("err {e}"),

@@ -69,11 +69,8 @@ mod tests {
     fn display_and_from() {
         let e: PlanError = QueryError::Empty.into();
         assert!(e.to_string().contains("invalid query"));
-        let u: PlanError = UnsupportedReason::MultiVarJoin {
-            left: "a".into(),
-            right: "b".into(),
-        }
-        .into();
+        let u: PlanError =
+            UnsupportedReason::MultiVarJoin { left: "a".into(), right: "b".into() }.into();
         assert!(u.to_string().contains("unsupported"));
         assert!(PlanError::Internal("x".into()).to_string().contains("bug"));
     }

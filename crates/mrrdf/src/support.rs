@@ -43,10 +43,9 @@ pub enum UnsupportedReason {
 impl fmt::Display for UnsupportedReason {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            UnsupportedReason::DuplicateBoundProperty { star, property } => write!(
-                f,
-                "star ?{star}: property {property} appears in two bound patterns"
-            ),
+            UnsupportedReason::DuplicateBoundProperty { star, property } => {
+                write!(f, "star ?{star}: property {property} appears in two bound patterns")
+            }
             UnsupportedReason::SharedVarWithinStar { star, var } => {
                 write!(f, "star ?{star}: variable ?{var} appears in multiple patterns")
             }
@@ -138,10 +137,9 @@ mod tests {
 
     #[test]
     fn accepts_testbed_shapes() {
-        let q = rdf_query::parse_query(
-            "SELECT * WHERE { ?g <label> ?l . ?g ?p ?go . ?go <gl> ?x . }",
-        )
-        .unwrap();
+        let q =
+            rdf_query::parse_query("SELECT * WHERE { ?g <label> ?l . ?g ?p ?go . ?go <gl> ?x . }")
+                .unwrap();
         check_query(&q).unwrap();
     }
 
@@ -154,10 +152,7 @@ mod tests {
                 TriplePattern::bound("x", "<p>", ObjPattern::Var("b".into())),
             ],
         );
-        assert!(matches!(
-            check_star(&star),
-            Err(UnsupportedReason::DuplicateBoundProperty { .. })
-        ));
+        assert!(matches!(check_star(&star), Err(UnsupportedReason::DuplicateBoundProperty { .. })));
     }
 
     #[test]
@@ -169,10 +164,7 @@ mod tests {
                 TriplePattern::unbound("x", "q", ObjPattern::Var("a".into())),
             ],
         );
-        assert!(matches!(
-            check_star(&star),
-            Err(UnsupportedReason::SharedVarWithinStar { .. })
-        ));
+        assert!(matches!(check_star(&star), Err(UnsupportedReason::SharedVarWithinStar { .. })));
     }
 
     #[test]

@@ -163,12 +163,12 @@ mod tests {
     #[test]
     fn projection_drops_and_dedups() {
         let mut set = SolutionSet::new();
-        set.insert([("x".to_string(), atom("<a>")), ("y".to_string(), atom("<1>"))]
-            .into_iter()
-            .collect());
-        set.insert([("x".to_string(), atom("<a>")), ("y".to_string(), atom("<2>"))]
-            .into_iter()
-            .collect());
+        set.insert(
+            [("x".to_string(), atom("<a>")), ("y".to_string(), atom("<1>"))].into_iter().collect(),
+        );
+        set.insert(
+            [("x".to_string(), atom("<a>")), ("y".to_string(), atom("<2>"))].into_iter().collect(),
+        );
         assert_eq!(set.len(), 2);
         let proj = set.project(&["x".to_string()]);
         assert_eq!(proj.len(), 1);

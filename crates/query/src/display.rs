@@ -82,7 +82,8 @@ mod tests {
     fn roundtrip(text: &str) {
         let q1 = parse_query(text).unwrap();
         let rendered = q1.to_text();
-        let q2 = parse_query(&rendered).unwrap_or_else(|e| panic!("{e}\n--- rendered:\n{rendered}"));
+        let q2 =
+            parse_query(&rendered).unwrap_or_else(|e| panic!("{e}\n--- rendered:\n{rendered}"));
         assert_eq!(q1, q2, "roundtrip changed the query:\n{rendered}");
     }
 
@@ -109,8 +110,8 @@ mod tests {
 
     #[test]
     fn rendered_text_is_readable() {
-        let q = parse_query("SELECT * WHERE { ?g <label> ?l . ?g ?p ?go . ?go <gl> ?x . }")
-            .unwrap();
+        let q =
+            parse_query("SELECT * WHERE { ?g <label> ?l . ?g ?p ?go . ?go <gl> ?x . }").unwrap();
         let text = q.to_text();
         assert!(text.starts_with("SELECT * WHERE {"));
         assert!(text.contains("?g <label> ?l ."));

@@ -20,9 +20,7 @@ pub const FILTER_SELECTIVITY: f64 = 0.1;
 /// properties) — the classic `1/V(R, a)` estimate.
 fn equals_selectivity(property: &PropPattern, stats: &StoreStats) -> f64 {
     let distinct = match property {
-        PropPattern::Bound(p) => {
-            stats.per_property.get(p).map_or(0, |ps| ps.distinct_objects)
-        }
+        PropPattern::Bound(p) => stats.per_property.get(p).map_or(0, |ps| ps.distinct_objects),
         PropPattern::Unbound(_) => stats.distinct_objects,
     };
     if distinct == 0 {
@@ -45,9 +43,7 @@ fn object_selectivity(pattern: &TriplePattern, stats: &StoreStats) -> f64 {
 /// Estimated number of triples matching one pattern.
 pub fn pattern_cardinality(pattern: &TriplePattern, stats: &StoreStats) -> f64 {
     let base = match &pattern.property {
-        PropPattern::Bound(p) => {
-            stats.per_property.get(p).map_or(0.0, |ps| ps.count as f64)
-        }
+        PropPattern::Bound(p) => stats.per_property.get(p).map_or(0.0, |ps| ps.count as f64),
         // Unbound property: the whole relation.
         PropPattern::Unbound(_) => stats.triples as f64,
     };
@@ -117,15 +113,9 @@ pub fn star_row_cardinality(star: &StarPattern, stats: &StoreStats) -> f64 {
 
 /// Rank a query's stars from most to least selective (ascending estimated
 /// row cardinality) — the ordering Sel-SJ-first wants.
-pub fn rank_stars_by_selectivity(
-    stars: &[StarPattern],
-    stats: &StoreStats,
-) -> Vec<(usize, f64)> {
-    let mut ranked: Vec<(usize, f64)> = stars
-        .iter()
-        .enumerate()
-        .map(|(i, s)| (i, star_row_cardinality(s, stats)))
-        .collect();
+pub fn rank_stars_by_selectivity(stars: &[StarPattern], stats: &StoreStats) -> Vec<(usize, f64)> {
+    let mut ranked: Vec<(usize, f64)> =
+        stars.iter().enumerate().map(|(i, s)| (i, star_row_cardinality(s, stats))).collect();
     ranked.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite estimates"));
     ranked
 }
@@ -235,11 +225,7 @@ mod tests {
             "g",
             vec![TriplePattern::unbound("g", "p", ObjPattern::Var("o".into()))],
         );
-        let filtered = plain
-            .clone()
-            .with_subject_filter(ObjFilter::Prefix("<g1".into()));
-        assert!(
-            star_subject_cardinality(&filtered, &s) < star_subject_cardinality(&plain, &s)
-        );
+        let filtered = plain.clone().with_subject_filter(ObjFilter::Prefix("<g1".into()));
+        assert!(star_subject_cardinality(&filtered, &s) < star_subject_cardinality(&plain, &s));
     }
 }

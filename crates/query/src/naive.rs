@@ -36,9 +36,7 @@ pub fn evaluate(query: &Query, store: &TripleStore) -> SolutionSet {
     let patterns: Vec<(&TriplePattern, Option<&ObjFilter>)> = query
         .stars
         .iter()
-        .flat_map(|star| {
-            star.patterns.iter().map(move |p| (p, star.subject_filter.as_ref()))
-        })
+        .flat_map(|star| star.patterns.iter().map(move |p| (p, star.subject_filter.as_ref())))
         .collect();
     let mut solutions = SolutionSet::new();
     let mut binding = Binding::new();
@@ -187,13 +185,11 @@ mod tests {
     fn two_star_os_join_on_unbound_object() {
         // ?g <label> ?l ; ?g ?p ?go . ?go <go_label> ?gl
         let q = Query::new(vec![
+            star("g", vec![TriplePattern::bound("g", "<label>", ObjPattern::Var("go".into()))]),
             star(
-                "g",
-                vec![
-                    TriplePattern::bound("g", "<label>", ObjPattern::Var("go".into())),
-                ],
+                "go",
+                vec![TriplePattern::bound("go", "<go_label>", ObjPattern::Var("gl".into()))],
             ),
-            star("go", vec![TriplePattern::bound("go", "<go_label>", ObjPattern::Var("gl".into()))]),
         ]);
         // label objects are literals, no go_label -> empty
         assert!(evaluate(&q, &store()).is_empty());
@@ -206,7 +202,10 @@ mod tests {
                     TriplePattern::unbound("g", "p", ObjPattern::Var("go".into())),
                 ],
             ),
-            star("go", vec![TriplePattern::bound("go", "<go_label>", ObjPattern::Var("gl".into()))]),
+            star(
+                "go",
+                vec![TriplePattern::bound("go", "<go_label>", ObjPattern::Var("gl".into()))],
+            ),
         ]);
         let sols = evaluate(&q2, &store());
         // gene9's unbound matches that have go_label: <go1>, <go9> -> 2.

@@ -195,7 +195,6 @@ impl Parser {
             other => perr(format!("expected '{c}', found {other:?}")),
         }
     }
-
 }
 
 /// A raw parsed triple before star grouping.
@@ -256,7 +255,9 @@ pub fn parse_query(input: &str) -> Result<Query, ParseError> {
                         p.next();
                     }
                     Some(Tok::Punct('}')) => {}
-                    other => return perr(format!("expected '.' or '}}' after triple, found {other:?}")),
+                    other => {
+                        return perr(format!("expected '.' or '}}' after triple, found {other:?}"))
+                    }
                 }
             }
             None => return perr("unexpected end of query (missing '}')"),
@@ -433,10 +434,8 @@ mod tests {
 
     #[test]
     fn parses_contains_filter_as_partially_bound_object() {
-        let q = parse_query(
-            r#"SELECT * WHERE { ?g ?p ?o . FILTER contains(?o, "hexokinase") }"#,
-        )
-        .unwrap();
+        let q = parse_query(r#"SELECT * WHERE { ?g ?p ?o . FILTER contains(?o, "hexokinase") }"#)
+            .unwrap();
         let pat = &q.stars[0].patterns[0];
         match &pat.object {
             ObjPattern::Filtered(v, ObjFilter::Contains(s)) => {
@@ -449,8 +448,7 @@ mod tests {
 
     #[test]
     fn parses_equality_filter() {
-        let q =
-            parse_query("SELECT * WHERE { ?g ?p ?o . FILTER (?o = <nur77>) }").unwrap();
+        let q = parse_query("SELECT * WHERE { ?g ?p ?o . FILTER (?o = <nur77>) }").unwrap();
         match &q.stars[0].patterns[0].object {
             ObjPattern::Filtered(_, ObjFilter::Equals(a)) => assert_eq!(&**a, "<nur77>"),
             other => panic!("{other:?}"),
@@ -466,8 +464,7 @@ mod tests {
             other => panic!("{other:?}"),
         }
         // Same const subject reused -> same star.
-        let q2 =
-            parse_query("SELECT * WHERE { <s> <p> ?a . <s> <q> ?b . }").unwrap();
+        let q2 = parse_query("SELECT * WHERE { <s> <p> ?a . <s> <q> ?b . }").unwrap();
         assert_eq!(q2.stars.len(), 1);
         assert_eq!(q2.stars[0].arity(), 2);
     }
@@ -487,10 +484,7 @@ mod tests {
 
     #[test]
     fn comments_ignored() {
-        let q = parse_query(
-            "SELECT * WHERE { # star one\n ?s <p> ?o . # done\n }",
-        )
-        .unwrap();
+        let q = parse_query("SELECT * WHERE { # star one\n ?s <p> ?o . # done\n }").unwrap();
         assert_eq!(q.stars.len(), 1);
     }
 
@@ -513,10 +507,8 @@ mod tests {
 
     #[test]
     fn filter_on_subject_var() {
-        let q = parse_query(
-            r#"SELECT * WHERE { ?s <p> ?o . FILTER prefix(?s, "<gene") }"#,
-        )
-        .unwrap();
+        let q =
+            parse_query(r#"SELECT * WHERE { ?s <p> ?o . FILTER prefix(?s, "<gene") }"#).unwrap();
         assert!(matches!(q.stars[0].subject_filter, Some(ObjFilter::Prefix(_))));
     }
 }

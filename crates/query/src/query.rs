@@ -303,9 +303,7 @@ mod tests {
     fn unbound_count() {
         let mut q = two_star_os();
         assert_eq!(q.unbound_pattern_count(), 0);
-        q.stars[0]
-            .patterns
-            .push(TriplePattern::unbound("g", "p", ObjPattern::Var("o".into())));
+        q.stars[0].patterns.push(TriplePattern::unbound("g", "p", ObjPattern::Var("o".into())));
         assert_eq!(q.unbound_pattern_count(), 1);
     }
 

@@ -32,9 +32,9 @@ impl StarPattern {
         for p in &patterns {
             match &p.subject {
                 SubjPattern::Var(v) if *v == subject_var => {}
-                other => panic!(
-                    "star pattern on ?{subject_var} contains pattern with subject {other:?}"
-                ),
+                other => {
+                    panic!("star pattern on ?{subject_var} contains pattern with subject {other:?}")
+                }
             }
         }
         StarPattern { subject_var, patterns, subject_filter: None }
@@ -163,10 +163,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "contains pattern with subject")]
     fn rejects_foreign_subject() {
-        StarPattern::new(
-            "x",
-            vec![TriplePattern::bound("y", "<p>", ObjPattern::Var("a".into()))],
-        );
+        StarPattern::new("x", vec![TriplePattern::bound("y", "<p>", ObjPattern::Var("a".into()))]);
     }
 
     #[test]

@@ -57,9 +57,7 @@ pub fn read_ntriples<R: BufRead>(mut reader: R) -> Result<TripleStore, NtIoError
         match parse_line(&line) {
             Ok(Some((s, p, o))) => store.insert(STriple::from_terms(&s, &p, &o)),
             Ok(None) => {}
-            Err(e) => {
-                return Err(NtIoError::Parse { line: lineno, message: e.to_string() })
-            }
+            Err(e) => return Err(NtIoError::Parse { line: lineno, message: e.to_string() }),
         }
     }
 }
@@ -79,10 +77,7 @@ pub fn write_ntriples<W: Write>(mut writer: W, store: &TripleStore) -> std::io::
 }
 
 /// Write a store to an N-Triples file.
-pub fn write_ntriples_file(
-    path: impl AsRef<Path>,
-    store: &TripleStore,
-) -> std::io::Result<()> {
+pub fn write_ntriples_file(path: impl AsRef<Path>, store: &TripleStore) -> std::io::Result<()> {
     let file = std::fs::File::create(path)?;
     let mut buf = std::io::BufWriter::new(file);
     write_ntriples(&mut buf, store)?;
@@ -131,10 +126,7 @@ mod tests {
 
     #[test]
     fn missing_file_is_io_error() {
-        assert!(matches!(
-            read_ntriples_file("/definitely/not/here.nt"),
-            Err(NtIoError::Io(_))
-        ));
+        assert!(matches!(read_ntriples_file("/definitely/not/here.nt"), Err(NtIoError::Io(_))));
     }
 
     #[test]

@@ -252,8 +252,9 @@ mod tests {
     fn parses_literal_objects() {
         let (_, _, o) = parse_line(r#"<a> <b> "hi there" ."#).unwrap().unwrap();
         assert_eq!(o, Term::plain_literal("hi there"));
-        let (_, _, o) =
-            parse_line(r#"<a> <b> "5"^^<http://www.w3.org/2001/XMLSchema#int> ."#).unwrap().unwrap();
+        let (_, _, o) = parse_line(r#"<a> <b> "5"^^<http://www.w3.org/2001/XMLSchema#int> ."#)
+            .unwrap()
+            .unwrap();
         assert_eq!(o, Term::typed_literal("5", "http://www.w3.org/2001/XMLSchema#int"));
         let (_, _, o) = parse_line(r#"<a> <b> "chat"@fr-BE ."#).unwrap().unwrap();
         assert_eq!(o, Term::lang_literal("chat", "fr-BE"));

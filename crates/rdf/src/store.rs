@@ -148,11 +148,8 @@ impl TripleStore {
             let max_multiplicity = subs.values().copied().max().unwrap_or(0);
             let distinct_subjects = subs.len() as u64;
             let distinct_objects = objs.len() as u64;
-            let mean_multiplicity = if distinct_subjects == 0 {
-                0.0
-            } else {
-                *count as f64 / distinct_subjects as f64
-            };
+            let mean_multiplicity =
+                if distinct_subjects == 0 { 0.0 } else { *count as f64 / distinct_subjects as f64 };
             if max_multiplicity > 1 {
                 multi += 1;
             }
@@ -251,8 +248,7 @@ mod tests {
     #[test]
     fn text_bytes_matches_serialization() {
         let store = sample();
-        let manual: u64 =
-            store.iter().map(|t| t.to_string().len() as u64 + 1).sum();
+        let manual: u64 = store.iter().map(|t| t.to_string().len() as u64 + 1).sum();
         assert_eq!(store.text_bytes(), manual);
         assert_eq!(store.stats().text_bytes, manual);
     }

@@ -145,10 +145,7 @@ mod tests {
 
     #[test]
     fn escapes_special_chars() {
-        assert_eq!(
-            Term::plain_literal("a\"b\\c\nd").to_token(),
-            "\"a\\\"b\\\\c\\nd\""
-        );
+        assert_eq!(Term::plain_literal("a\"b\\c\nd").to_token(), "\"a\\\"b\\\\c\\nd\"");
     }
 
     #[test]

@@ -59,12 +59,7 @@ impl VerticalPartitions {
     /// Total text bytes across a subset of relations (used to cost
     /// selective VP scans versus a full union scan).
     pub fn text_bytes_of(&self, props: &[&str]) -> u64 {
-        props
-            .iter()
-            .filter_map(|p| self.parts.get(*p))
-            .flatten()
-            .map(STriple::text_size)
-            .sum()
+        props.iter().filter_map(|p| self.parts.get(*p)).flatten().map(STriple::text_size).sum()
     }
 }
 

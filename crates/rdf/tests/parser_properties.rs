@@ -17,9 +17,7 @@ fn arb_bnode() -> impl Strategy<Value = Term> {
 fn arb_literal() -> impl Strategy<Value = Term> {
     // Lexical forms include the characters that need escaping.
     let lex = prop::collection::vec(
-        prop::sample::select(vec![
-            'a', 'b', 'Z', '0', ' ', '"', '\\', '\n', '\t', '\r', 'é', '中',
-        ]),
+        prop::sample::select(vec!['a', 'b', 'Z', '0', ' ', '"', '\\', '\n', '\t', '\r', 'é', '中']),
         0..12,
     )
     .prop_map(|cs| cs.into_iter().collect::<String>());

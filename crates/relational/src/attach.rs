@@ -11,8 +11,8 @@
 //! star-attach are needed (3 cycles, all full scans) — exactly the MR/FS
 //! counts the paper's case study reports.
 
-use mrsim::{map_fn, reduce_fn, InputBinding, JobSpec, MrError, TypedMapEmitter, TypedOutEmitter};
 use mr_rdf::{PlanError, Row, RowSchema, TripleRec};
+use mrsim::{map_fn, reduce_fn, InputBinding, JobSpec, MrError, TypedMapEmitter, TypedOutEmitter};
 use rdf_query::{StarPattern, TriplePattern};
 
 use crate::star_join::{star_schema, REDUCERS};
@@ -214,8 +214,8 @@ pub fn pattern_attach_job(
 mod tests {
     use super::*;
     use crate::star_join::star_join_job;
-    use mrsim::Engine;
     use mr_rdf::load_store;
+    use mrsim::Engine;
     use rdf_model::{STriple, TripleStore};
     use rdf_query::{ObjPattern, SolutionSet};
 
@@ -254,8 +254,7 @@ mod tests {
             star_attach_job("attach", ("r1", &s1), "pr", &q.stars[1], "t", "out").unwrap();
         engine.run_job(&j2).unwrap();
         let rows: Vec<Row> = engine.read_records("out").unwrap();
-        let got: SolutionSet =
-            rows.iter().map(|r| s2.binding(r).expect("consistent")).collect();
+        let got: SolutionSet = rows.iter().map(|r| s2.binding(r).expect("consistent")).collect();
         assert_eq!(got, gold);
     }
 
@@ -272,11 +271,8 @@ mod tests {
         let engine = Engine::unbounded();
         load_store(&engine, "t", &store).unwrap();
         let rows_schema = RowSchema::new(vec![Some("o".into()), Some("x".into())]);
-        engine
-            .put_records::<Row>("rows", vec![vec!["<o1>".into(), "<prod>".into()]])
-            .unwrap();
-        let pattern =
-            TriplePattern::bound("r", "<reviewFor>", ObjPattern::Var("x".into()));
+        engine.put_records::<Row>("rows", vec![vec!["<o1>".into(), "<prod>".into()]]).unwrap();
+        let pattern = TriplePattern::bound("r", "<reviewFor>", ObjPattern::Var("x".into()));
         let (job, schema) =
             pattern_attach_job("pa", ("rows", &rows_schema), "x", &pattern, "t", "out").unwrap();
         engine.run_job(&job).unwrap();

@@ -11,8 +11,8 @@
 //! * the NTGA grouping (all star joins in one grouping cycle) lives in
 //!   `ntga-core` and is included in the case-study harness for comparison.
 
-use mrsim::{Engine, Workflow};
 use mr_rdf::{check_query, PlanError, QueryRun, Row};
+use mrsim::{Engine, Workflow};
 use rdf_query::{JoinKind, Query, SolutionSet};
 
 use crate::attach::{pattern_attach_job, star_attach_job};
@@ -65,8 +65,20 @@ pub fn execute_grouping(
 
     let (final_file, final_schema) = match grouping {
         Grouping::SjPerCycle => {
-            let (j0, s0) = star_join_job(format!("{label}.star0"), &query.stars[0], input, format!("{label}.star0"), false);
-            let (j1, s1) = star_join_job(format!("{label}.star1"), &query.stars[1], input, format!("{label}.star1"), false);
+            let (j0, s0) = star_join_job(
+                format!("{label}.star0"),
+                &query.stars[0],
+                input,
+                format!("{label}.star0"),
+                false,
+            );
+            let (j1, s1) = star_join_job(
+                format!("{label}.star1"),
+                &query.stars[1],
+                input,
+                format!("{label}.star1"),
+                false,
+            );
             if let Err(e) = wf.run_job(j0) {
                 return fail(wf, &e);
             }

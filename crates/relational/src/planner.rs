@@ -16,8 +16,8 @@
 //!   passes the input through (the paper's "initial map-only job to read
 //!   entire input and compress it").
 
-use mrsim::{map_only_fn, Engine, JobSpec, TypedOutEmitter, Workflow};
 use mr_rdf::{check_query, PlanError, QueryRun, RowSchema, TripleRec};
+use mrsim::{map_only_fn, Engine, JobSpec, TypedOutEmitter, Workflow};
 use rdf_query::{Query, SolutionSet};
 use std::collections::HashSet;
 
@@ -97,12 +97,12 @@ pub fn execute_with(
     // Pig's preliminary pass-through job for multi-star queries.
     let base: String = if flavor == RelFlavor::Pig && query.stars.len() > 1 {
         let copy = format!("{label}.copy");
-        let mapper = map_only_fn(|t: TripleRec, out: &mut TypedOutEmitter<'_, TripleRec>| {
-            out.emit(&t)
-        });
-        let job = JobSpec::map_only(format!("{label}.load"), vec![input.to_string()], mapper, &copy)
-            .with_full_scan()
-            .with_output_compression(options.pig_compression);
+        let mapper =
+            map_only_fn(|t: TripleRec, out: &mut TypedOutEmitter<'_, TripleRec>| out.emit(&t));
+        let job =
+            JobSpec::map_only(format!("{label}.load"), vec![input.to_string()], mapper, &copy)
+                .with_full_scan()
+                .with_output_compression(options.pig_compression);
         if let Err(e) = wf.run_job(job) {
             return fail(wf, &e);
         }
@@ -194,8 +194,8 @@ pub fn execute_with(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mrsim::SimHdfs;
     use mr_rdf::load_store;
+    use mrsim::SimHdfs;
     use rdf_model::{STriple, TripleStore};
     use rdf_query::parse_query;
 
@@ -217,10 +217,8 @@ mod tests {
         execute(flavor, &engine, &query, "t", "q", true).unwrap()
     }
 
-    const TWO_STAR: &str =
-        "SELECT * WHERE { ?g <label> ?l . ?g <xGO> ?go . ?go <gl> ?x . }";
-    const UNBOUND: &str =
-        "SELECT * WHERE { ?g <label> ?l . ?g ?p ?go . ?go <gl> ?x . }";
+    const TWO_STAR: &str = "SELECT * WHERE { ?g <label> ?l . ?g <xGO> ?go . ?go <gl> ?x . }";
+    const UNBOUND: &str = "SELECT * WHERE { ?g <label> ?l . ?g ?p ?go . ?go <gl> ?x . }";
 
     #[test]
     fn matches_naive_bound_two_star() {
@@ -267,8 +265,7 @@ mod tests {
     fn single_star_query_is_one_cycle() {
         let r = run(RelFlavor::Hive, "SELECT * WHERE { ?g <label> ?l . ?g ?p ?o . }");
         assert_eq!(r.stats.mr_cycles, 1);
-        let query =
-            parse_query("SELECT * WHERE { ?g <label> ?l . ?g ?p ?o . }").unwrap();
+        let query = parse_query("SELECT * WHERE { ?g <label> ?l . ?g ?p ?o . }").unwrap();
         let gold = rdf_query::naive::evaluate(&query, &store());
         assert_eq!(r.solutions.unwrap(), gold);
     }

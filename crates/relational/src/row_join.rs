@@ -1,8 +1,8 @@
 //! Join of two materialized row relations on one shared variable — the
 //! "join between stars" MR cycle of the relational plans.
 
-use mrsim::{map_fn, reduce_fn, InputBinding, JobSpec, MrError, TypedMapEmitter, TypedOutEmitter};
 use mr_rdf::{PlanError, Row, RowSchema};
+use mrsim::{map_fn, reduce_fn, InputBinding, JobSpec, MrError, TypedMapEmitter, TypedOutEmitter};
 use std::sync::Arc;
 
 use crate::star_join::REDUCERS;
@@ -130,10 +130,8 @@ mod tests {
         let engine = Engine::unbounded();
         let lschema = RowSchema::new(vec![Some("x".into()), Some("l".into())]);
         let rschema = RowSchema::new(vec![Some("x".into()), Some("r".into())]);
-        let lefts: Vec<Row> =
-            (0..3).map(|i| vec!["<k>".into(), format!("<l{i}>")]).collect();
-        let rights: Vec<Row> =
-            (0..4).map(|i| vec!["<k>".into(), format!("<r{i}>")]).collect();
+        let lefts: Vec<Row> = (0..3).map(|i| vec!["<k>".into(), format!("<l{i}>")]).collect();
+        let rights: Vec<Row> = (0..4).map(|i| vec!["<k>".into(), format!("<r{i}>")]).collect();
         put_rows(&engine, "L", lefts);
         put_rows(&engine, "R", rights);
         let (spec, _) = row_join_job("j", ("L", &lschema), ("R", &rschema), "x", "out").unwrap();

@@ -8,8 +8,8 @@
 //! bound matches with every unbound match, the redundant representation
 //! whose cost the paper quantifies.
 
-use mrsim::{map_fn, reduce_fn, InputBinding, JobSpec, MrError, TypedMapEmitter, TypedOutEmitter};
 use mr_rdf::{Row, RowSchema, TripleRec};
+use mrsim::{map_fn, reduce_fn, InputBinding, JobSpec, MrError, TypedMapEmitter, TypedOutEmitter};
 use rdf_query::{ObjPattern, PropPattern, StarPattern, SubjPattern};
 use std::sync::Arc;
 
@@ -47,10 +47,7 @@ pub fn star_mapper(star: StarPattern, which: PatternSet) -> Arc<dyn mrsim::RawMa
                 PatternSet::UnboundOnly => pat.is_unbound_property(),
             };
             if selected && pat.matches_structurally(t) {
-                out.emit(
-                    &t.s.to_string(),
-                    &(idx as u64, (t.p.to_string(), t.o.to_string())),
-                );
+                out.emit(&t.s.to_string(), &(idx as u64, (t.p.to_string(), t.o.to_string())));
             }
         }
         Ok(())
@@ -162,8 +159,8 @@ pub fn star_join_job(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mrsim::Engine;
     use mr_rdf::load_store;
+    use mrsim::Engine;
     use rdf_model::{STriple, TripleStore};
     use rdf_query::TriplePattern;
 

@@ -24,8 +24,7 @@ fn main() {
         stats.triples,
         stats.distinct_properties,
         stats.multi_valued_fraction * 100.0,
-        stats.per_property[&rdf_model::atom::atom(datagen::vocab::bio2rdf::X_REF)]
-            .max_multiplicity
+        stats.per_property[&rdf_model::atom::atom(datagen::vocab::bio2rdf::X_REF)].max_multiplicity
     );
 
     // --- 1. everything about hexokinase -----------------------------------
@@ -41,10 +40,8 @@ fn main() {
     let run = run_query(Approach::NtgaAuto(1024), &engine, &q1, "hexo", true).unwrap();
     let solutions = run.solutions.unwrap();
     println!("\n[1] 'what mentions hexokinase?': {} solutions via ?p edges:", solutions.len());
-    let mut props: Vec<String> = solutions
-        .iter()
-        .filter_map(|b| b.get("p").map(|p| p.to_string()))
-        .collect();
+    let mut props: Vec<String> =
+        solutions.iter().filter_map(|b| b.get("p").map(|p| p.to_string())).collect();
     props.sort();
     props.dedup();
     println!("    discovered relationships: {}", props.join(", "));

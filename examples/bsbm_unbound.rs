@@ -16,16 +16,11 @@ fn main() {
         max_features_per_product: 16,
         ..Default::default()
     });
-    println!(
-        "dataset: BSBM-like, {} triples ({} B as N-Triples)",
-        store.len(),
-        store.text_bytes()
-    );
+    println!("dataset: BSBM-like, {} triples ({} B as N-Triples)", store.len(), store.text_bytes());
 
     // A cluster with 6.5× the replicated input in total disk — tight, the
     // way the paper's VCL nodes were.
-    let cluster =
-        ClusterConfig { replication: 2, ..Default::default() }.tight_disk(&store, 6.5);
+    let cluster = ClusterConfig { replication: 2, ..Default::default() }.tight_disk(&store, 6.5);
     println!(
         "cluster: {} nodes × {} B disk, replication {}\n",
         cluster.nodes, cluster.disk_per_node, cluster.replication
@@ -39,12 +34,9 @@ fn main() {
         if !["B0", "B1", "B2", "B3", "B4"].contains(&tq.id.as_str()) {
             continue;
         }
-        for approach in [
-            Approach::Pig,
-            Approach::Hive,
-            Approach::NtgaEager,
-            Approach::NtgaAuto(1024),
-        ] {
+        for approach in
+            [Approach::Pig, Approach::Hive, Approach::NtgaEager, Approach::NtgaAuto(1024)]
+        {
             let engine = cluster.engine_with(&store);
             let run = run_query(approach, &engine, &tq.query, &tq.id, false).unwrap();
             println!(

@@ -35,10 +35,8 @@ fn main() {
         multi_feature_fraction: 0.97,
         ..Default::default()
     });
-    let cluster = ClusterConfig {
-        cost: CostModel::scaled_to(store.text_bytes()),
-        ..Default::default()
-    };
+    let cluster =
+        ClusterConfig { cost: CostModel::scaled_to(store.text_bytes()), ..Default::default() };
     println!("dataset: {} triples; sweeping φ on the unbound join cycle\n", store.len());
 
     let unbound_object = ntga::testbed::b_series().remove(1).query; // B1

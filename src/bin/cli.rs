@@ -92,8 +92,7 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
             i += 1;
             continue;
         }
-        let value =
-            args.get(i + 1).ok_or_else(|| format!("flag --{key} needs a value"))?.clone();
+        let value = args.get(i + 1).ok_or_else(|| format!("flag --{key} needs a value"))?.clone();
         out.insert(key, value);
         i += 2;
     }
@@ -155,9 +154,7 @@ fn cluster_for(
 
 fn cmd_generate(opts: &HashMap<String, String>) -> Result<(), String> {
     let dataset = required(opts, "dataset")?;
-    let scale: usize = required(opts, "scale")?
-        .parse()
-        .map_err(|_| "bad --scale".to_string())?;
+    let scale: usize = required(opts, "scale")?.parse().map_err(|_| "bad --scale".to_string())?;
     let seed: u64 = opts
         .get("seed")
         .map(|s| s.parse().map_err(|_| "bad --seed".to_string()))
@@ -165,13 +162,15 @@ fn cmd_generate(opts: &HashMap<String, String>) -> Result<(), String> {
         .unwrap_or(42);
     let out = required(opts, "out")?;
     let store = match dataset {
-        "bsbm" => datagen::bsbm::generate(&datagen::BsbmConfig::with_products(scale).with_seed(seed)),
+        "bsbm" => {
+            datagen::bsbm::generate(&datagen::BsbmConfig::with_products(scale).with_seed(seed))
+        }
         "bio2rdf" => {
             datagen::bio2rdf::generate(&datagen::Bio2RdfConfig::with_genes(scale).with_seed(seed))
         }
-        "dbpedia" => {
-            datagen::dbpedia::generate(&datagen::DbpediaConfig::with_entities(scale).with_seed(seed))
-        }
+        "dbpedia" => datagen::dbpedia::generate(
+            &datagen::DbpediaConfig::with_entities(scale).with_seed(seed),
+        ),
         "btc" => datagen::dbpedia::generate(&datagen::DbpediaConfig::btc_like(scale)),
         other => return Err(format!("unknown dataset '{other}' (bsbm|bio2rdf|dbpedia|btc)")),
     };
@@ -197,10 +196,7 @@ fn cmd_stats(opts: &HashMap<String, String>) -> Result<(), String> {
     props.sort_by_key(|(_, s)| std::cmp::Reverse(s.max_multiplicity));
     println!("\ntop properties by multiplicity:");
     for (prop, p) in props.iter().take(10) {
-        println!(
-            "  {:<40} count={:<8} max-multiplicity={}",
-            prop, p.count, p.max_multiplicity
-        );
+        println!("  {:<40} count={:<8} max-multiplicity={}", prop, p.count, p.max_multiplicity);
     }
     Ok(())
 }
@@ -239,13 +235,10 @@ fn cmd_query(opts: &HashMap<String, String>) -> Result<(), String> {
     let want_solutions = !opts.contains_key("no-solutions");
     let cluster = cluster_for(opts, &store)?;
     let engine = cluster.engine_with(&store);
-    let run = run_query(approach, &engine, &query, "cli", want_solutions)
-        .map_err(|e| e.to_string())?;
+    let run =
+        run_query(approach, &engine, &query, "cli", want_solutions).map_err(|e| e.to_string())?;
     if !run.succeeded() {
-        println!(
-            "execution FAILED: {}",
-            run.stats.failure.as_deref().unwrap_or("unknown failure")
-        );
+        println!("execution FAILED: {}", run.stats.failure.as_deref().unwrap_or("unknown failure"));
         print_stats(&run.stats);
         return Ok(());
     }
@@ -255,11 +248,11 @@ fn cmd_query(opts: &HashMap<String, String>) -> Result<(), String> {
             .map(|l| l.parse().map_err(|_| "bad --limit".to_string()))
             .transpose()?
             .unwrap_or(20);
-        println!("{} solution(s){}:", solutions.len(), if solutions.len() > limit {
-            format!(", showing {limit}")
-        } else {
-            String::new()
-        });
+        println!(
+            "{} solution(s){}:",
+            solutions.len(),
+            if solutions.len() > limit { format!(", showing {limit}") } else { String::new() }
+        );
         for b in solutions.iter().take(limit) {
             println!("  {b}");
         }

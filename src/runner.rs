@@ -1,7 +1,7 @@
 //! Uniform runner over every execution approach the paper compares.
 
-use mrsim::{CostModel, Engine, SimHdfs};
 use mr_rdf::{load_store, PlanError, QueryRun, TRIPLES_FILE};
+use mrsim::{CostModel, Engine, SimHdfs};
 use ntga_core::Strategy;
 use rdf_model::TripleStore;
 use rdf_query::Query;
@@ -40,12 +40,7 @@ impl Approach {
 
     /// The default panel of approaches compared throughout the paper.
     pub fn paper_panel() -> Vec<Approach> {
-        vec![
-            Approach::Pig,
-            Approach::Hive,
-            Approach::NtgaEager,
-            Approach::NtgaAuto(1024),
-        ]
+        vec![Approach::Pig, Approach::Hive, Approach::NtgaEager, Approach::NtgaAuto(1024)]
     }
 }
 
@@ -63,9 +58,14 @@ pub fn run_query(
         Approach::Pig => {
             relbase::execute(RelFlavor::Pig, engine, query, TRIPLES_FILE, &label, extract_solutions)
         }
-        Approach::Hive => {
-            relbase::execute(RelFlavor::Hive, engine, query, TRIPLES_FILE, &label, extract_solutions)
-        }
+        Approach::Hive => relbase::execute(
+            RelFlavor::Hive,
+            engine,
+            query,
+            TRIPLES_FILE,
+            &label,
+            extract_solutions,
+        ),
         Approach::NtgaEager => ntga_core::execute(
             Strategy::Eager,
             engine,
@@ -134,8 +134,8 @@ impl ClusterConfig {
         } else {
             u64::from(self.nodes) * self.disk_per_node
         };
-        let engine = Engine::new(SimHdfs::new(capacity, self.replication))
-            .with_cost(self.cost.clone());
+        let engine =
+            Engine::new(SimHdfs::new(capacity, self.replication)).with_cost(self.cost.clone());
         load_store(&engine, TRIPLES_FILE, store).expect("input must fit in the cluster");
         engine
     }
@@ -166,10 +166,9 @@ mod tests {
 
     #[test]
     fn all_approaches_run_and_agree() {
-        let q = rdf_query::parse_query(
-            "SELECT * WHERE { ?g <label> ?l . ?g ?p ?go . ?go <gl> ?x . }",
-        )
-        .unwrap();
+        let q =
+            rdf_query::parse_query("SELECT * WHERE { ?g <label> ?l . ?g ?p ?go . ?go <gl> ?x . }")
+                .unwrap();
         let store = store();
         let gold = rdf_query::naive::evaluate(&q, &store);
         for approach in [
@@ -189,10 +188,9 @@ mod tests {
 
     #[test]
     fn tight_disk_fails_relational_only() {
-        let q = rdf_query::parse_query(
-            "SELECT * WHERE { ?g <label> ?l . ?g ?p ?go . ?go <gl> ?x . }",
-        )
-        .unwrap();
+        let q =
+            rdf_query::parse_query("SELECT * WHERE { ?g <label> ?l . ?g ?p ?go . ?go <gl> ?x . }")
+                .unwrap();
         let store = store();
         // Just enough room for input + tiny intermediates.
         let cfg = ClusterConfig { replication: 1, ..Default::default() }.tight_disk(&store, 1.6);

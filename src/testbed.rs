@@ -423,8 +423,7 @@ mod tests {
     #[test]
     fn b4_unbound_object_is_not_the_join_var() {
         let b4 = b_series().into_iter().find(|q| q.id == "B4").unwrap();
-        let join_vars: Vec<String> =
-            b4.query.join_edges().iter().map(|e| e.var.clone()).collect();
+        let join_vars: Vec<String> = b4.query.join_edges().iter().map(|e| e.var.clone()).collect();
         assert!(!join_vars.contains(&"any".to_string()));
     }
 

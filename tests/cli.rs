@@ -159,7 +159,13 @@ fn unknown_approach_is_an_error() {
     let data = dir.join("d.nt");
     let query = dir.join("q.rq");
     run_ok(cli().args([
-        "generate", "--dataset", "bsbm", "--scale", "5", "--out", data.to_str().unwrap(),
+        "generate",
+        "--dataset",
+        "bsbm",
+        "--scale",
+        "5",
+        "--out",
+        data.to_str().unwrap(),
     ]));
     std::fs::write(&query, "SELECT * WHERE { ?s <rdfs:label> ?l . }").unwrap();
     let out = cli()

@@ -74,10 +74,7 @@ fn query_results_survive_task_failures() {
     assert!(retries > 0, "p=0.4 should have forced retries");
     assert_eq!(faulty.solutions.unwrap(), gold, "faults changed the results");
     // Byte counters unchanged: failed attempts ship nothing.
-    assert_eq!(
-        clean.stats.total_write_bytes(),
-        faulty.stats.total_write_bytes()
-    );
+    assert_eq!(clean.stats.total_write_bytes(), faulty.stats.total_write_bytes());
 }
 
 #[test]

@@ -40,14 +40,8 @@ fn shapes() -> Vec<(&'static str, Query)> {
         ("os-join-bound", "SELECT * WHERE { ?a <p0> ?b . ?b <p1> ?y . }"),
         ("os-join-unbound", "SELECT * WHERE { ?a <p0> ?x . ?a ?u ?b . ?b <p1> ?y . }"),
         ("oo-join", "SELECT * WHERE { ?a <p0> ?v . ?b <p1> ?v . ?b <p2> ?w . }"),
-        (
-            "unbound-outside-join",
-            "SELECT * WHERE { ?a <p0> ?b . ?a ?u ?any . ?b <p1> ?y . }",
-        ),
-        (
-            "projection",
-            "SELECT ?a WHERE { ?a <p0> ?x . ?a ?u ?b . ?b <p1> ?y . }",
-        ),
+        ("unbound-outside-join", "SELECT * WHERE { ?a <p0> ?b . ?a ?u ?any . ?b <p1> ?y . }"),
+        ("projection", "SELECT ?a WHERE { ?a <p0> ?x . ?a ?u ?b . ?b <p1> ?y . }"),
     ];
     texts
         .into_iter()

@@ -99,6 +99,30 @@ fn replication_doubles_disk_pressure() {
 }
 
 #[test]
+fn map_only_jobs_respect_the_aggregate_disk_budget() {
+    // Each map-only task checks its own output against the job's disk
+    // budget; the engine must also re-check the aggregate across tasks
+    // (as the reduce phase does), otherwise N tasks can each stay under
+    // budget while together exceeding it.
+    use mrsim::{map_only_fn, Engine, JobSpec, SimHdfs, TypedOutEmitter};
+
+    // 3000 × 6-byte rows = 18 000 B of input; at 4 workers the engine
+    // splits this into 1024-record tasks, each emitting ~6 kB — every
+    // task fits the 10 000 B budget alone, but the 18 000 B aggregate
+    // does not. Output compression (0.4 → 7 200 B stored) would let the
+    // final write squeak through, so only the aggregate early-abort can
+    // fail this job.
+    let engine = Engine::new(SimHdfs::new(28_000, 1)).with_workers(4);
+    engine.put_records("input", (0..3000).map(|_| "wwwww".to_string())).unwrap();
+    let mapper = map_only_fn(|w: String, out: &mut TypedOutEmitter<'_, String>| out.emit(&w));
+    let spec = JobSpec::map_only("identity", vec!["input".into()], mapper, "out")
+        .with_output_compression(0.4);
+    let err = engine.run_job(&spec).unwrap_err();
+    assert!(err.is_disk_full(), "{err:?}");
+    assert!(!engine.hdfs().lock().exists("out"));
+}
+
+#[test]
 fn peak_disk_usage_is_reported() {
     let b1 = ntga::testbed::b_series().into_iter().find(|q| q.id == "B1").unwrap();
     let store = bsbm();

@@ -38,13 +38,7 @@ fn check_all(queries: &[TestQuery], store: &TripleStore) {
             let run = run_query(approach, &engine, &tq.query, &tq.id, true)
                 .unwrap_or_else(|e| panic!("{}/{:?}: {e}", tq.id, approach));
             assert!(run.succeeded(), "{}/{:?}: {:?}", tq.id, approach, run.stats.failure);
-            assert_eq!(
-                run.solutions.unwrap(),
-                gold,
-                "{}/{:?}: wrong solutions",
-                tq.id,
-                approach
-            );
+            assert_eq!(run.solutions.unwrap(), gold, "{}/{:?}: wrong solutions", tq.id, approach);
         }
     }
 }
@@ -85,7 +79,8 @@ fn ntga_cycle_counts_beat_relational() {
             continue;
         }
         let engine = ClusterConfig::default().engine_with(&store);
-        let ntga_run = run_query(Approach::NtgaAuto(64), &engine, &tq.query, &tq.id, false).unwrap();
+        let ntga_run =
+            run_query(Approach::NtgaAuto(64), &engine, &tq.query, &tq.id, false).unwrap();
         assert_eq!(ntga_run.stats.mr_cycles, 2, "{}", tq.id);
         assert_eq!(ntga_run.stats.full_scans, 1, "{}", tq.id);
 
@@ -117,11 +112,7 @@ fn lazy_unnest_writes_less_on_unbound_queries() {
         let lazy = writes["LazyUnnest-full"];
         let eager = writes["EagerUnnest"];
         assert!(lazy <= eager, "{}: lazy {lazy} > eager {eager}", tq.id);
-        assert!(
-            lazy < hive,
-            "{}: lazy {lazy} >= hive {hive} (expected large savings)",
-            tq.id
-        );
+        assert!(lazy < hive, "{}: lazy {lazy} >= hive {hive} (expected large savings)", tq.id);
     }
 }
 

@@ -1,0 +1,93 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! The container this workspace builds in has no crates.io access, so the
+//! workspace vendors the tiny `Buf`/`BufMut` subset it actually uses:
+//! cursor-style reads over `&[u8]` and little-endian appends to `Vec<u8>`.
+//! Semantics match the real crate for these methods (including panics on
+//! short reads — callers in `mrsim` bounds-check first).
+
+/// Read-side cursor abstraction (subset of `bytes::Buf`).
+pub trait Buf {
+    /// Bytes remaining to read.
+    fn remaining(&self) -> usize;
+    /// Read one byte, advancing the cursor.
+    fn get_u8(&mut self) -> u8;
+    /// Read a little-endian `u32`, advancing the cursor.
+    fn get_u32_le(&mut self) -> u32;
+    /// Read a little-endian `u64`, advancing the cursor.
+    fn get_u64_le(&mut self) -> u64;
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        let (head, tail) = self.split_at(1);
+        *self = tail;
+        head[0]
+    }
+
+    fn get_u32_le(&mut self) -> u32 {
+        let (head, tail) = self.split_at(4);
+        *self = tail;
+        u32::from_le_bytes(head.try_into().expect("4-byte slice"))
+    }
+
+    fn get_u64_le(&mut self) -> u64 {
+        let (head, tail) = self.split_at(8);
+        *self = tail;
+        u64::from_le_bytes(head.try_into().expect("8-byte slice"))
+    }
+}
+
+/// Write-side abstraction (subset of `bytes::BufMut`).
+pub trait BufMut {
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8);
+    /// Append a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32);
+    /// Append a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64);
+    /// Append a byte slice.
+    fn put_slice(&mut self, src: &[u8]);
+}
+
+impl BufMut for Vec<u8> {
+    fn put_u8(&mut self, v: u8) {
+        self.push(v);
+    }
+
+    fn put_u32_le(&mut self, v: u32) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_u64_le(&mut self, v: u64) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_le() {
+        let mut buf = Vec::new();
+        buf.put_u8(7);
+        buf.put_u32_le(0xDEAD_BEEF);
+        buf.put_u64_le(0x0123_4567_89AB_CDEF);
+        buf.put_slice(b"xy");
+        let mut r: &[u8] = &buf;
+        assert_eq!(r.remaining(), 15);
+        assert_eq!(r.get_u8(), 7);
+        assert_eq!(r.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64_le(), 0x0123_4567_89AB_CDEF);
+        assert_eq!(r, b"xy");
+    }
+}

@@ -1,0 +1,201 @@
+//! Offline stand-in for `criterion`.
+//!
+//! A minimal wall-clock micro-benchmark harness exposing the API shape the
+//! workspace's benches use (`bench_function`, `benchmark_group`,
+//! `bench_with_input`, `BenchmarkId`, `criterion_group!`/`criterion_main!`).
+//! Measurement is simple and honest rather than statistical: after a short
+//! calibration, each benchmark runs for a fixed time budget and reports
+//! mean/min iteration time to stdout. No HTML reports, no saved baselines.
+//!
+//! Set `CRITERION_STUB_BUDGET_MS` to change the per-benchmark measurement
+//! budget (default 300 ms; calibration adds a few iterations on top).
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+fn budget() -> Duration {
+    let ms = std::env::var("CRITERION_STUB_BUDGET_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(300u64);
+    Duration::from_millis(ms)
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A two-part id: `name/parameter`.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId { label: format!("{name}/{parameter}") }
+    }
+
+    /// An id carrying only a parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { label: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { label: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+/// Timing handle passed to benchmark closures.
+pub struct Bencher {
+    /// Mean nanoseconds per iteration over the measured batch.
+    mean_ns: f64,
+    /// Fastest single iteration observed, nanoseconds.
+    min_ns: f64,
+    /// Iterations measured.
+    iters: u64,
+}
+
+impl Bencher {
+    /// Run `f` repeatedly under the time budget and record statistics.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Calibrate: one untimed warm-up, then time a single iteration to
+        // size batches.
+        std::hint::black_box(f());
+        let once = {
+            let t = Instant::now();
+            std::hint::black_box(f());
+            t.elapsed()
+        };
+        let budget = budget();
+        let per_iter = once.max(Duration::from_nanos(20));
+        let batch = (budget.as_nanos() / 20 / per_iter.as_nanos()).clamp(1, 10_000) as u64;
+        let deadline = Instant::now() + budget;
+        let mut total = Duration::ZERO;
+        let mut min = Duration::MAX;
+        let mut iters = 0u64;
+        while Instant::now() < deadline {
+            let t = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            let elapsed = t.elapsed();
+            total += elapsed;
+            min = min.min(elapsed / batch as u32);
+            iters += batch;
+        }
+        self.mean_ns = total.as_nanos() as f64 / iters as f64;
+        self.min_ns = min.as_nanos() as f64;
+        self.iters = iters;
+    }
+}
+
+fn human_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn run_one(label: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher { mean_ns: 0.0, min_ns: 0.0, iters: 0 };
+    f(&mut b);
+    println!(
+        "{label:<50} mean {:>12}  min {:>12}  ({} iters)",
+        human_ns(b.mean_ns),
+        human_ns(b.min_ns),
+        b.iters
+    );
+}
+
+/// The top-level harness handle.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Run one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_one(id, &mut f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _parent: self, name: name.to_string() }
+    }
+
+    /// Accepted for source compatibility; CLI args are ignored.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for source compatibility; the stub sizes batches by time
+    /// budget, not sample counts.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        run_one(&format!("{}/{}", self.name, id.label), &mut f);
+        self
+    }
+
+    /// Run one benchmark that borrows a shared input.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id.label), &mut |b| f(b, input));
+        self
+    }
+
+    /// Finish the group (no-op; present for source compatibility).
+    pub fn finish(self) {}
+}
+
+/// Collect benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emit a `main` that runs the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,252 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the strategy combinators and macros this workspace's
+//! property tests use, on a deterministic per-test RNG. Differences from
+//! real proptest, by design:
+//!
+//! * **No shrinking.** A failing case reports its generated inputs via
+//!   `Debug` but is not minimized.
+//! * **No persistence.** `*.proptest-regressions` seed files are neither
+//!   read nor written (their hashed seeds only replay under the real
+//!   crate). Known regressions must therefore also be pinned as explicit
+//!   unit tests — which this workspace does.
+//! * Generation is seeded from the test's module path and name, so runs
+//!   are reproducible without any external state.
+//!
+//! Supported surface: `proptest!` (with optional `#![proptest_config]`),
+//! `prop_assert!`/`prop_assert_eq!`, integer range strategies, regex-subset
+//! string strategies (`"[a-z][a-z0-9]{0,8}"` style), tuples, `Just`,
+//! `Union`, `prop_map`/`prop_flat_map`/`boxed`, `collection::vec`,
+//! `sample::select`/`subsequence`, and `option::of`.
+
+pub mod strategy;
+
+pub mod test_runner;
+
+/// `prop::collection` — collection strategies.
+pub mod collection {
+    use crate::strategy::{SizeBounds, Strategy};
+    use crate::test_runner::TestRng;
+
+    /// Strategy for `Vec<S::Value>` with length drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        min: usize,
+        max: usize,
+    }
+
+    /// Generate vectors of values from `element` with length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl SizeBounds) -> VecStrategy<S> {
+        let (min, max) = size.bounds();
+        VecStrategy { element, min, max }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = rng.usize_in(self.min, self.max);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// `prop::sample` — sampling from explicit value sets.
+pub mod sample {
+    use crate::strategy::{SizeBounds, Strategy};
+    use crate::test_runner::TestRng;
+
+    /// Strategy choosing one element of a fixed vector.
+    pub struct Select<T> {
+        choices: Vec<T>,
+    }
+
+    /// Choose uniformly from `choices`.
+    ///
+    /// # Panics
+    /// Panics at generation time if `choices` is empty.
+    pub fn select<T: Clone>(choices: Vec<T>) -> Select<T> {
+        Select { choices }
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            assert!(!self.choices.is_empty(), "select() needs at least one choice");
+            self.choices[rng.usize_in(0, self.choices.len() - 1)].clone()
+        }
+    }
+
+    /// Strategy choosing an order-preserving subsequence of a fixed vector.
+    pub struct Subsequence<T> {
+        source: Vec<T>,
+        min: usize,
+        max: usize,
+    }
+
+    /// Choose a subsequence of `source` (order preserved) whose length lies
+    /// in `size`.
+    pub fn subsequence<T: Clone>(source: Vec<T>, size: impl SizeBounds) -> Subsequence<T> {
+        let (min, max) = size.bounds();
+        Subsequence { source, min, max }
+    }
+
+    impl<T: Clone> Strategy for Subsequence<T> {
+        type Value = Vec<T>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<T> {
+            let n = self.source.len();
+            let k = rng.usize_in(self.min.min(n), self.max.min(n));
+            // Draw k distinct indices, then emit in source order.
+            let mut picked = vec![false; n];
+            let mut chosen = 0;
+            while chosen < k {
+                let i = rng.usize_in(0, n - 1);
+                if !picked[i] {
+                    picked[i] = true;
+                    chosen += 1;
+                }
+            }
+            self.source.iter().zip(&picked).filter(|(_, &p)| p).map(|(v, _)| v.clone()).collect()
+        }
+    }
+}
+
+/// `prop::option` — optional-value strategies.
+pub mod option {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy for `Option<S::Value>`.
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// Generate `Some` of the inner strategy's values ~75 % of the time,
+    /// `None` otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            if rng.usize_in(0, 3) == 0 {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+}
+
+/// The conventional prelude. `prop` re-exports the strategy modules under
+/// the name the real crate's prelude uses.
+pub mod prelude {
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+
+    /// Namespace alias matching `proptest::prelude::prop`.
+    pub mod prop {
+        pub use crate::{collection, option, sample, strategy};
+    }
+}
+
+/// Assert a condition inside a `proptest!` body, failing the case (with
+/// its generated inputs reported) instead of panicking outright.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Assert equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{:?}` != `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{:?}` != `{:?}`: {}",
+            left,
+            right,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+/// Define property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running the body over `config.cases` generated
+/// inputs.
+#[macro_export]
+macro_rules! proptest {
+    (@impl ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let strategies = ($( $strat, )+);
+                #[allow(non_snake_case)]
+                let ($( $arg, )+) = &strategies;
+                for case in 0..config.cases {
+                    let mut rng = $crate::test_runner::TestRng::for_case(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        u64::from(case),
+                    );
+                    $(
+                        let $arg = $crate::strategy::Strategy::generate($arg, &mut rng);
+                    )+
+                    let inputs = format!(
+                        concat!($("\n  ", stringify!($arg), " = {:?}",)+),
+                        $(&$arg,)+
+                    );
+                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (move || {
+                            $body
+                            #[allow(unreachable_code)]
+                            ::std::result::Result::Ok(())
+                        })();
+                    if let ::std::result::Result::Err(e) = outcome {
+                        panic!(
+                            "proptest case {}/{} failed: {}\ninputs:{}",
+                            case + 1,
+                            config.cases,
+                            e,
+                            inputs
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl ($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(
+            @impl ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        );
+    };
+}

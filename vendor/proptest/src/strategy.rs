@@ -1,0 +1,395 @@
+//! Strategies: composable random-value generators.
+//!
+//! The [`Strategy`] trait and the combinators the workspace's tests use.
+//! Generation is pure: a strategy plus a [`TestRng`] state yields a value;
+//! there is no shrinking tree.
+
+use crate::test_runner::TestRng;
+use std::ops::{Range, RangeInclusive};
+
+/// A generator of random values of type `Self::Value`.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Map generated values through `f`.
+    fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> T,
+    {
+        Map { source: self, f }
+    }
+
+    /// Generate a value, then generate from the strategy `f` builds from
+    /// it (dependent generation).
+    fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S2: Strategy,
+        F: Fn(Self::Value) -> S2,
+    {
+        FlatMap { source: self, f }
+    }
+
+    /// Erase the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// Always generates a clone of the wrapped value.
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S, F, T> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.source.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S, F, S2> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.source.generate(rng)).generate(rng)
+    }
+}
+
+trait DynStrategy<T> {
+    fn generate_dyn(&self, rng: &mut TestRng) -> T;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+/// A type-erased strategy (see [`Strategy::boxed`]).
+pub struct BoxedStrategy<T>(Box<dyn DynStrategy<T>>);
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate_dyn(rng)
+    }
+}
+
+/// Picks uniformly among several boxed strategies of the same value type.
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Build a union over the given strategies.
+    ///
+    /// # Panics
+    /// Panics if `options` is empty.
+    pub fn new(options: impl IntoIterator<Item = BoxedStrategy<T>>) -> Self {
+        let options: Vec<_> = options.into_iter().collect();
+        assert!(!options.is_empty(), "Union needs at least one option");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.usize_in(0, self.options.len() - 1);
+        self.options[i].generate(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = (rng.next_u64() as u128) % span;
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range strategy");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                let v = (rng.next_u64() as u128) % span;
+                (start as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+}
+
+// ---------------------------------------------------------------------------
+// Regex-subset string strategies
+// ---------------------------------------------------------------------------
+
+/// A `&str` is a strategy generating strings matching it as a regex.
+///
+/// Supported subset (all this workspace's patterns need): literal
+/// characters, character classes `[a-z0-9_-]` with ranges and literals
+/// (`-` last is literal), and `{min,max}` / `{n}` repetition after a class
+/// or literal.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let elements = parse_pattern(self);
+        let mut out = String::new();
+        for (choices, min, max) in &elements {
+            let reps = rng.usize_in(*min, *max);
+            for _ in 0..reps {
+                out.push(pick_char(choices, rng));
+            }
+        }
+        out
+    }
+}
+
+/// One atom of the pattern: allowed char spans plus repetition bounds.
+type Element = (Vec<(char, char)>, usize, usize);
+
+fn parse_pattern(pat: &str) -> Vec<Element> {
+    let chars: Vec<char> = pat.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let spans = if chars[i] == '[' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == ']')
+                .unwrap_or_else(|| panic!("unclosed [ in pattern {pat:?}"));
+            let inner = &chars[i + 1..i + close];
+            i += close + 1;
+            parse_class(inner, pat)
+        } else {
+            let c = chars[i];
+            i += 1;
+            vec![(c, c)]
+        };
+        let (min, max) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .unwrap_or_else(|| panic!("unclosed {{ in pattern {pat:?}"));
+            let body: String = chars[i + 1..i + close].iter().collect();
+            i += close + 1;
+            match body.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse().expect("repetition lower bound"),
+                    hi.trim().parse().expect("repetition upper bound"),
+                ),
+                None => {
+                    let n = body.trim().parse().expect("repetition count");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        out.push((spans, min, max));
+    }
+    out
+}
+
+fn parse_class(inner: &[char], pat: &str) -> Vec<(char, char)> {
+    assert!(!inner.is_empty(), "empty character class in pattern {pat:?}");
+    let mut spans = Vec::new();
+    let mut j = 0;
+    while j < inner.len() {
+        if j + 2 < inner.len() && inner[j + 1] == '-' {
+            spans.push((inner[j], inner[j + 2]));
+            j += 3;
+        } else if j + 2 == inner.len() && inner[j + 1] == '-' {
+            // `-` before the closing bracket with a range end present.
+            spans.push((inner[j], inner[j])); // left char literal
+            spans.push(('-', '-'));
+            j += 2;
+        } else {
+            spans.push((inner[j], inner[j]));
+            j += 1;
+        }
+    }
+    spans
+}
+
+fn pick_char(spans: &[(char, char)], rng: &mut TestRng) -> char {
+    let total: u32 = spans.iter().map(|&(lo, hi)| hi as u32 - lo as u32 + 1).sum();
+    let mut pick = rng.usize_in(0, total as usize - 1) as u32;
+    for &(lo, hi) in spans {
+        let width = hi as u32 - lo as u32 + 1;
+        if pick < width {
+            return char::from_u32(lo as u32 + pick).expect("span stays in valid chars");
+        }
+        pick -= width;
+    }
+    unreachable!("pick within total width")
+}
+
+/// Length bounds accepted by sized strategies (`collection::vec`,
+/// `sample::subsequence`).
+pub trait SizeBounds {
+    /// `(min, max)` inclusive.
+    fn bounds(&self) -> (usize, usize);
+}
+
+impl SizeBounds for Range<usize> {
+    fn bounds(&self) -> (usize, usize) {
+        assert!(self.start < self.end, "empty size range");
+        (self.start, self.end - 1)
+    }
+}
+
+impl SizeBounds for RangeInclusive<usize> {
+    fn bounds(&self) -> (usize, usize) {
+        (*self.start(), *self.end())
+    }
+}
+
+impl SizeBounds for usize {
+    fn bounds(&self) -> (usize, usize) {
+        (*self, *self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::for_case("strategy-tests", 0)
+    }
+
+    #[test]
+    fn ranges_and_tuples() {
+        let mut r = rng();
+        for _ in 0..500 {
+            let v = (1usize..5).generate(&mut r);
+            assert!((1..5).contains(&v));
+            let w = (1u64..=3).generate(&mut r);
+            assert!((1..=3).contains(&w));
+            let (a, b) = ((0u32..2), (0i32..2)).generate(&mut r);
+            assert!(a < 2 && b < 2);
+        }
+    }
+
+    #[test]
+    fn regex_subset_shapes() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = "[a-z][a-z0-9]{0,8}".generate(&mut r);
+            assert!(!s.is_empty() && s.len() <= 9, "{s:?}");
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+            let printable = "[ -~]{0,60}".generate(&mut r);
+            assert!(printable.len() <= 60);
+            assert!(printable.chars().all(|c| (' '..='~').contains(&c)));
+            let trailing_dash = "[a-zA-Z0-9_-]{1,5}".generate(&mut r);
+            assert!(trailing_dash
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-'));
+        }
+    }
+
+    #[test]
+    fn union_map_flat_map_boxed() {
+        let mut r = rng();
+        let u = Union::new([Just(1u8).boxed(), Just(2u8).boxed()]);
+        let mapped = (0u8..3).prop_map(|v| v * 10);
+        let flat = (1usize..3).prop_flat_map(|n| crate::collection::vec(Just(n), n..n + 1));
+        for _ in 0..100 {
+            assert!(matches!(u.generate(&mut r), 1 | 2));
+            assert!(matches!(mapped.generate(&mut r), 0 | 10 | 20));
+            let v = flat.generate(&mut r);
+            assert!(!v.is_empty() && v.iter().all(|&x| x == v.len()));
+        }
+    }
+
+    #[test]
+    fn sample_and_option() {
+        let mut r = rng();
+        let sel = crate::sample::select(vec!["a", "b"]);
+        let sub = crate::sample::subsequence(vec![1, 2, 3, 4], 1..=2);
+        let opt = crate::option::of(Just(7u8));
+        let mut nones = 0;
+        for _ in 0..200 {
+            assert!(matches!(sel.generate(&mut r), "a" | "b"));
+            let s = sub.generate(&mut r);
+            assert!((1..=2).contains(&s.len()));
+            assert!(s.windows(2).all(|w| w[0] < w[1]), "order preserved: {s:?}");
+            if opt.generate(&mut r).is_none() {
+                nones += 1;
+            }
+        }
+        assert!(nones > 10 && nones < 120, "none count {nones}");
+    }
+}

@@ -1,0 +1,123 @@
+//! Test-runner plumbing: deterministic per-case RNG, run configuration,
+//! and the failure type `prop_assert!` produces.
+
+/// Configuration for a `proptest!` block.
+///
+/// Mirrors the (stable subset of the) real crate's struct so call sites
+/// like `ProptestConfig { cases: 24, ..ProptestConfig::default() }` work
+/// unchanged.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+    /// Accepted for source compatibility; shrinking is not implemented.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        let cases =
+            std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(256);
+        ProptestConfig { cases, max_shrink_iters: 0 }
+    }
+}
+
+/// Why a single generated case failed.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The property does not hold for the generated inputs.
+    Fail(String),
+    /// The inputs were rejected (not used by this workspace, kept for
+    /// source compatibility).
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// Build a failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// Build a rejection with the given message.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "{m}"),
+            TestCaseError::Reject(m) => write!(f, "input rejected: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Deterministic RNG driving generation: splitmix64 seeded from the test's
+/// fully-qualified name and case index, so every run of the suite sees the
+/// same inputs with no persisted state.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// RNG for case number `case` of the test named `name`.
+    pub fn for_case(name: &str, case: u64) -> Self {
+        let seed = fnv1a(name.as_bytes()) ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        TestRng { state: seed ^ 0x6A09_E667_F3BC_C908 }
+    }
+
+    /// Next 64 uniform bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `usize` in `[min, max]` (inclusive).
+    pub fn usize_in(&mut self, min: usize, max: usize) -> usize {
+        debug_assert!(min <= max);
+        let span = (max - min) as u128 + 1;
+        min + ((self.next_u64() as u128) % span) as usize
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_case_streams_are_deterministic_and_distinct() {
+        let draw = |case| TestRng::for_case("t", case).next_u64();
+        assert_eq!(draw(0), draw(0));
+        assert_ne!(draw(0), draw(1));
+        assert_ne!(TestRng::for_case("a", 0).next_u64(), TestRng::for_case("b", 0).next_u64());
+    }
+
+    #[test]
+    fn usize_in_covers_inclusive_bounds() {
+        let mut rng = TestRng::for_case("bounds", 0);
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            seen[rng.usize_in(0, 2)] = true;
+        }
+        assert_eq!(seen, [true; 3]);
+        assert_eq!(rng.usize_in(5, 5), 5);
+    }
+}
