@@ -35,7 +35,7 @@ fn anntg_with_candidates(n: usize) -> ntga_core::AnnTg {
         subject: "<gene9>".into(),
         ec: 0,
         bound: vec![("<rdfs:label>".into(), vec!["\"retinoid receptor\"".into()])],
-        unbound: vec![(0..n).map(|i| ("<bio:xRef>".to_string(), format!("<ref{i}>"))).collect()],
+        unbound: vec![(0..n).map(|i| ("<bio:xRef>".into(), format!("<ref{i}>").into())).collect()],
     }
 }
 

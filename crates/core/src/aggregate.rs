@@ -19,6 +19,7 @@ use crate::tg::TgTuple;
 use mrsim::{
     combine_fn, map_fn, reduce_fn, InputBinding, JobSpec, TypedMapEmitter, TypedOutEmitter,
 };
+use rdf_model::atom::Atom;
 use std::collections::BTreeMap;
 
 /// Bag-semantics solution count of a joined triplegroup relation, computed
@@ -33,7 +34,7 @@ pub fn solution_count_fast(tuples: &[TgTuple]) -> u64 {
 
 /// Per-group bag counts, grouped by the subject of tuple component
 /// `component` (a `GROUP BY ?subjectVar COUNT(*)`).
-pub fn group_count_by_subject(tuples: &[TgTuple], component: usize) -> BTreeMap<String, u64> {
+pub fn group_count_by_subject(tuples: &[TgTuple], component: usize) -> BTreeMap<Atom, u64> {
     let mut out = BTreeMap::new();
     for t in tuples {
         if let Some(tg) = t.0.get(component) {
@@ -57,21 +58,21 @@ pub fn count_job(
     component: usize,
     output: impl Into<String>,
 ) -> JobSpec {
-    let mapper = map_fn(move |t: TgTuple, out: &mut TypedMapEmitter<'_, String, u64>| {
+    let mapper = map_fn(move |t: TgTuple, out: &mut TypedMapEmitter<'_, Atom, u64>| {
         let Some(tg) = t.0.get(component) else {
             return Err(mrsim::MrError::Op("count component out of range".into()));
         };
         let combos: u64 = t.0.iter().map(|c| c.combination_count()).product();
-        out.emit(&tg.subject.clone(), &combos);
+        out.emit(&tg.subject, &combos);
         Ok(())
     });
     let combiner =
-        combine_fn(|key: String, counts: Vec<u64>, out: &mut TypedMapEmitter<'_, String, u64>| {
+        combine_fn(|key: Atom, counts: Vec<u64>, out: &mut TypedMapEmitter<'_, Atom, u64>| {
             out.emit(&key, &counts.iter().sum());
             Ok(())
         });
     let reducer =
-        reduce_fn(|key: String, counts: Vec<u64>, out: &mut TypedOutEmitter<'_, (String, u64)>| {
+        reduce_fn(|key: Atom, counts: Vec<u64>, out: &mut TypedOutEmitter<'_, (Atom, u64)>| {
             out.emit(&(key, counts.iter().sum()))
         });
     JobSpec::map_reduce(
@@ -170,7 +171,7 @@ mod tests {
         let input = names.iter().filter(|n| n.contains("agg")).max().unwrap().clone();
         let job = count_job("count", &input, 0, "counts");
         let stats = engine.run_job(&job).unwrap();
-        let rows: Vec<(String, u64)> = engine.read_records("counts").unwrap();
+        let rows: Vec<(Atom, u64)> = engine.read_records("counts").unwrap();
         let total: u64 = rows.iter().map(|(_, c)| c).sum();
         assert_eq!(total, solution_count_fast(&tuples));
         // The shuffle carried at most one pair per (map task, subject) —

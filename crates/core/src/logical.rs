@@ -19,6 +19,7 @@
 //!   candidates landing in the same reducer partition stay nested.
 
 use crate::tg::AnnTg;
+use rdf_model::atom::Atom;
 use rdf_model::STriple;
 use rdf_query::{PropPattern, StarPattern};
 use std::collections::BTreeMap;
@@ -28,17 +29,18 @@ use std::collections::BTreeMap;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TripleGroup {
     /// The common subject token.
-    pub subject: String,
+    pub subject: Atom,
     /// All `(property, object)` pairs, in input order.
-    pub pairs: Vec<(String, String)>,
+    pub pairs: Vec<(Atom, Atom)>,
 }
 
 /// `γ`: group triples into subject triplegroups (deterministic subject
-/// order).
+/// order). Tokens are shared with the input triples (`Atom` clones), not
+/// re-allocated per group.
 pub fn group_by_subject<'a>(triples: impl IntoIterator<Item = &'a STriple>) -> Vec<TripleGroup> {
-    let mut map: BTreeMap<String, Vec<(String, String)>> = BTreeMap::new();
+    let mut map: BTreeMap<Atom, Vec<(Atom, Atom)>> = BTreeMap::new();
     for t in triples {
-        map.entry(t.s.to_string()).or_default().push((t.p.to_string(), t.o.to_string()));
+        map.entry(t.s.clone()).or_default().push((t.p.clone(), t.o.clone()));
     }
     map.into_iter().map(|(subject, pairs)| TripleGroup { subject, pairs }).collect()
 }
@@ -56,10 +58,10 @@ pub fn match_star(tg: &TripleGroup, star: &StarPattern, ec: u64) -> Option<AnnTg
     let mut bound = Vec::new();
     for pat in star.bound_patterns() {
         let prop = match &pat.property {
-            PropPattern::Bound(p) => p.to_string(),
+            PropPattern::Bound(p) => p.clone(),
             PropPattern::Unbound(_) => unreachable!("bound_patterns returned unbound"),
         };
-        let objs: Vec<String> = tg
+        let objs: Vec<Atom> = tg
             .pairs
             .iter()
             .filter(|(p, o)| *p == prop && pat.object.accepts(o))
@@ -72,7 +74,7 @@ pub fn match_star(tg: &TripleGroup, star: &StarPattern, ec: u64) -> Option<AnnTg
     }
     let mut unbound = Vec::new();
     for pat in star.unbound_patterns() {
-        let cands: Vec<(String, String)> =
+        let cands: Vec<(Atom, Atom)> =
             tg.pairs.iter().filter(|(_, o)| pat.object.accepts(o)).cloned().collect();
         if cands.is_empty() {
             return None;
@@ -110,7 +112,10 @@ pub fn beta_unnest(tg: &AnnTg) -> Vec<AnnTg> {
     if dims.contains(&0) {
         return Vec::new();
     }
-    let mut out = Vec::new();
+    // One output per candidate combination; reserve up front (capped so a
+    // pathological cross product can't balloon the initial allocation).
+    let combos = dims.iter().copied().fold(1usize, |a, b| a.saturating_mul(b));
+    let mut out = Vec::with_capacity(combos.min(1 << 20));
     let mut cursor = vec![0usize; dims.len()];
     loop {
         let unbound =
@@ -144,7 +149,7 @@ pub fn beta_unnest(tg: &AnnTg) -> Vec<AnnTg> {
 /// map-output redundancy becomes a function of `m` instead of the
 /// candidate count. Other unbound patterns are left untouched.
 pub fn partial_beta_unnest(tg: &AnnTg, u: usize, phi: impl Fn(&str) -> u64) -> Vec<(u64, AnnTg)> {
-    let mut parts: BTreeMap<u64, Vec<(String, String)>> = BTreeMap::new();
+    let mut parts: BTreeMap<u64, Vec<(Atom, Atom)>> = BTreeMap::new();
     for (p, o) in &tg.unbound[u] {
         parts.entry(phi(o)).or_default().push((p.clone(), o.clone()));
     }
@@ -189,7 +194,7 @@ mod tests {
         let ts = triples();
         let tgs = group_by_subject(&ts);
         assert_eq!(tgs.len(), 2);
-        assert_eq!(tgs[0].subject, "<g1>");
+        assert_eq!(&*tgs[0].subject, "<g1>");
         assert_eq!(tgs[0].pairs.len(), 4);
         assert_eq!(tgs[1].pairs.len(), 1);
     }

@@ -73,7 +73,7 @@ mod tests {
             ec: 0,
             bound: vec![("<label>".into(), vec!["\"retinoid\"".into()])],
             unbound: vec![(0..n_unbound)
-                .map(|i| ("<xRef>".to_string(), format!("<ref{i}>")))
+                .map(|i| ("<xRef>".into(), format!("<ref{i}>").into()))
                 .collect()],
         }
     }

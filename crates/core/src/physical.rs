@@ -19,7 +19,7 @@ use crate::logical::{match_star, partial_beta_unnest, TripleGroup};
 use crate::tg::{AnnTg, TgTuple};
 use mr_rdf::TripleRec;
 use mrsim::{map_fn, reduce_fn, InputBinding, JobSpec, MrError, TypedMapEmitter, TypedOutEmitter};
-use rdf_model::atom::fnv1a;
+use rdf_model::atom::{atom, fnv1a, Atom};
 use rdf_query::{Query, StarPattern};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -51,7 +51,7 @@ pub fn group_filter_job(
     assert_eq!(outputs.len(), query.stars.len(), "one output per star");
     let stars_map = query.stars.clone();
     let mapper =
-        map_fn(move |rec: TripleRec, out: &mut TypedMapEmitter<'_, String, (String, String)>| {
+        map_fn(move |rec: TripleRec, out: &mut TypedMapEmitter<'_, Atom, (Atom, Atom)>| {
             let t = &rec.0;
             // Map-side relevance filter: ship the triple only if it can
             // match some pattern of some star (this is where
@@ -62,15 +62,13 @@ pub fn group_filter_job(
                     && star.patterns.iter().any(|p| p.matches_structurally(t))
             });
             if relevant {
-                out.emit(&t.s.to_string(), &(t.p.to_string(), t.o.to_string()));
+                out.emit(&t.s, &(t.p.clone(), t.o.clone()));
             }
             Ok(())
         });
     let stars_red = query.stars.clone();
     let reducer = reduce_fn(
-        move |subject: String,
-              pairs: Vec<(String, String)>,
-              out: &mut TypedOutEmitter<'_, TgTuple>| {
+        move |subject: Atom, pairs: Vec<(Atom, Atom)>, out: &mut TypedOutEmitter<'_, TgTuple>| {
             let tg = TripleGroup { subject, pairs };
             for (i, star) in stars_red.iter().enumerate() {
                 if let Some(ann) = match_star(&tg, star, i as u64) {
@@ -141,7 +139,7 @@ pub fn role_of(star: &StarPattern, var: &str) -> Option<JoinRole> {
 /// under a role. Pinning fixes the joined position to the key's match and
 /// leaves everything else nested (the full β-unnest of `TG_UnbJoin` when
 /// the role is [`JoinRole::UnboundObj`]).
-pub fn join_expansions(tg: &AnnTg, role: JoinRole) -> Vec<(String, AnnTg)> {
+pub fn join_expansions(tg: &AnnTg, role: JoinRole) -> Vec<(Atom, AnnTg)> {
     match role {
         JoinRole::Subject => vec![(tg.subject.clone(), tg.clone())],
         JoinRole::BoundObj(b) => tg.bound[b]
@@ -170,7 +168,7 @@ pub fn partial_expansions(tg: &AnnTg, role: JoinRole, m: u64) -> Vec<(u64, AnnTg
     match role {
         JoinRole::Subject => vec![(phi(&tg.subject, m), tg.clone())],
         JoinRole::BoundObj(b) => {
-            let mut parts: std::collections::BTreeMap<u64, Vec<String>> = Default::default();
+            let mut parts: std::collections::BTreeMap<u64, Vec<Atom>> = Default::default();
             for o in &tg.bound[b].1 {
                 parts.entry(phi(o, m)).or_default().push(o.clone());
             }
@@ -214,7 +212,7 @@ pub enum UnnestMode {
 type SidedTuple = (u64, TgTuple);
 
 fn join_mapper(side: u64, spec: JoinSide, mode: UnnestMode) -> Arc<dyn mrsim::RawMapOp> {
-    map_fn(move |tuple: TgTuple, out: &mut TypedMapEmitter<'_, String, SidedTuple>| {
+    map_fn(move |tuple: TgTuple, out: &mut TypedMapEmitter<'_, Atom, SidedTuple>| {
         let comp = tuple
             .0
             .get(spec.component)
@@ -231,7 +229,7 @@ fn join_mapper(side: u64, spec: JoinSide, mode: UnnestMode) -> Arc<dyn mrsim::Ra
                 for (k, pinned) in partial_expansions(comp, spec.role, m) {
                     let mut t = tuple.clone();
                     t.0[spec.component] = pinned;
-                    out.emit(&k.to_string(), &(side, t));
+                    out.emit(&atom(&k.to_string()), &(side, t));
                 }
             }
         }
@@ -253,7 +251,7 @@ pub fn tg_join_job(
     let (lrole, lcomp) = (left.role, left.component);
     let (rrole, rcomp) = (right.role, right.component);
     let reducer = reduce_fn(
-        move |_key: String, values: Vec<SidedTuple>, out: &mut TypedOutEmitter<'_, TgTuple>| {
+        move |_key: Atom, values: Vec<SidedTuple>, out: &mut TypedOutEmitter<'_, TgTuple>| {
             match mode {
                 UnnestMode::Exact => {
                     // All values share the actual join key: cross join.
@@ -278,7 +276,7 @@ pub fn tg_join_job(
                     // Algorithm 3: β-unnest the right side into perfect
                     // triplegroups hashed by the real join key, then probe
                     // with each left candidate.
-                    let mut right_hash: HashMap<String, Vec<TgTuple>> = HashMap::new();
+                    let mut right_hash: HashMap<Atom, Vec<TgTuple>> = HashMap::new();
                     for (side, t) in &values {
                         if *side != 1 {
                             continue;
@@ -364,7 +362,7 @@ mod tests {
         // Star 1 (gl): go1, go2.
         assert_eq!(ec1.len(), 2);
         // g1's AnnTG has all 4 pairs as unbound candidates.
-        let g1 = ec0.iter().find(|t| t.0[0].subject == "<g1>").unwrap();
+        let g1 = ec0.iter().find(|t| &*t.0[0].subject == "<g1>").unwrap();
         assert_eq!(g1.0[0].unbound[0].len(), 4);
     }
 

@@ -13,23 +13,27 @@
 //! candidate), which is exactly the conciseness the paper exploits.
 
 use mrsim::{MrError, Rec, SliceReader};
+use rdf_model::atom::Atom;
 use rdf_query::{Binding, ObjPattern, PropPattern, StarPattern};
 use std::collections::BTreeSet;
 
 /// An annotated triplegroup: one subject's matches for one star
-/// subpattern.
+/// subpattern. Tokens are interned [`Atom`]s, so cloning a triplegroup
+/// (or re-emitting its tokens across cycles) bumps reference counts
+/// instead of copying heap strings; equality and ordering stay
+/// content-based, so shuffle sort order matches the `String` era.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
 pub struct AnnTg {
     /// The shared subject token.
-    pub subject: String,
+    pub subject: Atom,
     /// Equivalence class: index of the star in the query.
     pub ec: u64,
     /// Objects per bound pattern, parallel to
     /// [`StarPattern::bound_patterns`] order: `(property token, objects)`.
-    pub bound: Vec<(String, Vec<String>)>,
+    pub bound: Vec<(Atom, Vec<Atom>)>,
     /// Candidate `(property, object)` pairs per unbound pattern, parallel
     /// to [`StarPattern::unbound_patterns`] order.
-    pub unbound: Vec<Vec<(String, String)>>,
+    pub unbound: Vec<Vec<(Atom, Atom)>>,
 }
 
 impl AnnTg {
@@ -52,12 +56,12 @@ impl AnnTg {
         let mut set = BTreeSet::new();
         for (p, objs) in &self.bound {
             for o in objs {
-                set.insert((p.as_str(), o.as_str()));
+                set.insert((&**p, &**o));
             }
         }
         for cands in &self.unbound {
             for (p, o) in cands {
-                set.insert((p.as_str(), o.as_str()));
+                set.insert((&**p, &**o));
             }
         }
         set
@@ -95,20 +99,20 @@ impl AnnTg {
         let mut cursor = vec![0usize; dims.len()];
         loop {
             let mut b = Binding::new();
-            let mut ok = b.bind(&star.subject_var, rdf_model::atom::atom(&self.subject));
+            let mut ok = b.bind(&star.subject_var, self.subject.clone());
             for (i, pat) in bound_pats.iter().enumerate() {
                 let obj = &self.bound[i].1[cursor[i]];
                 if let ObjPattern::Var(v) | ObjPattern::Filtered(v, _) = &pat.object {
-                    ok = ok && b.bind(v, rdf_model::atom::atom(obj));
+                    ok = ok && b.bind(v, obj.clone());
                 }
             }
             for (j, pat) in unbound_pats.iter().enumerate() {
                 let (p, o) = &self.unbound[j][cursor[bound_pats.len() + j]];
                 if let PropPattern::Unbound(v) = &pat.property {
-                    ok = ok && b.bind(v, rdf_model::atom::atom(p));
+                    ok = ok && b.bind(v, p.clone());
                 }
                 if let ObjPattern::Var(v) | ObjPattern::Filtered(v, _) = &pat.object {
-                    ok = ok && b.bind(v, rdf_model::atom::atom(o));
+                    ok = ok && b.bind(v, o.clone());
                 }
             }
             if ok {
@@ -141,10 +145,10 @@ impl Rec for AnnTg {
 
     fn decode(r: &mut SliceReader<'_>) -> Result<Self, MrError> {
         Ok(AnnTg {
-            subject: String::decode(r)?,
+            subject: Atom::decode(r)?,
             ec: u64::decode(r)?,
-            bound: Vec::<(String, Vec<String>)>::decode(r)?,
-            unbound: Vec::<Vec<(String, String)>>::decode(r)?,
+            bound: Vec::<(Atom, Vec<Atom>)>::decode(r)?,
+            unbound: Vec::<Vec<(Atom, Atom)>>::decode(r)?,
         })
     }
 

@@ -141,7 +141,7 @@ proptest! {
         let mut all = triples;
         all.extend(extra);
         let big = TripleStore::from_triples(all);
-        let subj = |store: &TripleStore| -> std::collections::BTreeSet<String> {
+        let subj = |store: &TripleStore| -> std::collections::BTreeSet<rdf_model::atom::Atom> {
             beta_group_filter(&group_by_subject(store.triples()), &star, 0)
                 .into_iter()
                 .map(|a| a.subject)

@@ -17,16 +17,30 @@
 
 use crate::error::MrError;
 use bytes::{Buf, BufMut};
+use rdf_model::atom::{Atom, AtomTable};
 
 /// A readable slice with position tracking for decoding.
+///
+/// A reader may carry a per-task [`AtomTable`]; [`read_atom`] then
+/// re-interns decoded tokens instead of allocating a fresh heap string
+/// per occurrence. The table never affects the bytes consumed — only who
+/// owns the resulting allocation.
+///
+/// [`read_atom`]: SliceReader::read_atom
 pub struct SliceReader<'a> {
     buf: &'a [u8],
+    interner: Option<&'a AtomTable>,
 }
 
 impl<'a> SliceReader<'a> {
     /// Wrap a byte slice.
     pub fn new(buf: &'a [u8]) -> Self {
-        SliceReader { buf }
+        SliceReader { buf, interner: None }
+    }
+
+    /// Wrap a byte slice with a per-task interner for [`Atom`] fields.
+    pub fn with_interner(buf: &'a [u8], atoms: &'a AtomTable) -> Self {
+        SliceReader { buf, interner: Some(atoms) }
     }
 
     /// Bytes not yet consumed.
@@ -74,6 +88,17 @@ impl<'a> SliceReader<'a> {
         let raw = self.read_bytes(len)?;
         std::str::from_utf8(raw).map_err(|e| MrError::Codec(format!("invalid utf-8: {e}")))
     }
+
+    /// Read a length-prefixed UTF-8 token as an [`Atom`], re-interning
+    /// through the reader's table when one is attached (repeated tokens
+    /// then share one allocation for the task's lifetime).
+    pub fn read_atom(&mut self) -> Result<Atom, MrError> {
+        let s = self.read_str()?;
+        Ok(match self.interner {
+            Some(table) => table.intern(s),
+            None => Atom::from(s),
+        })
+    }
 }
 
 /// A record that can move through the engine.
@@ -104,6 +129,18 @@ pub trait Rec: Sized + Send + Sync + Clone + 'static {
         }
         Ok(v)
     }
+
+    /// [`from_bytes`](Rec::from_bytes), re-interning [`Atom`] fields
+    /// through a per-task table. Byte behaviour is identical; only the
+    /// ownership of decoded tokens changes.
+    fn from_bytes_with(buf: &[u8], atoms: &AtomTable) -> Result<Self, MrError> {
+        let mut r = SliceReader::with_interner(buf, atoms);
+        let v = Self::decode(&mut r)?;
+        if r.remaining() != 0 {
+            return Err(MrError::Codec(format!("{} trailing bytes after record", r.remaining())));
+        }
+        Ok(v)
+    }
 }
 
 impl Rec for String {
@@ -114,6 +151,26 @@ impl Rec for String {
 
     fn decode(r: &mut SliceReader<'_>) -> Result<Self, MrError> {
         Ok(r.read_str()?.to_string())
+    }
+
+    fn text_size(&self) -> u64 {
+        self.len() as u64 + 1 // + newline
+    }
+}
+
+/// Byte-identical to the `String` codec (u32-LE length prefix + UTF-8),
+/// so `String`-era wire bytes, shuffle sort order, and `text_size`
+/// accounting all carry over unchanged. Decoding goes through
+/// [`SliceReader::read_atom`], which re-interns when the reader carries a
+/// task table.
+impl Rec for Atom {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.put_u32_le(u32::try_from(self.len()).expect("string too long"));
+        buf.put_slice(self.as_bytes());
+    }
+
+    fn decode(r: &mut SliceReader<'_>) -> Result<Self, MrError> {
+        r.read_atom()
     }
 
     fn text_size(&self) -> u64 {
@@ -275,6 +332,30 @@ mod tests {
         // relies on it).
         assert_eq!(String::from("k1").to_bytes(), String::from("k1").to_bytes());
         assert_ne!(String::from("k1").to_bytes(), String::from("k2").to_bytes());
+    }
+
+    #[test]
+    fn atom_codec_matches_string_codec() {
+        for s in ["", "k1", "<gene9>", "unicode: \u{1F980}"] {
+            let owned = String::from(s);
+            let interned = Atom::from(s);
+            assert_eq!(owned.to_bytes(), interned.to_bytes(), "wire bytes for {s:?}");
+            assert_eq!(owned.text_size(), interned.text_size(), "text size for {s:?}");
+            roundtrip(interned);
+        }
+    }
+
+    #[test]
+    fn atom_decode_interns_through_task_table() {
+        let table = AtomTable::new();
+        let bytes = (Atom::from("<p>"), Atom::from("<p>")).to_bytes();
+        let (a, b) = <(Atom, Atom)>::from_bytes_with(&bytes, &table).unwrap();
+        assert!(Atom::ptr_eq(&a, &b), "same token must share one allocation");
+        assert_eq!(table.len(), 1);
+        // Without a table, decoding still works (fresh allocations).
+        let (c, d) = <(Atom, Atom)>::from_bytes(&bytes).unwrap();
+        assert_eq!(c, d);
+        assert!(!Atom::ptr_eq(&c, &d));
     }
 
     #[test]

@@ -26,7 +26,9 @@ use crate::counters::JobStats;
 use crate::error::MrError;
 use crate::faults::FaultConfig;
 use crate::hdfs::{DfsFile, SimHdfs};
-use crate::job::{JobKind, JobSpec, MapEmitter, OutEmitter, RawCombineOp, RawMapOnlyOp, RawMapOp};
+use crate::job::{
+    JobKind, JobSpec, MapEmitter, OutEmitter, RawCombineOp, RawMapOnlyOp, RawMapOp, TaskContext,
+};
 use parking_lot::Mutex;
 use std::sync::Arc;
 
@@ -151,10 +153,13 @@ impl Engine {
         self.hdfs.lock().put(name, file)
     }
 
-    /// Helper: read a DFS file back as typed records.
+    /// Helper: read a DFS file back as typed records. Token (`Atom`)
+    /// fields are re-interned through one table for the whole read, so
+    /// repeated tokens in the file share allocations.
     pub fn read_records<T: crate::codec::Rec>(&self, name: &str) -> Result<Vec<T>, MrError> {
         let file = self.hdfs.lock().get(name)?;
-        file.records.iter().map(|r| T::from_bytes(r)).collect()
+        let atoms = rdf_model::atom::AtomTable::new();
+        file.records.iter().map(|r| T::from_bytes_with(r, &atoms)).collect()
     }
 
     /// Execute one job to completion.
@@ -243,9 +248,10 @@ impl Engine {
         let chunks: Vec<&[Vec<u8>]> = inputs.iter().flat_map(|f| self.chunk(&f.records)).collect();
         stats.task_retries += self.resolve_faults(&stats.name, 0, chunks.len())?;
         let results = self.parallel_over(&chunks, |chunk| {
+            let ctx = TaskContext::new();
             let mut out = OutEmitter::with_outputs(budget, n_outputs);
             for rec in *chunk {
-                mapper.run(rec, &mut out)?;
+                mapper.run(&ctx, rec, &mut out)?;
             }
             Ok(out)
         })?;
@@ -304,13 +310,14 @@ impl Engine {
         }
         stats.task_retries += self.resolve_faults(&stats.name, 0, work.len())?;
         let results = self.parallel_over(&work, |(mapper, chunk)| {
+            let ctx = TaskContext::new();
             let mut out = MapEmitter::partitioned(reduce_tasks);
             for rec in *chunk {
-                mapper.run(rec, &mut out)?;
+                mapper.run(&ctx, rec, &mut out)?;
             }
             let pre_combine = out.len() as u64;
             if let Some(c) = combiner {
-                out = Self::run_combiner(c, out)?;
+                out = Self::run_combiner(c, &ctx, out)?;
             }
             Ok((out, pre_combine))
         })?;
@@ -335,7 +342,11 @@ impl Engine {
     /// Hadoop's in-memory combine before spill). Keys and values are
     /// borrowed from the bucket — no per-group clones. Combiner output is
     /// re-partitioned by its (possibly rewritten) keys.
-    fn run_combiner(combiner: &dyn RawCombineOp, out: MapEmitter) -> Result<MapEmitter, MrError> {
+    fn run_combiner(
+        combiner: &dyn RawCombineOp,
+        ctx: &TaskContext,
+        out: MapEmitter,
+    ) -> Result<MapEmitter, MrError> {
         let mut combined = MapEmitter::partitioned(out.buckets.len());
         for mut pairs in out.buckets {
             pairs.sort_unstable_by(|a, b| (&a.0, &a.1).cmp(&(&b.0, &b.1)));
@@ -347,7 +358,7 @@ impl Engine {
                     j += 1;
                 }
                 let values: Vec<&[u8]> = pairs[i..j].iter().map(|(_, v, _)| v.as_slice()).collect();
-                combiner.run(key, &values, &mut combined)?;
+                combiner.run(ctx, key, &values, &mut combined)?;
                 i = j;
             }
         }
@@ -369,6 +380,7 @@ impl Engine {
         // Sort + group + reduce each partition in parallel.
         let shared_budget = budget;
         let results = self.parallel_over(&partitions, |part| {
+            let ctx = TaskContext::new();
             let mut part: Vec<(&[u8], &[u8])> =
                 part.iter().map(|(k, v)| (k.as_slice(), v.as_slice())).collect();
             part.sort_unstable();
@@ -382,7 +394,7 @@ impl Engine {
                     j += 1;
                 }
                 let values: Vec<&[u8]> = part[i..j].iter().map(|(_, v)| *v).collect();
-                reducer.run(key, &values, &mut out)?;
+                reducer.run(&ctx, key, &values, &mut out)?;
                 groups += 1;
                 i = j;
             }

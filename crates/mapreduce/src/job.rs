@@ -8,8 +8,32 @@
 
 use crate::codec::Rec;
 use crate::error::MrError;
+use rdf_model::atom::AtomTable;
 use std::marker::PhantomData;
 use std::sync::Arc;
+
+/// Per-task execution context, created by the engine for each map task,
+/// combiner run, and reduce partition.
+///
+/// Carries the task-lifetime [`AtomTable`] that typed adapters decode
+/// through, so every occurrence of a token within one task shares a
+/// single `Atom` allocation instead of re-allocating per record — the
+/// in-process analogue of the paper's argument that nested triplegroups
+/// avoid paying for redundant token copies. Scoped per task (not per
+/// job) so concurrent tasks never contend on one table and memory is
+/// released with the task.
+#[derive(Debug, Default)]
+pub struct TaskContext {
+    /// Interner for token (`Atom`) fields decoded by this task.
+    pub atoms: AtomTable,
+}
+
+impl TaskContext {
+    /// Fresh context with an empty atom table.
+    pub fn new() -> Self {
+        TaskContext { atoms: AtomTable::new() }
+    }
+}
 
 /// Buffered, map-side-partitioned output of one map task.
 ///
@@ -119,14 +143,14 @@ pub type RawEmission = (Vec<u8>, Vec<u8>, u64);
 /// Byte-level map operator.
 pub trait RawMapOp: Send + Sync {
     /// Process one input record. Emit shuffle pairs via `out`.
-    fn run(&self, record: &[u8], out: &mut MapEmitter) -> Result<(), MrError>;
+    fn run(&self, ctx: &TaskContext, record: &[u8], out: &mut MapEmitter) -> Result<(), MrError>;
 }
 
 /// Byte-level map operator for map-only jobs (emits output records
 /// directly).
 pub trait RawMapOnlyOp: Send + Sync {
     /// Process one input record. Emit output records via `out`.
-    fn run(&self, record: &[u8], out: &mut OutEmitter) -> Result<(), MrError>;
+    fn run(&self, ctx: &TaskContext, record: &[u8], out: &mut OutEmitter) -> Result<(), MrError>;
 }
 
 /// Byte-level reduce operator.
@@ -136,7 +160,13 @@ pub trait RawMapOnlyOp: Send + Sync {
 pub trait RawReduceOp: Send + Sync {
     /// Process one key group. `values` holds every shuffled value for `key`
     /// in deterministic (sorted) order.
-    fn run(&self, key: &[u8], values: &[&[u8]], out: &mut OutEmitter) -> Result<(), MrError>;
+    fn run(
+        &self,
+        ctx: &TaskContext,
+        key: &[u8],
+        values: &[&[u8]],
+        out: &mut OutEmitter,
+    ) -> Result<(), MrError>;
 }
 
 /// Byte-level combiner: runs on each map task's local output before the
@@ -145,7 +175,13 @@ pub trait RawReduceOp: Send + Sync {
 /// `values` borrows from the map task's spill buffer.
 pub trait RawCombineOp: Send + Sync {
     /// Combine one locally-grouped key. Emit replacement pairs via `out`.
-    fn run(&self, key: &[u8], values: &[&[u8]], out: &mut MapEmitter) -> Result<(), MrError>;
+    fn run(
+        &self,
+        ctx: &TaskContext,
+        key: &[u8],
+        values: &[&[u8]],
+        out: &mut MapEmitter,
+    ) -> Result<(), MrError>;
 }
 
 // ---------------------------------------------------------------------------
@@ -198,8 +234,8 @@ where
     V: Rec,
     F: Fn(I, &mut TypedMapEmitter<'_, K, V>) -> Result<(), MrError> + Send + Sync,
 {
-    fn run(&self, record: &[u8], out: &mut MapEmitter) -> Result<(), MrError> {
-        let input = I::from_bytes(record)?;
+    fn run(&self, ctx: &TaskContext, record: &[u8], out: &mut MapEmitter) -> Result<(), MrError> {
+        let input = I::from_bytes_with(record, &ctx.atoms)?;
         let mut emitter = TypedMapEmitter { raw: out, _pd: PhantomData };
         (self.f)(input, &mut emitter)
     }
@@ -216,8 +252,8 @@ where
     O: Rec,
     F: Fn(I, &mut TypedOutEmitter<'_, O>) -> Result<(), MrError> + Send + Sync,
 {
-    fn run(&self, record: &[u8], out: &mut OutEmitter) -> Result<(), MrError> {
-        let input = I::from_bytes(record)?;
+    fn run(&self, ctx: &TaskContext, record: &[u8], out: &mut OutEmitter) -> Result<(), MrError> {
+        let input = I::from_bytes_with(record, &ctx.atoms)?;
         let mut emitter = TypedOutEmitter { raw: out, _pd: PhantomData };
         (self.f)(input, &mut emitter)
     }
@@ -235,9 +271,16 @@ where
     O: Rec,
     F: Fn(K, Vec<V>, &mut TypedOutEmitter<'_, O>) -> Result<(), MrError> + Send + Sync,
 {
-    fn run(&self, key: &[u8], values: &[&[u8]], out: &mut OutEmitter) -> Result<(), MrError> {
-        let key = K::from_bytes(key)?;
-        let values: Result<Vec<V>, MrError> = values.iter().map(|v| V::from_bytes(v)).collect();
+    fn run(
+        &self,
+        ctx: &TaskContext,
+        key: &[u8],
+        values: &[&[u8]],
+        out: &mut OutEmitter,
+    ) -> Result<(), MrError> {
+        let key = K::from_bytes_with(key, &ctx.atoms)?;
+        let values: Result<Vec<V>, MrError> =
+            values.iter().map(|v| V::from_bytes_with(v, &ctx.atoms)).collect();
         let mut emitter = TypedOutEmitter { raw: out, _pd: PhantomData };
         (self.f)(key, values?, &mut emitter)
     }
@@ -276,9 +319,16 @@ where
     V: Rec,
     F: Fn(K, Vec<V>, &mut TypedMapEmitter<'_, K, V>) -> Result<(), MrError> + Send + Sync,
 {
-    fn run(&self, key: &[u8], values: &[&[u8]], out: &mut MapEmitter) -> Result<(), MrError> {
-        let key = K::from_bytes(key)?;
-        let values: Result<Vec<V>, MrError> = values.iter().map(|v| V::from_bytes(v)).collect();
+    fn run(
+        &self,
+        ctx: &TaskContext,
+        key: &[u8],
+        values: &[&[u8]],
+        out: &mut MapEmitter,
+    ) -> Result<(), MrError> {
+        let key = K::from_bytes_with(key, &ctx.atoms)?;
+        let values: Result<Vec<V>, MrError> =
+            values.iter().map(|v| V::from_bytes_with(v, &ctx.atoms)).collect();
         let mut emitter = TypedMapEmitter { raw: out, _pd: PhantomData };
         (self.f)(key, values?, &mut emitter)
     }
@@ -547,7 +597,7 @@ mod tests {
             Ok(())
         });
         let mut out = MapEmitter::new();
-        op.run(&"abc".to_string().to_bytes(), &mut out).unwrap();
+        op.run(&TaskContext::new(), &"abc".to_string().to_bytes(), &mut out).unwrap();
         assert_eq!(out.len(), 1);
         assert_eq!(String::from_bytes(&out.buckets[0][0].0).unwrap(), "abc");
         assert_eq!(u64::from_bytes(&out.buckets[0][0].1).unwrap(), 3);
@@ -563,7 +613,7 @@ mod tests {
         let mut out = OutEmitter::new(None);
         let owned = [1u64.to_bytes(), 2u64.to_bytes()];
         let values: Vec<&[u8]> = owned.iter().map(Vec::as_slice).collect();
-        op.run(&"k".to_string().to_bytes(), &values, &mut out).unwrap();
+        op.run(&TaskContext::new(), &"k".to_string().to_bytes(), &values, &mut out).unwrap();
         assert_eq!(out.records.len(), 1);
         assert_eq!(String::from_bytes(&out.records[0].1).unwrap(), "k=3");
     }
@@ -572,6 +622,6 @@ mod tests {
     fn map_fn_propagates_codec_errors() {
         let op = map_fn(|_rec: u64, _out: &mut TypedMapEmitter<'_, String, String>| Ok(()));
         let mut out = MapEmitter::new();
-        assert!(op.run(&[1, 2], &mut out).is_err());
+        assert!(op.run(&TaskContext::new(), &[1, 2], &mut out).is_err());
     }
 }

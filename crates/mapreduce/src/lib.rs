@@ -66,7 +66,7 @@ pub use faults::FaultConfig;
 pub use hdfs::{DfsFile, SimHdfs};
 pub use job::{
     combine_fn, map_fn, map_only_fn, reduce_fn, InputBinding, JobKind, JobSpec, MapEmitter,
-    OutEmitter, RawCombineOp, RawMapOnlyOp, RawMapOp, RawReduceOp, TypedMapEmitter,
+    OutEmitter, RawCombineOp, RawMapOnlyOp, RawMapOp, RawReduceOp, TaskContext, TypedMapEmitter,
     TypedOutEmitter,
 };
 pub use workflow::Workflow;

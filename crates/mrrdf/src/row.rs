@@ -14,11 +14,13 @@
 //! rows to [`Binding`]s for result verification.
 
 use mrsim::Rec;
+use rdf_model::atom::Atom;
 use rdf_query::Binding;
 
-/// A flat n-tuple of tokens. `Vec<String>` already implements
-/// [`Rec`]; this alias names its role.
-pub type Row = Vec<String>;
+/// A flat n-tuple of interned tokens. `Vec<Atom>` already implements
+/// [`Rec`] (byte-compatible with the historical `Vec<String>` wire
+/// form); this alias names its role.
+pub type Row = Vec<Atom>;
 
 /// Column meanings for a row relation: for each column, the variable it
 /// binds (or `None` for columns bound to constants / unnamed positions).
@@ -63,7 +65,7 @@ impl RowSchema {
         let mut b = Binding::new();
         for (col, val) in self.cols.iter().zip(row) {
             if let Some(var) = col {
-                if !b.bind(var, rdf_model::atom::atom(val)) {
+                if !b.bind(var, val.clone()) {
                     return None;
                 }
             }
@@ -72,7 +74,7 @@ impl RowSchema {
     }
 }
 
-/// Text size of a row record (used in tests; `Vec<String>`'s [`Rec`]
+/// Text size of a row record (used in tests; `Vec<Atom>`'s [`Rec`]
 /// impl is what the engine uses — one byte separator per token, one
 /// newline).
 pub fn row_text_size(row: &Row) -> u64 {

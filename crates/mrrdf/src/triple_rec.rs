@@ -16,16 +16,16 @@ pub struct TripleRec(pub STriple);
 
 impl Rec for TripleRec {
     fn encode(&self, buf: &mut Vec<u8>) {
-        self.0.s.to_string().encode(buf);
-        self.0.p.to_string().encode(buf);
-        self.0.o.to_string().encode(buf);
+        self.0.s.encode(buf);
+        self.0.p.encode(buf);
+        self.0.o.encode(buf);
     }
 
     fn decode(r: &mut SliceReader<'_>) -> Result<Self, MrError> {
-        let s = r.read_str()?.to_string();
-        let p = r.read_str()?.to_string();
-        let o = r.read_str()?.to_string();
-        Ok(TripleRec(STriple::new(s, p, o)))
+        let s = r.read_atom()?;
+        let p = r.read_atom()?;
+        let o = r.read_atom()?;
+        Ok(TripleRec(STriple { s, p, o }))
     }
 
     fn text_size(&self) -> u64 {

@@ -8,7 +8,7 @@
 //! win).
 
 use parking_lot::Mutex;
-use std::collections::HashSet;
+use std::collections::HashMap;
 use std::sync::Arc;
 
 /// An interned lexical token: subject, property or object in canonical
@@ -41,10 +41,63 @@ pub fn atom(s: &str) -> Atom {
 #[derive(Debug, Default)]
 pub struct AtomTable {
     // Sharded to reduce contention when many map workers intern at once.
-    shards: [Mutex<HashSet<Atom>>; SHARDS],
+    // Each shard maps a precomputed 64-bit token hash to its atom through
+    // an identity hasher, so `intern` hashes the token bytes exactly once
+    // (word-at-a-time) — the decode hot path of every map/reduce task.
+    shards: [Mutex<HashMap<u64, Atom, IdentityBuild>>; SHARDS],
 }
 
 const SHARDS: usize = 16;
+
+/// `BuildHasher` that passes an already-computed `u64` key through.
+#[derive(Debug, Clone, Copy, Default)]
+struct IdentityBuild;
+
+impl std::hash::BuildHasher for IdentityBuild {
+    type Hasher = IdentityHasher;
+    fn build_hasher(&self) -> IdentityHasher {
+        IdentityHasher(0)
+    }
+}
+
+/// Identity state for `u64` keys (only `write_u64` is ever fed).
+#[derive(Debug)]
+struct IdentityHasher(u64);
+
+impl std::hash::Hasher for IdentityHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, _bytes: &[u8]) {
+        unreachable!("identity hasher only accepts u64 keys");
+    }
+
+    fn write_u64(&mut self, h: u64) {
+        self.0 = h;
+    }
+}
+
+/// Deterministic word-at-a-time token hash for the interner: processes
+/// 8-byte chunks with a rotate-xor-multiply round, far cheaper per byte
+/// than byte-serial FNV on typical 10–60-byte RDF tokens. Internal to the
+/// table — shuffle partitioning keeps the spec-stable [`fnv1a`].
+fn token_hash(bytes: &[u8]) -> u64 {
+    const SEED: u64 = 0x517c_c1b7_2722_0a95;
+    let mut h = bytes.len() as u64;
+    let mut chunks = bytes.chunks_exact(8);
+    for c in &mut chunks {
+        h = (h.rotate_left(5) ^ u64::from_le_bytes(c.try_into().expect("8-byte chunk")))
+            .wrapping_mul(SEED);
+    }
+    let rem = chunks.remainder();
+    if !rem.is_empty() {
+        let mut tail = [0u8; 8];
+        tail[..rem.len()].copy_from_slice(rem);
+        h = (h.rotate_left(5) ^ u64::from_le_bytes(tail)).wrapping_mul(SEED);
+    }
+    h
+}
 
 impl AtomTable {
     /// Create an empty table.
@@ -54,14 +107,25 @@ impl AtomTable {
 
     /// Return the canonical atom for `s`, inserting it if absent.
     pub fn intern(&self, s: &str) -> Atom {
-        let shard = &self.shards[Self::shard_of(s)];
-        let mut set = shard.lock();
-        if let Some(existing) = set.get(s) {
-            return existing.clone();
+        let h = token_hash(s.as_bytes());
+        // Shard on middle bits: the map's bucket index consumes the low
+        // bits of the same hash, and reusing them would cluster every
+        // shard's keys into every 16th bucket.
+        let shard = &self.shards[((h >> 24) as usize) % SHARDS];
+        let mut map = shard.lock();
+        match map.entry(h) {
+            std::collections::hash_map::Entry::Occupied(e) => {
+                let atom = e.get();
+                if **atom == *s {
+                    atom.clone()
+                } else {
+                    // 64-bit hash collision between distinct tokens: stay
+                    // content-correct and just skip deduplication.
+                    Arc::from(s)
+                }
+            }
+            std::collections::hash_map::Entry::Vacant(e) => e.insert(Arc::from(s)).clone(),
         }
-        let a: Atom = Arc::from(s);
-        set.insert(a.clone());
-        a
     }
 
     /// Number of distinct atoms currently interned.
@@ -73,11 +137,6 @@ impl AtomTable {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
-
-    fn shard_of(s: &str) -> usize {
-        // FNV-1a over the bytes; deterministic across runs and platforms.
-        (fnv1a(s.as_bytes()) as usize) % SHARDS
-    }
 }
 
 /// Deterministic 64-bit FNV-1a hash.
@@ -86,15 +145,16 @@ impl AtomTable {
 /// where determinism across runs is required — `std`'s default hasher is
 /// randomly seeded and would make workloads non-reproducible.
 pub fn fnv1a(bytes: &[u8]) -> u64 {
-    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-    const PRIME: u64 = 0x0000_0100_0000_01b3;
-    let mut h = OFFSET;
+    let mut h = FNV_OFFSET;
     for &b in bytes {
         h ^= u64::from(b);
-        h = h.wrapping_mul(PRIME);
+        h = h.wrapping_mul(FNV_PRIME);
     }
     h
 }
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
 
 #[cfg(test)]
 mod tests {
@@ -139,5 +199,57 @@ mod tests {
         assert!(t.is_empty());
         t.intern("x");
         assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn concurrent_interning_converges_to_one_allocation_per_token() {
+        // Simulates many map workers interning the same small property
+        // vocabulary plus worker-private tokens through one shared table.
+        let table = AtomTable::new();
+        let vocab: Vec<String> = (0..32).map(|i| format!("<p{i}>")).collect();
+        let per_worker: Vec<Vec<Atom>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|w| {
+                    let table = &table;
+                    let vocab = &vocab;
+                    scope.spawn(move || {
+                        let mut got = Vec::new();
+                        for round in 0..50 {
+                            for v in vocab {
+                                got.push(table.intern(v));
+                            }
+                            got.push(table.intern(&format!("<worker{w}-{round}>")));
+                        }
+                        got
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        // Shared vocab (32) + 8 workers × 50 private tokens.
+        assert_eq!(table.len(), 32 + 8 * 50);
+        // Every clone of a given token points at the same allocation, even
+        // across workers that raced on the first insert.
+        let canon: Vec<Atom> = vocab.iter().map(|v| table.intern(v)).collect();
+        for atoms in &per_worker {
+            for a in atoms {
+                if let Some(i) = vocab.iter().position(|v| **v == **a) {
+                    assert!(Arc::ptr_eq(a, &canon[i]), "duplicate allocation for {a}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn separate_tables_share_content_not_allocations() {
+        // Each map task owns its own table: tokens agree by content across
+        // tables (shuffle ordering is unaffected) without sharing memory.
+        let t1 = AtomTable::new();
+        let t2 = AtomTable::new();
+        let a = t1.intern("<gene9>");
+        let b = t2.intern("<gene9>");
+        assert_eq!(a, b);
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_eq!(a.cmp(&b), std::cmp::Ordering::Equal);
     }
 }

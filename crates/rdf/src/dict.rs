@@ -2,17 +2,22 @@
 //!
 //! Used where a compact fixed-width encoding of terms is convenient —
 //! e.g. building adjacency statistics, or compact columnar side files.
-//! The MapReduce pipelines themselves stay lexical (see crate docs), since
-//! the paper's byte accounting is over text rows.
+//! The MapReduce pipelines move interned [`Atom`] tokens (the paper's byte
+//! accounting is still over their text-row form; see crate docs).
 
+use crate::atom::Atom;
 use std::collections::HashMap;
 
 /// A dense-id string dictionary. Ids are assigned in first-seen order
 /// starting from 0 and never change.
+///
+/// Both directions share one [`Atom`] allocation per entry: the forward
+/// map's key and the reverse table's entry are clones of the same
+/// `Arc<str>`.
 #[derive(Debug, Default, Clone)]
 pub struct Dictionary {
-    forward: HashMap<String, u32>,
-    reverse: Vec<String>,
+    forward: HashMap<Atom, u32>,
+    reverse: Vec<Atom>,
 }
 
 impl Dictionary {
@@ -22,13 +27,15 @@ impl Dictionary {
     }
 
     /// Return the id for `s`, assigning the next dense id if unseen.
+    /// Misses cost one hash lookup and one shared allocation.
     pub fn encode(&mut self, s: &str) -> u32 {
         if let Some(&id) = self.forward.get(s) {
             return id;
         }
         let id = u32::try_from(self.reverse.len()).expect("dictionary overflow (> 4Gi entries)");
-        self.forward.insert(s.to_string(), id);
-        self.reverse.push(s.to_string());
+        let entry: Atom = Atom::from(s);
+        self.forward.insert(entry.clone(), id);
+        self.reverse.push(entry);
         id
     }
 
@@ -47,7 +54,13 @@ impl Dictionary {
 
     /// Decode an id, returning `None` when unassigned.
     pub fn try_decode(&self, id: u32) -> Option<&str> {
-        self.reverse.get(id as usize).map(String::as_str)
+        self.reverse.get(id as usize).map(|a| &**a)
+    }
+
+    /// Decode an id to a cheaply-clonable [`Atom`] sharing the
+    /// dictionary's allocation, or `None` when unassigned.
+    pub fn decode_atom(&self, id: u32) -> Option<Atom> {
+        self.reverse.get(id as usize).cloned()
     }
 
     /// Number of distinct entries.
@@ -89,6 +102,16 @@ mod tests {
         assert_eq!(d.decode(id), "hello");
         assert_eq!(d.try_decode(id), Some("hello"));
         assert_eq!(d.try_decode(99), None);
+    }
+
+    #[test]
+    fn forward_and_reverse_share_one_allocation() {
+        let mut d = Dictionary::new();
+        let id = d.encode("shared");
+        let (key, _) = d.forward.get_key_value("shared").unwrap();
+        assert!(Atom::ptr_eq(key, &d.reverse[id as usize]));
+        assert!(Atom::ptr_eq(&d.decode_atom(id).unwrap(), &d.reverse[id as usize]));
+        assert_eq!(d.decode_atom(99), None);
     }
 
     #[test]

@@ -13,13 +13,14 @@
 
 use mr_rdf::{PlanError, Row, RowSchema, TripleRec};
 use mrsim::{map_fn, reduce_fn, InputBinding, JobSpec, MrError, TypedMapEmitter, TypedOutEmitter};
+use rdf_model::atom::Atom;
 use rdf_query::{StarPattern, TriplePattern};
 
 use crate::star_join::{star_schema, REDUCERS};
 
 /// Shuffle value: tag 0 carries a row; tag `1+i` carries the
 /// `(property, object)` of a match for pattern `i`.
-type AttachVal = (u64, Vec<String>);
+type AttachVal = (u64, Vec<Atom>);
 
 /// Join a row relation (keyed by `key_var`, which must equal the star's
 /// subject) with the star's matches computed from the base triple relation
@@ -38,7 +39,7 @@ pub fn star_attach_job(
         .ok_or_else(|| PlanError::Internal(format!("rows lack attach key ?{key_var}")))?;
     let schema = rows.1.concat(&star_schema(star));
 
-    let row_mapper = map_fn(move |row: Row, out: &mut TypedMapEmitter<'_, String, AttachVal>| {
+    let row_mapper = map_fn(move |row: Row, out: &mut TypedMapEmitter<'_, Atom, AttachVal>| {
         let key = row
             .get(key_col)
             .ok_or_else(|| MrError::Op("row too short for attach key".into()))?
@@ -48,17 +49,14 @@ pub fn star_attach_job(
     });
     let star_m = star.clone();
     let triple_mapper =
-        map_fn(move |rec: TripleRec, out: &mut TypedMapEmitter<'_, String, AttachVal>| {
+        map_fn(move |rec: TripleRec, out: &mut TypedMapEmitter<'_, Atom, AttachVal>| {
             let t = &rec.0;
             if !star_m.subject_accepts(&t.s) {
                 return Ok(());
             }
             for (idx, pat) in star_m.patterns.iter().enumerate() {
                 if pat.matches_structurally(t) {
-                    out.emit(
-                        &t.s.to_string(),
-                        &(1 + idx as u64, vec![t.p.to_string(), t.o.to_string()]),
-                    );
+                    out.emit(&t.s, &(1 + idx as u64, vec![t.p.clone(), t.o.clone()]));
                 }
             }
             Ok(())
@@ -66,10 +64,10 @@ pub fn star_attach_job(
 
     let star_r = star.clone();
     let reducer = reduce_fn(
-        move |subject: String, values: Vec<AttachVal>, out: &mut TypedOutEmitter<'_, Row>| {
+        move |subject: Atom, values: Vec<AttachVal>, out: &mut TypedOutEmitter<'_, Row>| {
             let k = star_r.patterns.len();
-            let mut rows: Vec<Vec<String>> = Vec::new();
-            let mut matches: Vec<Vec<(String, String)>> = vec![Vec::new(); k];
+            let mut rows: Vec<Vec<Atom>> = Vec::new();
+            let mut matches: Vec<Vec<(Atom, Atom)>> = vec![Vec::new(); k];
             for (tag, payload) in values {
                 if tag == 0 {
                     rows.push(payload);
@@ -87,7 +85,7 @@ pub fn star_attach_job(
             // Cross product of star matches, appended to each row.
             let mut cursor = vec![0usize; k];
             loop {
-                let mut star_cols: Vec<String> = Vec::with_capacity(3 * k);
+                let mut star_cols: Vec<Atom> = Vec::with_capacity(3 * k);
                 for (i, c) in cursor.iter().enumerate() {
                     let (p, o) = &matches[i][*c];
                     star_cols.push(subject.clone());
@@ -155,7 +153,7 @@ pub fn pattern_attach_job(
     );
     let schema = rows.1.concat(&star_schema(&mini));
 
-    let row_mapper = map_fn(move |row: Row, out: &mut TypedMapEmitter<'_, String, AttachVal>| {
+    let row_mapper = map_fn(move |row: Row, out: &mut TypedMapEmitter<'_, Atom, AttachVal>| {
         let key = row
             .get(key_col)
             .ok_or_else(|| MrError::Op("row too short for attach key".into()))?
@@ -165,20 +163,17 @@ pub fn pattern_attach_job(
     });
     let pat = pattern.clone();
     let triple_mapper =
-        map_fn(move |rec: TripleRec, out: &mut TypedMapEmitter<'_, String, AttachVal>| {
+        map_fn(move |rec: TripleRec, out: &mut TypedMapEmitter<'_, Atom, AttachVal>| {
             let t = &rec.0;
             if pat.matches_structurally(t) {
-                out.emit(
-                    &t.o.to_string(),
-                    &(1, vec![t.s.to_string(), t.p.to_string(), t.o.to_string()]),
-                );
+                out.emit(&t.o, &(1, vec![t.s.clone(), t.p.clone(), t.o.clone()]));
             }
             Ok(())
         });
-    let reducer = reduce_fn(
-        move |_key: String, values: Vec<AttachVal>, out: &mut TypedOutEmitter<'_, Row>| {
-            let mut rows: Vec<Vec<String>> = Vec::new();
-            let mut matches: Vec<Vec<String>> = Vec::new();
+    let reducer =
+        reduce_fn(move |_key: Atom, values: Vec<AttachVal>, out: &mut TypedOutEmitter<'_, Row>| {
+            let mut rows: Vec<Vec<Atom>> = Vec::new();
+            let mut matches: Vec<Vec<Atom>> = Vec::new();
             for (tag, payload) in values {
                 if tag == 0 {
                     rows.push(payload);
@@ -194,8 +189,7 @@ pub fn pattern_attach_job(
                 }
             }
             Ok(())
-        },
-    );
+        });
     let spec = JobSpec::map_reduce(
         name,
         vec![

@@ -3,6 +3,7 @@
 
 use mr_rdf::{PlanError, Row, RowSchema};
 use mrsim::{map_fn, reduce_fn, InputBinding, JobSpec, MrError, TypedMapEmitter, TypedOutEmitter};
+use rdf_model::atom::Atom;
 use std::sync::Arc;
 
 use crate::star_join::REDUCERS;
@@ -11,11 +12,14 @@ use crate::star_join::REDUCERS;
 type SidedRow = (u64, Row);
 
 fn side_mapper(side: u64, key_col: usize) -> Arc<dyn mrsim::RawMapOp> {
-    map_fn(move |row: Row, out: &mut TypedMapEmitter<'_, String, SidedRow>| {
-        let key = row.get(key_col).ok_or_else(|| {
-            MrError::Op(format!("row arity {} too small for key column {key_col}", row.len()))
-        })?;
-        out.emit(&key.clone(), &(side, row));
+    map_fn(move |row: Row, out: &mut TypedMapEmitter<'_, Atom, SidedRow>| {
+        let key = row
+            .get(key_col)
+            .ok_or_else(|| {
+                MrError::Op(format!("row arity {} too small for key column {key_col}", row.len()))
+            })?
+            .clone();
+        out.emit(&key, &(side, row));
         Ok(())
     })
 }
@@ -39,8 +43,8 @@ pub fn row_join_job(
         .index_of(var)
         .ok_or_else(|| PlanError::Internal(format!("right relation lacks join var ?{var}")))?;
     let schema = left.1.concat(right.1);
-    let reducer = reduce_fn(
-        move |_key: String, values: Vec<SidedRow>, out: &mut TypedOutEmitter<'_, Row>| {
+    let reducer =
+        reduce_fn(move |_key: Atom, values: Vec<SidedRow>, out: &mut TypedOutEmitter<'_, Row>| {
             let mut lefts: Vec<&Row> = Vec::new();
             let mut rights: Vec<&Row> = Vec::new();
             for (side, row) in &values {
@@ -59,8 +63,7 @@ pub fn row_join_job(
                 }
             }
             Ok(())
-        },
-    );
+        });
     let spec = JobSpec::map_reduce(
         name,
         vec![
@@ -130,8 +133,10 @@ mod tests {
         let engine = Engine::unbounded();
         let lschema = RowSchema::new(vec![Some("x".into()), Some("l".into())]);
         let rschema = RowSchema::new(vec![Some("x".into()), Some("r".into())]);
-        let lefts: Vec<Row> = (0..3).map(|i| vec!["<k>".into(), format!("<l{i}>")]).collect();
-        let rights: Vec<Row> = (0..4).map(|i| vec!["<k>".into(), format!("<r{i}>")]).collect();
+        let lefts: Vec<Row> =
+            (0..3).map(|i| vec!["<k>".into(), format!("<l{i}>").into()]).collect();
+        let rights: Vec<Row> =
+            (0..4).map(|i| vec!["<k>".into(), format!("<r{i}>").into()]).collect();
         put_rows(&engine, "L", lefts);
         put_rows(&engine, "R", rights);
         let (spec, _) = row_join_job("j", ("L", &lschema), ("R", &rschema), "x", "out").unwrap();

@@ -10,6 +10,7 @@
 
 use mr_rdf::{Row, RowSchema, TripleRec};
 use mrsim::{map_fn, reduce_fn, InputBinding, JobSpec, MrError, TypedMapEmitter, TypedOutEmitter};
+use rdf_model::atom::Atom;
 use rdf_query::{ObjPattern, PropPattern, StarPattern, SubjPattern};
 use std::sync::Arc;
 
@@ -31,11 +32,11 @@ pub enum PatternSet {
 }
 
 /// Shuffle value of star-join jobs: `(pattern index, (property, object))`.
-pub type TaggedPo = (u64, (String, String));
+pub type TaggedPo = (u64, (Atom, Atom));
 
 /// Build the map operator for a star over a triple input.
 pub fn star_mapper(star: StarPattern, which: PatternSet) -> Arc<dyn mrsim::RawMapOp> {
-    map_fn(move |rec: TripleRec, out: &mut TypedMapEmitter<'_, String, TaggedPo>| {
+    map_fn(move |rec: TripleRec, out: &mut TypedMapEmitter<'_, Atom, TaggedPo>| {
         let t = &rec.0;
         if !star.subject_accepts(&t.s) {
             return Ok(());
@@ -47,7 +48,7 @@ pub fn star_mapper(star: StarPattern, which: PatternSet) -> Arc<dyn mrsim::RawMa
                 PatternSet::UnboundOnly => pat.is_unbound_property(),
             };
             if selected && pat.matches_structurally(t) {
-                out.emit(&t.s.to_string(), &(idx as u64, (t.p.to_string(), t.o.to_string())));
+                out.emit(&t.s, &(idx as u64, (t.p.clone(), t.o.clone())));
             }
         }
         Ok(())
@@ -57,9 +58,9 @@ pub fn star_mapper(star: StarPattern, which: PatternSet) -> Arc<dyn mrsim::RawMa
 /// Build the reduce operator: per subject, cross product of per-pattern
 /// matches into flat rows.
 pub fn star_reducer(star: StarPattern) -> Arc<dyn mrsim::RawReduceOp> {
-    reduce_fn(move |subject: String, values: Vec<TaggedPo>, out: &mut TypedOutEmitter<'_, Row>| {
+    reduce_fn(move |subject: Atom, values: Vec<TaggedPo>, out: &mut TypedOutEmitter<'_, Row>| {
         let k = star.patterns.len();
-        let mut matches: Vec<Vec<(String, String)>> = vec![Vec::new(); k];
+        let mut matches: Vec<Vec<(Atom, Atom)>> = vec![Vec::new(); k];
         for (idx, po) in values {
             let idx = idx as usize;
             if idx >= k {
