@@ -6,9 +6,10 @@
 //! of the bound component"); NTGA's reduce output stays almost constant;
 //! LazyUnnest writes ~80–86 % less than Hive/Pig.
 
-use ntga_bench::{report, run_panel, Runner, Scale};
+use ntga_bench::{report, run_panel, BenchOpts, Runner, Scale};
 
 fn main() {
+    let opts = BenchOpts::from_env();
     let scale = Scale::from_env();
     let store = datagen::bsbm::generate(&datagen::BsbmConfig {
         products: scale.entities(150),
@@ -17,10 +18,10 @@ fn main() {
         ..Default::default()
     });
     // Unbounded disk: measure every approach to completion.
-    let cluster = ntga::ClusterConfig {
+    let cluster = opts.cluster(ntga::ClusterConfig {
         cost: mrsim::CostModel::scaled_to(store.text_bytes()),
         ..Default::default()
-    };
+    });
     println!(
         "dataset: BSBM-2M analog, {} triples ({})",
         store.len(),
@@ -53,4 +54,5 @@ fn main() {
     }
     let growth = *lazy_writes.last().unwrap() as f64 / lazy_writes[0] as f64;
     println!("LazyUnnest write growth from 3 to 6 bound patterns: {growth:.2}x (paper: ~constant)");
+    opts.finish(&rows);
 }

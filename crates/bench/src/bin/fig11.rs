@@ -7,10 +7,11 @@
 //! partial adds reduce-side overhead for nothing. This is the ablation
 //! behind the paper's Auto policy.
 
-use ntga_bench::{report, Runner, Scale};
+use ntga_bench::{report, BenchOpts, Runner, Scale};
 use ntga_core::Strategy;
 
 fn main() {
+    let opts = BenchOpts::from_env();
     let scale = Scale::from_env();
     let store = datagen::bsbm::generate(&datagen::BsbmConfig {
         products: scale.entities(150),
@@ -19,10 +20,10 @@ fn main() {
         multi_feature_fraction: 0.97,
         ..Default::default()
     });
-    let cluster = ntga::ClusterConfig {
+    let cluster = opts.cluster(ntga::ClusterConfig {
         cost: mrsim::CostModel::scaled_to(store.text_bytes()),
         ..Default::default()
-    };
+    });
     println!(
         "dataset: BSBM-2M analog, {} triples ({})",
         store.len(),
@@ -39,9 +40,18 @@ fn main() {
          paper shape: partial unnest wins for unbound objects (B1); full is sufficient for partially-bound objects (B2, B3)\n"
     );
     println!(
-        "{:<6} {:<22} {:>12} {:>12} {:>12} {:>6} {:>10}",
-        "query", "strategy", "map-out", "shuffle", "max-part", "skew", "last(s)"
+        "{:<6} {:<22} {:>12} {:>12} {:>12} {:>6} {:>10} {:>12} {:>12}",
+        "query",
+        "strategy",
+        "map-out",
+        "shuffle",
+        "max-part",
+        "skew",
+        "last(s)",
+        "nested.B",
+        "expanded.B"
     );
+    let mut rows = Vec::new();
     for (qid, query) in &queries {
         for (label, strategy) in [
             ("LazyUnnest(full)", Strategy::LazyFull),
@@ -53,7 +63,7 @@ fn main() {
             let run = runner.run(&cluster, &store, query, &format!("{qid}-{label}"));
             let last = run.stats.jobs.last().expect("join cycle");
             println!(
-                "{:<6} {:<22} {:>12} {:>12} {:>12} {:>6.2} {:>10.1}",
+                "{:<6} {:<22} {:>12} {:>12} {:>12} {:>6.2} {:>10.1} {:>12} {:>12}",
                 qid,
                 label,
                 report::human_bytes(last.map_output_bytes),
@@ -61,8 +71,12 @@ fn main() {
                 report::human_bytes(last.max_partition_shuffle_bytes()),
                 last.reduce_skew(),
                 last.sim_seconds,
+                report::human_bytes(last.ops.get(ntga_core::physical::op::PARTIAL_NESTED_BYTES)),
+                report::human_bytes(last.ops.get(ntga_core::physical::op::PARTIAL_EXPANDED_BYTES)),
             );
+            rows.push(report::Row::from_run(qid, label, &run));
         }
-        println!("{}", "-".repeat(90));
+        println!("{}", "-".repeat(110));
     }
+    opts.finish(&rows);
 }

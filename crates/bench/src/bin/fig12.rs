@@ -6,9 +6,10 @@
 //! Pig/Hive; LazyUnnest improves on EagerUnnest by ~54 % (B3) and
 //! ~65 % (B4).
 
-use ntga_bench::{report, run_panel, Runner, Scale};
+use ntga_bench::{report, run_panel, BenchOpts, Runner, Scale};
 
 fn main() {
+    let opts = BenchOpts::from_env();
     let scale = Scale::from_env();
     // Half the fig9 scale: the paper's BSBM-1M (85 GB) vs BSBM-2M (172 GB).
     let store = datagen::bsbm::generate(&datagen::BsbmConfig {
@@ -20,6 +21,7 @@ fn main() {
     let mut cluster =
         ntga::ClusterConfig { replication: 2, ..Default::default() }.tight_disk(&store, 20.0);
     cluster.cost = mrsim::CostModel::scaled_to(store.text_bytes());
+    let cluster = opts.cluster(cluster);
     println!(
         "dataset: BSBM-1M analog, {} triples ({}); replication 2, disk budget {}",
         store.len(),
@@ -42,4 +44,5 @@ fn main() {
             report::pct_less(b1_hive.intermediate_write_bytes, b1_lazy.intermediate_write_bytes)
         );
     }
+    opts.finish(&rows);
 }

@@ -8,9 +8,10 @@
 //! 152 GB versus 1.8 GB (eager) / 0.6 GB (lazy), 48–53 % faster; A5/A6
 //! save a full-table scan (22 % / 48 % gains).
 
-use ntga_bench::{report, run_panel, Runner, Scale};
+use ntga_bench::{report, run_panel, BenchOpts, Runner, Scale};
 
 fn main() {
+    let opts = BenchOpts::from_env();
     let scale = Scale::from_env();
     let store = datagen::bio2rdf::generate(&datagen::Bio2RdfConfig {
         genes: scale.entities(150),
@@ -33,6 +34,7 @@ fn main() {
     let mut cluster = ntga::ClusterConfig { nodes: 80, replication: 2, ..Default::default() }
         .tight_disk(&store, 12.7);
     cluster.cost = mrsim::CostModel::scaled_to(store.text_bytes());
+    let cluster = opts.cluster(cluster);
     let queries: Vec<(String, rdf_query::Query)> =
         ntga::testbed::a_series().into_iter().map(|t| (t.id, t.query)).collect();
     let rows = run_panel(&cluster, &store, &queries, &Runner::paper_panel(1024));
@@ -53,4 +55,5 @@ fn main() {
             report::pct_less(hive.write_bytes, lazy.write_bytes),
         );
     }
+    opts.finish(&rows);
 }

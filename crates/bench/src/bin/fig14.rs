@@ -8,10 +8,16 @@
 //! ≈ 0.89–0.98) gains ~50 % over both. On BTC the scan-sharing saves 50 %
 //! of reads and lazy unnesting writes 98 % less on C4.
 
-use ntga_bench::{report, run_panel, Runner, Scale};
+use ntga_bench::{report, run_panel, BenchOpts, Runner, Scale};
 use ntga_core::metrics;
 
-fn run_dataset(name: &str, store: &rdf_model::TripleStore, nodes: u32, note: &str) {
+fn run_dataset(
+    opts: &BenchOpts,
+    name: &str,
+    store: &rdf_model::TripleStore,
+    nodes: u32,
+    note: &str,
+) -> Vec<report::Row> {
     let stats = store.stats();
     println!(
         "\ndataset: {name}, {} triples ({}); {:.0}% of {} properties multi-valued",
@@ -22,6 +28,7 @@ fn run_dataset(name: &str, store: &rdf_model::TripleStore, nodes: u32, note: &st
     );
     let mut cluster = ntga::ClusterConfig { nodes, replication: 2, ..Default::default() };
     cluster.cost = mrsim::CostModel::scaled_to(store.text_bytes());
+    let cluster = opts.cluster(cluster);
     let queries: Vec<(String, rdf_query::Query)> =
         ntga::testbed::c_series().into_iter().map(|t| (t.id, t.query)).collect();
     let rows = run_panel(&cluster, store, &queries, &Runner::paper_panel(1024));
@@ -38,25 +45,29 @@ fn run_dataset(name: &str, store: &rdf_model::TripleStore, nodes: u32, note: &st
             pig.sim_seconds,
         );
     }
+    rows
 }
 
 fn main() {
+    let opts = BenchOpts::from_env();
     let scale = Scale::from_env();
     let dbp =
         datagen::dbpedia::generate(&datagen::DbpediaConfig::with_entities(scale.entities(250)));
-    run_dataset(
+    let mut rows = run_dataset(
+        &opts,
         "DBInfobox-like",
         &dbp,
         5,
         "paper shape: little NTGA benefit on C1/C2 (small data); 20-50% gains and ~80% fewer writes on C3/C4",
     );
     let btc = datagen::dbpedia::generate(&datagen::DbpediaConfig::btc_like(scale.entities(500)));
-    run_dataset(
+    rows.extend(run_dataset(
+        &opts,
         "BTC-09-like",
         &btc,
         40,
         "paper shape: scan sharing halves reads; lazy unnesting writes up to 98% less on C4",
-    );
+    ));
 
     // Redundancy factors of the star-join intermediates (paper: >0.6 for
     // all four queries, ~0.89-0.93 for C4).
@@ -79,4 +90,5 @@ fn main() {
         "\nC4 star-join redundancy factor on DBInfobox-like data: {:.2} (paper: ~0.89)",
         metrics::tg_redundancy(&tgs)
     );
+    opts.finish(&rows);
 }

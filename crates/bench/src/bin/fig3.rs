@@ -6,11 +6,12 @@
 //! (Q1*, Q2*) but 3 cycles / 3 full scans for object-object joins (Q3*);
 //! NTGA needs 2 cycles with a single full scan and wins everywhere.
 
-use ntga_bench::{report, run_panel, Runner, Scale};
+use ntga_bench::{report, run_panel, BenchOpts, Runner, Scale};
 use ntga_core::Strategy;
 use relbase::Grouping;
 
 fn main() {
+    let opts = BenchOpts::from_env();
     let scale = Scale::from_env();
     let store = datagen::bsbm::generate(&datagen::BsbmConfig::with_products(scale.entities(120)));
     println!(
@@ -25,10 +26,10 @@ fn main() {
         Runner::Grouping(Grouping::SelSjFirst),
         Runner::Ntga(Strategy::Auto(1024)),
     ];
-    let cluster = ntga::ClusterConfig {
+    let cluster = opts.cluster(ntga::ClusterConfig {
         cost: mrsim::CostModel::scaled_to(store.text_bytes()),
         ..Default::default()
-    };
+    });
     let rows = run_panel(&cluster, &store, &queries, &runners);
     report::print_table(
         "Figure 3: groupings of star-joins (MR = cycles, FS = full scans)",
@@ -49,4 +50,5 @@ fn main() {
             report::pct_less(sj.read_bytes, ntga.read_bytes)
         );
     }
+    opts.finish(&rows);
 }

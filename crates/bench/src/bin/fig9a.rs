@@ -5,9 +5,10 @@
 //! EagerUnnest completes B0–B2 but fails B3 (double unbound) and B4;
 //! LazyUnnest completes everything.
 
-use ntga_bench::{report, run_panel, Runner, Scale};
+use ntga_bench::{report, run_panel, BenchOpts, Runner, Scale};
 
 fn main() {
+    let opts = BenchOpts::from_env();
     let scale = Scale::from_env();
     let store = datagen::bsbm::generate(&datagen::BsbmConfig {
         products: scale.entities(150),
@@ -22,6 +23,7 @@ fn main() {
     let mut cluster =
         ntga::ClusterConfig { replication: 2, ..Default::default() }.tight_disk(&store, 6.5);
     cluster.cost = mrsim::CostModel::scaled_to(store.text_bytes());
+    let cluster = opts.cluster(cluster);
     println!(
         "dataset: BSBM-2M analog, {} triples ({}); disk budget {} (replication 2)",
         store.len(),
@@ -44,4 +46,5 @@ fn main() {
     println!("failed executions: {}", failures.join(", "));
     let lazy_ok = rows.iter().filter(|r| r.approach.contains("Lazy")).all(|r| r.ok);
     println!("LazyUnnest completed all queries: {lazy_ok}");
+    opts.finish(&rows);
 }

@@ -7,9 +7,10 @@
 //! approaches behave like B0; on B3/B4 LazyUnnest massively reduces
 //! writes (80 %+ less than eager on B3, 61 % less on B4).
 
-use ntga_bench::{report, run_panel, Runner, Scale};
+use ntga_bench::{report, run_panel, BenchOpts, Runner, Scale};
 
 fn main() {
+    let opts = BenchOpts::from_env();
     let scale = Scale::from_env();
     let store = datagen::bsbm::generate(&datagen::BsbmConfig {
         products: scale.entities(150),
@@ -23,6 +24,7 @@ fn main() {
     let mut cluster =
         ntga::ClusterConfig { replication: 1, ..Default::default() }.tight_disk(&store, 25.0);
     cluster.cost = mrsim::CostModel::scaled_to(store.text_bytes());
+    let cluster = opts.cluster(cluster);
     println!(
         "dataset: BSBM-2M analog, {} triples ({}); replication 1",
         store.len(),
@@ -51,4 +53,5 @@ fn main() {
             );
         }
     }
+    opts.finish(&rows);
 }

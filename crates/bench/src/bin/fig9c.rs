@@ -5,9 +5,10 @@
 //! consistently wins, about 25 % faster than Hive; NTGA times stay nearly
 //! flat as bound arity grows while relational times grow.
 
-use ntga_bench::{report, run_panel, Runner, Scale};
+use ntga_bench::{report, run_panel, BenchOpts, Runner, Scale};
 
 fn main() {
+    let opts = BenchOpts::from_env();
     let scale = Scale::from_env();
     let store = datagen::bsbm::generate(&datagen::BsbmConfig {
         products: scale.entities(150),
@@ -20,6 +21,7 @@ fn main() {
     let mut cluster =
         ntga::ClusterConfig { replication: 1, ..Default::default() }.tight_disk(&store, 36.0);
     cluster.cost = mrsim::CostModel::scaled_to(store.text_bytes());
+    let cluster = opts.cluster(cluster);
     println!(
         "dataset: BSBM-2M analog, {} triples ({})",
         store.len(),
@@ -50,4 +52,5 @@ fn main() {
             );
         }
     }
+    opts.finish(&rows);
 }

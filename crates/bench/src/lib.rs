@@ -20,9 +20,107 @@
 pub mod report;
 
 use mr_rdf::QueryRun;
+use mrsim::{ChromeTraceSink, JsonlSink, MultiSink, TraceSink};
 use ntga_core::Strategy;
 use rdf_model::TripleStore;
 use rdf_query::Query;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Shared command-line options of every figure binary:
+///
+/// * `--trace <path>` — write a Chrome trace-event file (loadable in
+///   `chrome://tracing` / Perfetto) at `<path>` plus a JSONL event log at
+///   `<path>` with the extension replaced by `.jsonl`, both on the
+///   simulated timeline;
+/// * `--json <path>` — write the report rows as a JSON array.
+///
+/// With neither flag, tracing stays disabled and costs nothing.
+pub struct BenchOpts {
+    /// Chrome trace output path (`--trace`).
+    pub trace: Option<PathBuf>,
+    /// Report-row JSON output path (`--json`).
+    pub json: Option<PathBuf>,
+    sink: Option<Arc<dyn TraceSink>>,
+}
+
+impl BenchOpts {
+    /// Parse from an argument list (program name already stripped).
+    pub fn parse(args: impl IntoIterator<Item = String>) -> Result<BenchOpts, String> {
+        let mut trace = None;
+        let mut json = None;
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--trace" => {
+                    trace = Some(PathBuf::from(
+                        it.next().ok_or_else(|| "--trace requires a path".to_string())?,
+                    ));
+                }
+                "--json" => {
+                    json = Some(PathBuf::from(
+                        it.next().ok_or_else(|| "--json requires a path".to_string())?,
+                    ));
+                }
+                other => {
+                    return Err(format!(
+                        "unknown argument `{other}` (expected --trace <path> and/or --json <path>)"
+                    ))
+                }
+            }
+        }
+        let sink = match &trace {
+            Some(path) => Some(build_trace_sink(path)?),
+            None => None,
+        };
+        Ok(BenchOpts { trace, json, sink })
+    }
+
+    /// Parse the process arguments; print usage and exit on error.
+    pub fn from_env() -> BenchOpts {
+        BenchOpts::parse(std::env::args().skip(1)).unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            eprintln!("usage: fig<N> [--trace <path>] [--json <path>]");
+            std::process::exit(2);
+        })
+    }
+
+    /// Attach the trace sink (if any) to a cluster config.
+    pub fn cluster(&self, mut cluster: ntga::ClusterConfig) -> ntga::ClusterConfig {
+        if let Some(sink) = &self.sink {
+            cluster.trace = Some(sink.clone());
+        }
+        cluster
+    }
+
+    /// Write the `--json` rows file (if requested) and flush the trace
+    /// sinks. Call once, after the figure's tables are printed.
+    pub fn finish(&self, rows: &[report::Row]) {
+        if let Some(path) = &self.json {
+            let payload = report::rows_json(rows);
+            if let Err(e) = std::fs::write(path, payload) {
+                eprintln!("error: writing {}: {e}", path.display());
+                std::process::exit(1);
+            }
+            println!("wrote {} report rows to {}", rows.len(), path.display());
+        }
+        if let Some(sink) = &self.sink {
+            sink.finish();
+            let trace = self.trace.as_ref().expect("sink implies --trace");
+            println!(
+                "wrote Chrome trace to {} and event log to {}",
+                trace.display(),
+                trace.with_extension("jsonl").display()
+            );
+        }
+    }
+}
+
+fn build_trace_sink(path: &Path) -> Result<Arc<dyn TraceSink>, String> {
+    let jsonl = JsonlSink::create(path.with_extension("jsonl"))
+        .map_err(|e| format!("cannot create JSONL event log: {e}"))?;
+    Ok(Arc::new(MultiSink::new(vec![Arc::new(jsonl), Arc::new(ChromeTraceSink::create(path))])))
+}
 
 /// Benchmark scale, from `NTGA_SCALE`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -159,5 +257,43 @@ mod tests {
         let ntga_cycles = rows.iter().find(|r| r.approach.contains("Lazy")).unwrap().mr_cycles;
         let hive_cycles = rows.iter().find(|r| r.approach == "Hive").unwrap().mr_cycles;
         assert!(ntga_cycles < hive_cycles);
+        // The NTGA rows carry operator counters; relational plans record
+        // none (their operators don't count yet).
+        for r in &rows {
+            if r.approach.contains("Lazy") || r.approach == "EagerUnnest" {
+                assert!(!r.ops.is_empty(), "{} rows must carry ntga.* counters", r.approach);
+                assert!(r.ops.get(ntga_core::physical::op::GROUPS_IN) > 0);
+            }
+        }
+        let json = report::rows_json(&rows);
+        mrsim::trace::validate_json(&json).unwrap();
+    }
+
+    #[test]
+    fn bench_opts_parse() {
+        let opts = BenchOpts::parse(Vec::new()).unwrap();
+        assert!(opts.trace.is_none() && opts.json.is_none() && opts.sink.is_none());
+
+        let dir = std::env::temp_dir();
+        let trace = dir.join(format!("bench-opts-{}.trace.json", std::process::id()));
+        let json = dir.join(format!("bench-opts-{}.rows.json", std::process::id()));
+        let opts = BenchOpts::parse(
+            ["--trace", trace.to_str().unwrap(), "--json", json.to_str().unwrap()]
+                .map(String::from),
+        )
+        .unwrap();
+        assert_eq!(opts.trace.as_deref(), Some(trace.as_path()));
+        assert!(opts.sink.is_some());
+        // The traced cluster config carries the sink.
+        let cluster = opts.cluster(ntga::ClusterConfig::default());
+        assert!(cluster.trace.is_some());
+        opts.finish(&[]);
+        assert_eq!(std::fs::read_to_string(&json).unwrap(), "[]");
+        for p in [&json, &trace, &trace.with_extension("jsonl")] {
+            let _ = std::fs::remove_file(p);
+        }
+
+        assert!(BenchOpts::parse(["--trace".to_string()]).is_err());
+        assert!(BenchOpts::parse(["--bogus".to_string()]).is_err());
     }
 }

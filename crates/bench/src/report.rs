@@ -1,10 +1,12 @@
-//! Plain-text report tables for the figure binaries.
+//! Plain-text report tables for the figure binaries, plus the
+//! machine-readable JSON rendering behind the shared `--json` flag.
 
 use mr_rdf::QueryRun;
-use serde::Serialize;
+use mrsim::OpCounters;
+use ntga_core::physical::op;
 
 /// One report row: a (query, approach) measurement.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Row {
     /// Query id (e.g. "B3").
     pub query: String,
@@ -27,6 +29,13 @@ pub struct Row {
     /// Worst reduce skew over the workflow's jobs (heaviest partition ÷
     /// mean partition load; 1.0 = perfectly balanced shuffles).
     pub reduce_skew: f64,
+    /// β-unnest expansion factor: records leaving the unnest operators ÷
+    /// records entering them ([`op::UNNEST_OUT`]` + `[`op::PARTIAL_OUT`]
+    /// over [`op::UNNEST_IN`]` + `[`op::PARTIAL_IN`]); 1.0 when the plan
+    /// never unnested.
+    pub beta_expansion: f64,
+    /// Operator-level counters merged across the workflow's jobs.
+    pub ops: OpCounters,
     /// Completed without failure.
     pub ok: bool,
 }
@@ -34,6 +43,9 @@ pub struct Row {
 impl Row {
     /// Build a row from a run.
     pub fn from_run(query: &str, approach: &str, run: &QueryRun) -> Row {
+        let ops = run.op_counters();
+        let unnest_in = ops.get(op::UNNEST_IN) + ops.get(op::PARTIAL_IN);
+        let unnest_out = ops.get(op::UNNEST_OUT) + ops.get(op::PARTIAL_OUT);
         Row {
             query: query.to_string(),
             approach: approach.to_string(),
@@ -45,6 +57,8 @@ impl Row {
             shuffle_bytes: run.stats.total_shuffle_bytes(),
             sim_seconds: run.stats.sim_seconds,
             reduce_skew: run.stats.max_reduce_skew(),
+            beta_expansion: if unnest_in > 0 { unnest_out as f64 / unnest_in as f64 } else { 1.0 },
+            ops,
             ok: run.succeeded(),
         }
     }
@@ -72,18 +86,32 @@ pub fn print_table(title: &str, note: &str, rows: &[Row]) {
     if !note.is_empty() {
         println!("{note}");
     }
-    println!(
-        "{:<10} {:<26} {:>3} {:>3} {:>12} {:>12} {:>12} {:>12} {:>10} {:>6}  status",
-        "query", "approach", "MR", "FS", "read", "write", "interm.w", "shuffle", "sim(s)", "skew"
+    let header = format!(
+        "{:<10} {:<26} {:>3} {:>3} {:>12} {:>12} {:>12} {:>12} {:>10} {:>6} {:>7}  status",
+        "query",
+        "approach",
+        "MR",
+        "FS",
+        "read",
+        "write",
+        "interm.w",
+        "shuffle",
+        "sim(s)",
+        "skew",
+        "βx"
     );
+    // Separator width follows the rendered header, so column changes never
+    // leave a stale hardcoded width behind.
+    let separator = "-".repeat(header.chars().count());
+    println!("{header}");
     let mut last_query = String::new();
     for r in rows {
         if r.query != last_query && !last_query.is_empty() {
-            println!("{}", "-".repeat(117));
+            println!("{separator}");
         }
         last_query = r.query.clone();
         println!(
-            "{:<10} {:<26} {:>3} {:>3} {:>12} {:>12} {:>12} {:>12} {:>10.1} {:>6.2}  {}",
+            "{:<10} {:<26} {:>3} {:>3} {:>12} {:>12} {:>12} {:>12} {:>10.1} {:>6.2} {:>7.1}  {}",
             r.query,
             r.approach,
             r.mr_cycles,
@@ -94,10 +122,68 @@ pub fn print_table(title: &str, note: &str, rows: &[Row]) {
             human_bytes(r.shuffle_bytes),
             r.sim_seconds,
             r.reduce_skew,
+            r.beta_expansion,
             if r.ok { "OK" } else { "FAILED (X)" },
         );
     }
     println!();
+}
+
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn push_json_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        out.push_str(&format!("{v}"));
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Render rows as a JSON array — the payload of the figure binaries'
+/// `--json <path>` flag. Hand-rolled (no serde in this workspace); kept
+/// valid by `mrsim::trace::validate_json` in the tests and the CI smoke.
+pub fn rows_json(rows: &[Row]) -> String {
+    let mut out = String::from("[");
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"query\":");
+        push_json_str(&mut out, &r.query);
+        out.push_str(",\"approach\":");
+        push_json_str(&mut out, &r.approach);
+        out.push_str(&format!(",\"mr_cycles\":{}", r.mr_cycles));
+        out.push_str(&format!(",\"full_scans\":{}", r.full_scans));
+        out.push_str(&format!(",\"read_bytes\":{}", r.read_bytes));
+        out.push_str(&format!(",\"write_bytes\":{}", r.write_bytes));
+        out.push_str(&format!(",\"intermediate_write_bytes\":{}", r.intermediate_write_bytes));
+        out.push_str(&format!(",\"shuffle_bytes\":{}", r.shuffle_bytes));
+        out.push_str(",\"sim_seconds\":");
+        push_json_f64(&mut out, r.sim_seconds);
+        out.push_str(",\"reduce_skew\":");
+        push_json_f64(&mut out, r.reduce_skew);
+        out.push_str(",\"beta_expansion\":");
+        push_json_f64(&mut out, r.beta_expansion);
+        out.push_str(",\"ops\":");
+        out.push_str(&r.ops.to_json());
+        out.push_str(&format!(",\"ok\":{}}}", r.ok));
+    }
+    out.push(']');
+    out
 }
 
 /// Percentage reduction of `ours` versus `theirs` (positive = we wrote
@@ -127,5 +213,40 @@ mod tests {
         assert!((pct_less(100, 20) - 80.0).abs() < 1e-9);
         assert_eq!(pct_less(0, 5), 0.0);
         assert!((pct_less(50, 50) - 0.0).abs() < 1e-9);
+    }
+
+    fn sample_row() -> Row {
+        let mut ops = OpCounters::new();
+        ops.add(op::UNNEST_IN, 2);
+        ops.add(op::UNNEST_OUT, 10);
+        Row {
+            query: "B\"1".into(),
+            approach: "Lazy\\Unnest".into(),
+            mr_cycles: 2,
+            full_scans: 1,
+            read_bytes: 100,
+            write_bytes: 200,
+            intermediate_write_bytes: 50,
+            shuffle_bytes: 75,
+            sim_seconds: f64::NAN,
+            reduce_skew: 1.25,
+            beta_expansion: 5.0,
+            ops,
+            ok: true,
+        }
+    }
+
+    #[test]
+    fn rows_json_is_valid_and_complete() {
+        let json = rows_json(&[sample_row()]);
+        mrsim::trace::validate_json(&json).unwrap_or_else(|e| panic!("{json}: {e}"));
+        // Strings are escaped, non-finite floats become null, operator
+        // counters ride along.
+        assert!(json.contains("\"query\":\"B\\\"1\""), "{json}");
+        assert!(json.contains("\"approach\":\"Lazy\\\\Unnest\""), "{json}");
+        assert!(json.contains("\"sim_seconds\":null"), "{json}");
+        assert!(json.contains("\"ntga.unnest.in\":2"), "{json}");
+        assert!(json.contains("\"ok\":true"), "{json}");
+        assert_eq!(rows_json(&[]), "[]");
     }
 }

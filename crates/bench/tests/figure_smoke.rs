@@ -76,6 +76,56 @@ fn fig11_shows_partial_unnest_dichotomy() {
 }
 
 #[test]
+fn fig3_trace_and_json_flags_emit_valid_json() {
+    let dir = std::env::temp_dir();
+    let trace = dir.join(format!("fig3-smoke-{}.trace.json", std::process::id()));
+    let jsonl = trace.with_extension("jsonl");
+    let rows_path = dir.join(format!("fig3-smoke-{}.rows.json", std::process::id()));
+    let out = Command::new(env!("CARGO_BIN_EXE_fig3"))
+        .env("NTGA_SCALE", "small")
+        .args(["--trace", trace.to_str().unwrap(), "--json", rows_path.to_str().unwrap()])
+        .output()
+        .expect("spawn fig3");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+
+    // Chrome trace: one JSON document with "X" span events.
+    let chrome = std::fs::read_to_string(&trace).unwrap();
+    mrsim::trace::validate_json(&chrome).unwrap_or_else(|e| panic!("chrome trace invalid: {e}"));
+    assert!(chrome.contains("\"traceEvents\""));
+    assert!(chrome.contains("\"ph\":\"X\""));
+
+    // JSONL event log: every line parses; workflow lifecycles present.
+    let log = std::fs::read_to_string(&jsonl).unwrap();
+    assert!(log.lines().count() > 50, "expected a rich event log");
+    for line in log.lines() {
+        mrsim::trace::validate_json(line).unwrap_or_else(|e| panic!("{line}: {e}"));
+    }
+    assert!(log.contains("\"event\":\"workflow_end\""));
+    assert!(log.contains("\"event\":\"task_span\""));
+
+    // Report rows: valid JSON carrying the headline counters.
+    let rows = std::fs::read_to_string(&rows_path).unwrap();
+    mrsim::trace::validate_json(&rows).unwrap_or_else(|e| panic!("rows invalid: {e}"));
+    assert!(rows.contains("\"beta_expansion\""));
+    assert!(rows.contains("\"sim_seconds\""));
+
+    for p in [&trace, &jsonl, &rows_path] {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
+#[test]
+fn fig_binaries_reject_unknown_flags() {
+    let out = Command::new(env!("CARGO_BIN_EXE_fig3"))
+        .env("NTGA_SCALE", "small")
+        .arg("--frobnicate")
+        .output()
+        .expect("spawn fig3");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown argument"));
+}
+
+#[test]
 fn fig14_reports_redundancy_factor() {
     let text = run_fig(env!("CARGO_BIN_EXE_fig14"));
     assert!(text.contains("DBInfobox-like"));

@@ -20,6 +20,10 @@ pub struct PlanText {
     pub cycles: Vec<String>,
     /// The strategy label.
     pub strategy: String,
+    /// Operator-counter namespaces this plan records at runtime (see
+    /// [`crate::physical::op`]): which of `ntga.group.*`, `ntga.unnest.*`
+    /// and `ntga.partial.*` will show up on the run's `JobStats::ops`.
+    pub counters: Vec<&'static str>,
 }
 
 impl std::fmt::Display for PlanText {
@@ -28,6 +32,7 @@ impl std::fmt::Display for PlanText {
         for (i, c) in self.cycles.iter().enumerate() {
             writeln!(f, "  MR{}: {}", i + 1, c)?;
         }
+        writeln!(f, "  counters: {}", self.counters.join(", "))?;
         Ok(())
     }
 }
@@ -100,7 +105,10 @@ pub fn explain(strategy: Strategy, query: &Query) -> Result<PlanText, PlanError>
     job1.push_str("   [1 full scan computes ALL star subpatterns]");
     cycles.push(job1);
 
-    // Join cycles, in the same order execute() picks them.
+    // Join cycles, in the same order execute() picks them. Track which
+    // unnest flavors the plan will exercise for the counter summary.
+    let mut lazy_unnest = false;
+    let mut partial_unnest = false;
     let edges = query.join_edges();
     let mut joined: HashSet<usize> = HashSet::from([0]);
     let mut components: Vec<usize> = vec![0];
@@ -130,14 +138,20 @@ pub fn explain(strategy: Strategy, query: &Query) -> Result<PlanText, PlanError>
         } else {
             match strategy {
                 Strategy::Eager => "TG_Join (inputs already β-unnested eagerly)".to_string(),
-                Strategy::LazyFull => "TG_UnbJoin (lazy FULL μ^β at this cycle's map)".to_string(),
+                Strategy::LazyFull => {
+                    lazy_unnest = true;
+                    "TG_UnbJoin (lazy FULL μ^β at this cycle's map)".to_string()
+                }
                 Strategy::LazyPartial(m) => {
+                    partial_unnest = true;
                     format!("TG_OptUnbJoin (lazy PARTIAL μ^β_φ, φ range {m})")
                 }
                 Strategy::Auto(m) => {
                     if unbound_flags.iter().all(|&f| f) {
+                        lazy_unnest = true;
                         "TG_UnbJoin (Auto: partially-bound object -> full unnest)".to_string()
                     } else {
+                        partial_unnest = true;
                         format!("TG_OptUnbJoin (Auto: unbound object -> partial unnest, φ {m})")
                     }
                 }
@@ -153,7 +167,14 @@ pub fn explain(strategy: Strategy, query: &Query) -> Result<PlanText, PlanError>
         joined.insert(other);
         components.push(other);
     }
-    Ok(PlanText { cycles, strategy: strategy.label() })
+    let mut counters = vec!["ntga.group.*"];
+    if strategy == Strategy::Eager || lazy_unnest {
+        counters.push("ntga.unnest.*");
+    }
+    if partial_unnest {
+        counters.push("ntga.partial.*");
+    }
+    Ok(PlanText { cycles, strategy: strategy.label(), counters })
 }
 
 #[cfg(test)]
@@ -179,6 +200,21 @@ mod tests {
         assert!(plan.cycles[0].contains("ALL star subpatterns"));
         assert!(plan.cycles[1].contains("TG_OptUnbJoin"));
         assert!(plan.cycles[1].contains("φ 1024"));
+        assert_eq!(plan.counters, vec!["ntga.group.*", "ntga.partial.*"]);
+    }
+
+    #[test]
+    fn counter_summary_tracks_unnest_flavor() {
+        assert_eq!(
+            explain(Strategy::Eager, &q()).unwrap().counters,
+            vec!["ntga.group.*", "ntga.unnest.*"]
+        );
+        assert_eq!(
+            explain(Strategy::LazyFull, &q()).unwrap().counters,
+            vec!["ntga.group.*", "ntga.unnest.*"]
+        );
+        let text = explain(Strategy::LazyPartial(8), &q()).unwrap().to_string();
+        assert!(text.contains("counters: ntga.group.*, ntga.partial.*"), "{text}");
     }
 
     #[test]

@@ -18,14 +18,51 @@
 use crate::logical::{match_star, partial_beta_unnest, TripleGroup};
 use crate::tg::{AnnTg, TgTuple};
 use mr_rdf::TripleRec;
-use mrsim::{map_fn, reduce_fn, InputBinding, JobSpec, MrError, TypedMapEmitter, TypedOutEmitter};
+use mrsim::{
+    map_fn, map_fn_ctx, reduce_fn, reduce_fn_ctx, InputBinding, JobSpec, MrError, Rec,
+    TypedMapEmitter, TypedOutEmitter,
+};
 use rdf_model::atom::{atom, fnv1a, Atom};
 use rdf_query::{Query, StarPattern};
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
 
 /// Default reducer count for NTGA jobs.
 pub const REDUCERS: usize = 8;
+
+/// Operator-counter names recorded by the NTGA physical operators.
+///
+/// Counters are recorded through [`mrsim::TaskContext::count`] and surface
+/// as order-independent sums on [`mrsim::JobStats`]`::ops` (and, merged
+/// across jobs, on `WorkflowStats::op_counters()`), so they are stable
+/// across worker counts.
+pub mod op {
+    /// Subject groups entering `TG_UnbGrpFilter` (one per reduce group).
+    pub const GROUPS_IN: &str = "ntga.group.groups_in";
+    /// `(property, object)` pairs entering `TG_UnbGrpFilter` — divide by
+    /// [`GROUPS_IN`] for the mean triplegroup size.
+    pub const PAIRS_IN: &str = "ntga.group.pairs_in";
+    /// `(group, star)` admissions: a triplegroup matched a star subpattern.
+    pub const ADMITTED: &str = "ntga.group.admitted";
+    /// Groups that matched **no** star and were filtered out entirely.
+    pub const DROPPED: &str = "ntga.group.dropped";
+    /// Annotated triplegroups entering an eager/exact β-unnest.
+    pub const UNNEST_IN: &str = "ntga.unnest.in";
+    /// Perfect triplegroups produced by an eager/exact β-unnest — the
+    /// ratio against [`UNNEST_IN`] is the unnest expansion factor.
+    pub const UNNEST_OUT: &str = "ntga.unnest.out";
+    /// Triplegroup tuples entering a partial (φ-partition) unnest.
+    pub const PARTIAL_IN: &str = "ntga.partial.in";
+    /// Records the partial unnest actually ships (≤ `m` per tuple).
+    pub const PARTIAL_OUT: &str = "ntga.partial.out";
+    /// Unbound-pattern candidates the full unnest would have shipped.
+    pub const PARTIAL_CANDIDATES: &str = "ntga.partial.candidates";
+    /// Text bytes the partial (nested) records carry across the shuffle.
+    pub const PARTIAL_NESTED_BYTES: &str = "ntga.partial.nested_bytes";
+    /// Text bytes a full β-unnest would have shipped for the same tuples
+    /// (computed arithmetically, without materializing the expansion).
+    pub const PARTIAL_EXPANDED_BYTES: &str = "ntga.partial.expanded_bytes";
+}
 
 /// The partition function `φ_m` over a join-key token.
 pub fn phi(key: &str, m: u64) -> u64 {
@@ -67,19 +104,32 @@ pub fn group_filter_job(
             Ok(())
         });
     let stars_red = query.stars.clone();
-    let reducer = reduce_fn(
-        move |subject: Atom, pairs: Vec<(Atom, Atom)>, out: &mut TypedOutEmitter<'_, TgTuple>| {
+    let reducer = reduce_fn_ctx(
+        move |ctx: &mrsim::TaskContext,
+              subject: Atom,
+              pairs: Vec<(Atom, Atom)>,
+              out: &mut TypedOutEmitter<'_, TgTuple>| {
+            ctx.count(op::GROUPS_IN, 1);
+            ctx.count(op::PAIRS_IN, pairs.len() as u64);
             let tg = TripleGroup { subject, pairs };
+            let mut admitted = 0u64;
             for (i, star) in stars_red.iter().enumerate() {
                 if let Some(ann) = match_star(&tg, star, i as u64) {
+                    admitted += 1;
                     if eager {
+                        ctx.count(op::UNNEST_IN, 1);
                         for perfect in crate::logical::beta_unnest(&ann) {
+                            ctx.count(op::UNNEST_OUT, 1);
                             out.emit_to(i, &TgTuple(vec![perfect]))?;
                         }
                     } else {
                         out.emit_to(i, &TgTuple(vec![ann]))?;
                     }
                 }
+            }
+            ctx.count(op::ADMITTED, admitted);
+            if admitted == 0 {
+                ctx.count(op::DROPPED, 1);
             }
             Ok(())
         },
@@ -211,30 +261,99 @@ pub enum UnnestMode {
 /// Shuffle value: `(side tag, tuple)`.
 type SidedTuple = (u64, TgTuple);
 
-fn join_mapper(side: u64, spec: JoinSide, mode: UnnestMode) -> Arc<dyn mrsim::RawMapOp> {
-    map_fn(move |tuple: TgTuple, out: &mut TypedMapEmitter<'_, Atom, SidedTuple>| {
-        let comp = tuple
-            .0
-            .get(spec.component)
-            .ok_or_else(|| MrError::Op("join component out of range".into()))?;
-        match mode {
-            UnnestMode::Exact => {
-                for (key, pinned) in join_expansions(comp, spec.role) {
-                    let mut t = tuple.clone();
-                    t.0[spec.component] = pinned;
-                    out.emit(&key, &(side, t));
-                }
-            }
-            UnnestMode::Partial(m) => {
-                for (k, pinned) in partial_expansions(comp, spec.role, m) {
-                    let mut t = tuple.clone();
-                    t.0[spec.component] = pinned;
-                    out.emit(&atom(&k.to_string()), &(side, t));
-                }
+/// Text bytes a full β-unnest of `comp`'s unbound list `u` would ship:
+/// one record per candidate, each carrying the rest of the tuple plus the
+/// component with that single candidate pinned. Computed arithmetically
+/// from the distinct-pair semantics of [`AnnTg::text_size`] so the partial
+/// path never has to materialize the expansion it avoided.
+fn expanded_bytes_of(tuple: &TgTuple, component: usize, u: usize) -> u64 {
+    let comp = &tuple.0[component];
+    let rest: u64 = tuple
+        .0
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| *i != component)
+        .map(|(_, tg)| tg.text_size())
+        .sum();
+    // Pairs every pinned record carries regardless of the candidate chosen:
+    // bound pairs plus the other unbound lists.
+    let mut base: BTreeSet<(&str, &str)> = BTreeSet::new();
+    for (p, objs) in &comp.bound {
+        for o in objs {
+            base.insert((&**p, &**o));
+        }
+    }
+    for (j, cands) in comp.unbound.iter().enumerate() {
+        if j != u {
+            for (p, o) in cands {
+                base.insert((&**p, &**o));
             }
         }
-        Ok(())
-    })
+    }
+    let base_bytes: u64 = comp.subject.len() as u64
+        + 1
+        + base.iter().map(|(p, o)| p.len() as u64 + o.len() as u64 + 2).sum::<u64>();
+    let mut total = 0u64;
+    for (p, o) in &comp.unbound[u] {
+        // A candidate that duplicates a base pair is stored once (set
+        // semantics), so it adds no bytes beyond the base record.
+        let extra =
+            if base.contains(&(&**p, &**o)) { 0 } else { p.len() as u64 + o.len() as u64 + 2 };
+        total += rest + base_bytes + extra;
+    }
+    total
+}
+
+fn join_mapper(side: u64, spec: JoinSide, mode: UnnestMode) -> Arc<dyn mrsim::RawMapOp> {
+    map_fn_ctx(
+        move |ctx: &mrsim::TaskContext,
+              tuple: TgTuple,
+              out: &mut TypedMapEmitter<'_, Atom, SidedTuple>| {
+            let comp = tuple
+                .0
+                .get(spec.component)
+                .ok_or_else(|| MrError::Op("join component out of range".into()))?;
+            match mode {
+                UnnestMode::Exact => {
+                    let unbound = matches!(spec.role, JoinRole::UnboundObj(_));
+                    if unbound {
+                        ctx.count(op::UNNEST_IN, 1);
+                    }
+                    for (key, pinned) in join_expansions(comp, spec.role) {
+                        if unbound {
+                            ctx.count(op::UNNEST_OUT, 1);
+                        }
+                        let mut t = tuple.clone();
+                        t.0[spec.component] = pinned;
+                        out.emit(&key, &(side, t));
+                    }
+                }
+                UnnestMode::Partial(m) => {
+                    let unbound_rest = if let JoinRole::UnboundObj(u) = spec.role {
+                        ctx.count(op::PARTIAL_IN, 1);
+                        ctx.count(op::PARTIAL_CANDIDATES, comp.unbound[u].len() as u64);
+                        ctx.count(
+                            op::PARTIAL_EXPANDED_BYTES,
+                            expanded_bytes_of(&tuple, spec.component, u),
+                        );
+                        Some(tuple.text_size() - comp.text_size())
+                    } else {
+                        None
+                    };
+                    for (k, pinned) in partial_expansions(comp, spec.role, m) {
+                        if let Some(rest) = unbound_rest {
+                            ctx.count(op::PARTIAL_OUT, 1);
+                            ctx.count(op::PARTIAL_NESTED_BYTES, rest + pinned.text_size());
+                        }
+                        let mut t = tuple.clone();
+                        t.0[spec.component] = pinned;
+                        out.emit(&atom(&k.to_string()), &(side, t));
+                    }
+                }
+            }
+            Ok(())
+        },
+    )
 }
 
 /// Build the join job between two equivalence-class relations.
@@ -476,6 +595,107 @@ mod tests {
             partial.map_output_bytes,
             full.map_output_bytes
         );
+    }
+
+    #[test]
+    fn group_filter_records_operator_counters() {
+        // Add a subject matching neither star: shipped by the map-side
+        // filter (the unbound pattern accepts any triple) but dropped by
+        // TG_UnbGrpFilter.
+        let mut s = store();
+        s.insert(STriple::new("<x1>", "<syn>", "\"t\""));
+        let engine = Engine::unbounded();
+        load_store(&engine, "t", &s).unwrap();
+        let query = unbound_query();
+        let job = group_filter_job("j1", &query, "t", vec!["e0".into(), "e1".into()], true);
+        let ops = engine.run_job(&job).unwrap().ops;
+        assert_eq!(ops.get(op::GROUPS_IN), 5); // g1 g2 go1 go2 x1
+        assert_eq!(ops.get(op::PAIRS_IN), 8);
+        assert_eq!(ops.get(op::ADMITTED), 4); // g1,g2 star0; go1,go2 star1
+        assert_eq!(ops.get(op::DROPPED), 1); // x1
+        assert_eq!(ops.get(op::UNNEST_IN), 4);
+        // g1: 4 candidates; g2: 1; go1/go2 have no unbound list (identity).
+        assert_eq!(ops.get(op::UNNEST_OUT), 7);
+
+        // Lazy run admits the same groups but never unnests.
+        let engine = Engine::unbounded();
+        load_store(&engine, "t", &s).unwrap();
+        let job = group_filter_job("j1", &query, "t", vec!["e0".into(), "e1".into()], false);
+        let ops = engine.run_job(&job).unwrap().ops;
+        assert_eq!(ops.get(op::ADMITTED), 4);
+        assert_eq!(ops.get(op::UNNEST_IN), 0);
+        assert_eq!(ops.get(op::UNNEST_OUT), 0);
+    }
+
+    #[test]
+    fn join_counters_track_unnest_and_partial_bytes() {
+        // Many candidates per subject so φ_2 visibly compresses.
+        let mut s = store();
+        for i in 3..40 {
+            s.insert(STriple::new("<g1>", "<xRef>", format!("<r{i}>")));
+        }
+        let engine = Engine::unbounded();
+        load_store(&engine, "t", &s).unwrap();
+        let query = unbound_query();
+        let job1 = group_filter_job("j1", &query, "t", vec!["ec0".into(), "ec1".into()], false);
+        engine.run_job(&job1).unwrap();
+        let mk_join = |mode, out: &str| {
+            tg_join_job(
+                format!("join-{out}"),
+                JoinSide { file: "ec0".into(), component: 0, role: JoinRole::UnboundObj(0) },
+                JoinSide { file: "ec1".into(), component: 0, role: JoinRole::Subject },
+                mode,
+                out,
+            )
+        };
+        let exact = engine.run_job(&mk_join(UnnestMode::Exact, "of")).unwrap();
+        // g1 has 4 + 37 = 41 candidates, g2 has 1; the subject side of the
+        // join records no unnest counters.
+        assert_eq!(exact.ops.get(op::UNNEST_IN), 2);
+        assert_eq!(exact.ops.get(op::UNNEST_OUT), 42);
+        assert_eq!(exact.ops.get(op::PARTIAL_IN), 0);
+
+        let partial = engine.run_job(&mk_join(UnnestMode::Partial(2), "op")).unwrap();
+        let ops = &partial.ops;
+        assert_eq!(ops.get(op::PARTIAL_IN), 2);
+        assert_eq!(ops.get(op::PARTIAL_CANDIDATES), 42);
+        assert!(ops.get(op::PARTIAL_OUT) <= 4, "≤ φ_2 partitions per tuple");
+        assert!(ops.get(op::PARTIAL_OUT) < ops.get(op::PARTIAL_CANDIDATES));
+        // The nested representation crossing the shuffle is smaller than
+        // what the full unnest would have shipped — the paper's savings,
+        // now visible as a counter.
+        let nested = ops.get(op::PARTIAL_NESTED_BYTES);
+        let expanded = ops.get(op::PARTIAL_EXPANDED_BYTES);
+        assert!(nested > 0);
+        assert!(nested < expanded, "nested {nested} >= expanded {expanded}");
+        assert_eq!(ops.get(op::UNNEST_IN), 0);
+    }
+
+    #[test]
+    fn expanded_bytes_match_materialized_unnest() {
+        // The arithmetic expansion accounting must agree byte-for-byte
+        // with actually materializing every pinned record.
+        let mut s = store();
+        for i in 3..12 {
+            s.insert(STriple::new("<g1>", "<xRef>", format!("<r{i}>")));
+        }
+        let engine = Engine::unbounded();
+        load_store(&engine, "t", &s).unwrap();
+        let query = unbound_query();
+        let job1 = group_filter_job("j1", &query, "t", vec!["ec0".into(), "ec1".into()], false);
+        engine.run_job(&job1).unwrap();
+        let tuples: Vec<TgTuple> = engine.read_records("ec0").unwrap();
+        for tuple in &tuples {
+            let materialized: u64 = join_expansions(&tuple.0[0], JoinRole::UnboundObj(0))
+                .into_iter()
+                .map(|(_, pinned)| {
+                    let mut t = tuple.clone();
+                    t.0[0] = pinned;
+                    t.text_size()
+                })
+                .sum();
+            assert_eq!(expanded_bytes_of(tuple, 0, 0), materialized);
+        }
     }
 
     #[test]

@@ -85,23 +85,36 @@ impl CostModel {
         }
     }
 
-    /// Seconds of *work* (everything except startup) implied by a job's
-    /// counters.
-    pub fn work_seconds(&self, s: &JobStats) -> f64 {
+    /// Seconds the map phase works: input read + map CPU, plus the output
+    /// write for map-only jobs (whose mappers write the DFS output
+    /// directly).
+    pub fn map_phase_seconds(&self, s: &JobStats) -> f64 {
         let read = s.hdfs_read_bytes as f64 / self.hdfs_read_bps;
         let map_cpu = s.input_records as f64 * self.map_cpu_s_per_record;
-        let (shuffle, sort, reduce_cpu) = if s.reduce_tasks > 0 {
-            let shuffle = s.map_output_bytes as f64 / self.shuffle_bps;
-            let log =
-                if s.map_output_records > 1 { (s.map_output_records as f64).log2() } else { 0.0 };
-            let sort = s.map_output_bytes as f64 * log * self.sort_s_per_byte_log;
-            let reduce_cpu = s.reduce_input_records as f64 * self.reduce_cpu_s_per_record;
-            (shuffle, sort, reduce_cpu)
-        } else {
-            (0.0, 0.0, 0.0)
-        };
+        let write =
+            if s.reduce_tasks == 0 { s.hdfs_write_bytes as f64 / self.hdfs_write_bps } else { 0.0 };
+        read + map_cpu + write
+    }
+
+    /// Seconds the reduce phase works: shuffle + sort + reduce CPU + output
+    /// write. Zero for map-only jobs.
+    pub fn reduce_phase_seconds(&self, s: &JobStats) -> f64 {
+        if s.reduce_tasks == 0 {
+            return 0.0;
+        }
+        let shuffle = s.map_output_bytes as f64 / self.shuffle_bps;
+        let log = if s.map_output_records > 1 { (s.map_output_records as f64).log2() } else { 0.0 };
+        let sort = s.map_output_bytes as f64 * log * self.sort_s_per_byte_log;
+        let reduce_cpu = s.reduce_input_records as f64 * self.reduce_cpu_s_per_record;
         let write = s.hdfs_write_bytes as f64 / self.hdfs_write_bps;
-        read + map_cpu + shuffle + sort + reduce_cpu + write
+        shuffle + sort + reduce_cpu + write
+    }
+
+    /// Seconds of *work* (everything except startup) implied by a job's
+    /// counters: exactly [`CostModel::map_phase_seconds`] +
+    /// [`CostModel::reduce_phase_seconds`], which trace task spans rely on.
+    pub fn work_seconds(&self, s: &JobStats) -> f64 {
+        self.map_phase_seconds(s) + self.reduce_phase_seconds(s)
     }
 
     /// Total simulated seconds for a job run in isolation.
@@ -173,6 +186,26 @@ mod tests {
         let mut s = stats();
         s.reduce_tasks = 0;
         assert!((m.work_seconds(&s) - 150.0).abs() < 1e-9);
+        // Map-only: the whole job is the map phase (read 100 + write 50).
+        assert!((m.map_phase_seconds(&s) - 150.0).abs() < 1e-9);
+        assert!((m.reduce_phase_seconds(&s) - 0.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn phase_times_partition_work_exactly() {
+        for m in [CostModel::default(), CostModel::zero_overhead(), CostModel::scaled_to(1 << 20)] {
+            let s = stats();
+            let sum = m.map_phase_seconds(&s) + m.reduce_phase_seconds(&s);
+            assert!((sum - m.work_seconds(&s)).abs() < 1e-12);
+            // With a reduce phase, the output write is charged to reduce.
+            assert!(
+                (m.map_phase_seconds(&s)
+                    - 100.0 / m.hdfs_read_bps
+                    - s.input_records as f64 * m.map_cpu_s_per_record)
+                    .abs()
+                    < 1e-9
+            );
+        }
     }
 
     #[test]

@@ -5,6 +5,70 @@
 //! bytes read and written (× replication), and shuffle (map-output) bytes.
 
 use serde::Serialize;
+use std::collections::BTreeMap;
+
+/// Operator-level counters: named `u64` counters recorded by map/reduce
+/// operators through [`crate::TaskContext::count`] (Hadoop's user-defined
+/// `Counter`s). The engine merges every task's counters into
+/// [`JobStats::ops`]; merging is a per-name sum, so totals are independent
+/// of task interleaving and worker count.
+///
+/// Names are `&'static str` by design: operators declare counter-name
+/// constants, and recording is a `BTreeMap` bump with no allocation.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize)]
+pub struct OpCounters {
+    counts: BTreeMap<&'static str, u64>,
+}
+
+impl OpCounters {
+    /// Empty counter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `delta` to counter `name` (creating it at 0 first).
+    pub fn add(&mut self, name: &'static str, delta: u64) {
+        *self.counts.entry(name).or_insert(0) += delta;
+    }
+
+    /// Current value of counter `name` (0 if never recorded).
+    pub fn get(&self, name: &str) -> u64 {
+        self.counts.get(name).copied().unwrap_or(0)
+    }
+
+    /// Merge another counter set into this one (per-name sum).
+    pub fn merge(&mut self, other: &OpCounters) {
+        for (&name, &v) in &other.counts {
+            self.add(name, v);
+        }
+    }
+
+    /// True when no counter was ever recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Iterate counters in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.counts.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// Render as a JSON object (`{"name":value,...}`), sorted by name.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        for (i, (name, v)) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            crate::trace::escape_json_into(name, &mut out);
+            out.push_str("\":");
+            out.push_str(&v.to_string());
+        }
+        out.push('}');
+        out
+    }
+}
 
 /// Counters for one MapReduce job.
 #[derive(Debug, Clone, Default, Serialize)]
@@ -51,6 +115,9 @@ pub struct JobStats {
     pub sim_seconds: f64,
     /// Portion of `sim_seconds` that is fixed job-startup overhead.
     pub startup_seconds: f64,
+    /// Operator-level counters recorded by this job's map/reduce operators
+    /// (see [`OpCounters`]); empty for jobs whose operators record none.
+    pub ops: OpCounters,
 }
 
 impl JobStats {
@@ -121,13 +188,27 @@ impl WorkflowStats {
         self.jobs.iter().map(|j| j.hdfs_write_bytes).sum()
     }
 
-    /// Sum of HDFS write bytes for *intermediate* jobs only (all but the
-    /// last) — what the paper means by "intermediate HDFS writes".
+    /// Sum of HDFS write bytes for *intermediate* jobs only — what the
+    /// paper means by "intermediate HDFS writes". On a successful workflow
+    /// that is every job but the last; on a failed workflow no job produced
+    /// a final output, so *all* completed jobs' writes were intermediate.
     pub fn intermediate_write_bytes(&self) -> u64 {
+        if !self.succeeded {
+            return self.total_write_bytes();
+        }
         if self.jobs.len() <= 1 {
             return 0;
         }
         self.jobs[..self.jobs.len() - 1].iter().map(|j| j.hdfs_write_bytes).sum()
+    }
+
+    /// Operator-level counters merged across every job in the workflow.
+    pub fn op_counters(&self) -> OpCounters {
+        let mut total = OpCounters::new();
+        for job in &self.jobs {
+            total.merge(&job.ops);
+        }
+        total
     }
 
     /// Sum of shuffle bytes over all jobs.
@@ -166,12 +247,30 @@ mod tests {
     fn totals() {
         let wf = WorkflowStats {
             jobs: vec![job(100, 50, 80, 2), job(50, 20, 30, 2)],
+            succeeded: true,
             ..WorkflowStats::default()
         };
         assert_eq!(wf.total_read_bytes(), 150);
         assert_eq!(wf.total_write_bytes(), 70);
         assert_eq!(wf.intermediate_write_bytes(), 50);
         assert_eq!(wf.total_shuffle_bytes(), 110);
+    }
+
+    #[test]
+    fn failed_workflow_counts_every_write_as_intermediate() {
+        // A failed workflow never produced a final output: the last
+        // completed job's writes are intermediate too.
+        let mut wf = WorkflowStats {
+            jobs: vec![job(100, 50, 80, 2), job(50, 20, 30, 2)],
+            succeeded: true,
+            ..WorkflowStats::default()
+        };
+        assert_eq!(wf.intermediate_write_bytes(), 50);
+        wf.succeeded = false;
+        assert_eq!(wf.intermediate_write_bytes(), 70);
+        // Even a single-job failed workflow: its one write was intermediate.
+        let single = WorkflowStats { jobs: vec![job(1, 9, 0, 1)], ..WorkflowStats::default() };
+        assert_eq!(single.intermediate_write_bytes(), 9);
     }
 
     #[test]
@@ -212,8 +311,45 @@ mod tests {
 
     #[test]
     fn single_job_has_no_intermediate_writes() {
-        let wf = WorkflowStats { jobs: vec![job(1, 9, 0, 1)], ..WorkflowStats::default() };
+        let wf = WorkflowStats {
+            jobs: vec![job(1, 9, 0, 1)],
+            succeeded: true,
+            ..WorkflowStats::default()
+        };
         assert_eq!(wf.intermediate_write_bytes(), 0);
         assert_eq!(wf.total_write_bytes(), 9);
+    }
+
+    #[test]
+    fn op_counters_merge_and_aggregate() {
+        let mut a = OpCounters::new();
+        assert!(a.is_empty());
+        assert_eq!(a.get("x"), 0);
+        a.add("x", 2);
+        a.add("x", 3);
+        a.add("y", 1);
+        let mut b = OpCounters::new();
+        b.add("x", 10);
+        b.add("z", 7);
+        a.merge(&b);
+        assert_eq!(a.get("x"), 15);
+        assert_eq!(a.get("y"), 1);
+        assert_eq!(a.get("z"), 7);
+        // Iteration is name-ordered and JSON matches it.
+        let names: Vec<&str> = a.iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["x", "y", "z"]);
+        assert_eq!(a.to_json(), r#"{"x":15,"y":1,"z":7}"#);
+        assert_eq!(OpCounters::new().to_json(), "{}");
+
+        // Workflow-level aggregation merges per-job counters.
+        let mut j1 = job(0, 0, 0, 1);
+        j1.ops.add("x", 1);
+        let mut j2 = job(0, 0, 0, 1);
+        j2.ops.add("x", 2);
+        j2.ops.add("y", 4);
+        let wf = WorkflowStats { jobs: vec![j1, j2], succeeded: true, ..WorkflowStats::default() };
+        let total = wf.op_counters();
+        assert_eq!(total.get("x"), 3);
+        assert_eq!(total.get("y"), 4);
     }
 }

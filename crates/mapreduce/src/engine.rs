@@ -29,6 +29,7 @@ use crate::hdfs::{DfsFile, SimHdfs};
 use crate::job::{
     JobKind, JobSpec, MapEmitter, OutEmitter, RawCombineOp, RawMapOnlyOp, RawMapOp, TaskContext,
 };
+use crate::trace::{TaskPhase, TraceEvent, TraceSink};
 use parking_lot::Mutex;
 use std::sync::Arc;
 
@@ -71,6 +72,20 @@ pub struct Engine {
     pub block_size: u64,
     /// Task-failure injection (default: no failures).
     pub faults: FaultConfig,
+    /// Optional trace sink receiving [`TraceEvent`]s. `None` (the default)
+    /// disables tracing entirely: no events are constructed.
+    pub trace: Option<Arc<dyn TraceSink>>,
+}
+
+/// Per-task metadata collected only while tracing, to lay task spans on
+/// the simulated timeline after the job's counters are known.
+#[derive(Default)]
+struct TraceScratch {
+    enabled: bool,
+    /// `(records, encoded input bytes)` per map task.
+    map_tasks: Vec<(u64, u64)>,
+    /// `(records, shuffle bytes)` per reduce partition.
+    reduce_tasks: Vec<(u64, u64)>,
 }
 
 impl Engine {
@@ -84,6 +99,7 @@ impl Engine {
             workers,
             block_size: 256 * 1024 * 1024, // paper: 256 MB blocks
             faults: FaultConfig::none(),
+            trace: None,
         }
     }
 
@@ -110,19 +126,45 @@ impl Engine {
         self
     }
 
+    /// Attach a trace sink receiving structured execution events.
+    pub fn with_trace(mut self, sink: Arc<dyn TraceSink>) -> Self {
+        self.trace = Some(sink);
+        self
+    }
+
+    /// Emit a trace event. The closure only runs when a sink is attached,
+    /// so the disabled path costs one `Option` check.
+    pub(crate) fn emit(&self, ev: impl FnOnce() -> TraceEvent) {
+        if let Some(sink) = &self.trace {
+            sink.event(&ev());
+        }
+    }
+
     /// Resolve injected failures for `n_tasks` tasks of one phase: returns
     /// the number of wasted (retried) attempts, or the error for a task
     /// that exhausted its attempts. Task identities mix the job name and a
-    /// phase tag so map and reduce tasks fail independently.
-    fn resolve_faults(&self, job: &str, phase: u64, n_tasks: usize) -> Result<u64, MrError> {
+    /// phase tag so map and reduce tasks fail independently. Each retried
+    /// task also emits a [`TraceEvent::TaskRetry`].
+    fn resolve_faults(&self, job: &str, phase: TaskPhase, n_tasks: usize) -> Result<u64, MrError> {
         if self.faults.task_failure_probability <= 0.0 {
             return Ok(0);
         }
-        let base = fnv1a(job.as_bytes()) ^ (phase << 56);
+        let base = fnv1a(job.as_bytes()) ^ ((phase as u64) << 56);
         let mut retries = 0u64;
         for i in 0..n_tasks {
             match self.faults.attempts_needed(base.wrapping_add(i as u64)) {
-                Some(attempts) => retries += u64::from(attempts - 1),
+                Some(attempts) => {
+                    let wasted = u64::from(attempts - 1);
+                    if wasted > 0 {
+                        retries += wasted;
+                        self.emit(|| TraceEvent::TaskRetry {
+                            job: job.to_string(),
+                            phase,
+                            task: i as u64,
+                            wasted_attempts: wasted,
+                        });
+                    }
+                }
                 None => {
                     return Err(MrError::Op(format!(
                         "task {i} of {job} failed {} consecutive attempts",
@@ -179,15 +221,34 @@ impl Engine {
             }
         };
 
+        self.emit(|| TraceEvent::JobStart { job: spec.name.clone() });
+        let mut scratch = TraceScratch { enabled: self.trace.is_some(), ..Default::default() };
         let n_outputs = spec.outputs.len();
         let outputs = match &spec.kind {
-            JobKind::MapOnly { files, mapper } => {
-                self.run_map_only(files, mapper.as_ref(), budget, n_outputs, &mut stats)?
-            }
+            JobKind::MapOnly { files, mapper } => self.run_map_only(
+                files,
+                mapper.as_ref(),
+                budget,
+                n_outputs,
+                &mut stats,
+                &mut scratch,
+            )?,
             JobKind::MapReduce { inputs, combiner, reducer, reduce_tasks } => {
-                let partitions =
-                    self.run_map_phase(inputs, combiner.as_deref(), *reduce_tasks, &mut stats)?;
+                let partitions = self.run_map_phase(
+                    inputs,
+                    combiner.as_deref(),
+                    *reduce_tasks,
+                    &mut stats,
+                    &mut scratch,
+                )?;
                 stats.reduce_tasks = *reduce_tasks as u64;
+                if scratch.enabled {
+                    for (p, part) in partitions.iter().enumerate() {
+                        scratch
+                            .reduce_tasks
+                            .push((part.len() as u64, stats.shuffle_partition_bytes[p]));
+                    }
+                }
                 self.run_reduce_phase(partitions, reducer.as_ref(), budget, n_outputs, &mut stats)?
             }
         };
@@ -219,7 +280,69 @@ impl Engine {
 
         stats.startup_seconds = self.cost.job_startup_s;
         stats.sim_seconds = self.cost.job_seconds(&stats);
+        if scratch.enabled {
+            self.emit_job_trace(&stats, &scratch);
+        }
         Ok(stats)
+    }
+
+    /// Emit the per-task spans, per-partition shuffle records, and closing
+    /// `JobEnd` for a completed job. Task spans are laid end-to-end inside
+    /// each phase (the cost model charges aggregate cluster bandwidth, so a
+    /// phase's tasks share one lane), apportioning the phase's cost-model
+    /// seconds by each task's byte share (record share when no bytes, equal
+    /// share when neither).
+    fn emit_job_trace(&self, stats: &JobStats, scratch: &TraceScratch) {
+        let lay = |tasks: &[(u64, u64)], phase: TaskPhase, phase_seconds: f64, mut cursor: f64| {
+            let total_bytes: u64 = tasks.iter().map(|&(_, b)| b).sum();
+            let total_records: u64 = tasks.iter().map(|&(r, _)| r).sum();
+            for (i, &(records, bytes)) in tasks.iter().enumerate() {
+                let share = if total_bytes > 0 {
+                    bytes as f64 / total_bytes as f64
+                } else if total_records > 0 {
+                    records as f64 / total_records as f64
+                } else {
+                    1.0 / tasks.len() as f64
+                };
+                let dur = phase_seconds * share;
+                self.emit(|| TraceEvent::TaskSpan {
+                    job: stats.name.clone(),
+                    phase,
+                    task: i as u64,
+                    records,
+                    bytes,
+                    start: cursor,
+                    dur,
+                });
+                cursor += dur;
+            }
+        };
+        let map_seconds = self.cost.map_phase_seconds(stats);
+        lay(&scratch.map_tasks, TaskPhase::Map, map_seconds, stats.startup_seconds);
+        lay(
+            &scratch.reduce_tasks,
+            TaskPhase::Reduce,
+            self.cost.reduce_phase_seconds(stats),
+            stats.startup_seconds + map_seconds,
+        );
+        for (p, &(records, bytes)) in scratch.reduce_tasks.iter().enumerate() {
+            self.emit(|| TraceEvent::ShufflePartition {
+                job: stats.name.clone(),
+                partition: p as u64,
+                records,
+                bytes,
+            });
+        }
+        self.emit(|| TraceEvent::JobEnd {
+            job: stats.name.clone(),
+            sim_seconds: stats.sim_seconds,
+            startup_seconds: stats.startup_seconds,
+            hdfs_read_bytes: stats.hdfs_read_bytes,
+            hdfs_write_bytes: stats.hdfs_write_bytes,
+            shuffle_bytes: stats.shuffle_bytes(),
+            task_retries: stats.task_retries,
+            ops: stats.ops.clone(),
+        });
     }
 
     /// Read one input file and account its bytes/records.
@@ -238,6 +361,7 @@ impl Engine {
         budget: Option<u64>,
         n_outputs: usize,
         stats: &mut JobStats,
+        scratch: &mut TraceScratch,
     ) -> Result<Vec<DfsFile>, MrError> {
         let mut inputs = Vec::new();
         for f in files {
@@ -246,18 +370,25 @@ impl Engine {
         // Map-only output order must be deterministic: process chunks in
         // parallel but concatenate in input order.
         let chunks: Vec<&[Vec<u8>]> = inputs.iter().flat_map(|f| self.chunk(&f.records)).collect();
-        stats.task_retries += self.resolve_faults(&stats.name, 0, chunks.len())?;
+        if scratch.enabled {
+            for chunk in &chunks {
+                let bytes: u64 = chunk.iter().map(|r| r.len() as u64).sum();
+                scratch.map_tasks.push((chunk.len() as u64, bytes));
+            }
+        }
+        stats.task_retries += self.resolve_faults(&stats.name, TaskPhase::Map, chunks.len())?;
         let results = self.parallel_over(&chunks, |chunk| {
             let ctx = TaskContext::new();
             let mut out = OutEmitter::with_outputs(budget, n_outputs);
             for rec in *chunk {
                 mapper.run(&ctx, rec, &mut out)?;
             }
-            Ok(out)
+            Ok((out, ctx.take_counters()))
         })?;
         let mut files: Vec<DfsFile> = (0..n_outputs).map(|_| DfsFile::default()).collect();
         let mut total_text = 0u64;
-        for out in results {
+        for (out, ops) in results {
+            stats.ops.merge(&ops);
             total_text += out.emitted_text;
             if let Some(b) = budget {
                 // Each task only bounds its own output against the budget;
@@ -294,6 +425,7 @@ impl Engine {
         combiner: Option<&dyn RawCombineOp>,
         reduce_tasks: usize,
         stats: &mut JobStats,
+        scratch: &mut TraceScratch,
     ) -> Result<Vec<Vec<RawPair>>, MrError> {
         // (mapper, chunk) work items, order-preserving.
         let mut work: Vec<(&dyn RawMapOp, &[Vec<u8>])> = Vec::new();
@@ -308,7 +440,13 @@ impl Engine {
                 work.push((mapper.as_ref(), chunk));
             }
         }
-        stats.task_retries += self.resolve_faults(&stats.name, 0, work.len())?;
+        if scratch.enabled {
+            for (_, chunk) in &work {
+                let bytes: u64 = chunk.iter().map(|r| r.len() as u64).sum();
+                scratch.map_tasks.push((chunk.len() as u64, bytes));
+            }
+        }
+        stats.task_retries += self.resolve_faults(&stats.name, TaskPhase::Map, work.len())?;
         let results = self.parallel_over(&work, |(mapper, chunk)| {
             let ctx = TaskContext::new();
             let mut out = MapEmitter::partitioned(reduce_tasks);
@@ -319,11 +457,12 @@ impl Engine {
             if let Some(c) = combiner {
                 out = Self::run_combiner(c, &ctx, out)?;
             }
-            Ok((out, pre_combine))
+            Ok((out, pre_combine, ctx.take_counters()))
         })?;
         let mut partitions: Vec<Vec<RawPair>> = vec![Vec::new(); reduce_tasks];
         stats.shuffle_partition_bytes = vec![0; reduce_tasks];
-        for (out, pre_combine) in results {
+        for (out, pre_combine, ops) in results {
+            stats.ops.merge(&ops);
             stats.pre_combine_records += pre_combine;
             for (p, bucket) in out.buckets.into_iter().enumerate() {
                 for (k, v, text) in bucket {
@@ -376,7 +515,8 @@ impl Engine {
         stats: &mut JobStats,
     ) -> Result<Vec<DfsFile>, MrError> {
         stats.reduce_input_records = partitions.iter().map(|p| p.len() as u64).sum();
-        stats.task_retries += self.resolve_faults(&stats.name, 1, partitions.len())?;
+        stats.task_retries +=
+            self.resolve_faults(&stats.name, TaskPhase::Reduce, partitions.len())?;
         // Sort + group + reduce each partition in parallel.
         let shared_budget = budget;
         let results = self.parallel_over(&partitions, |part| {
@@ -398,11 +538,12 @@ impl Engine {
                 groups += 1;
                 i = j;
             }
-            Ok((out, groups))
+            Ok((out, groups, ctx.take_counters()))
         })?;
         let mut files: Vec<DfsFile> = (0..n_outputs).map(|_| DfsFile::default()).collect();
         let mut total_text = 0u64;
-        for (out, groups) in results {
+        for (out, groups, ops) in results {
+            stats.ops.merge(&ops);
             stats.reduce_groups += groups;
             total_text += out.emitted_text;
             if let Some(b) = budget {

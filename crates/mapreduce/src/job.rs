@@ -7,8 +7,10 @@
 //! [`reduce_fn`], which handle encode/decode and text-size accounting.
 
 use crate::codec::Rec;
+use crate::counters::OpCounters;
 use crate::error::MrError;
 use rdf_model::atom::AtomTable;
+use std::cell::RefCell;
 use std::marker::PhantomData;
 use std::sync::Arc;
 
@@ -22,16 +24,34 @@ use std::sync::Arc;
 /// avoid paying for redundant token copies. Scoped per task (not per
 /// job) so concurrent tasks never contend on one table and memory is
 /// released with the task.
+///
+/// It also carries the task's [`OpCounters`]: operators record named
+/// operator-level counters through [`TaskContext::count`] (Hadoop's
+/// user-defined `Counter`s), and the engine merges every task's counters
+/// into [`crate::JobStats::ops`] when the job completes.
 #[derive(Debug, Default)]
 pub struct TaskContext {
     /// Interner for token (`Atom`) fields decoded by this task.
     pub atoms: AtomTable,
+    counters: RefCell<OpCounters>,
 }
 
 impl TaskContext {
     /// Fresh context with an empty atom table.
     pub fn new() -> Self {
-        TaskContext { atoms: AtomTable::new() }
+        TaskContext { atoms: AtomTable::new(), counters: RefCell::new(OpCounters::new()) }
+    }
+
+    /// Add `delta` to the named operator counter. Names should be
+    /// `&'static str` constants declared next to the operator.
+    pub fn count(&self, name: &'static str, delta: u64) {
+        self.counters.borrow_mut().add(name, delta);
+    }
+
+    /// Drain this task's recorded counters (the engine calls this once per
+    /// task to merge them into the job's stats).
+    pub fn take_counters(&self) -> OpCounters {
+        self.counters.take()
     }
 }
 
@@ -355,6 +375,83 @@ where
     Arc::new(ReduceFnOp { f, _pd: PhantomData })
 }
 
+struct CtxMapFnOp<I, K, V, F> {
+    f: F,
+    _pd: PhantomData<fn(I) -> (K, V)>,
+}
+
+impl<I, K, V, F> RawMapOp for CtxMapFnOp<I, K, V, F>
+where
+    I: Rec,
+    K: Rec,
+    V: Rec,
+    F: Fn(&TaskContext, I, &mut TypedMapEmitter<'_, K, V>) -> Result<(), MrError> + Send + Sync,
+{
+    fn run(&self, ctx: &TaskContext, record: &[u8], out: &mut MapEmitter) -> Result<(), MrError> {
+        let input = I::from_bytes_with(record, &ctx.atoms)?;
+        let mut emitter = TypedMapEmitter { raw: out, _pd: PhantomData };
+        (self.f)(ctx, input, &mut emitter)
+    }
+}
+
+struct CtxReduceFnOp<K, V, O, F> {
+    f: F,
+    _pd: PhantomData<fn(K, V) -> O>,
+}
+
+impl<K, V, O, F> RawReduceOp for CtxReduceFnOp<K, V, O, F>
+where
+    K: Rec,
+    V: Rec,
+    O: Rec,
+    F: Fn(&TaskContext, K, Vec<V>, &mut TypedOutEmitter<'_, O>) -> Result<(), MrError>
+        + Send
+        + Sync,
+{
+    fn run(
+        &self,
+        ctx: &TaskContext,
+        key: &[u8],
+        values: &[&[u8]],
+        out: &mut OutEmitter,
+    ) -> Result<(), MrError> {
+        let key = K::from_bytes_with(key, &ctx.atoms)?;
+        let values: Result<Vec<V>, MrError> =
+            values.iter().map(|v| V::from_bytes_with(v, &ctx.atoms)).collect();
+        let mut emitter = TypedOutEmitter { raw: out, _pd: PhantomData };
+        (self.f)(ctx, key, values?, &mut emitter)
+    }
+}
+
+/// Like [`map_fn`], but the closure also receives the [`TaskContext`]
+/// (for operator counters via [`TaskContext::count`] or direct interning).
+pub fn map_fn_ctx<I, K, V, F>(f: F) -> Arc<dyn RawMapOp>
+where
+    I: Rec,
+    K: Rec,
+    V: Rec,
+    F: Fn(&TaskContext, I, &mut TypedMapEmitter<'_, K, V>) -> Result<(), MrError>
+        + Send
+        + Sync
+        + 'static,
+{
+    Arc::new(CtxMapFnOp { f, _pd: PhantomData })
+}
+
+/// Like [`reduce_fn`], but the closure also receives the [`TaskContext`].
+pub fn reduce_fn_ctx<K, V, O, F>(f: F) -> Arc<dyn RawReduceOp>
+where
+    K: Rec,
+    V: Rec,
+    O: Rec,
+    F: Fn(&TaskContext, K, Vec<V>, &mut TypedOutEmitter<'_, O>) -> Result<(), MrError>
+        + Send
+        + Sync
+        + 'static,
+{
+    Arc::new(CtxReduceFnOp { f, _pd: PhantomData })
+}
+
 // ---------------------------------------------------------------------------
 // Job specification
 // ---------------------------------------------------------------------------
@@ -616,6 +713,41 @@ mod tests {
         op.run(&TaskContext::new(), &"k".to_string().to_bytes(), &values, &mut out).unwrap();
         assert_eq!(out.records.len(), 1);
         assert_eq!(String::from_bytes(&out.records[0].1).unwrap(), "k=3");
+    }
+
+    #[test]
+    fn ctx_adapters_record_counters() {
+        let ctx = TaskContext::new();
+        let map_op = map_fn_ctx(
+            |ctx: &TaskContext, rec: String, out: &mut TypedMapEmitter<'_, String, u64>| {
+                ctx.count("map.seen", 1);
+                out.emit(&rec, &1);
+                Ok(())
+            },
+        );
+        let mut mout = MapEmitter::new();
+        map_op.run(&ctx, &"a".to_string().to_bytes(), &mut mout).unwrap();
+        map_op.run(&ctx, &"b".to_string().to_bytes(), &mut mout).unwrap();
+
+        let reduce_op = reduce_fn_ctx(
+            |ctx: &TaskContext,
+             key: String,
+             values: Vec<u64>,
+             out: &mut TypedOutEmitter<'_, String>| {
+                ctx.count("reduce.groups_seen", 1);
+                out.emit(&format!("{key}:{}", values.len()))
+            },
+        );
+        let mut rout = OutEmitter::new(None);
+        let owned = [1u64.to_bytes()];
+        let values: Vec<&[u8]> = owned.iter().map(Vec::as_slice).collect();
+        reduce_op.run(&ctx, &"a".to_string().to_bytes(), &values, &mut rout).unwrap();
+
+        let counters = ctx.take_counters();
+        assert_eq!(counters.get("map.seen"), 2);
+        assert_eq!(counters.get("reduce.groups_seen"), 1);
+        // take_counters drains.
+        assert!(ctx.take_counters().is_empty());
     }
 
     #[test]

@@ -55,18 +55,22 @@ pub mod error;
 pub mod faults;
 pub mod hdfs;
 pub mod job;
+pub mod trace;
 pub mod workflow;
 
 pub use codec::{Rec, SliceReader};
 pub use cost::CostModel;
-pub use counters::{JobStats, WorkflowStats};
+pub use counters::{JobStats, OpCounters, WorkflowStats};
 pub use engine::{default_partition, Engine};
 pub use error::MrError;
 pub use faults::FaultConfig;
 pub use hdfs::{DfsFile, SimHdfs};
 pub use job::{
-    combine_fn, map_fn, map_only_fn, reduce_fn, InputBinding, JobKind, JobSpec, MapEmitter,
-    OutEmitter, RawCombineOp, RawMapOnlyOp, RawMapOp, RawReduceOp, TaskContext, TypedMapEmitter,
-    TypedOutEmitter,
+    combine_fn, map_fn, map_fn_ctx, map_only_fn, reduce_fn, reduce_fn_ctx, InputBinding, JobKind,
+    JobSpec, MapEmitter, OutEmitter, RawCombineOp, RawMapOnlyOp, RawMapOp, RawReduceOp,
+    TaskContext, TypedMapEmitter, TypedOutEmitter,
+};
+pub use trace::{
+    ChromeTraceSink, JsonlSink, MemorySink, MultiSink, TaskPhase, TraceEvent, TraceSink,
 };
 pub use workflow::Workflow;

@@ -1,0 +1,1037 @@
+//! Structured execution tracing: typed events, pluggable sinks, and a
+//! Chrome trace-event exporter on the *simulated* timeline.
+//!
+//! The paper's whole evaluation is an observability exercise — every figure
+//! is a function of MR cycles, HDFS/shuffle bytes, and where redundancy is
+//! paid. End-of-run aggregates ([`crate::JobStats`]/[`crate::WorkflowStats`])
+//! answer *how much*; tracing answers *where*: which job inflated the
+//! shuffle, how tasks were laid out on the cost model's timeline, which
+//! task attempts were wasted on injected faults.
+//!
+//! ## Event model
+//!
+//! An [`Engine`](crate::Engine) with an attached [`TraceSink`] emits
+//! [`TraceEvent`]s as it executes:
+//!
+//! * per job: [`TraceEvent::JobStart`], per-task [`TraceEvent::TaskSpan`]s
+//!   (simulated start/duration derived from the cost model's phase times,
+//!   apportioned by per-task bytes), [`TraceEvent::TaskRetry`] for wasted
+//!   fault-injected attempts, [`TraceEvent::ShufflePartition`] records, and
+//!   a closing [`TraceEvent::JobEnd`] carrying the job's counters;
+//! * per workflow: [`TraceEvent::WorkflowStart`]/[`TraceEvent::WorkflowEnd`]
+//!   plus [`TraceEvent::StageStart`]/[`TraceEvent::JobSpan`]/
+//!   [`TraceEvent::StageEnd`] placing every job on the *absolute* simulated
+//!   timeline (task spans inside a job are relative to the job's start).
+//!
+//! Tracing is strictly opt-in: without a sink the engine emits nothing and
+//! constructs no events (the closure passed to the internal emit hook never
+//! runs), so the disabled path costs one `Option` check per site.
+//!
+//! ## Sinks
+//!
+//! * [`MemorySink`] buffers events in memory (tests, programmatic access);
+//! * [`JsonlSink`] appends one JSON object per event to a file;
+//! * [`ChromeTraceSink`] writes the Chrome trace-event format: open the
+//!   file in [Perfetto](https://ui.perfetto.dev) (or `chrome://tracing`)
+//!   to see workflows as processes and job/task lanes as threads, laid out
+//!   in simulated microseconds;
+//! * [`MultiSink`] fans out to several sinks.
+
+use crate::counters::OpCounters;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Which phase of a job a task belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum TaskPhase {
+    /// Map phase (also map-only jobs).
+    Map,
+    /// Reduce phase.
+    Reduce,
+}
+
+impl TaskPhase {
+    /// Stable lowercase name (used in JSON output).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            TaskPhase::Map => "map",
+            TaskPhase::Reduce => "reduce",
+        }
+    }
+}
+
+/// One structured trace event. All times are *simulated* seconds from the
+/// engine's [`CostModel`](crate::CostModel); byte counts are the engine's
+/// text-size accounting.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// A workflow began.
+    WorkflowStart {
+        /// Workflow report label.
+        label: String,
+    },
+    /// A workflow stage (one MR cycle; possibly several concurrent jobs)
+    /// began at `sim_start` on the workflow's absolute timeline.
+    StageStart {
+        /// Zero-based stage index within the workflow.
+        stage: u64,
+        /// Absolute simulated second the stage starts at.
+        sim_start: f64,
+    },
+    /// A job began executing.
+    JobStart {
+        /// Job name.
+        job: String,
+    },
+    /// One task's span on the simulated timeline, *relative to its job's
+    /// start*. The cost model's phase time is apportioned over the phase's
+    /// tasks by their byte share (record share when no bytes moved), and
+    /// tasks are laid end-to-end — the aggregate-bandwidth reading of the
+    /// cost model, where a phase's tasks share the cluster's full I/O rate.
+    TaskSpan {
+        /// Job name.
+        job: String,
+        /// Map or reduce.
+        phase: TaskPhase,
+        /// Task index within the phase.
+        task: u64,
+        /// Input records processed by this task.
+        records: u64,
+        /// Encoded input bytes for map tasks; shuffle bytes routed to this
+        /// partition for reduce tasks.
+        bytes: u64,
+        /// Simulated start second, relative to the job's start.
+        start: f64,
+        /// Simulated duration in seconds.
+        dur: f64,
+    },
+    /// Injected fault retries: task `task` needed `wasted_attempts` extra
+    /// attempts before succeeding.
+    TaskRetry {
+        /// Job name.
+        job: String,
+        /// Map or reduce.
+        phase: TaskPhase,
+        /// Task index within the phase.
+        task: u64,
+        /// Number of failed (retried) attempts.
+        wasted_attempts: u64,
+    },
+    /// Shuffle bytes/records routed to one reduce partition.
+    ShufflePartition {
+        /// Job name.
+        job: String,
+        /// Reduce partition index.
+        partition: u64,
+        /// Shuffle records routed to this partition.
+        records: u64,
+        /// Shuffle bytes routed to this partition.
+        bytes: u64,
+    },
+    /// A job finished; carries its headline counters.
+    JobEnd {
+        /// Job name.
+        job: String,
+        /// Simulated seconds for the job run in isolation (startup + work).
+        sim_seconds: f64,
+        /// Fixed startup portion of `sim_seconds`.
+        startup_seconds: f64,
+        /// HDFS bytes read.
+        hdfs_read_bytes: u64,
+        /// HDFS bytes written (× replication).
+        hdfs_write_bytes: u64,
+        /// Shuffle bytes (0 for map-only jobs).
+        shuffle_bytes: u64,
+        /// Wasted task attempts from injected faults.
+        task_retries: u64,
+        /// Operator-level counters recorded by the job's operators.
+        ops: OpCounters,
+    },
+    /// A job's placement on the workflow's *absolute* simulated timeline:
+    /// `sim_end − sim_start − startup_seconds` is the job's work time, and
+    /// per stage `max(startup) + Σ work` over its [`TraceEvent::JobSpan`]s
+    /// reconstructs the stage makespan exactly.
+    JobSpan {
+        /// Job name.
+        job: String,
+        /// Zero-based stage index the job ran in.
+        stage: u64,
+        /// Absolute simulated start second (== the stage's start).
+        sim_start: f64,
+        /// Absolute simulated end second (start + startup + own work).
+        sim_end: f64,
+        /// Fixed startup seconds included in the span.
+        startup_seconds: f64,
+    },
+    /// A stage completed at `sim_end` (start + max startup + Σ work).
+    StageEnd {
+        /// Zero-based stage index.
+        stage: u64,
+        /// Absolute simulated end second of the stage.
+        sim_end: f64,
+    },
+    /// A workflow finished (successfully or not).
+    WorkflowEnd {
+        /// Workflow report label.
+        label: String,
+        /// Total simulated seconds (stage makespans summed).
+        sim_seconds: f64,
+        /// False when the workflow aborted (e.g. `DiskFull`).
+        succeeded: bool,
+    },
+}
+
+impl TraceEvent {
+    /// Stable event-kind tag (the `"event"` field of the JSON form).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::WorkflowStart { .. } => "workflow_start",
+            TraceEvent::StageStart { .. } => "stage_start",
+            TraceEvent::JobStart { .. } => "job_start",
+            TraceEvent::TaskSpan { .. } => "task_span",
+            TraceEvent::TaskRetry { .. } => "task_retry",
+            TraceEvent::ShufflePartition { .. } => "shuffle_partition",
+            TraceEvent::JobEnd { .. } => "job_end",
+            TraceEvent::JobSpan { .. } => "job_span",
+            TraceEvent::StageEnd { .. } => "stage_end",
+            TraceEvent::WorkflowEnd { .. } => "workflow_end",
+        }
+    }
+
+    /// Render as one JSON object (the [`JsonlSink`] line format).
+    pub fn to_json(&self) -> String {
+        let mut o = JsonObject::new();
+        o.str("event", self.kind());
+        match self {
+            TraceEvent::WorkflowStart { label } => {
+                o.str("label", label);
+            }
+            TraceEvent::StageStart { stage, sim_start } => {
+                o.u64("stage", *stage);
+                o.f64("sim_start", *sim_start);
+            }
+            TraceEvent::JobStart { job } => {
+                o.str("job", job);
+            }
+            TraceEvent::TaskSpan { job, phase, task, records, bytes, start, dur } => {
+                o.str("job", job);
+                o.str("phase", phase.as_str());
+                o.u64("task", *task);
+                o.u64("records", *records);
+                o.u64("bytes", *bytes);
+                o.f64("start", *start);
+                o.f64("dur", *dur);
+            }
+            TraceEvent::TaskRetry { job, phase, task, wasted_attempts } => {
+                o.str("job", job);
+                o.str("phase", phase.as_str());
+                o.u64("task", *task);
+                o.u64("wasted_attempts", *wasted_attempts);
+            }
+            TraceEvent::ShufflePartition { job, partition, records, bytes } => {
+                o.str("job", job);
+                o.u64("partition", *partition);
+                o.u64("records", *records);
+                o.u64("bytes", *bytes);
+            }
+            TraceEvent::JobEnd {
+                job,
+                sim_seconds,
+                startup_seconds,
+                hdfs_read_bytes,
+                hdfs_write_bytes,
+                shuffle_bytes,
+                task_retries,
+                ops,
+            } => {
+                o.str("job", job);
+                o.f64("sim_seconds", *sim_seconds);
+                o.f64("startup_seconds", *startup_seconds);
+                o.u64("hdfs_read_bytes", *hdfs_read_bytes);
+                o.u64("hdfs_write_bytes", *hdfs_write_bytes);
+                o.u64("shuffle_bytes", *shuffle_bytes);
+                o.u64("task_retries", *task_retries);
+                o.raw("ops", &ops.to_json());
+            }
+            TraceEvent::JobSpan { job, stage, sim_start, sim_end, startup_seconds } => {
+                o.str("job", job);
+                o.u64("stage", *stage);
+                o.f64("sim_start", *sim_start);
+                o.f64("sim_end", *sim_end);
+                o.f64("startup_seconds", *startup_seconds);
+            }
+            TraceEvent::StageEnd { stage, sim_end } => {
+                o.u64("stage", *stage);
+                o.f64("sim_end", *sim_end);
+            }
+            TraceEvent::WorkflowEnd { label, sim_seconds, succeeded } => {
+                o.str("label", label);
+                o.f64("sim_seconds", *sim_seconds);
+                o.bool("succeeded", *succeeded);
+            }
+        }
+        o.finish()
+    }
+}
+
+/// A consumer of [`TraceEvent`]s. Implementations must be thread-safe: the
+/// engine emits from the driver thread but sinks are shared via `Arc`
+/// across engines and workflows.
+pub trait TraceSink: Send + Sync {
+    /// Receive one event. Called in emission order per engine.
+    fn event(&self, ev: &TraceEvent);
+
+    /// Flush/complete any buffered output (file sinks write their trailer
+    /// here). Safe to call more than once.
+    fn finish(&self) {}
+}
+
+// ---------------------------------------------------------------------------
+// JSON plumbing (the workspace's serde is a no-op stub, so the sinks write
+// JSON by hand).
+// ---------------------------------------------------------------------------
+
+/// Append `s` to `out` with JSON string escaping (quotes not included).
+pub(crate) fn escape_json_into(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Format an `f64` as a JSON number. `NaN`/infinities (which JSON cannot
+/// represent) degrade to `null`.
+pub(crate) fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".into()
+    }
+}
+
+/// Minimal incremental JSON-object writer used by the sinks.
+#[derive(Default)]
+pub(crate) struct JsonObject {
+    buf: String,
+}
+
+impl JsonObject {
+    pub(crate) fn new() -> Self {
+        JsonObject { buf: String::from("{") }
+    }
+
+    fn key(&mut self, k: &str) {
+        if self.buf.len() > 1 {
+            self.buf.push(',');
+        }
+        self.buf.push('"');
+        escape_json_into(k, &mut self.buf);
+        self.buf.push_str("\":");
+    }
+
+    pub(crate) fn str(&mut self, k: &str, v: &str) {
+        self.key(k);
+        self.buf.push('"');
+        escape_json_into(v, &mut self.buf);
+        self.buf.push('"');
+    }
+
+    pub(crate) fn u64(&mut self, k: &str, v: u64) {
+        self.key(k);
+        self.buf.push_str(&v.to_string());
+    }
+
+    pub(crate) fn f64(&mut self, k: &str, v: f64) {
+        self.key(k);
+        self.buf.push_str(&json_f64(v));
+    }
+
+    pub(crate) fn bool(&mut self, k: &str, v: bool) {
+        self.key(k);
+        self.buf.push_str(if v { "true" } else { "false" });
+    }
+
+    /// Insert a pre-rendered JSON value verbatim.
+    pub(crate) fn raw(&mut self, k: &str, json: &str) {
+        self.key(k);
+        self.buf.push_str(json);
+    }
+
+    pub(crate) fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+/// Validate that `s` is one complete JSON value (with optional surrounding
+/// whitespace). A tiny recursive-descent checker — the workspace has no
+/// JSON dependency, and the sinks hand-write their output, so tests and
+/// smoke checks use this to prove the emitted bytes actually parse.
+pub fn validate_json(s: &str) -> Result<(), String> {
+    let bytes = s.as_bytes();
+    let mut pos = 0usize;
+    skip_ws(bytes, &mut pos);
+    parse_value(bytes, &mut pos, 0)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(())
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize, depth: u32) -> Result<(), String> {
+    if depth > 128 {
+        return Err("nesting too deep".into());
+    }
+    match b.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'{') => {
+            *pos += 1;
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(());
+            }
+            loop {
+                skip_ws(b, pos);
+                parse_string(b, pos)?;
+                skip_ws(b, pos);
+                if b.get(*pos) != Some(&b':') {
+                    return Err(format!("expected ':' at byte {pos}"));
+                }
+                *pos += 1;
+                skip_ws(b, pos);
+                parse_value(b, pos, depth + 1)?;
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(());
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(());
+            }
+            loop {
+                skip_ws(b, pos);
+                parse_value(b, pos, depth + 1)?;
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(());
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'"') => parse_string(b, pos),
+        Some(b't') => parse_literal(b, pos, "true"),
+        Some(b'f') => parse_literal(b, pos, "false"),
+        Some(b'n') => parse_literal(b, pos, "null"),
+        Some(c) if *c == b'-' || c.is_ascii_digit() => parse_number(b, pos),
+        Some(c) => Err(format!("unexpected byte {c:#x} at {pos}")),
+    }
+}
+
+fn parse_literal(b: &[u8], pos: &mut usize, lit: &str) -> Result<(), String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(format!("invalid literal at byte {pos}"))
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    if b.get(*pos) != Some(&b'"') {
+        return Err(format!("expected string at byte {pos}"));
+    }
+    *pos += 1;
+    while let Some(&c) = b.get(*pos) {
+        match c {
+            b'"' => {
+                *pos += 1;
+                return Ok(());
+            }
+            b'\\' => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *pos += 1,
+                    Some(b'u') => {
+                        if b.len() < *pos + 5
+                            || !b[*pos + 1..*pos + 5].iter().all(u8::is_ascii_hexdigit)
+                        {
+                            return Err(format!("bad \\u escape at byte {pos}"));
+                        }
+                        *pos += 5;
+                    }
+                    _ => return Err(format!("bad escape at byte {pos}")),
+                }
+            }
+            c if c < 0x20 => return Err(format!("raw control byte {c:#x} in string at {pos}")),
+            _ => *pos += 1,
+        }
+    }
+    Err("unterminated string".into())
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let digits = |b: &[u8], pos: &mut usize| {
+        let s = *pos;
+        while b.get(*pos).is_some_and(u8::is_ascii_digit) {
+            *pos += 1;
+        }
+        *pos > s
+    };
+    if !digits(b, pos) {
+        return Err(format!("bad number at byte {start}"));
+    }
+    if b.get(*pos) == Some(&b'.') {
+        *pos += 1;
+        if !digits(b, pos) {
+            return Err(format!("bad number at byte {start}"));
+        }
+    }
+    if matches!(b.get(*pos), Some(b'e' | b'E')) {
+        *pos += 1;
+        if matches!(b.get(*pos), Some(b'+' | b'-')) {
+            *pos += 1;
+        }
+        if !digits(b, pos) {
+            return Err(format!("bad number at byte {start}"));
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Sinks
+// ---------------------------------------------------------------------------
+
+/// In-memory sink: buffers every event for programmatic inspection
+/// (tests, golden-trace comparisons).
+#[derive(Default)]
+pub struct MemorySink {
+    events: Mutex<Vec<TraceEvent>>,
+}
+
+impl MemorySink {
+    /// New empty sink, ready to share with an engine.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Snapshot of every event received so far, in emission order.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.events.lock().clone()
+    }
+
+    /// Drain and return the buffered events.
+    pub fn take(&self) -> Vec<TraceEvent> {
+        std::mem::take(&mut self.events.lock())
+    }
+}
+
+impl TraceSink for MemorySink {
+    fn event(&self, ev: &TraceEvent) {
+        self.events.lock().push(ev.clone());
+    }
+}
+
+/// File sink writing one JSON object per line (JSON Lines). Write errors
+/// after creation are swallowed — tracing is telemetry and must never fail
+/// the simulated computation.
+pub struct JsonlSink {
+    out: Mutex<BufWriter<File>>,
+}
+
+impl JsonlSink {
+    /// Create (truncate) the file at `path`.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        Ok(JsonlSink { out: Mutex::new(BufWriter::new(File::create(path)?)) })
+    }
+}
+
+impl TraceSink for JsonlSink {
+    fn event(&self, ev: &TraceEvent) {
+        let mut out = self.out.lock();
+        let _ = writeln!(out, "{}", ev.to_json());
+    }
+
+    fn finish(&self) {
+        let _ = self.out.lock().flush();
+    }
+}
+
+impl Drop for JsonlSink {
+    fn drop(&mut self) {
+        self.finish();
+    }
+}
+
+struct ChromeState {
+    /// Serialized trace-event objects, in emission order.
+    events: Vec<String>,
+    /// Current workflow's process id; workflows map to Chrome processes.
+    pid: u64,
+    next_pid: u64,
+    /// Absolute simulated offset applied to job-relative task spans.
+    base: f64,
+    /// True between `StageStart` and `StageEnd`: job bars then come from
+    /// `JobSpan` (absolute placement) rather than `JobEnd`.
+    stage_active: bool,
+    /// Task lane (Chrome thread id) per job name.
+    lanes: HashMap<String, u64>,
+    next_tid: u64,
+    wrote: bool,
+}
+
+impl ChromeState {
+    fn new() -> Self {
+        ChromeState {
+            events: Vec::new(),
+            pid: 1,
+            next_pid: 2,
+            base: 0.0,
+            stage_active: false,
+            lanes: HashMap::new(),
+            next_tid: FIRST_TASK_LANE,
+            wrote: false,
+        }
+    }
+}
+
+/// Chrome thread-id of the workflow-summary lane.
+const WORKFLOW_LANE: u64 = 0;
+/// Chrome thread-id of the job-bars lane.
+const JOB_LANE: u64 = 1;
+/// First thread-id handed out to per-job task lanes.
+const FIRST_TASK_LANE: u64 = 8;
+
+/// Sink producing a Chrome trace-event file (open in
+/// [Perfetto](https://ui.perfetto.dev) or `chrome://tracing`).
+///
+/// Layout: each workflow is a Chrome *process* (pid); within it, lane 0
+/// holds the whole-workflow span, lane 1 the per-job bars on the absolute
+/// simulated timeline, and each job gets its own task lane with the map
+/// and reduce task spans laid end-to-end. Retries appear as instant
+/// events on the job's task lane. Timestamps are simulated microseconds.
+///
+/// The file is written by [`TraceSink::finish`] (also on drop).
+pub struct ChromeTraceSink {
+    path: PathBuf,
+    state: Mutex<ChromeState>,
+}
+
+impl ChromeTraceSink {
+    /// Sink that will write `path` when finished.
+    pub fn create(path: impl Into<PathBuf>) -> Self {
+        ChromeTraceSink { path: path.into(), state: Mutex::new(ChromeState::new()) }
+    }
+
+    fn meta(state: &mut ChromeState, tid: Option<u64>, what: &str, name: &str) {
+        let mut o = JsonObject::new();
+        o.str("ph", "M");
+        o.u64("pid", state.pid);
+        if let Some(tid) = tid {
+            o.u64("tid", tid);
+        }
+        o.str("name", what);
+        let mut args = JsonObject::new();
+        args.str("name", name);
+        o.raw("args", &args.finish());
+        state.events.push(o.finish());
+    }
+
+    fn span(state: &mut ChromeState, tid: u64, name: &str, ts: f64, dur: f64, args: JsonObject) {
+        let mut o = JsonObject::new();
+        o.str("ph", "X");
+        o.u64("pid", state.pid);
+        o.u64("tid", tid);
+        o.str("name", name);
+        o.f64("ts", ts * 1e6);
+        o.f64("dur", dur * 1e6);
+        o.raw("args", &args.finish());
+        state.events.push(o.finish());
+    }
+
+    fn task_lane(state: &mut ChromeState, job: &str) -> u64 {
+        if let Some(&tid) = state.lanes.get(job) {
+            return tid;
+        }
+        let tid = state.next_tid;
+        state.next_tid += 1;
+        state.lanes.insert(job.to_string(), tid);
+        Self::meta(state, Some(tid), "thread_name", &format!("tasks:{job}"));
+        tid
+    }
+
+    fn write_out(&self, state: &mut ChromeState) {
+        state.wrote = true;
+        let file = match File::create(&self.path) {
+            Ok(f) => f,
+            Err(_) => return,
+        };
+        let mut w = BufWriter::new(file);
+        let _ = w.write_all(b"{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+        for (i, ev) in state.events.iter().enumerate() {
+            let sep = if i + 1 == state.events.len() { "\n" } else { ",\n" };
+            let _ = w.write_all(ev.as_bytes());
+            let _ = w.write_all(sep.as_bytes());
+        }
+        let _ = w.write_all(b"]}\n");
+        let _ = w.flush();
+    }
+}
+
+impl TraceSink for ChromeTraceSink {
+    fn event(&self, ev: &TraceEvent) {
+        let state = &mut *self.state.lock();
+        match ev {
+            TraceEvent::WorkflowStart { label } => {
+                state.pid = state.next_pid;
+                state.next_pid += 1;
+                state.base = 0.0;
+                state.stage_active = false;
+                state.lanes.clear();
+                state.next_tid = FIRST_TASK_LANE;
+                Self::meta(state, None, "process_name", label);
+                Self::meta(state, Some(WORKFLOW_LANE), "thread_name", "workflow");
+                Self::meta(state, Some(JOB_LANE), "thread_name", "jobs");
+            }
+            TraceEvent::StageStart { sim_start, .. } => {
+                state.base = *sim_start;
+                state.stage_active = true;
+            }
+            TraceEvent::StageEnd { sim_end, .. } => {
+                state.base = *sim_end;
+                state.stage_active = false;
+            }
+            TraceEvent::JobStart { job } => {
+                Self::task_lane(state, job);
+            }
+            TraceEvent::TaskSpan { job, phase, task, records, bytes, start, dur } => {
+                let tid = Self::task_lane(state, job);
+                let mut args = JsonObject::new();
+                args.u64("records", *records);
+                args.u64("bytes", *bytes);
+                let name = format!("{} {}", phase.as_str(), task);
+                let ts = state.base + *start;
+                Self::span(state, tid, &name, ts, *dur, args);
+            }
+            TraceEvent::TaskRetry { job, phase, task, wasted_attempts } => {
+                let tid = Self::task_lane(state, job);
+                let mut o = JsonObject::new();
+                o.str("ph", "i");
+                o.u64("pid", state.pid);
+                o.u64("tid", tid);
+                o.str("name", &format!("retry {} {}", phase.as_str(), task));
+                o.f64("ts", state.base * 1e6);
+                o.str("s", "t");
+                let mut args = JsonObject::new();
+                args.u64("wasted_attempts", *wasted_attempts);
+                o.raw("args", &args.finish());
+                state.events.push(o.finish());
+            }
+            TraceEvent::ShufflePartition { .. } => {
+                // Per-partition detail lives in the JSONL log; the timeline
+                // view keeps only spans and retries.
+            }
+            TraceEvent::JobEnd { job, sim_seconds, startup_seconds, task_retries, ops, .. } => {
+                if !state.stage_active {
+                    // Engine-only run (no workflow placing jobs): lay jobs
+                    // end-to-end on the job lane.
+                    let mut args = JsonObject::new();
+                    args.f64("startup_seconds", *startup_seconds);
+                    args.u64("task_retries", *task_retries);
+                    args.raw("ops", &ops.to_json());
+                    let base = state.base;
+                    Self::span(state, JOB_LANE, job, base, *sim_seconds, args);
+                    state.base += *sim_seconds;
+                }
+            }
+            TraceEvent::JobSpan { job, sim_start, sim_end, startup_seconds, .. } => {
+                let mut args = JsonObject::new();
+                args.f64("startup_seconds", *startup_seconds);
+                Self::span(state, JOB_LANE, job, *sim_start, *sim_end - *sim_start, args);
+            }
+            TraceEvent::WorkflowEnd { label, sim_seconds, succeeded } => {
+                let mut args = JsonObject::new();
+                args.bool("succeeded", *succeeded);
+                Self::span(state, WORKFLOW_LANE, label, 0.0, *sim_seconds, args);
+            }
+        }
+    }
+
+    fn finish(&self) {
+        let state = &mut *self.state.lock();
+        self.write_out(state);
+    }
+}
+
+impl Drop for ChromeTraceSink {
+    fn drop(&mut self) {
+        let mut taken = {
+            let mut state = self.state.lock();
+            if state.wrote {
+                return;
+            }
+            std::mem::replace(&mut *state, ChromeState::new())
+        };
+        self.write_out(&mut taken);
+    }
+}
+
+/// Fan-out sink: forwards every event (and `finish`) to each child sink.
+pub struct MultiSink {
+    sinks: Vec<Arc<dyn TraceSink>>,
+}
+
+impl MultiSink {
+    /// Sink forwarding to all of `sinks`.
+    pub fn new(sinks: Vec<Arc<dyn TraceSink>>) -> Self {
+        MultiSink { sinks }
+    }
+}
+
+impl TraceSink for MultiSink {
+    fn event(&self, ev: &TraceEvent) {
+        for s in &self.sinks {
+            s.event(ev);
+        }
+    }
+
+    fn finish(&self) {
+        for s in &self.sinks {
+            s.finish();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_serialize_to_valid_json() {
+        let mut ops = OpCounters::new();
+        ops.add("tg.unnest.out", 12);
+        let events = vec![
+            TraceEvent::WorkflowStart { label: "NTGA/\"C4\"\n".into() },
+            TraceEvent::StageStart { stage: 0, sim_start: 0.0 },
+            TraceEvent::JobStart { job: "j1".into() },
+            TraceEvent::TaskSpan {
+                job: "j1".into(),
+                phase: TaskPhase::Map,
+                task: 3,
+                records: 100,
+                bytes: 4096,
+                start: 15.0,
+                dur: 1.25,
+            },
+            TraceEvent::TaskRetry {
+                job: "j1".into(),
+                phase: TaskPhase::Reduce,
+                task: 0,
+                wasted_attempts: 2,
+            },
+            TraceEvent::ShufflePartition { job: "j1".into(), partition: 1, records: 7, bytes: 99 },
+            TraceEvent::JobEnd {
+                job: "j1".into(),
+                sim_seconds: 40.0,
+                startup_seconds: 15.0,
+                hdfs_read_bytes: 1,
+                hdfs_write_bytes: 2,
+                shuffle_bytes: 3,
+                task_retries: 2,
+                ops,
+            },
+            TraceEvent::JobSpan {
+                job: "j1".into(),
+                stage: 0,
+                sim_start: 0.0,
+                sim_end: 40.0,
+                startup_seconds: 15.0,
+            },
+            TraceEvent::StageEnd { stage: 0, sim_end: 40.0 },
+            TraceEvent::WorkflowEnd { label: "w".into(), sim_seconds: 40.0, succeeded: true },
+        ];
+        for ev in &events {
+            let json = ev.to_json();
+            validate_json(&json).unwrap_or_else(|e| panic!("{json}: {e}"));
+            assert!(json.contains(&format!("\"event\":\"{}\"", ev.kind())), "{json}");
+        }
+    }
+
+    #[test]
+    fn string_escaping_round_trips_validator() {
+        let mut s = String::new();
+        escape_json_into("a\"b\\c\nd\te\u{1}", &mut s);
+        assert_eq!(s, "a\\\"b\\\\c\\nd\\te\\u0001");
+        validate_json(&format!("\"{s}\"")).unwrap();
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(1.5), "1.5");
+    }
+
+    #[test]
+    fn validator_accepts_and_rejects() {
+        for good in [
+            "{}",
+            "[]",
+            "null",
+            "true",
+            "-1.5e-7",
+            r#"{"a":[1,2,{"b":"c"}],"d":null}"#,
+            "  [1, 2]  ",
+            r#""ÿ""#,
+        ] {
+            validate_json(good).unwrap_or_else(|e| panic!("{good}: {e}"));
+        }
+        for bad in
+            ["", "{", "[1,]", "{\"a\"}", "tru", "1.2.3", "\"unterminated", "[1] trailing", "01x"]
+        {
+            assert!(validate_json(bad).is_err(), "accepted: {bad}");
+        }
+    }
+
+    #[test]
+    fn memory_sink_buffers_in_order() {
+        let sink = MemorySink::new();
+        sink.event(&TraceEvent::JobStart { job: "a".into() });
+        sink.event(&TraceEvent::JobStart { job: "b".into() });
+        let evs = sink.events();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[0], TraceEvent::JobStart { job: "a".into() });
+        assert_eq!(sink.take().len(), 2);
+        assert!(sink.events().is_empty());
+    }
+
+    #[test]
+    fn multi_sink_fans_out() {
+        let a = MemorySink::new();
+        let b = MemorySink::new();
+        let multi = MultiSink::new(vec![a.clone() as Arc<dyn TraceSink>, b.clone() as _]);
+        multi.event(&TraceEvent::JobStart { job: "x".into() });
+        multi.finish();
+        assert_eq!(a.events().len(), 1);
+        assert_eq!(b.events().len(), 1);
+    }
+
+    #[test]
+    fn jsonl_sink_writes_parseable_lines() {
+        let path = std::env::temp_dir().join(format!("mrsim-jsonl-{}.jsonl", std::process::id()));
+        let sink = JsonlSink::create(&path).unwrap();
+        sink.event(&TraceEvent::JobStart { job: "j\"1".into() });
+        sink.event(&TraceEvent::StageEnd { stage: 1, sim_end: 2.5 });
+        sink.finish();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            validate_json(line).unwrap_or_else(|e| panic!("{line}: {e}"));
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn chrome_sink_writes_valid_trace() {
+        let path = std::env::temp_dir().join(format!("mrsim-chrome-{}.json", std::process::id()));
+        let sink = ChromeTraceSink::create(&path);
+        sink.event(&TraceEvent::WorkflowStart { label: "wf".into() });
+        sink.event(&TraceEvent::StageStart { stage: 0, sim_start: 0.0 });
+        sink.event(&TraceEvent::JobStart { job: "j1".into() });
+        sink.event(&TraceEvent::TaskSpan {
+            job: "j1".into(),
+            phase: TaskPhase::Map,
+            task: 0,
+            records: 5,
+            bytes: 50,
+            start: 15.0,
+            dur: 2.0,
+        });
+        sink.event(&TraceEvent::TaskRetry {
+            job: "j1".into(),
+            phase: TaskPhase::Map,
+            task: 0,
+            wasted_attempts: 1,
+        });
+        sink.event(&TraceEvent::JobEnd {
+            job: "j1".into(),
+            sim_seconds: 17.0,
+            startup_seconds: 15.0,
+            hdfs_read_bytes: 0,
+            hdfs_write_bytes: 0,
+            shuffle_bytes: 0,
+            task_retries: 1,
+            ops: OpCounters::new(),
+        });
+        sink.event(&TraceEvent::JobSpan {
+            job: "j1".into(),
+            stage: 0,
+            sim_start: 0.0,
+            sim_end: 17.0,
+            startup_seconds: 15.0,
+        });
+        sink.event(&TraceEvent::StageEnd { stage: 0, sim_end: 17.0 });
+        sink.event(&TraceEvent::WorkflowEnd {
+            label: "wf".into(),
+            sim_seconds: 17.0,
+            succeeded: true,
+        });
+        sink.finish();
+        let text = std::fs::read_to_string(&path).unwrap();
+        validate_json(&text).unwrap_or_else(|e| panic!("{e}\n{text}"));
+        assert!(text.contains("\"traceEvents\""));
+        assert!(text.contains("\"ph\":\"X\""));
+        assert!(text.contains("\"ph\":\"M\""));
+        // Task span placed absolutely: stage base 0 + job-relative 15 s.
+        assert!(text.contains("\"ts\":15000000"), "{text}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn chrome_sink_writes_on_drop() {
+        let path =
+            std::env::temp_dir().join(format!("mrsim-chrome-drop-{}.json", std::process::id()));
+        {
+            let sink = ChromeTraceSink::create(&path);
+            sink.event(&TraceEvent::JobStart { job: "j".into() });
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        validate_json(&text).unwrap();
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -17,6 +17,7 @@ use crate::counters::WorkflowStats;
 use crate::engine::Engine;
 use crate::error::MrError;
 use crate::job::JobSpec;
+use crate::trace::TraceEvent;
 
 /// A running workflow over an [`Engine`].
 pub struct Workflow<'e> {
@@ -29,9 +30,11 @@ pub struct Workflow<'e> {
 impl<'e> Workflow<'e> {
     /// Start a workflow with the given report label.
     pub fn new(engine: &'e Engine, label: impl Into<String>) -> Self {
+        let label = label.into();
+        engine.emit(|| TraceEvent::WorkflowStart { label: label.clone() });
         Workflow {
             engine,
-            stats: WorkflowStats { label: label.into(), succeeded: true, ..Default::default() },
+            stats: WorkflowStats { label, succeeded: true, ..Default::default() },
             intermediates: Vec::new(),
             failed: false,
         }
@@ -44,14 +47,21 @@ impl<'e> Workflow<'e> {
         if self.failed {
             return Err(MrError::Op("workflow already failed".into()));
         }
+        let stage = self.stats.mr_cycles;
+        let stage_start = self.stats.sim_seconds;
+        self.engine.emit(|| TraceEvent::StageStart { stage, sim_start: stage_start });
         let mut max_startup = 0.0f64;
         let mut sum_work = 0.0f64;
+        // (name, startup, work) per completed job, for JobSpan placement.
+        let mut spans: Vec<(String, f64, f64)> = Vec::new();
         let outputs: Vec<String> = specs.iter().flat_map(|s| s.outputs.iter().cloned()).collect();
         for spec in &specs {
             match self.engine.run_job(spec) {
                 Ok(stats) => {
+                    let work = self.engine.cost.work_seconds(&stats);
                     max_startup = max_startup.max(stats.startup_seconds);
-                    sum_work += self.engine.cost.work_seconds(&stats);
+                    sum_work += work;
+                    spans.push((stats.name.clone(), stats.startup_seconds, work));
                     if stats.full_input_scan {
                         self.stats.full_scans += 1;
                     }
@@ -66,6 +76,17 @@ impl<'e> Workflow<'e> {
                 }
             }
         }
+        for (job, startup, work) in spans {
+            self.engine.emit(|| TraceEvent::JobSpan {
+                job,
+                stage,
+                sim_start: stage_start,
+                sim_end: stage_start + startup + work,
+                startup_seconds: startup,
+            });
+        }
+        self.engine
+            .emit(|| TraceEvent::StageEnd { stage, sim_end: stage_start + max_startup + sum_work });
         self.stats.mr_cycles += 1;
         self.stats.sim_seconds += max_startup + sum_work;
         self.intermediates.extend(outputs);
@@ -97,6 +118,11 @@ impl<'e> Workflow<'e> {
         }
         drop(fs);
         self.record_peak();
+        self.engine.emit(|| TraceEvent::WorkflowEnd {
+            label: self.stats.label.clone(),
+            sim_seconds: self.stats.sim_seconds,
+            succeeded: self.stats.succeeded,
+        });
         self.stats
     }
 

@@ -1,11 +1,12 @@
 //! Uniform runner over every execution approach the paper compares.
 
 use mr_rdf::{load_store, PlanError, QueryRun, TRIPLES_FILE};
-use mrsim::{CostModel, Engine, SimHdfs};
+use mrsim::{CostModel, Engine, SimHdfs, TraceSink};
 use ntga_core::Strategy;
 use rdf_model::TripleStore;
 use rdf_query::Query;
 use relbase::RelFlavor;
+use std::sync::Arc;
 
 /// An execution approach from the paper's evaluation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -102,7 +103,7 @@ pub fn run_query(
 }
 
 /// Describes the simulated cluster for an experiment.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct ClusterConfig {
     /// Number of nodes (the paper uses 5–80).
     pub nodes: u32,
@@ -112,6 +113,21 @@ pub struct ClusterConfig {
     pub replication: u32,
     /// Cost model.
     pub cost: CostModel,
+    /// Optional trace sink attached to every engine this config builds;
+    /// `None` keeps tracing disabled (and free).
+    pub trace: Option<Arc<dyn TraceSink>>,
+}
+
+impl std::fmt::Debug for ClusterConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClusterConfig")
+            .field("nodes", &self.nodes)
+            .field("disk_per_node", &self.disk_per_node)
+            .field("replication", &self.replication)
+            .field("cost", &self.cost)
+            .field("trace", &self.trace.as_ref().map(|_| "<sink>"))
+            .finish()
+    }
 }
 
 impl Default for ClusterConfig {
@@ -121,6 +137,7 @@ impl Default for ClusterConfig {
             disk_per_node: u64::MAX / 60, // effectively unbounded
             replication: 1,
             cost: CostModel::default(),
+            trace: None,
         }
     }
 }
@@ -134,10 +151,19 @@ impl ClusterConfig {
         } else {
             u64::from(self.nodes) * self.disk_per_node
         };
-        let engine =
+        let mut engine =
             Engine::new(SimHdfs::new(capacity, self.replication)).with_cost(self.cost.clone());
+        if let Some(sink) = &self.trace {
+            engine = engine.with_trace(sink.clone());
+        }
         load_store(&engine, TRIPLES_FILE, store).expect("input must fit in the cluster");
         engine
+    }
+
+    /// Attach a trace sink to every engine built from this config.
+    pub fn with_trace(mut self, sink: Arc<dyn TraceSink>) -> Self {
+        self.trace = Some(sink);
+        self
     }
 
     /// Constrain the disk to `factor ×` the input's replicated size — the
