@@ -34,6 +34,22 @@ pub struct Row {
     /// over [`op::UNNEST_IN`]` + `[`op::PARTIAL_IN`]); 1.0 when the plan
     /// never unnested.
     pub beta_expansion: f64,
+    /// Final-output record count (for chaos bit-identity checks).
+    pub result_records: u64,
+    /// Final-output text bytes (for chaos bit-identity checks).
+    pub result_bytes: u64,
+    /// Task retries across all jobs (injected faults).
+    pub task_retries: u64,
+    /// Node losses across all jobs (injected faults).
+    pub node_losses: u64,
+    /// Speculative backup tasks launched across all jobs.
+    pub speculative_tasks: u64,
+    /// Simulated seconds charged to retries/re-execution/speculation.
+    pub retry_seconds: f64,
+    /// Workflow-level stage re-runs under a recovery policy.
+    pub stage_retries: u64,
+    /// True if `DegradeOnDiskFull` dropped output replication to 1.
+    pub degraded: bool,
     /// Operator-level counters merged across the workflow's jobs.
     pub ops: OpCounters,
     /// Completed without failure.
@@ -58,6 +74,14 @@ impl Row {
             sim_seconds: run.stats.sim_seconds,
             reduce_skew: run.stats.max_reduce_skew(),
             beta_expansion: if unnest_in > 0 { unnest_out as f64 / unnest_in as f64 } else { 1.0 },
+            result_records: run.stats.final_output_records(),
+            result_bytes: run.stats.final_output_text_bytes(),
+            task_retries: run.stats.total_task_retries(),
+            node_losses: run.stats.total_node_losses(),
+            speculative_tasks: run.stats.total_speculative_tasks(),
+            retry_seconds: run.stats.total_retry_seconds(),
+            stage_retries: run.stats.stage_retries,
+            degraded: run.stats.degraded_replication,
             ops,
             ok: run.succeeded(),
         }
@@ -87,7 +111,7 @@ pub fn print_table(title: &str, note: &str, rows: &[Row]) {
         println!("{note}");
     }
     let header = format!(
-        "{:<10} {:<26} {:>3} {:>3} {:>12} {:>12} {:>12} {:>12} {:>10} {:>6} {:>7}  status",
+        "{:<10} {:<26} {:>3} {:>3} {:>12} {:>12} {:>12} {:>12} {:>10} {:>6} {:>7} {:>4} {:>8}  status",
         "query",
         "approach",
         "MR",
@@ -98,7 +122,9 @@ pub fn print_table(title: &str, note: &str, rows: &[Row]) {
         "shuffle",
         "sim(s)",
         "skew",
-        "βx"
+        "βx",
+        "rtry",
+        "rty(s)"
     );
     // Separator width follows the rendered header, so column changes never
     // leave a stale hardcoded width behind.
@@ -111,7 +137,7 @@ pub fn print_table(title: &str, note: &str, rows: &[Row]) {
         }
         last_query = r.query.clone();
         println!(
-            "{:<10} {:<26} {:>3} {:>3} {:>12} {:>12} {:>12} {:>12} {:>10.1} {:>6.2} {:>7.1}  {}",
+            "{:<10} {:<26} {:>3} {:>3} {:>12} {:>12} {:>12} {:>12} {:>10.1} {:>6.2} {:>7.1} {:>4} {:>8.1}  {}",
             r.query,
             r.approach,
             r.mr_cycles,
@@ -123,6 +149,8 @@ pub fn print_table(title: &str, note: &str, rows: &[Row]) {
             r.sim_seconds,
             r.reduce_skew,
             r.beta_expansion,
+            r.task_retries + r.stage_retries,
+            r.retry_seconds,
             if r.ok { "OK" } else { "FAILED (X)" },
         );
     }
@@ -178,6 +206,15 @@ pub fn rows_json(rows: &[Row]) -> String {
         push_json_f64(&mut out, r.reduce_skew);
         out.push_str(",\"beta_expansion\":");
         push_json_f64(&mut out, r.beta_expansion);
+        out.push_str(&format!(",\"result_records\":{}", r.result_records));
+        out.push_str(&format!(",\"result_bytes\":{}", r.result_bytes));
+        out.push_str(&format!(",\"task_retries\":{}", r.task_retries));
+        out.push_str(&format!(",\"node_losses\":{}", r.node_losses));
+        out.push_str(&format!(",\"speculative_tasks\":{}", r.speculative_tasks));
+        out.push_str(",\"retry_seconds\":");
+        push_json_f64(&mut out, r.retry_seconds);
+        out.push_str(&format!(",\"stage_retries\":{}", r.stage_retries));
+        out.push_str(&format!(",\"degraded\":{}", r.degraded));
         out.push_str(",\"ops\":");
         out.push_str(&r.ops.to_json());
         out.push_str(&format!(",\"ok\":{}}}", r.ok));
@@ -231,6 +268,14 @@ mod tests {
             sim_seconds: f64::NAN,
             reduce_skew: 1.25,
             beta_expansion: 5.0,
+            result_records: 7,
+            result_bytes: 70,
+            task_retries: 3,
+            node_losses: 1,
+            speculative_tasks: 2,
+            retry_seconds: 4.5,
+            stage_retries: 1,
+            degraded: false,
             ops,
             ok: true,
         }
@@ -246,6 +291,9 @@ mod tests {
         assert!(json.contains("\"approach\":\"Lazy\\\\Unnest\""), "{json}");
         assert!(json.contains("\"sim_seconds\":null"), "{json}");
         assert!(json.contains("\"ntga.unnest.in\":2"), "{json}");
+        assert!(json.contains("\"result_bytes\":70"), "{json}");
+        assert!(json.contains("\"retry_seconds\":4.5"), "{json}");
+        assert!(json.contains("\"degraded\":false"), "{json}");
         assert!(json.contains("\"ok\":true"), "{json}");
         assert_eq!(rows_json(&[]), "[]");
     }

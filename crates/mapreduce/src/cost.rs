@@ -117,9 +117,59 @@ impl CostModel {
         self.map_phase_seconds(s) + self.reduce_phase_seconds(s)
     }
 
-    /// Total simulated seconds for a job run in isolation.
+    /// Average map-task time implied by a job's counters: the map phase's
+    /// work divided by the scheduled map-task count (falls back to the
+    /// whole phase when no per-task schedule was recorded).
+    pub fn avg_map_task_seconds(&self, s: &JobStats) -> f64 {
+        self.map_phase_seconds(s) / (s.faults.map_tasks_scheduled.max(1) as f64)
+    }
+
+    /// Average reduce-task time implied by a job's counters (0 for
+    /// map-only jobs).
+    pub fn avg_reduce_task_seconds(&self, s: &JobStats) -> f64 {
+        if s.reduce_tasks == 0 {
+            return 0.0;
+        }
+        self.reduce_phase_seconds(s) / s.reduce_tasks as f64
+    }
+
+    /// Simulated seconds of *wasted* work from faults: failed task
+    /// attempts that were retried, completed map tasks re-executed after
+    /// node loss, and speculative duplicates — each priced at one average
+    /// task-time of its phase. Pure over the job's fault counters, so it
+    /// is as worker-count-independent as they are.
+    pub fn retry_seconds(&self, s: &JobStats) -> f64 {
+        let f = &s.faults;
+        let map_wasted = f.map_task_retries + f.maps_reexecuted + f.speculative_map_tasks;
+        let reduce_wasted = f.reduce_task_retries + f.speculative_reduce_tasks;
+        map_wasted as f64 * self.avg_map_task_seconds(s)
+            + reduce_wasted as f64 * self.avg_reduce_task_seconds(s)
+    }
+
+    /// Extra critical-path seconds from stragglers: each straggler's
+    /// effective completion overshoot (in average-task units, recorded by
+    /// the engine per phase) priced at the phase's average task time.
+    pub fn straggler_tail_seconds(&self, s: &JobStats) -> f64 {
+        s.faults.map_straggler_units * self.avg_map_task_seconds(s)
+            + s.faults.reduce_straggler_units * self.avg_reduce_task_seconds(s)
+    }
+
+    /// Total simulated seconds the job loses to faults:
+    /// [`CostModel::retry_seconds`] + [`CostModel::straggler_tail_seconds`].
+    pub fn fault_seconds(&self, s: &JobStats) -> f64 {
+        self.retry_seconds(s) + self.straggler_tail_seconds(s)
+    }
+
+    /// A job's work plus its fault losses — the quantity workflows charge
+    /// per job when computing stage makespans (startup excluded).
+    pub fn charged_work_seconds(&self, s: &JobStats) -> f64 {
+        self.work_seconds(s) + self.fault_seconds(s)
+    }
+
+    /// Total simulated seconds for a job run in isolation, including time
+    /// lost to injected faults.
     pub fn job_seconds(&self, s: &JobStats) -> f64 {
-        self.job_startup_s + self.work_seconds(s)
+        self.job_startup_s + self.charged_work_seconds(s)
     }
 
     /// Extra seconds the reduce phase's critical path spends on shuffle
@@ -240,6 +290,50 @@ mod tests {
         assert!((m.shuffle_tail_seconds(&s) - 0.0).abs() < 1e-9);
         let bare = stats();
         assert!((m.shuffle_tail_seconds(&bare) - 0.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fault_counters_are_charged_time() {
+        let m = CostModel::zero_overhead();
+        let clean = stats();
+        assert!((m.retry_seconds(&clean) - 0.0).abs() < 1e-12);
+        assert!((m.fault_seconds(&clean) - 0.0).abs() < 1e-12);
+        assert!((m.job_seconds(&clean) - m.work_seconds(&clean)).abs() < 1e-12);
+
+        // One map chunk scheduled: avg map task = whole map phase (100 s);
+        // reduce phase 100 s over 2 tasks = 50 s each.
+        let mut s = stats();
+        s.faults.map_tasks_scheduled = 1;
+        assert!((m.avg_map_task_seconds(&s) - 100.0).abs() < 1e-9);
+        assert!((m.avg_reduce_task_seconds(&s) - 50.0).abs() < 1e-9);
+
+        s.faults.map_task_retries = 2;
+        s.faults.maps_reexecuted = 1;
+        s.faults.speculative_map_tasks = 1;
+        s.faults.reduce_task_retries = 1;
+        s.faults.speculative_reduce_tasks = 1;
+        // 4 wasted map tasks × 100 + 2 wasted reduce tasks × 50.
+        assert!((m.retry_seconds(&s) - 500.0).abs() < 1e-9);
+
+        // A straggler overshooting by 2 average map-task times.
+        s.faults.map_straggler_units = 2.0;
+        assert!((m.straggler_tail_seconds(&s) - 200.0).abs() < 1e-9);
+        assert!((m.fault_seconds(&s) - 700.0).abs() < 1e-9);
+        assert!((m.job_seconds(&s) - (m.work_seconds(&s) + 700.0)).abs() < 1e-9);
+        assert!((m.charged_work_seconds(&s) - (m.work_seconds(&s) + 700.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn map_only_faults_price_map_tasks_only() {
+        let m = CostModel::zero_overhead();
+        let mut s = stats();
+        s.reduce_tasks = 0;
+        s.faults.map_tasks_scheduled = 2;
+        s.faults.map_task_retries = 1;
+        s.faults.reduce_task_retries = 5; // impossible, but must price to 0
+                                          // Map phase = read 100 + write 50 = 150 s over 2 tasks = 75 s each.
+        assert!((m.avg_reduce_task_seconds(&s) - 0.0).abs() < 1e-12);
+        assert!((m.retry_seconds(&s) - 75.0).abs() < 1e-9);
     }
 
     #[test]

@@ -70,6 +70,47 @@ impl OpCounters {
     }
 }
 
+/// Fault-injection counters for one job: what the failure model did and
+/// what it cost. All counts are pure functions of `(seed, job, task)` via
+/// [`crate::FaultConfig`], so they are independent of worker count.
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
+pub struct FaultStats {
+    /// Map tasks scheduled (chunked work items; the denominator for the
+    /// cost model's average-map-task time). Follows the engine's chunking,
+    /// like the per-task trace spans.
+    pub map_tasks_scheduled: u64,
+    /// Wasted map-task attempts (failed, then retried).
+    pub map_task_retries: u64,
+    /// Wasted reduce-task attempts (failed, then retried).
+    pub reduce_task_retries: u64,
+    /// Simulated nodes that died during this job's map→reduce handoff.
+    pub node_losses: u64,
+    /// Completed map tasks re-executed because their node died before
+    /// reducers fetched their output.
+    pub maps_reexecuted: u64,
+    /// Tasks selected as stragglers.
+    pub straggler_tasks: u64,
+    /// Speculative backup attempts launched for map-phase stragglers.
+    pub speculative_map_tasks: u64,
+    /// Speculative backup attempts launched for reduce-phase stragglers.
+    pub speculative_reduce_tasks: u64,
+    /// Speculative backups that finished before the original attempt.
+    pub speculative_wins: u64,
+    /// Extra map-phase critical-path time from stragglers, in units of
+    /// one average map-task time (Σ over stragglers of `effective − 1`).
+    pub map_straggler_units: f64,
+    /// Extra reduce-phase critical-path time from stragglers, in units of
+    /// one average reduce-task time.
+    pub reduce_straggler_units: f64,
+}
+
+impl FaultStats {
+    /// Total speculative backup attempts launched (both phases).
+    pub fn speculative_tasks(&self) -> u64 {
+        self.speculative_map_tasks + self.speculative_reduce_tasks
+    }
+}
+
 /// Counters for one MapReduce job.
 #[derive(Debug, Clone, Default, Serialize)]
 pub struct JobStats {
@@ -107,7 +148,15 @@ pub struct JobStats {
     pub reduce_tasks: u64,
     /// Wasted task attempts due to injected failures (each failed attempt
     /// was retried; the successful attempt's output is what shipped).
+    /// Equals `faults.map_task_retries + faults.reduce_task_retries`.
     pub task_retries: u64,
+    /// Detailed fault-injection counters (node losses, re-executed maps,
+    /// stragglers, speculative backups).
+    pub faults: FaultStats,
+    /// Simulated seconds lost to faults: wasted attempts, re-executed
+    /// maps, and speculative duplicates, priced by
+    /// [`crate::CostModel::retry_seconds`]. Included in `sim_seconds`.
+    pub retry_seconds: f64,
     /// True if this job scanned the base input relation in full
     /// (the paper's "FS" column in Figure 3).
     pub full_input_scan: bool,
@@ -175,6 +224,15 @@ pub struct WorkflowStats {
     pub failure: Option<String>,
     /// Peak DFS usage observed during the workflow.
     pub peak_disk_bytes: u64,
+    /// Stage attempts re-run by a [`crate::workflow::RecoveryPolicy`]
+    /// after a failure (0 under `FailFast`).
+    pub stage_retries: u64,
+    /// Simulated seconds charged as recovery backoff between stage
+    /// attempts. Included in `sim_seconds`.
+    pub backoff_seconds: f64,
+    /// True if `DegradeOnDiskFull` dropped a stage's output replication to
+    /// 1 to survive a `DiskFull` failure.
+    pub degraded_replication: bool,
 }
 
 impl WorkflowStats {
@@ -220,6 +278,38 @@ impl WorkflowStats {
     /// last job).
     pub fn final_output_records(&self) -> u64 {
         self.jobs.last().map_or(0, |j| j.output_records)
+    }
+
+    /// Text bytes of the final output (0 if the workflow failed before the
+    /// last job).
+    pub fn final_output_text_bytes(&self) -> u64 {
+        self.jobs.last().map_or(0, |j| j.output_text_bytes)
+    }
+
+    /// Wasted task attempts summed over all jobs.
+    pub fn total_task_retries(&self) -> u64 {
+        self.jobs.iter().map(|j| j.task_retries).sum()
+    }
+
+    /// Simulated seconds lost to faults, summed over all jobs (wasted
+    /// attempts, re-executed maps, speculative duplicates).
+    pub fn total_retry_seconds(&self) -> f64 {
+        self.jobs.iter().map(|j| j.retry_seconds).sum()
+    }
+
+    /// Simulated node deaths summed over all jobs.
+    pub fn total_node_losses(&self) -> u64 {
+        self.jobs.iter().map(|j| j.faults.node_losses).sum()
+    }
+
+    /// Completed map tasks re-executed after node loss, over all jobs.
+    pub fn total_maps_reexecuted(&self) -> u64 {
+        self.jobs.iter().map(|j| j.faults.maps_reexecuted).sum()
+    }
+
+    /// Speculative backup attempts launched, over all jobs.
+    pub fn total_speculative_tasks(&self) -> u64 {
+        self.jobs.iter().map(|j| j.faults.speculative_tasks()).sum()
     }
 
     /// Worst reduce skew over all jobs in the workflow (1.0 when no job
@@ -318,6 +408,31 @@ mod tests {
         };
         assert_eq!(wf.intermediate_write_bytes(), 0);
         assert_eq!(wf.total_write_bytes(), 9);
+    }
+
+    #[test]
+    fn fault_aggregates_sum_over_jobs() {
+        let mut j1 = job(0, 0, 0, 1);
+        j1.task_retries = 2;
+        j1.retry_seconds = 1.5;
+        j1.faults.node_losses = 1;
+        j1.faults.maps_reexecuted = 3;
+        j1.faults.speculative_map_tasks = 1;
+        let mut j2 = job(0, 0, 0, 1);
+        j2.task_retries = 1;
+        j2.retry_seconds = 0.25;
+        j2.faults.speculative_reduce_tasks = 2;
+        j2.output_records = 7;
+        j2.output_text_bytes = 70;
+        let wf = WorkflowStats { jobs: vec![j1, j2], succeeded: true, ..WorkflowStats::default() };
+        assert_eq!(wf.total_task_retries(), 3);
+        assert!((wf.total_retry_seconds() - 1.75).abs() < 1e-12);
+        assert_eq!(wf.total_node_losses(), 1);
+        assert_eq!(wf.total_maps_reexecuted(), 3);
+        assert_eq!(wf.total_speculative_tasks(), 3);
+        assert_eq!(wf.final_output_records(), 7);
+        assert_eq!(wf.final_output_text_bytes(), 70);
+        assert_eq!(WorkflowStats::default().final_output_text_bytes(), 0);
     }
 
     #[test]

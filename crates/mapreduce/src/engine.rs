@@ -30,6 +30,7 @@ use crate::job::{
     JobKind, JobSpec, MapEmitter, OutEmitter, RawCombineOp, RawMapOnlyOp, RawMapOp, TaskContext,
 };
 use crate::trace::{TaskPhase, TraceEvent, TraceSink};
+use crate::workflow::RecoveryPolicy;
 use parking_lot::Mutex;
 use std::sync::Arc;
 
@@ -72,6 +73,9 @@ pub struct Engine {
     pub block_size: u64,
     /// Task-failure injection (default: no failures).
     pub faults: FaultConfig,
+    /// Recovery policy inherited by workflows started on this engine
+    /// (default: [`RecoveryPolicy::FailFast`]).
+    pub recovery: RecoveryPolicy,
     /// Optional trace sink receiving [`TraceEvent`]s. `None` (the default)
     /// disables tracing entirely: no events are constructed.
     pub trace: Option<Arc<dyn TraceSink>>,
@@ -99,6 +103,7 @@ impl Engine {
             workers,
             block_size: 256 * 1024 * 1024, // paper: 256 MB blocks
             faults: FaultConfig::none(),
+            recovery: RecoveryPolicy::FailFast,
             trace: None,
         }
     }
@@ -126,6 +131,12 @@ impl Engine {
         self
     }
 
+    /// Set the recovery policy that [`crate::Workflow::new`] inherits.
+    pub fn with_recovery(mut self, recovery: RecoveryPolicy) -> Self {
+        self.recovery = recovery;
+        self
+    }
+
     /// Attach a trace sink receiving structured execution events.
     pub fn with_trace(mut self, sink: Arc<dyn TraceSink>) -> Self {
         self.trace = Some(sink);
@@ -140,40 +151,130 @@ impl Engine {
         }
     }
 
-    /// Resolve injected failures for `n_tasks` tasks of one phase: returns
-    /// the number of wasted (retried) attempts, or the error for a task
-    /// that exhausted its attempts. Task identities mix the job name and a
-    /// phase tag so map and reduce tasks fail independently. Each retried
-    /// task also emits a [`TraceEvent::TaskRetry`].
-    fn resolve_faults(&self, job: &str, phase: TaskPhase, n_tasks: usize) -> Result<u64, MrError> {
-        if self.faults.task_failure_probability <= 0.0 {
-            return Ok(0);
+    /// Resolve injected faults for `n_tasks` tasks of one phase, updating
+    /// `stats` (retry counters, node losses, straggler/speculation
+    /// counters) and emitting the matching trace events. Returns the error
+    /// for a task that exhausted its attempt budget.
+    ///
+    /// Task identities mix the job name, a phase tag, and the spec's
+    /// `fault_epoch` (bumped by workflow stage retries so re-runs face
+    /// fresh deterministic draws), so every decision is a pure function of
+    /// `(seed, job, epoch, phase, task)` — independent of worker count and
+    /// thread schedule.
+    ///
+    /// `holds_map_outputs` marks the map phase of a map-reduce job, whose
+    /// completed task outputs sit on their node's local disk until the
+    /// reducers fetch them — the only phase where node loss destroys
+    /// finished work (Hadoop re-executes those maps; reduce and map-only
+    /// output is committed to the DFS and survives).
+    fn resolve_faults(
+        &self,
+        epoch: u64,
+        phase: TaskPhase,
+        n_tasks: usize,
+        holds_map_outputs: bool,
+        stats: &mut JobStats,
+    ) -> Result<(), MrError> {
+        if phase == TaskPhase::Map {
+            stats.faults.map_tasks_scheduled += n_tasks as u64;
         }
-        let base = fnv1a(job.as_bytes()) ^ ((phase as u64) << 56);
-        let mut retries = 0u64;
-        for i in 0..n_tasks {
-            match self.faults.attempts_needed(base.wrapping_add(i as u64)) {
-                Some(attempts) => {
-                    let wasted = u64::from(attempts - 1);
-                    if wasted > 0 {
-                        retries += wasted;
-                        self.emit(|| TraceEvent::TaskRetry {
-                            job: job.to_string(),
-                            phase,
-                            task: i as u64,
-                            wasted_attempts: wasted,
-                        });
+        let f = &self.faults;
+        if !f.any() || n_tasks == 0 {
+            return Ok(());
+        }
+        let job = stats.name.clone();
+        let base = fnv1a(job.as_bytes())
+            ^ ((phase as u64) << 56)
+            ^ epoch.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+
+        if f.task_failure_probability > 0.0 {
+            for i in 0..n_tasks {
+                match f.attempts_needed(base.wrapping_add(i as u64)) {
+                    Some(attempts) => {
+                        let wasted = u64::from(attempts - 1);
+                        if wasted > 0 {
+                            match phase {
+                                TaskPhase::Map => stats.faults.map_task_retries += wasted,
+                                TaskPhase::Reduce => stats.faults.reduce_task_retries += wasted,
+                            }
+                            stats.task_retries += wasted;
+                            self.emit(|| TraceEvent::TaskRetry {
+                                job: job.clone(),
+                                phase,
+                                task: i as u64,
+                                wasted_attempts: wasted,
+                            });
+                        }
                     }
-                }
-                None => {
-                    return Err(MrError::Op(format!(
-                        "task {i} of {job} failed {} consecutive attempts",
-                        self.faults.max_attempts
-                    )))
+                    None => {
+                        return Err(MrError::TaskExhausted {
+                            job: job.clone(),
+                            phase: phase.as_str(),
+                            task: i as u64,
+                            attempts: f.max_attempts,
+                        })
+                    }
                 }
             }
         }
-        Ok(retries)
+
+        if holds_map_outputs && f.node_loss_probability > 0.0 {
+            for node in 0..f.nodes {
+                if !f.node_lost(base, node) {
+                    continue;
+                }
+                // Tasks are spread over the configured simulated node
+                // count (not the worker-thread count) round-robin.
+                let lost = (n_tasks as u64 + u64::from(f.nodes) - 1 - u64::from(node))
+                    / u64::from(f.nodes);
+                if lost == 0 {
+                    continue;
+                }
+                stats.faults.node_losses += 1;
+                stats.faults.maps_reexecuted += lost;
+                self.emit(|| TraceEvent::NodeLoss {
+                    job: job.clone(),
+                    node: u64::from(node),
+                    maps_lost: lost,
+                });
+            }
+        }
+
+        if f.straggler_probability > 0.0 {
+            let (effective, backup, won) = f.straggler_outcome();
+            for i in 0..n_tasks {
+                if !f.is_straggler(base.wrapping_add(i as u64)) {
+                    continue;
+                }
+                stats.faults.straggler_tasks += 1;
+                match phase {
+                    TaskPhase::Map => stats.faults.map_straggler_units += effective - 1.0,
+                    TaskPhase::Reduce => stats.faults.reduce_straggler_units += effective - 1.0,
+                }
+                self.emit(|| TraceEvent::Straggler {
+                    job: job.clone(),
+                    phase,
+                    task: i as u64,
+                    slowdown: f.straggler_slowdown,
+                });
+                if backup {
+                    match phase {
+                        TaskPhase::Map => stats.faults.speculative_map_tasks += 1,
+                        TaskPhase::Reduce => stats.faults.speculative_reduce_tasks += 1,
+                    }
+                    if won {
+                        stats.faults.speculative_wins += 1;
+                    }
+                    self.emit(|| TraceEvent::SpeculativeTask {
+                        job: job.clone(),
+                        phase,
+                        task: i as u64,
+                        backup_won: won,
+                    });
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Access the DFS (e.g. to load inputs or read final outputs).
@@ -230,6 +331,7 @@ impl Engine {
                 mapper.as_ref(),
                 budget,
                 n_outputs,
+                spec.fault_epoch,
                 &mut stats,
                 &mut scratch,
             )?,
@@ -238,6 +340,7 @@ impl Engine {
                     inputs,
                     combiner.as_deref(),
                     *reduce_tasks,
+                    spec.fault_epoch,
                     &mut stats,
                     &mut scratch,
                 )?;
@@ -249,7 +352,14 @@ impl Engine {
                             .push((part.len() as u64, stats.shuffle_partition_bytes[p]));
                     }
                 }
-                self.run_reduce_phase(partitions, reducer.as_ref(), budget, n_outputs, &mut stats)?
+                self.run_reduce_phase(
+                    partitions,
+                    reducer.as_ref(),
+                    budget,
+                    n_outputs,
+                    spec.fault_epoch,
+                    &mut stats,
+                )?
             }
         };
 
@@ -279,6 +389,7 @@ impl Engine {
         }
 
         stats.startup_seconds = self.cost.job_startup_s;
+        stats.retry_seconds = self.cost.retry_seconds(&stats);
         stats.sim_seconds = self.cost.job_seconds(&stats);
         if scratch.enabled {
             self.emit_job_trace(&stats, &scratch);
@@ -341,6 +452,7 @@ impl Engine {
             hdfs_write_bytes: stats.hdfs_write_bytes,
             shuffle_bytes: stats.shuffle_bytes(),
             task_retries: stats.task_retries,
+            retry_seconds: stats.retry_seconds,
             ops: stats.ops.clone(),
         });
     }
@@ -354,12 +466,14 @@ impl Engine {
         Ok(file)
     }
 
+    #[allow(clippy::too_many_arguments)] // internal: one call site, in run_job
     fn run_map_only(
         &self,
         files: &[String],
         mapper: &dyn RawMapOnlyOp,
         budget: Option<u64>,
         n_outputs: usize,
+        epoch: u64,
         stats: &mut JobStats,
         scratch: &mut TraceScratch,
     ) -> Result<Vec<DfsFile>, MrError> {
@@ -376,7 +490,7 @@ impl Engine {
                 scratch.map_tasks.push((chunk.len() as u64, bytes));
             }
         }
-        stats.task_retries += self.resolve_faults(&stats.name, TaskPhase::Map, chunks.len())?;
+        self.resolve_faults(epoch, TaskPhase::Map, chunks.len(), false, stats)?;
         let results = self.parallel_over(&chunks, |chunk| {
             let ctx = TaskContext::new();
             let mut out = OutEmitter::with_outputs(budget, n_outputs);
@@ -424,6 +538,7 @@ impl Engine {
         inputs: &[crate::job::InputBinding],
         combiner: Option<&dyn RawCombineOp>,
         reduce_tasks: usize,
+        epoch: u64,
         stats: &mut JobStats,
         scratch: &mut TraceScratch,
     ) -> Result<Vec<Vec<RawPair>>, MrError> {
@@ -446,7 +561,7 @@ impl Engine {
                 scratch.map_tasks.push((chunk.len() as u64, bytes));
             }
         }
-        stats.task_retries += self.resolve_faults(&stats.name, TaskPhase::Map, work.len())?;
+        self.resolve_faults(epoch, TaskPhase::Map, work.len(), true, stats)?;
         let results = self.parallel_over(&work, |(mapper, chunk)| {
             let ctx = TaskContext::new();
             let mut out = MapEmitter::partitioned(reduce_tasks);
@@ -512,11 +627,11 @@ impl Engine {
         reducer: &dyn crate::job::RawReduceOp,
         budget: Option<u64>,
         n_outputs: usize,
+        epoch: u64,
         stats: &mut JobStats,
     ) -> Result<Vec<DfsFile>, MrError> {
         stats.reduce_input_records = partitions.iter().map(|p| p.len() as u64).sum();
-        stats.task_retries +=
-            self.resolve_faults(&stats.name, TaskPhase::Reduce, partitions.len())?;
+        self.resolve_faults(epoch, TaskPhase::Reduce, partitions.len(), false, stats)?;
         // Sort + group + reduce each partition in parallel.
         let shared_budget = budget;
         let results = self.parallel_over(&partitions, |part| {

@@ -27,6 +27,21 @@ pub enum MrError {
     /// A job wrote to a file name that already exists (Hadoop refuses to
     /// overwrite job output directories; so do we).
     OutputExists(String),
+    /// A task failed every one of its allowed attempts (injected faults;
+    /// Hadoop's `mapreduce.map.maxattempts` exceeded), failing the job.
+    TaskExhausted {
+        /// Job whose task exhausted its attempts.
+        job: String,
+        /// Phase the task belonged to (`"map"` or `"reduce"`).
+        phase: &'static str,
+        /// Task index within the phase.
+        task: u64,
+        /// Attempt budget that was exhausted.
+        attempts: u32,
+    },
+    /// A stage was submitted to a workflow that already failed. The
+    /// workflow records its first failure and refuses further stages.
+    WorkflowDead,
     /// Catch-all for operator-level failures.
     Op(String),
 }
@@ -41,6 +56,11 @@ impl fmt::Display for MrError {
             MrError::Codec(m) => write!(f, "codec error: {m}"),
             MrError::NoSuchFile(name) => write!(f, "no such DFS file: {name}"),
             MrError::OutputExists(name) => write!(f, "output already exists: {name}"),
+            MrError::TaskExhausted { job, phase, task, attempts } => write!(
+                f,
+                "task {task} ({phase}) of '{job}' failed {attempts} consecutive attempts"
+            ),
+            MrError::WorkflowDead => write!(f, "workflow already failed; stage refused"),
             MrError::Op(m) => write!(f, "operator error: {m}"),
         }
     }
@@ -52,6 +72,13 @@ impl MrError {
     /// True if this error is the disk-capacity failure mode.
     pub fn is_disk_full(&self) -> bool {
         matches!(self, MrError::DiskFull { .. })
+    }
+
+    /// True if this error is a task exhausting its fault-injection attempt
+    /// budget — the failure mode [`crate::workflow::RecoveryPolicy`]
+    /// stage retries can recover from.
+    pub fn is_task_exhausted(&self) -> bool {
+        matches!(self, MrError::TaskExhausted { .. })
     }
 }
 
@@ -70,5 +97,17 @@ mod tests {
     fn display_others() {
         assert!(!MrError::Codec("x".into()).is_disk_full());
         assert!(MrError::NoSuchFile("f".into()).to_string().contains('f'));
+    }
+
+    #[test]
+    fn task_exhausted_display_and_predicate() {
+        let e = MrError::TaskExhausted { job: "j".into(), phase: "map", task: 3, attempts: 4 };
+        assert!(e.is_task_exhausted());
+        assert!(!e.is_disk_full());
+        let msg = e.to_string();
+        assert!(msg.contains("consecutive attempts"), "{msg}");
+        assert!(msg.contains("task 3 (map) of 'j'"), "{msg}");
+        assert!(!MrError::WorkflowDead.is_task_exhausted());
+        assert!(MrError::WorkflowDead.to_string().contains("already failed"));
     }
 }

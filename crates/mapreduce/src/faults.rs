@@ -1,19 +1,40 @@
-//! Deterministic task-failure injection.
+//! Deterministic fault injection: task failures, node loss, stragglers.
 //!
 //! Hadoop materializes and replicates every job's output *because tasks
 //! and nodes fail*; the paper's cost analysis (intermediate HDFS writes ×
 //! replication) exists precisely to pay for this fault tolerance. The
-//! engine therefore models the failure side too: map/reduce task attempts
-//! can be made to fail with a configured probability, and the engine
-//! retries each task up to a bounded number of attempts (Hadoop's
-//! `mapreduce.map.maxattempts`, default 4) before failing the job.
+//! engine therefore models the failure side too:
 //!
-//! Injection is deterministic: whether attempt `a` of task `t` fails is a
-//! pure function of `(seed, task, attempt)`, so runs are reproducible and
-//! results must be bit-identical with and without injected failures —
-//! which the tests assert.
+//! * **task-attempt failure** — map/reduce task attempts fail with a
+//!   configured probability, and the engine retries each task up to a
+//!   bounded number of attempts (Hadoop's `mapreduce.map.maxattempts`,
+//!   default 4) before failing the job;
+//! * **node loss** — a simulated node dies during a job's shuffle; the
+//!   completed map outputs it held (map output lives on the node's local
+//!   disk until reducers fetch it) are lost, and the affected map tasks
+//!   are re-executed. Reduce output is committed to the DFS, so node loss
+//!   never corrupts results — it only costs re-executed work;
+//! * **stragglers** — selected tasks run `straggler_slowdown ×` their
+//!   normal time. With *speculative execution* enabled, a backup attempt
+//!   launches once a straggler exceeds a configured multiple of the
+//!   typical task time; the first finisher wins and the loser's work is
+//!   wasted (charged, not lost).
+//!
+//! Injection is deterministic: every decision is a pure function of
+//! `(seed, stream, task, attempt)` via a splitmix64-style hash, so runs
+//! are reproducible and results must be bit-identical with and without
+//! injected failures — which the chaos tests assert. Node-to-task
+//! assignment uses the configured [`FaultConfig::nodes`] count (not the
+//! engine's worker-thread count), so fault statistics are independent of
+//! the host's parallelism.
 
 use serde::{Deserialize, Serialize};
+
+/// Hash-stream tag for task-attempt failures (implicit: stream 0 keeps
+/// the original attempt-failure hash stable).
+const STREAM_NODE_LOSS: u64 = 0x4E4F_4445; // "NODE"
+/// Hash-stream tag for straggler selection.
+const STREAM_STRAGGLER: u64 = 0x534C_4F57; // "SLOW"
 
 /// Failure-injection configuration.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -24,11 +45,36 @@ pub struct FaultConfig {
     pub max_attempts: u32,
     /// Seed making the injection deterministic.
     pub seed: u64,
+    /// Probability in `[0, 1)` that any given simulated node dies during a
+    /// job's map→reduce handoff, losing its completed map outputs.
+    pub node_loss_probability: f64,
+    /// Number of simulated nodes map tasks are spread over (`task % nodes`).
+    /// Deliberately decoupled from the engine's worker-thread count so
+    /// fault statistics do not depend on host parallelism.
+    pub nodes: u32,
+    /// Probability in `[0, 1)` that any given task is a straggler.
+    pub straggler_probability: f64,
+    /// Slowdown factor a straggler runs at (≥ 1; e.g. 6.0 = six times the
+    /// normal task time).
+    pub straggler_slowdown: f64,
+    /// Speculative-execution threshold: a backup attempt launches when a
+    /// task exceeds this multiple of the typical task time. `0.0` disables
+    /// speculation (backups never launch; stragglers run to completion).
+    pub speculative_multiple: f64,
 }
 
 impl Default for FaultConfig {
     fn default() -> Self {
-        FaultConfig { task_failure_probability: 0.0, max_attempts: 4, seed: 0 }
+        FaultConfig {
+            task_failure_probability: 0.0,
+            max_attempts: 4,
+            seed: 0,
+            node_loss_probability: 0.0,
+            nodes: 8,
+            straggler_probability: 0.0,
+            straggler_slowdown: 6.0,
+            speculative_multiple: 0.0,
+        }
     }
 }
 
@@ -41,7 +87,70 @@ impl FaultConfig {
     /// Fail each attempt with probability `p` under `seed`.
     pub fn with_probability(p: f64, seed: u64) -> Self {
         assert!((0.0..1.0).contains(&p), "probability must be in [0, 1)");
-        FaultConfig { task_failure_probability: p, max_attempts: 4, seed }
+        FaultConfig { task_failure_probability: p, seed, ..Self::default() }
+    }
+
+    /// Set the per-task attempt budget (Hadoop's
+    /// `mapreduce.map.maxattempts`; the default is 4).
+    pub fn with_max_attempts(mut self, max_attempts: u32) -> Self {
+        assert!(max_attempts >= 1, "need at least one attempt");
+        self.max_attempts = max_attempts;
+        self
+    }
+
+    /// Kill each simulated node with probability `p` per job.
+    pub fn with_node_loss(mut self, p: f64) -> Self {
+        assert!((0.0..1.0).contains(&p), "probability must be in [0, 1)");
+        self.node_loss_probability = p;
+        self
+    }
+
+    /// Set the simulated node count map tasks are assigned over.
+    pub fn with_nodes(mut self, nodes: u32) -> Self {
+        assert!(nodes >= 1, "need at least one node");
+        self.nodes = nodes;
+        self
+    }
+
+    /// Make each task a straggler with probability `p`, running at
+    /// `slowdown ×` its normal time.
+    pub fn with_stragglers(mut self, p: f64, slowdown: f64) -> Self {
+        assert!((0.0..1.0).contains(&p), "probability must be in [0, 1)");
+        assert!(slowdown >= 1.0, "slowdown must be >= 1");
+        self.straggler_probability = p;
+        self.straggler_slowdown = slowdown;
+        self
+    }
+
+    /// Enable speculative execution: launch a backup attempt once a task
+    /// exceeds `multiple ×` the typical task time.
+    pub fn with_speculation(mut self, multiple: f64) -> Self {
+        assert!(multiple > 0.0, "speculation threshold must be positive");
+        self.speculative_multiple = multiple;
+        self
+    }
+
+    /// True when any fault channel is active.
+    pub fn any(&self) -> bool {
+        self.task_failure_probability > 0.0
+            || self.node_loss_probability > 0.0
+            || self.straggler_probability > 0.0
+    }
+
+    /// Splitmix64-style hash of `(seed, a, b)` mapped to `[0, 1)`.
+    fn unit(&self, a: u64, b: u64) -> f64 {
+        let mut x = self
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(a)
+            .wrapping_mul(0xBF58_476D_1CE4_E5B9)
+            .wrapping_add(b);
+        x ^= x >> 30;
+        x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x ^= x >> 27;
+        x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^= x >> 31;
+        (x >> 11) as f64 / (1u64 << 53) as f64
     }
 
     /// True if attempt `attempt` of task `task_id` should fail.
@@ -52,25 +161,49 @@ impl FaultConfig {
         if self.task_failure_probability <= 0.0 {
             return false;
         }
-        let mut x = self
-            .seed
-            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-            .wrapping_add(task_id)
-            .wrapping_mul(0xBF58_476D_1CE4_E5B9)
-            .wrapping_add(u64::from(attempt));
-        x ^= x >> 30;
-        x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        x ^= x >> 27;
-        x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
-        x ^= x >> 31;
-        let unit = (x >> 11) as f64 / (1u64 << 53) as f64;
-        unit < self.task_failure_probability
+        self.unit(task_id, u64::from(attempt)) < self.task_failure_probability
     }
 
     /// Number of attempts task `task_id` needs before succeeding, or
     /// `None` if it exhausts `max_attempts`.
     pub fn attempts_needed(&self, task_id: u64) -> Option<u32> {
         (1..=self.max_attempts).find(|&attempt| !self.attempt_fails(task_id, attempt))
+    }
+
+    /// True if simulated node `node` dies during the job identified by
+    /// `job_salt` (the engine's per-job/phase hash base).
+    pub fn node_lost(&self, job_salt: u64, node: u32) -> bool {
+        if self.node_loss_probability <= 0.0 {
+            return false;
+        }
+        self.unit(job_salt ^ STREAM_NODE_LOSS.rotate_left(32), u64::from(node))
+            < self.node_loss_probability
+    }
+
+    /// True if task `task_id` is a straggler.
+    pub fn is_straggler(&self, task_id: u64) -> bool {
+        if self.straggler_probability <= 0.0 {
+            return false;
+        }
+        self.unit(task_id ^ STREAM_STRAGGLER.rotate_left(32), 1) < self.straggler_probability
+    }
+
+    /// Outcome of one straggler task under this config:
+    /// `(effective completion multiple, backup launched, backup won)`.
+    ///
+    /// Without speculation the straggler runs to completion at its full
+    /// slowdown. With speculation, a backup launches once the task passes
+    /// `speculative_multiple ×` the typical task time and finishes one
+    /// task-time later; the first finisher wins, so the effective
+    /// completion multiple is `min(slowdown, speculative_multiple + 1)`.
+    pub fn straggler_outcome(&self) -> (f64, bool, bool) {
+        let slow = self.straggler_slowdown.max(1.0);
+        if self.speculative_multiple > 0.0 && slow > self.speculative_multiple {
+            let backup_finish = self.speculative_multiple + 1.0;
+            (slow.min(backup_finish), true, backup_finish < slow)
+        } else {
+            (slow, false, false)
+        }
     }
 }
 
@@ -84,6 +217,9 @@ mod tests {
         for t in 0..100 {
             assert_eq!(f.attempts_needed(t), Some(1));
         }
+        assert!(!f.any());
+        assert!(!f.node_lost(12345, 0));
+        assert!(!f.is_straggler(7));
     }
 
     #[test]
@@ -106,7 +242,12 @@ mod tests {
 
     #[test]
     fn high_probability_exhausts_attempts() {
-        let f = FaultConfig { task_failure_probability: 0.95, max_attempts: 2, seed: 1 };
+        let f = FaultConfig {
+            task_failure_probability: 0.95,
+            max_attempts: 2,
+            seed: 1,
+            ..FaultConfig::default()
+        };
         let exhausted = (0..1000).filter(|&t| f.attempts_needed(t).is_none()).count();
         // ~0.95^2 ≈ 90 % of tasks exhaust two attempts.
         assert!(exhausted > 800, "{exhausted}");
@@ -116,5 +257,67 @@ mod tests {
     #[should_panic(expected = "probability")]
     fn rejects_certain_failure() {
         FaultConfig::with_probability(1.0, 0);
+    }
+
+    #[test]
+    fn max_attempts_builder() {
+        let f = FaultConfig::with_probability(0.9, 3).with_max_attempts(1);
+        assert_eq!(f.max_attempts, 1);
+        // With one attempt, every first-attempt failure is exhaustion.
+        let exhausted = (0..1000).filter(|&t| f.attempts_needed(t).is_none()).count();
+        assert!((800..1000).contains(&exhausted), "{exhausted}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one attempt")]
+    fn rejects_zero_attempts() {
+        let _ = FaultConfig::none().with_max_attempts(0);
+    }
+
+    #[test]
+    fn node_loss_rate_and_independence() {
+        let f = FaultConfig::none().with_node_loss(0.25).with_nodes(4);
+        assert!(f.any());
+        let losses = (0..10_000u64).filter(|&salt| f.node_lost(salt, 1)).count();
+        assert!((2_000..3_000).contains(&losses), "{losses}");
+        // Different nodes of the same job decide independently.
+        assert!((0..200u64).any(|salt| f.node_lost(salt, 0) != f.node_lost(salt, 1)));
+        // The node-loss stream is independent of the attempt-failure
+        // stream: with only node loss configured, attempts never fail.
+        assert_eq!(f.attempts_needed(9), Some(1));
+    }
+
+    #[test]
+    fn straggler_selection_and_outcome() {
+        let f = FaultConfig::none().with_stragglers(0.2, 6.0);
+        let picked = (0..10_000u64).filter(|&t| f.is_straggler(t)).count();
+        assert!((1_500..2_500).contains(&picked), "{picked}");
+        // No speculation: run to completion at full slowdown.
+        assert_eq!(f.straggler_outcome(), (6.0, false, false));
+
+        // Speculation at 2×: backup finishes at 3× — wins over a 6× task.
+        let spec = f.clone().with_speculation(2.0);
+        let (eff, launched, won) = spec.straggler_outcome();
+        assert!((eff - 3.0).abs() < 1e-12);
+        assert!(launched && won);
+
+        // A mild straggler (1.5×) under a 2× threshold never triggers a
+        // backup.
+        let mild = FaultConfig::none().with_stragglers(0.2, 1.5).with_speculation(2.0);
+        assert_eq!(mild.straggler_outcome(), (1.5, false, false));
+
+        // A 2.5× straggler triggers the backup but beats it (2.5 < 3).
+        let close = FaultConfig::none().with_stragglers(0.2, 2.5).with_speculation(2.0);
+        let (eff, launched, won) = close.straggler_outcome();
+        assert!((eff - 2.5).abs() < 1e-12);
+        assert!(launched && !won);
+    }
+
+    #[test]
+    fn builders_validate() {
+        assert!(std::panic::catch_unwind(|| FaultConfig::none().with_node_loss(1.0)).is_err());
+        assert!(std::panic::catch_unwind(|| FaultConfig::none().with_nodes(0)).is_err());
+        assert!(std::panic::catch_unwind(|| FaultConfig::none().with_stragglers(0.1, 0.5)).is_err());
+        assert!(std::panic::catch_unwind(|| FaultConfig::none().with_speculation(0.0)).is_err());
     }
 }

@@ -509,6 +509,12 @@ pub struct JobSpec {
     /// Marks the job as scanning the base input relation in full — the
     /// paper's "full scan" (FS) metric. Set by planners.
     pub full_input_scan: bool,
+    /// Fault-injection epoch, mixed into the deterministic fault hash.
+    /// Workflow recovery bumps this when re-running a failed stage so the
+    /// retry faces fresh (but still deterministic) fault draws instead of
+    /// replaying the identical failure forever. 0 leaves the hash
+    /// unchanged.
+    pub fault_epoch: u64,
 }
 
 impl JobSpec {
@@ -528,6 +534,7 @@ impl JobSpec {
             replication: None,
             output_compression: 1.0,
             full_input_scan: false,
+            fault_epoch: 0,
         }
     }
 
@@ -564,6 +571,7 @@ impl JobSpec {
             replication: None,
             output_compression: 1.0,
             full_input_scan: false,
+            fault_epoch: 0,
         }
     }
 

@@ -60,7 +60,7 @@ pub mod workflow;
 
 pub use codec::{Rec, SliceReader};
 pub use cost::CostModel;
-pub use counters::{JobStats, OpCounters, WorkflowStats};
+pub use counters::{FaultStats, JobStats, OpCounters, WorkflowStats};
 pub use engine::{default_partition, Engine};
 pub use error::MrError;
 pub use faults::FaultConfig;
@@ -73,4 +73,4 @@ pub use job::{
 pub use trace::{
     ChromeTraceSink, JsonlSink, MemorySink, MultiSink, TaskPhase, TraceEvent, TraceSink,
 };
-pub use workflow::Workflow;
+pub use workflow::{RecoveryPolicy, Workflow};

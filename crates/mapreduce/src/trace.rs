@@ -121,6 +121,40 @@ pub enum TraceEvent {
         /// Number of failed (retried) attempts.
         wasted_attempts: u64,
     },
+    /// A simulated node died during the job's map→reduce handoff; the
+    /// completed map outputs it held were lost and the affected map tasks
+    /// re-executed.
+    NodeLoss {
+        /// Job name.
+        job: String,
+        /// Simulated node index that died.
+        node: u64,
+        /// Completed map tasks whose outputs were lost (re-executed).
+        maps_lost: u64,
+    },
+    /// A task was selected as a straggler, running `slowdown ×` its
+    /// normal time.
+    Straggler {
+        /// Job name.
+        job: String,
+        /// Map or reduce.
+        phase: TaskPhase,
+        /// Task index within the phase.
+        task: u64,
+        /// Injected slowdown factor.
+        slowdown: f64,
+    },
+    /// A speculative backup attempt was launched for a straggler.
+    SpeculativeTask {
+        /// Job name.
+        job: String,
+        /// Map or reduce.
+        phase: TaskPhase,
+        /// Task index within the phase.
+        task: u64,
+        /// True if the backup finished before the original attempt.
+        backup_won: bool,
+    },
     /// Shuffle bytes/records routed to one reduce partition.
     ShufflePartition {
         /// Job name.
@@ -148,6 +182,9 @@ pub enum TraceEvent {
         shuffle_bytes: u64,
         /// Wasted task attempts from injected faults.
         task_retries: u64,
+        /// Simulated seconds lost to faults (wasted attempts, re-executed
+        /// maps, speculative duplicates); included in `sim_seconds`.
+        retry_seconds: f64,
         /// Operator-level counters recorded by the job's operators.
         ops: OpCounters,
     },
@@ -166,6 +203,18 @@ pub enum TraceEvent {
         sim_end: f64,
         /// Fixed startup seconds included in the span.
         startup_seconds: f64,
+    },
+    /// A failed stage attempt is being re-run by a
+    /// [`RecoveryPolicy`](crate::workflow::RecoveryPolicy).
+    StageRetry {
+        /// Zero-based stage-attempt index of the attempt that failed.
+        stage: u64,
+        /// Retry attempt number about to run (1-based).
+        attempt: u32,
+        /// Backoff seconds charged to the makespan before the re-run.
+        backoff_seconds: f64,
+        /// Display form of the error that failed the attempt.
+        error: String,
     },
     /// A stage completed at `sim_end` (start + max startup + Σ work).
     StageEnd {
@@ -194,9 +243,13 @@ impl TraceEvent {
             TraceEvent::JobStart { .. } => "job_start",
             TraceEvent::TaskSpan { .. } => "task_span",
             TraceEvent::TaskRetry { .. } => "task_retry",
+            TraceEvent::NodeLoss { .. } => "node_loss",
+            TraceEvent::Straggler { .. } => "straggler",
+            TraceEvent::SpeculativeTask { .. } => "speculative_task",
             TraceEvent::ShufflePartition { .. } => "shuffle_partition",
             TraceEvent::JobEnd { .. } => "job_end",
             TraceEvent::JobSpan { .. } => "job_span",
+            TraceEvent::StageRetry { .. } => "stage_retry",
             TraceEvent::StageEnd { .. } => "stage_end",
             TraceEvent::WorkflowEnd { .. } => "workflow_end",
         }
@@ -232,6 +285,23 @@ impl TraceEvent {
                 o.u64("task", *task);
                 o.u64("wasted_attempts", *wasted_attempts);
             }
+            TraceEvent::NodeLoss { job, node, maps_lost } => {
+                o.str("job", job);
+                o.u64("node", *node);
+                o.u64("maps_lost", *maps_lost);
+            }
+            TraceEvent::Straggler { job, phase, task, slowdown } => {
+                o.str("job", job);
+                o.str("phase", phase.as_str());
+                o.u64("task", *task);
+                o.f64("slowdown", *slowdown);
+            }
+            TraceEvent::SpeculativeTask { job, phase, task, backup_won } => {
+                o.str("job", job);
+                o.str("phase", phase.as_str());
+                o.u64("task", *task);
+                o.bool("backup_won", *backup_won);
+            }
             TraceEvent::ShufflePartition { job, partition, records, bytes } => {
                 o.str("job", job);
                 o.u64("partition", *partition);
@@ -246,6 +316,7 @@ impl TraceEvent {
                 hdfs_write_bytes,
                 shuffle_bytes,
                 task_retries,
+                retry_seconds,
                 ops,
             } => {
                 o.str("job", job);
@@ -255,6 +326,7 @@ impl TraceEvent {
                 o.u64("hdfs_write_bytes", *hdfs_write_bytes);
                 o.u64("shuffle_bytes", *shuffle_bytes);
                 o.u64("task_retries", *task_retries);
+                o.f64("retry_seconds", *retry_seconds);
                 o.raw("ops", &ops.to_json());
             }
             TraceEvent::JobSpan { job, stage, sim_start, sim_end, startup_seconds } => {
@@ -263,6 +335,12 @@ impl TraceEvent {
                 o.f64("sim_start", *sim_start);
                 o.f64("sim_end", *sim_end);
                 o.f64("startup_seconds", *startup_seconds);
+            }
+            TraceEvent::StageRetry { stage, attempt, backoff_seconds, error } => {
+                o.u64("stage", *stage);
+                o.u64("attempt", u64::from(*attempt));
+                o.f64("backoff_seconds", *backoff_seconds);
+                o.str("error", error);
             }
             TraceEvent::StageEnd { stage, sim_end } => {
                 o.u64("stage", *stage);
@@ -688,6 +766,18 @@ impl ChromeTraceSink {
         state.events.push(o.finish());
     }
 
+    fn instant(state: &mut ChromeState, tid: u64, name: &str, args: JsonObject) {
+        let mut o = JsonObject::new();
+        o.str("ph", "i");
+        o.u64("pid", state.pid);
+        o.u64("tid", tid);
+        o.str("name", name);
+        o.f64("ts", state.base * 1e6);
+        o.str("s", "t");
+        o.raw("args", &args.finish());
+        state.events.push(o.finish());
+    }
+
     fn task_lane(state: &mut ChromeState, job: &str) -> u64 {
         if let Some(&tid) = state.lanes.get(job) {
             return tid;
@@ -754,17 +844,39 @@ impl TraceSink for ChromeTraceSink {
             }
             TraceEvent::TaskRetry { job, phase, task, wasted_attempts } => {
                 let tid = Self::task_lane(state, job);
-                let mut o = JsonObject::new();
-                o.str("ph", "i");
-                o.u64("pid", state.pid);
-                o.u64("tid", tid);
-                o.str("name", &format!("retry {} {}", phase.as_str(), task));
-                o.f64("ts", state.base * 1e6);
-                o.str("s", "t");
                 let mut args = JsonObject::new();
                 args.u64("wasted_attempts", *wasted_attempts);
-                o.raw("args", &args.finish());
-                state.events.push(o.finish());
+                Self::instant(state, tid, &format!("retry {} {}", phase.as_str(), task), args);
+            }
+            TraceEvent::NodeLoss { job, node, maps_lost } => {
+                let tid = Self::task_lane(state, job);
+                let mut args = JsonObject::new();
+                args.u64("maps_lost", *maps_lost);
+                Self::instant(state, tid, &format!("node {node} lost"), args);
+            }
+            TraceEvent::Straggler { job, phase, task, slowdown } => {
+                let tid = Self::task_lane(state, job);
+                let mut args = JsonObject::new();
+                args.f64("slowdown", *slowdown);
+                Self::instant(state, tid, &format!("straggler {} {}", phase.as_str(), task), args);
+            }
+            TraceEvent::SpeculativeTask { job, phase, task, backup_won } => {
+                let tid = Self::task_lane(state, job);
+                let mut args = JsonObject::new();
+                args.bool("backup_won", *backup_won);
+                Self::instant(
+                    state,
+                    tid,
+                    &format!("speculative {} {}", phase.as_str(), task),
+                    args,
+                );
+            }
+            TraceEvent::StageRetry { stage, attempt, backoff_seconds, error } => {
+                let mut args = JsonObject::new();
+                args.u64("attempt", u64::from(*attempt));
+                args.f64("backoff_seconds", *backoff_seconds);
+                args.str("error", error);
+                Self::instant(state, JOB_LANE, &format!("stage {stage} retry"), args);
             }
             TraceEvent::ShufflePartition { .. } => {
                 // Per-partition detail lives in the JSONL log; the timeline
@@ -868,6 +980,25 @@ mod tests {
                 task: 0,
                 wasted_attempts: 2,
             },
+            TraceEvent::NodeLoss { job: "j1".into(), node: 2, maps_lost: 5 },
+            TraceEvent::Straggler {
+                job: "j1".into(),
+                phase: TaskPhase::Map,
+                task: 1,
+                slowdown: 6.0,
+            },
+            TraceEvent::SpeculativeTask {
+                job: "j1".into(),
+                phase: TaskPhase::Map,
+                task: 1,
+                backup_won: true,
+            },
+            TraceEvent::StageRetry {
+                stage: 0,
+                attempt: 1,
+                backoff_seconds: 30.0,
+                error: "disk \"full\"".into(),
+            },
             TraceEvent::ShufflePartition { job: "j1".into(), partition: 1, records: 7, bytes: 99 },
             TraceEvent::JobEnd {
                 job: "j1".into(),
@@ -877,6 +1008,7 @@ mod tests {
                 hdfs_write_bytes: 2,
                 shuffle_bytes: 3,
                 task_retries: 2,
+                retry_seconds: 1.25,
                 ops,
             },
             TraceEvent::JobSpan {
@@ -988,6 +1120,19 @@ mod tests {
             task: 0,
             wasted_attempts: 1,
         });
+        sink.event(&TraceEvent::NodeLoss { job: "j1".into(), node: 0, maps_lost: 1 });
+        sink.event(&TraceEvent::Straggler {
+            job: "j1".into(),
+            phase: TaskPhase::Map,
+            task: 0,
+            slowdown: 4.0,
+        });
+        sink.event(&TraceEvent::SpeculativeTask {
+            job: "j1".into(),
+            phase: TaskPhase::Map,
+            task: 0,
+            backup_won: false,
+        });
         sink.event(&TraceEvent::JobEnd {
             job: "j1".into(),
             sim_seconds: 17.0,
@@ -996,6 +1141,7 @@ mod tests {
             hdfs_write_bytes: 0,
             shuffle_bytes: 0,
             task_retries: 1,
+            retry_seconds: 0.5,
             ops: OpCounters::new(),
         });
         sink.event(&TraceEvent::JobSpan {

@@ -6,12 +6,17 @@
 //! count (a stage of concurrent jobs counts as ONE cycle, matching how the
 //! paper counts Pig's concurrent star-join jobs), full-scan count, and
 //! simulated makespan. Stage makespan = max over jobs of startup + the sum
-//! of all jobs' work time (the jobs share one cluster's aggregate I/O), so
-//! concurrency buys overlapping of fixed startup, not free bandwidth.
+//! of all jobs' charged work time (the jobs share one cluster's aggregate
+//! I/O, and injected faults are charged as extra work), so concurrency buys
+//! overlapping of fixed startup, not free bandwidth.
 //!
-//! On the first failing job (typically `DiskFull`) the workflow records the
-//! failure and refuses to run further stages — exactly the "X" bars of the
-//! paper's figures.
+//! Failure handling is governed by a [`RecoveryPolicy`]. Under the default
+//! [`RecoveryPolicy::FailFast`] the first failing job (typically
+//! `DiskFull`) kills the workflow and it refuses further stages — exactly
+//! the "X" bars of the paper's figures. The retrying policies re-run a
+//! failed stage from the surviving intermediates of earlier stages, the
+//! way a Hadoop driver resubmits a failed job without redoing the jobs
+//! that already committed their output to the DFS.
 
 use crate::counters::WorkflowStats;
 use crate::engine::Engine;
@@ -19,46 +24,148 @@ use crate::error::MrError;
 use crate::job::JobSpec;
 use crate::trace::TraceEvent;
 
+/// What a workflow does when a stage fails.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum RecoveryPolicy {
+    /// Record the failure and refuse further stages (the paper's behavior:
+    /// a Pig/Hive workflow that dies mid-plan reports "X").
+    #[default]
+    FailFast,
+    /// Re-run the failed stage from the surviving intermediates, up to
+    /// `max_retries` times, charging `backoff_s × attempt` of driver
+    /// backoff to the makespan per retry. Partial outputs of the failed
+    /// attempt are deleted first, and each re-run bumps the specs'
+    /// `fault_epoch` so injected faults are re-drawn deterministically.
+    RetryStage {
+        /// Maximum stage re-runs before giving up.
+        max_retries: u32,
+        /// Linear backoff unit charged per retry (seconds).
+        backoff_s: f64,
+    },
+    /// On a `DiskFull` failure only: drop the failed stage's output
+    /// replication to 1 and retry the stage once, recording the
+    /// degradation in [`WorkflowStats::degraded_replication`]. Trades
+    /// fault tolerance of intermediates for completing the workflow —
+    /// the classic operator move on a nearly-full cluster.
+    DegradeOnDiskFull,
+}
+
 /// A running workflow over an [`Engine`].
 pub struct Workflow<'e> {
     engine: &'e Engine,
+    policy: RecoveryPolicy,
     stats: WorkflowStats,
     intermediates: Vec<String>,
     failed: bool,
+    /// Per-attempt trace stage index. Equals `stats.mr_cycles` until a
+    /// stage retry: every attempt (failed or not) consumes an index so
+    /// trace timelines stay unambiguous.
+    next_stage: u64,
 }
 
 impl<'e> Workflow<'e> {
-    /// Start a workflow with the given report label.
+    /// Start a workflow with the given report label. The recovery policy
+    /// is inherited from the engine (see [`Engine::with_recovery`]).
     pub fn new(engine: &'e Engine, label: impl Into<String>) -> Self {
         let label = label.into();
         engine.emit(|| TraceEvent::WorkflowStart { label: label.clone() });
         Workflow {
             engine,
+            policy: engine.recovery,
             stats: WorkflowStats { label, succeeded: true, ..Default::default() },
             intermediates: Vec::new(),
             failed: false,
+            next_stage: 0,
         }
     }
 
-    /// Run one stage of concurrent jobs. Returns the first error, if any;
-    /// the workflow is dead afterwards.
-    pub fn run_stage(&mut self, specs: Vec<JobSpec>) -> Result<(), MrError> {
+    /// Override the recovery policy for this workflow only.
+    pub fn with_policy(mut self, policy: RecoveryPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Run one stage of concurrent jobs, applying the recovery policy on
+    /// failure. Returns the error that killed the workflow, if any; the
+    /// workflow is dead afterwards and refuses further stages with
+    /// [`MrError::WorkflowDead`].
+    pub fn run_stage(&mut self, mut specs: Vec<JobSpec>) -> Result<(), MrError> {
         assert!(!specs.is_empty(), "empty stage");
         if self.failed {
-            return Err(MrError::Op("workflow already failed".into()));
+            return Err(MrError::WorkflowDead);
         }
-        let stage = self.stats.mr_cycles;
+        // Register outputs BEFORE running: a stage that fails midway may
+        // have committed some jobs' outputs to the DFS, and those must be
+        // cleaned up by `finish`/`finish_failed` like any intermediate.
+        let outputs: Vec<String> = specs.iter().flat_map(|s| s.outputs.iter().cloned()).collect();
+        self.intermediates.extend(outputs.iter().cloned());
+        let mut attempt: u32 = 0;
+        let mut degraded = false;
+        loop {
+            match self.try_stage(&specs) {
+                Ok(()) => return Ok(()),
+                Err(e) => {
+                    let backoff = match self.policy {
+                        RecoveryPolicy::FailFast => None,
+                        RecoveryPolicy::RetryStage { max_retries, backoff_s } => {
+                            (attempt < max_retries).then(|| backoff_s * f64::from(attempt + 1))
+                        }
+                        RecoveryPolicy::DegradeOnDiskFull => {
+                            (e.is_disk_full() && !degraded).then_some(0.0)
+                        }
+                    };
+                    let Some(backoff) = backoff else {
+                        self.failed = true;
+                        self.stats.succeeded = false;
+                        self.stats.failure = Some(e.to_string());
+                        return Err(e);
+                    };
+                    attempt += 1;
+                    self.delete_existing(&outputs);
+                    self.stats.stage_retries += 1;
+                    self.stats.backoff_seconds += backoff;
+                    self.stats.sim_seconds += backoff;
+                    let failed_stage = self.next_stage - 1;
+                    self.engine.emit(|| TraceEvent::StageRetry {
+                        stage: failed_stage,
+                        attempt,
+                        backoff_seconds: backoff,
+                        error: e.to_string(),
+                    });
+                    if matches!(self.policy, RecoveryPolicy::DegradeOnDiskFull) {
+                        degraded = true;
+                        self.stats.degraded_replication = true;
+                        for spec in &mut specs {
+                            spec.replication = Some(1);
+                        }
+                    } else {
+                        // Fresh deterministic fault draws for the re-run.
+                        for spec in &mut specs {
+                            spec.fault_epoch = u64::from(attempt);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// One attempt at a stage. On success, charges the stage makespan and
+    /// emits `JobSpan`/`StageEnd`; on failure, charges nothing (the retry
+    /// path charges backoff, and a dead workflow's partial stage never
+    /// contributes to the makespan — matching the pre-recovery behavior).
+    fn try_stage(&mut self, specs: &[JobSpec]) -> Result<(), MrError> {
+        let stage = self.next_stage;
+        self.next_stage += 1;
         let stage_start = self.stats.sim_seconds;
         self.engine.emit(|| TraceEvent::StageStart { stage, sim_start: stage_start });
         let mut max_startup = 0.0f64;
         let mut sum_work = 0.0f64;
         // (name, startup, work) per completed job, for JobSpan placement.
         let mut spans: Vec<(String, f64, f64)> = Vec::new();
-        let outputs: Vec<String> = specs.iter().flat_map(|s| s.outputs.iter().cloned()).collect();
-        for spec in &specs {
+        for spec in specs {
             match self.engine.run_job(spec) {
                 Ok(stats) => {
-                    let work = self.engine.cost.work_seconds(&stats);
+                    let work = self.engine.cost.charged_work_seconds(&stats);
                     max_startup = max_startup.max(stats.startup_seconds);
                     sum_work += work;
                     spans.push((stats.name.clone(), stats.startup_seconds, work));
@@ -68,9 +175,6 @@ impl<'e> Workflow<'e> {
                     self.stats.jobs.push(stats);
                 }
                 Err(e) => {
-                    self.failed = true;
-                    self.stats.succeeded = false;
-                    self.stats.failure = Some(e.to_string());
                     self.record_peak();
                     return Err(e);
                 }
@@ -89,7 +193,6 @@ impl<'e> Workflow<'e> {
             .emit(|| TraceEvent::StageEnd { stage, sim_end: stage_start + max_startup + sum_work });
         self.stats.mr_cycles += 1;
         self.stats.sim_seconds += max_startup + sum_work;
-        self.intermediates.extend(outputs);
         self.record_peak();
         Ok(())
     }
@@ -97,6 +200,17 @@ impl<'e> Workflow<'e> {
     /// Run a stage of exactly one job.
     pub fn run_job(&mut self, spec: JobSpec) -> Result<(), MrError> {
         self.run_stage(vec![spec])
+    }
+
+    /// Delete the given outputs from the DFS if present (partial results
+    /// of a failed stage attempt, about to be re-run).
+    fn delete_existing(&self, outputs: &[String]) {
+        let mut fs = self.engine.hdfs().lock();
+        for name in outputs {
+            if fs.exists(name) {
+                let _ = fs.delete(name);
+            }
+        }
     }
 
     fn record_peak(&mut self) {
@@ -144,6 +258,7 @@ impl<'e> Workflow<'e> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::faults::FaultConfig;
     use crate::hdfs::SimHdfs;
     use crate::job::{map_fn, reduce_fn, InputBinding, TypedMapEmitter, TypedOutEmitter};
 
@@ -269,6 +384,111 @@ mod tests {
         let engine = Engine::new(SimHdfs::new(1, 1));
         let mut wf = Workflow::new(&engine, "dead");
         assert!(wf.run_job(identity_job("missing", "x", false)).is_err());
-        assert!(wf.run_job(identity_job("missing", "y", false)).is_err());
+        // The refusal is the typed WorkflowDead, not a stringly error.
+        let err = wf.run_job(identity_job("missing", "y", false)).unwrap_err();
+        assert!(matches!(err, MrError::WorkflowDead));
+    }
+
+    #[test]
+    fn failed_stage_outputs_are_cleaned_up() {
+        // Regression for the intermediate-output leak: a stage of two jobs
+        // where the SECOND fails used to leave the first job's committed
+        // output on the DFS forever, because outputs were only registered
+        // as intermediates after the whole stage succeeded.
+        let engine = Engine::unbounded();
+        engine.put_records("in", (0..20).map(|i| format!("w{i}"))).unwrap();
+        let mut wf = Workflow::new(&engine, "leak");
+        let err = wf
+            .run_stage(vec![
+                identity_job("in", "good-out", false),
+                identity_job("no-such-input", "bad-out", false),
+            ])
+            .unwrap_err();
+        assert!(engine.hdfs().lock().exists("good-out"), "first job committed its output");
+        let stats = wf.finish_failed(&err);
+        assert!(!stats.succeeded);
+        assert!(
+            !engine.hdfs().lock().exists("good-out"),
+            "failed stage's partial output must be deleted by finish_failed"
+        );
+    }
+
+    #[test]
+    fn retry_stage_recovers_from_task_exhaustion() {
+        // max_attempts=1 turns any injected task failure into a stage
+        // failure; the epoch bump on retry re-draws the fault and (with a
+        // low probability) the re-run succeeds.
+        let faults = FaultConfig::with_probability(0.05, 7).with_max_attempts(1);
+        let mk_engine = || {
+            let engine = Engine::unbounded().with_workers(2).with_faults(faults.clone());
+            engine.put_records("in", (0..200).map(|i| format!("w{i}"))).unwrap();
+            engine
+        };
+        // Find a seed-independent victim: scan outputs until FailFast dies.
+        let engine = mk_engine();
+        let mut failing: Option<String> = None;
+        for i in 0..64 {
+            let out = format!("out{i}");
+            let mut wf = Workflow::new(&engine, "probe");
+            if wf.run_job(identity_job("in", &out, false)).is_err() {
+                failing = Some(out);
+                break;
+            }
+        }
+        let out = failing.expect("some job name should draw a failure at p=0.05 over 64 tries");
+
+        // FailFast: dead workflow.
+        let engine = mk_engine();
+        let mut wf = Workflow::new(&engine, "ff");
+        let err = wf.run_job(identity_job("in", &out, false)).unwrap_err();
+        assert!(err.is_task_exhausted());
+        let ff = wf.finish_failed(&err);
+        assert!(!ff.succeeded);
+
+        // RetryStage: recovers, output identical to a fault-free run.
+        let engine = mk_engine();
+        let mut wf = Workflow::new(&engine, "retry")
+            .with_policy(RecoveryPolicy::RetryStage { max_retries: 3, backoff_s: 5.0 });
+        wf.run_job(identity_job("in", &out, false)).unwrap();
+        let stats = wf.finish(&[&out]);
+        assert!(stats.succeeded);
+        assert!(stats.stage_retries >= 1);
+        assert!(stats.backoff_seconds > 0.0);
+        let got = engine.hdfs().lock().get(&out).unwrap().records.clone();
+
+        let clean = Engine::unbounded().with_workers(2);
+        clean.put_records("in", (0..200).map(|i| format!("w{i}"))).unwrap();
+        let mut wf = Workflow::new(&clean, "clean");
+        wf.run_job(identity_job("in", &out, false)).unwrap();
+        wf.finish(&[&out]);
+        assert_eq!(got, clean.hdfs().lock().get(&out).unwrap().records);
+    }
+
+    #[test]
+    fn degrade_on_disk_full_recovers() {
+        // Size the DFS from a probe run so the output fits at replication
+        // 1 but not at the default replication 2.
+        let probe = Engine::unbounded();
+        probe.put_records("in", (0..40).map(|i| format!("word{i}"))).unwrap();
+        let in_text = probe.hdfs().lock().usage(); // unbounded => replication 1
+        let out_text = probe.run_job(&identity_job("in", "out", false)).unwrap().output_text_bytes;
+        let capacity = 2 * in_text + out_text + out_text / 2;
+
+        let mk = |policy: RecoveryPolicy| {
+            let engine = Engine::new(SimHdfs::new(capacity, 2));
+            engine.put_records("in", (0..40).map(|i| format!("word{i}"))).unwrap();
+            let mut wf = Workflow::new(&engine, "deg").with_policy(policy);
+            let res = wf.run_job(identity_job("in", "out", false));
+            (res, wf.finish(&["out"]))
+        };
+        let (res, ff) = mk(RecoveryPolicy::FailFast);
+        assert!(res.unwrap_err().is_disk_full());
+        assert!(!ff.succeeded);
+
+        let (res, deg) = mk(RecoveryPolicy::DegradeOnDiskFull);
+        res.unwrap();
+        assert!(deg.succeeded);
+        assert!(deg.degraded_replication);
+        assert_eq!(deg.stage_retries, 1);
     }
 }

@@ -257,11 +257,8 @@ mod fault_injection {
 
     #[test]
     fn exhausted_attempts_fail_the_job() {
-        let engine = Engine::unbounded().with_faults(FaultConfig {
-            task_failure_probability: 0.99,
-            max_attempts: 2,
-            seed: 3,
-        });
+        let engine = Engine::unbounded()
+            .with_faults(FaultConfig::with_probability(0.99, 3).with_max_attempts(2));
         let err = wordcount(&engine).unwrap_err();
         assert!(err.to_string().contains("consecutive attempts"), "{err}");
     }

@@ -1,7 +1,7 @@
 //! Uniform runner over every execution approach the paper compares.
 
 use mr_rdf::{load_store, PlanError, QueryRun, TRIPLES_FILE};
-use mrsim::{CostModel, Engine, SimHdfs, TraceSink};
+use mrsim::{CostModel, Engine, FaultConfig, RecoveryPolicy, SimHdfs, TraceSink};
 use ntga_core::Strategy;
 use rdf_model::TripleStore;
 use rdf_query::Query;
@@ -113,6 +113,14 @@ pub struct ClusterConfig {
     pub replication: u32,
     /// Cost model.
     pub cost: CostModel,
+    /// Deterministic fault injection applied to every engine this config
+    /// builds (default: no faults).
+    pub faults: FaultConfig,
+    /// Recovery policy workflows inherit (default: fail fast, the paper's
+    /// behavior).
+    pub recovery: RecoveryPolicy,
+    /// Worker-thread override; `None` uses one worker per core.
+    pub workers: Option<usize>,
     /// Optional trace sink attached to every engine this config builds;
     /// `None` keeps tracing disabled (and free).
     pub trace: Option<Arc<dyn TraceSink>>,
@@ -125,6 +133,9 @@ impl std::fmt::Debug for ClusterConfig {
             .field("disk_per_node", &self.disk_per_node)
             .field("replication", &self.replication)
             .field("cost", &self.cost)
+            .field("faults", &self.faults)
+            .field("recovery", &self.recovery)
+            .field("workers", &self.workers)
             .field("trace", &self.trace.as_ref().map(|_| "<sink>"))
             .finish()
     }
@@ -137,6 +148,9 @@ impl Default for ClusterConfig {
             disk_per_node: u64::MAX / 60, // effectively unbounded
             replication: 1,
             cost: CostModel::default(),
+            faults: FaultConfig::none(),
+            recovery: RecoveryPolicy::FailFast,
+            workers: None,
             trace: None,
         }
     }
@@ -151,8 +165,13 @@ impl ClusterConfig {
         } else {
             u64::from(self.nodes) * self.disk_per_node
         };
-        let mut engine =
-            Engine::new(SimHdfs::new(capacity, self.replication)).with_cost(self.cost.clone());
+        let mut engine = Engine::new(SimHdfs::new(capacity, self.replication))
+            .with_cost(self.cost.clone())
+            .with_faults(self.faults.clone())
+            .with_recovery(self.recovery);
+        if let Some(workers) = self.workers {
+            engine = engine.with_workers(workers);
+        }
         if let Some(sink) = &self.trace {
             engine = engine.with_trace(sink.clone());
         }
@@ -163,6 +182,26 @@ impl ClusterConfig {
     /// Attach a trace sink to every engine built from this config.
     pub fn with_trace(mut self, sink: Arc<dyn TraceSink>) -> Self {
         self.trace = Some(sink);
+        self
+    }
+
+    /// Enable deterministic fault injection on every engine built from
+    /// this config.
+    pub fn with_faults(mut self, faults: FaultConfig) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Set the recovery policy workflows inherit.
+    pub fn with_recovery(mut self, recovery: RecoveryPolicy) -> Self {
+        self.recovery = recovery;
+        self
+    }
+
+    /// Pin the worker-thread count (simulated runs are deterministic
+    /// either way; this exercises scheduling variety in tests).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = Some(workers);
         self
     }
 
