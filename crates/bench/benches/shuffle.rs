@@ -1,0 +1,98 @@
+//! Shuffle-heavy Criterion benchmark: the full decode→group→emit→sort→
+//! reduce data path of the simulated engine, shaped like the paper's
+//! unbound-property workloads — every input record fans out into several
+//! shuffle pairs (a β-unnest-style expansion), so encode/spill/sort cost
+//! dominates map CPU. This is the benchmark tracked by `BENCH_PR5.json`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mrsim::{
+    combine_fn, map_fn, reduce_fn, Engine, InputBinding, JobSpec, TypedMapEmitter, TypedOutEmitter,
+};
+use std::hint::black_box;
+
+const ROWS: usize = 30_000;
+const FANOUT: usize = 4;
+const PARTITIONS: usize = 8;
+
+/// Input relation: RDF-flavored `(subject, object)` rows over a key
+/// population with realistic token shapes — shared IRI prefixes and mixed
+/// lengths, so the shuffle sort sees both prefix ties and early-differing
+/// keys.
+fn put_input(engine: &Engine) {
+    let rows = (0..ROWS).map(|i| {
+        let subject = format!("<http://example.org/resource/s{}>", i % 5_000);
+        let object = match i % 3 {
+            0 => format!("<http://example.org/vocab/class{}>", i % 97),
+            1 => format!("\"literal value number {}\"", i % 977),
+            _ => format!("<http://example.org/resource/s{}>", (i * 7) % 5_000),
+        };
+        (subject, object)
+    });
+    engine.put_records("shuffle-in", rows).unwrap();
+}
+
+/// The job under test: decode each `(subject, object)` row, emit `FANOUT`
+/// re-keyed pairs per row (object-join-style expansion), shuffle-sort the
+/// ~`ROWS × FANOUT` pairs across `PARTITIONS` reducers, and group-count.
+fn spec(with_combiner: bool, out: &str) -> JobSpec {
+    let mapper =
+        map_fn(move |(s, o): (String, String), out: &mut TypedMapEmitter<'_, String, String>| {
+            for k in 0..FANOUT {
+                let key = if k == 0 { o.clone() } else { format!("{o}#{k}") };
+                out.emit(&key, &s);
+            }
+            Ok(())
+        });
+    let reducer = reduce_fn(
+        |key: String, values: Vec<String>, out: &mut TypedOutEmitter<'_, (String, u64)>| {
+            let total: u64 = values.iter().map(|v| v.len() as u64).sum();
+            out.emit(&(key, total))
+        },
+    );
+    let mut job = JobSpec::map_reduce(
+        "shuffle-path",
+        vec![InputBinding { file: "shuffle-in".into(), mapper }],
+        reducer,
+        PARTITIONS,
+        out,
+    );
+    if with_combiner {
+        let combiner = combine_fn(
+            |key: String, values: Vec<String>, out: &mut TypedMapEmitter<'_, String, String>| {
+                // Keep the shuffle shape but fold local duplicates.
+                let mut values = values;
+                values.sort_unstable();
+                values.dedup();
+                for v in values {
+                    out.emit(&key, &v);
+                }
+                Ok(())
+            },
+        );
+        job = job.with_combiner(combiner);
+    }
+    job
+}
+
+fn bench_shuffle_path(c: &mut Criterion) {
+    let engine = Engine::unbounded().with_workers(8);
+    put_input(&engine);
+    let mut group = c.benchmark_group("shuffle_path");
+    group.sample_size(10);
+    group.bench_function("rekey_fanout4_8workers", |b| {
+        b.iter(|| {
+            let _ = engine.hdfs().lock().delete("shuffle-out");
+            black_box(engine.run_job(&spec(false, "shuffle-out")).unwrap())
+        })
+    });
+    group.bench_function("rekey_fanout4_combined_8workers", |b| {
+        b.iter(|| {
+            let _ = engine.hdfs().lock().delete("shuffle-out-c");
+            black_box(engine.run_job(&spec(true, "shuffle-out-c")).unwrap())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_shuffle_path);
+criterion_main!(benches);

@@ -23,8 +23,9 @@ use mrsim::{
     TypedMapEmitter, TypedOutEmitter,
 };
 use rdf_model::atom::{atom, fnv1a, Atom};
+use rdf_model::hash::DetHashMap;
 use rdf_query::{Query, StarPattern};
-use std::collections::{BTreeSet, HashMap};
+use std::collections::BTreeSet;
 use std::sync::Arc;
 
 /// Default reducer count for NTGA jobs.
@@ -395,7 +396,11 @@ pub fn tg_join_job(
                     // Algorithm 3: β-unnest the right side into perfect
                     // triplegroups hashed by the real join key, then probe
                     // with each left candidate.
-                    let mut right_hash: HashMap<Atom, Vec<TgTuple>> = HashMap::new();
+                    // Deterministic FNV build side: the map is only ever
+                    // probed by key (never iterated), so output bytes are
+                    // unaffected — this removes SipHash's random seeding
+                    // from the hot join path.
+                    let mut right_hash: DetHashMap<Atom, Vec<TgTuple>> = DetHashMap::default();
                     for (side, t) in &values {
                         if *side != 1 {
                             continue;

@@ -136,11 +136,11 @@ impl AnnTg {
 }
 
 impl Rec for AnnTg {
-    fn encode(&self, buf: &mut Vec<u8>) {
-        self.subject.encode(buf);
-        self.ec.encode(buf);
-        self.bound.encode(buf);
-        self.unbound.encode(buf);
+    fn encode_into(&self, buf: &mut Vec<u8>) {
+        self.subject.encode_into(buf);
+        self.ec.encode_into(buf);
+        self.bound.encode_into(buf);
+        self.unbound.encode_into(buf);
     }
 
     fn decode(r: &mut SliceReader<'_>) -> Result<Self, MrError> {
@@ -169,10 +169,10 @@ impl Rec for AnnTg {
 pub struct TgTuple(pub Vec<AnnTg>);
 
 impl Rec for TgTuple {
-    fn encode(&self, buf: &mut Vec<u8>) {
+    fn encode_into(&self, buf: &mut Vec<u8>) {
         bytes::BufMut::put_u32_le(buf, u32::try_from(self.0.len()).expect("tuple too long"));
         for tg in &self.0 {
-            tg.encode(buf);
+            tg.encode_into(buf);
         }
     }
 

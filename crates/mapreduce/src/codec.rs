@@ -3,8 +3,11 @@
 //! Everything that moves through the engine — job inputs, map output
 //! key/value pairs, reduce outputs — implements [`Rec`]:
 //!
-//! * `encode`/`decode` define the physical wire form (compact,
-//!   length-prefixed binary, via the `bytes` crate);
+//! * `encode_into`/`decode` define the physical wire form (compact,
+//!   length-prefixed binary, via the `bytes` crate); `encode_into`
+//!   *appends* to a caller-provided buffer, so emit sites write straight
+//!   into shuffle spill arenas with no per-record allocation, and
+//!   [`Rec::to_bytes`] is merely a convenience wrapper;
 //! * [`Rec::text_size`] defines the *simulated* size: the number of bytes
 //!   the record would occupy as a text row in Hadoop (tab/space-separated
 //!   tokens plus newline). All HDFS-read/write and shuffle counters are in
@@ -104,7 +107,12 @@ impl<'a> SliceReader<'a> {
 /// A record that can move through the engine.
 pub trait Rec: Sized + Send + Sync + Clone + 'static {
     /// Append the canonical binary encoding of `self` to `buf`.
-    fn encode(&self, buf: &mut Vec<u8>);
+    ///
+    /// This is the primitive the engine's zero-copy emit path is built
+    /// on: map emissions encode directly into a per-partition spill
+    /// arena, so implementations must only ever *append* (never inspect
+    /// or truncate `buf`, which may already hold other records).
+    fn encode_into(&self, buf: &mut Vec<u8>);
 
     /// Decode one record from the reader.
     fn decode(r: &mut SliceReader<'_>) -> Result<Self, MrError>;
@@ -116,7 +124,7 @@ pub trait Rec: Sized + Send + Sync + Clone + 'static {
     /// Convenience: encode into a fresh vector.
     fn to_bytes(&self) -> Vec<u8> {
         let mut v = Vec::with_capacity(16);
-        self.encode(&mut v);
+        self.encode_into(&mut v);
         v
     }
 
@@ -144,7 +152,7 @@ pub trait Rec: Sized + Send + Sync + Clone + 'static {
 }
 
 impl Rec for String {
-    fn encode(&self, buf: &mut Vec<u8>) {
+    fn encode_into(&self, buf: &mut Vec<u8>) {
         buf.put_u32_le(u32::try_from(self.len()).expect("string too long"));
         buf.put_slice(self.as_bytes());
     }
@@ -164,7 +172,7 @@ impl Rec for String {
 /// [`SliceReader::read_atom`], which re-interns when the reader carries a
 /// task table.
 impl Rec for Atom {
-    fn encode(&self, buf: &mut Vec<u8>) {
+    fn encode_into(&self, buf: &mut Vec<u8>) {
         buf.put_u32_le(u32::try_from(self.len()).expect("string too long"));
         buf.put_slice(self.as_bytes());
     }
@@ -179,7 +187,7 @@ impl Rec for Atom {
 }
 
 impl Rec for u64 {
-    fn encode(&self, buf: &mut Vec<u8>) {
+    fn encode_into(&self, buf: &mut Vec<u8>) {
         buf.put_u64_le(*self);
     }
 
@@ -203,10 +211,10 @@ pub fn decimal_digits(n: u64) -> u64 {
 }
 
 impl<T: Rec> Rec for Vec<T> {
-    fn encode(&self, buf: &mut Vec<u8>) {
+    fn encode_into(&self, buf: &mut Vec<u8>) {
         buf.put_u32_le(u32::try_from(self.len()).expect("vec too long"));
         for item in self {
-            item.encode(buf);
+            item.encode_into(buf);
         }
     }
 
@@ -231,9 +239,9 @@ impl<T: Rec> Rec for Vec<T> {
 }
 
 impl<A: Rec, B: Rec> Rec for (A, B) {
-    fn encode(&self, buf: &mut Vec<u8>) {
-        self.0.encode(buf);
-        self.1.encode(buf);
+    fn encode_into(&self, buf: &mut Vec<u8>) {
+        self.0.encode_into(buf);
+        self.1.encode_into(buf);
     }
 
     fn decode(r: &mut SliceReader<'_>) -> Result<Self, MrError> {
@@ -247,7 +255,7 @@ impl<A: Rec, B: Rec> Rec for (A, B) {
 }
 
 impl Rec for () {
-    fn encode(&self, _buf: &mut Vec<u8>) {}
+    fn encode_into(&self, _buf: &mut Vec<u8>) {}
 
     fn decode(_r: &mut SliceReader<'_>) -> Result<Self, MrError> {
         Ok(())

@@ -8,18 +8,21 @@
 //! simulated seconds.
 //!
 //! The shuffle mirrors Hadoop's: each map task spills its output into one
-//! bucket per reduce partition as it emits (FNV-1a on the key bytes — not
-//! Rust's randomly-seeded default hasher), and the driver merely
-//! concatenates per-partition buckets in input order. No single global
-//! pair vector is built and no per-pair work happens on the driver, so
-//! the map→reduce handoff parallelizes with the map tasks.
+//! `SpillArena` (the `spill` module) per reduce partition as it emits
+//! (FNV-1a on the key
+//! bytes — not Rust's randomly-seeded default hasher), and the driver
+//! merely concatenates per-partition arenas in input order (one byte
+//! memcpy plus an index rebase per bucket). No owned per-record pairs are
+//! ever built: emissions encode straight into the arena, and sorting,
+//! combining and reducing all operate on borrowed `&[u8]` slices of it.
 //!
 //! Determinism: the same job over the same inputs produces byte-identical
 //! output files and identical counters regardless of worker count. Map
-//! output is concatenated in input order, and each reduce partition is
-//! sorted by `(key bytes, value bytes)` before grouping — the sort is an
-//! unstable `sort_unstable_by`, which is observationally deterministic
-//! because equal elements are byte-identical pairs.
+//! output is concatenated in input order, and each reduce partition's
+//! record *index* is sorted by `(key bytes, value bytes)` before grouping
+//! — an unstable, prefix-accelerated sort that is observationally
+//! deterministic because entries comparing equal are byte-identical
+//! records (see the `spill` module docs for the prefix argument).
 
 use crate::cost::CostModel;
 use crate::counters::JobStats;
@@ -29,25 +32,12 @@ use crate::hdfs::{DfsFile, SimHdfs};
 use crate::job::{
     JobKind, JobSpec, MapEmitter, OutEmitter, RawCombineOp, RawMapOnlyOp, RawMapOp, TaskContext,
 };
+use crate::spill::SpillArena;
 use crate::trace::{TaskPhase, TraceEvent, TraceSink};
 use crate::workflow::RecoveryPolicy;
 use parking_lot::Mutex;
+use rdf_model::hash::fnv1a;
 use std::sync::Arc;
-
-/// Deterministic 64-bit FNV-1a hash used for reducer partitioning.
-fn fnv1a(bytes: &[u8]) -> u64 {
-    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-    const PRIME: u64 = 0x0000_0100_0000_01b3;
-    let mut h = OFFSET;
-    for &b in bytes {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(PRIME);
-    }
-    h
-}
-
-/// An encoded shuffle pair: `(key bytes, value bytes)`.
-type RawPair = (Vec<u8>, Vec<u8>);
 
 /// Partition a reduce key to one of `n` reducers (Hadoop's
 /// `hash(key) % numReducers` with a deterministic hash).
@@ -529,10 +519,10 @@ impl Engine {
     }
 
     /// Map phase with map-side shuffle partitioning: every map task spills
-    /// into one bucket per reduce partition as it emits, and this driver
-    /// only moves whole buckets — concatenating each partition's buckets
-    /// in deterministic input (task) order, exactly the per-partition
-    /// sequence the old global-vector shuffle produced.
+    /// into one arena per reduce partition as it emits, and this driver
+    /// only moves whole arenas — concatenating each partition's spill
+    /// arenas in deterministic input (task) order, exactly the
+    /// per-partition sequence the old owned-pair shuffle produced.
     fn run_map_phase(
         &self,
         inputs: &[crate::job::InputBinding],
@@ -541,7 +531,7 @@ impl Engine {
         epoch: u64,
         stats: &mut JobStats,
         scratch: &mut TraceScratch,
-    ) -> Result<Vec<Vec<RawPair>>, MrError> {
+    ) -> Result<Vec<SpillArena>, MrError> {
         // (mapper, chunk) work items, order-preserving.
         let mut work: Vec<(&dyn RawMapOp, &[Vec<u8>])> = Vec::new();
         let mut files = Vec::new();
@@ -574,45 +564,48 @@ impl Engine {
             }
             Ok((out, pre_combine, ctx.take_counters()))
         })?;
-        let mut partitions: Vec<Vec<RawPair>> = vec![Vec::new(); reduce_tasks];
+        let mut partitions: Vec<SpillArena> =
+            (0..reduce_tasks).map(|_| SpillArena::default()).collect();
         stats.shuffle_partition_bytes = vec![0; reduce_tasks];
         for (out, pre_combine, ops) in results {
             stats.ops.merge(&ops);
             stats.pre_combine_records += pre_combine;
-            for (p, bucket) in out.buckets.into_iter().enumerate() {
-                for (k, v, text) in bucket {
-                    stats.map_output_records += 1;
-                    stats.map_output_bytes += text;
-                    stats.shuffle_partition_bytes[p] += text;
-                    partitions[p].push((k, v));
-                }
+            for (p, bucket) in out.buckets.iter().enumerate() {
+                stats.map_output_records += bucket.len() as u64;
+                stats.map_output_bytes += bucket.text_bytes();
+                stats.shuffle_partition_bytes[p] += bucket.text_bytes();
+                partitions[p].absorb(bucket);
             }
         }
         Ok(partitions)
     }
 
     /// Run the combiner over one map task's buffered output: sort and
-    /// group each spill bucket, feed every group to the combiner (exactly
-    /// Hadoop's in-memory combine before spill). Keys and values are
-    /// borrowed from the bucket — no per-group clones. Combiner output is
-    /// re-partitioned by its (possibly rewritten) keys.
+    /// group each spill arena's record index, feed every group to the
+    /// combiner (exactly Hadoop's in-memory combine before spill). Keys
+    /// and values are slices borrowed from the arena — no per-group
+    /// clones. Combiner output is re-partitioned by its (possibly
+    /// rewritten) keys.
     fn run_combiner(
         combiner: &dyn RawCombineOp,
         ctx: &TaskContext,
-        out: MapEmitter,
+        mut out: MapEmitter,
     ) -> Result<MapEmitter, MrError> {
         let mut combined = MapEmitter::partitioned(out.buckets.len());
-        for mut pairs in out.buckets {
-            pairs.sort_unstable_by(|a, b| (&a.0, &a.1).cmp(&(&b.0, &b.1)));
+        let mut values: Vec<&[u8]> = Vec::new();
+        for bucket in &mut out.buckets {
+            bucket.sort_unstable();
+        }
+        for bucket in &out.buckets {
             let mut i = 0;
-            while i < pairs.len() {
-                let key = &pairs[i].0;
-                let mut j = i;
-                while j < pairs.len() && pairs[j].0 == *key {
+            while i < bucket.len() {
+                let mut j = i + 1;
+                while j < bucket.len() && bucket.keys_equal(i, j) {
                     j += 1;
                 }
-                let values: Vec<&[u8]> = pairs[i..j].iter().map(|(_, v, _)| v.as_slice()).collect();
-                combiner.run(ctx, key, &values, &mut combined)?;
+                values.clear();
+                values.extend((i..j).map(|t| bucket.value(t)));
+                combiner.run(ctx, bucket.key(i), &values, &mut combined)?;
                 i = j;
             }
         }
@@ -620,10 +613,12 @@ impl Engine {
     }
 
     /// Reduce phase over pre-partitioned shuffle data: each partition
-    /// sorts and groups borrowed slices and streams groups to the reducer.
+    /// sorts its record index (prefix-accelerated, in place — the arena
+    /// bytes never move) and streams groups of borrowed slices to the
+    /// reducer.
     fn run_reduce_phase(
         &self,
-        partitions: Vec<Vec<RawPair>>,
+        partitions: Vec<SpillArena>,
         reducer: &dyn crate::job::RawReduceOp,
         budget: Option<u64>,
         n_outputs: usize,
@@ -632,24 +627,29 @@ impl Engine {
     ) -> Result<Vec<DfsFile>, MrError> {
         stats.reduce_input_records = partitions.iter().map(|p| p.len() as u64).sum();
         self.resolve_faults(epoch, TaskPhase::Reduce, partitions.len(), false, stats)?;
-        // Sort + group + reduce each partition in parallel.
+        // Sort + group + reduce each partition in parallel. Each partition
+        // is wrapped in a Mutex purely so its owning task can sort the
+        // index in place through `parallel_over`'s shared-slice interface;
+        // exactly one task ever touches a given partition.
         let shared_budget = budget;
-        let results = self.parallel_over(&partitions, |part| {
+        let partitions: Vec<Mutex<SpillArena>> = partitions.into_iter().map(Mutex::new).collect();
+        let results = self.parallel_over(&partitions, |cell| {
             let ctx = TaskContext::new();
-            let mut part: Vec<(&[u8], &[u8])> =
-                part.iter().map(|(k, v)| (k.as_slice(), v.as_slice())).collect();
-            part.sort_unstable();
+            let mut guard = cell.lock();
+            guard.sort_unstable();
+            let part: &SpillArena = &guard;
             let mut out = OutEmitter::with_outputs(shared_budget, n_outputs);
             let mut groups = 0u64;
+            let mut values: Vec<&[u8]> = Vec::new();
             let mut i = 0;
             while i < part.len() {
-                let key = part[i].0;
-                let mut j = i;
-                while j < part.len() && part[j].0 == key {
+                let mut j = i + 1;
+                while j < part.len() && part.keys_equal(i, j) {
                     j += 1;
                 }
-                let values: Vec<&[u8]> = part[i..j].iter().map(|(_, v)| *v).collect();
-                reducer.run(&ctx, key, &values, &mut out)?;
+                values.clear();
+                values.extend((i..j).map(|t| part.value(t)));
+                reducer.run(&ctx, part.key(i), &values, &mut out)?;
                 groups += 1;
                 i = j;
             }
@@ -757,7 +757,11 @@ mod tests {
         let engine = word_count_engine(&["a", "b", "a", "c", "a", "b"]);
         let stats = engine.run_job(&word_count_spec()).unwrap();
         let mut out: Vec<String> = engine.read_records("out").unwrap();
-        out.sort();
+        // Unstable sort is observationally deterministic here for the same
+        // reason as the per-partition shuffle sort (module docs): elements
+        // that compare equal are identical strings, so any permutation of
+        // them is the same vector.
+        out.sort_unstable();
         assert_eq!(out, vec!["a:3", "b:2", "c:1"]);
         assert_eq!(stats.input_records, 6);
         assert_eq!(stats.map_output_records, 6);

@@ -57,16 +57,25 @@ impl TaskContext {
 
 /// Buffered, map-side-partitioned output of one map task.
 ///
-/// Each emission is routed to one of `reduce_tasks` spill buckets as it is
+/// Each emission is routed to one of `reduce_tasks` spill arenas as it is
 /// produced, keyed by [`crate::engine::default_partition`] — Hadoop's
 /// map-side partitioning, where the map task writes one spill segment per
 /// reducer and the driver never touches individual pairs. Combiners also
 /// emit into a partitioned emitter, so their (possibly rewritten) keys are
 /// re-routed to the correct reducer.
+///
+/// The emit path is allocation-free per record: the key is encoded into a
+/// reusable scratch buffer (to compute its partition), then key and value
+/// bytes are appended to the partition's contiguous `SpillArena` (the
+/// `spill` module) — the value encodes straight
+/// into the arena, so no owned `(Vec<u8>, Vec<u8>)` pair is ever built.
 pub struct MapEmitter {
-    /// One spill bucket per reduce partition; bucket `p` holds every
-    /// `(key, value, row text size)` emission whose key partitions to `p`.
-    pub(crate) buckets: Vec<Vec<RawEmission>>,
+    /// One spill arena per reduce partition; arena `p` holds every
+    /// emission whose key partitions to `p`.
+    pub(crate) buckets: Vec<crate::spill::SpillArena>,
+    /// Reusable key-encoding scratch (cleared per emission, so its
+    /// allocation amortizes across the task).
+    key_scratch: Vec<u8>,
 }
 
 impl MapEmitter {
@@ -77,21 +86,34 @@ impl MapEmitter {
         Self::partitioned(1)
     }
 
-    /// Emitter spilling into `reduce_tasks` partition buckets.
+    /// Emitter spilling into `reduce_tasks` partition arenas.
     pub(crate) fn partitioned(reduce_tasks: usize) -> Self {
-        MapEmitter { buckets: vec![Vec::new(); reduce_tasks.max(1)] }
+        MapEmitter {
+            buckets: vec![crate::spill::SpillArena::default(); reduce_tasks.max(1)],
+            key_scratch: Vec::new(),
+        }
     }
 
-    /// Emit a raw key/value pair with its simulated text row size, routing
-    /// it to its reduce partition's bucket.
-    pub fn emit_raw(&mut self, key: Vec<u8>, value: Vec<u8>, text_size: u64) {
-        let p = crate::engine::default_partition(&key, self.buckets.len());
-        self.buckets[p].push((key, value, text_size));
+    /// Emit one typed key/value record with its simulated text row size,
+    /// routing it to its reduce partition's arena. The value encodes
+    /// directly into the arena; nothing is heap-allocated per record.
+    pub fn emit_rec<K: Rec, V: Rec>(&mut self, key: &K, value: &V, text_size: u64) {
+        let MapEmitter { buckets, key_scratch } = self;
+        key_scratch.clear();
+        key.encode_into(key_scratch);
+        let p = crate::engine::default_partition(key_scratch, buckets.len());
+        buckets[p].push(key_scratch, text_size, |buf| value.encode_into(buf));
     }
 
-    /// Total emissions across all partition buckets.
+    /// Emit an already-encoded key/value pair (copied into the arena).
+    pub fn emit_raw(&mut self, key: &[u8], value: &[u8], text_size: u64) {
+        let p = crate::engine::default_partition(key, self.buckets.len());
+        self.buckets[p].push_pair(key, value, text_size);
+    }
+
+    /// Total emissions across all partition arenas.
     pub(crate) fn len(&self) -> usize {
-        self.buckets.iter().map(Vec::len).sum()
+        self.buckets.iter().map(crate::spill::SpillArena::len).sum()
     }
 }
 
@@ -157,9 +179,6 @@ impl OutEmitter {
     }
 }
 
-/// A raw shuffle emission: `(key bytes, value bytes, text size)`.
-pub type RawEmission = (Vec<u8>, Vec<u8>, u64);
-
 /// Byte-level map operator.
 pub trait RawMapOp: Send + Sync {
     /// Process one input record. Emit shuffle pairs via `out`.
@@ -217,10 +236,11 @@ pub struct TypedMapEmitter<'a, K: Rec, V: Rec> {
 impl<K: Rec, V: Rec> TypedMapEmitter<'_, K, V> {
     /// Emit one key/value pair. The simulated row size is
     /// `key.text_size() + value.text_size() - 1` (the pair shares a single
-    /// row: one newline, one tab separator).
+    /// row: one newline, one tab separator). Both records encode straight
+    /// into the partition spill arena — no per-record allocation.
     pub fn emit(&mut self, key: &K, value: &V) {
         let text = key.text_size() + value.text_size() - 1;
-        self.raw.emit_raw(key.to_bytes(), value.to_bytes(), text);
+        self.raw.emit_rec(key, value, text);
     }
 }
 
@@ -626,7 +646,7 @@ mod tests {
         typed.emit(&"key".to_string(), &"value".to_string());
         assert_eq!(raw.len(), 1);
         // "key\tvalue\n" = 4 + 6 - 1 = 9
-        assert_eq!(raw.buckets[0][0].2, 9);
+        assert_eq!(raw.buckets[0].text_bytes(), 9);
     }
 
     #[test]
@@ -634,12 +654,12 @@ mod tests {
         let mut part = MapEmitter::partitioned(4);
         for i in 0..64u64 {
             let key = format!("key{i}").into_bytes();
-            part.emit_raw(key, vec![], 1);
+            part.emit_raw(&key, &[], 1);
         }
         assert_eq!(part.len(), 64);
         // Every emission sits in the bucket its key hashes to.
         for (p, bucket) in part.buckets.iter().enumerate() {
-            for (k, _, _) in bucket {
+            for (k, _) in bucket.iter() {
                 assert_eq!(crate::engine::default_partition(k, 4), p);
             }
         }
@@ -704,8 +724,8 @@ mod tests {
         let mut out = MapEmitter::new();
         op.run(&TaskContext::new(), &"abc".to_string().to_bytes(), &mut out).unwrap();
         assert_eq!(out.len(), 1);
-        assert_eq!(String::from_bytes(&out.buckets[0][0].0).unwrap(), "abc");
-        assert_eq!(u64::from_bytes(&out.buckets[0][0].1).unwrap(), 3);
+        assert_eq!(String::from_bytes(out.buckets[0].key(0)).unwrap(), "abc");
+        assert_eq!(u64::from_bytes(out.buckets[0].value(0)).unwrap(), 3);
     }
 
     #[test]

@@ -55,8 +55,14 @@ pub mod error;
 pub mod faults;
 pub mod hdfs;
 pub mod job;
+pub(crate) mod spill;
 pub mod trace;
 pub mod workflow;
+
+/// Shared deterministic hashing (re-exported from `rdf-model`): the
+/// spec-stable [`hash::fnv1a`] used for reducer partitioning, plus the
+/// [`hash::DetHashMap`] deterministic hash-map type for join build sides.
+pub use rdf_model::hash;
 
 pub use codec::{Rec, SliceReader};
 pub use cost::CostModel;

@@ -1,0 +1,324 @@
+//! Arena-backed shuffle spill storage.
+//!
+//! A [`SpillArena`] holds one map task's (or one reduce partition's)
+//! shuffle records as a single contiguous byte buffer plus one small
+//! [`IndexEntry`] per record — `(offset, key_len, val_len)` with an
+//! 8-byte big-endian **key-prefix cache**. Emitting appends the encoded
+//! key and value straight into the buffer (no per-record `Vec`
+//! allocations), and the shuffle sort reorders the index entries, not the
+//! bytes.
+//!
+//! ## Prefix-accelerated sort
+//!
+//! Each entry caches the first 8 key bytes, zero-padded, as a big-endian
+//! `u64`. Because big-endian integer order over zero-padded prefixes
+//! equals lexicographic byte order over the prefixes themselves, and a
+//! shorter key that is a prefix of a longer key also compares less in
+//! both orders, `prefix(a) < prefix(b)` implies `key(a) < key(b)`. The
+//! common case of the sort is therefore a single `u64` compare; full key
+//! (then value) memcmp runs only on prefix ties.
+//!
+//! ## Determinism
+//!
+//! The sort is `sort_unstable_by` over `(prefix, key bytes, value
+//! bytes)`. Entries that compare equal have byte-identical keys *and*
+//! values, so any permutation of them yields the same record stream —
+//! unstable sorting is observationally deterministic, exactly as it was
+//! for the owned-pair representation this replaces.
+
+/// One record's index entry: where its key/value bytes live in the arena,
+/// plus the sort-prefix cache.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct IndexEntry {
+    /// First 8 key bytes, zero-padded, as a big-endian `u64`.
+    prefix: u64,
+    /// Byte offset of the key in the arena (the value follows the key).
+    off: u32,
+    /// Encoded key length in bytes.
+    key_len: u32,
+    /// Encoded value length in bytes.
+    val_len: u32,
+}
+
+/// Compute the 8-byte big-endian, zero-padded prefix of `key`.
+#[inline]
+fn key_prefix(key: &[u8]) -> u64 {
+    if key.len() >= 8 {
+        u64::from_be_bytes(key[..8].try_into().expect("8-byte slice"))
+    } else {
+        let mut p = [0u8; 8];
+        p[..key.len()].copy_from_slice(key);
+        u64::from_be_bytes(p)
+    }
+}
+
+/// A contiguous spill buffer of `(key, value)` records with a sortable
+/// record index. See the module docs for layout and determinism notes.
+#[derive(Debug, Default, Clone)]
+pub(crate) struct SpillArena {
+    /// Concatenated `key ++ value` encodings of every record.
+    bytes: Vec<u8>,
+    /// One entry per record, in emission order until [`sort_unstable`]
+    /// reorders them.
+    ///
+    /// [`sort_unstable`]: SpillArena::sort_unstable
+    entries: Vec<IndexEntry>,
+    /// Sum of the simulated text-row sizes of every record (the map
+    /// phase's byte counters are per-bucket sums, so the per-record value
+    /// never needs to be stored).
+    text_bytes: u64,
+}
+
+impl SpillArena {
+    /// Number of records.
+    pub(crate) fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no record has been spilled.
+    #[cfg(test)]
+    pub(crate) fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total simulated text bytes of the spilled records.
+    pub(crate) fn text_bytes(&self) -> u64 {
+        self.text_bytes
+    }
+
+    /// Append one record: copy the already-encoded key, then let
+    /// `encode_val` append the value bytes directly into the arena.
+    pub(crate) fn push(
+        &mut self,
+        key: &[u8],
+        text_size: u64,
+        encode_val: impl FnOnce(&mut Vec<u8>),
+    ) {
+        let off = u32::try_from(self.bytes.len()).expect("spill arena exceeds 4 GiB");
+        self.bytes.extend_from_slice(key);
+        let val_start = self.bytes.len();
+        encode_val(&mut self.bytes);
+        self.entries.push(IndexEntry {
+            prefix: key_prefix(key),
+            off,
+            key_len: u32::try_from(key.len()).expect("key exceeds 4 GiB"),
+            val_len: u32::try_from(self.bytes.len() - val_start).expect("value exceeds 4 GiB"),
+        });
+        self.text_bytes += text_size;
+    }
+
+    /// Append one already-encoded `(key, value)` record.
+    pub(crate) fn push_pair(&mut self, key: &[u8], value: &[u8], text_size: u64) {
+        self.push(key, text_size, |buf| buf.extend_from_slice(value));
+    }
+
+    /// Key bytes of record `i` (current index order).
+    #[inline]
+    pub(crate) fn key(&self, i: usize) -> &[u8] {
+        let e = &self.entries[i];
+        &self.bytes[e.off as usize..e.off as usize + e.key_len as usize]
+    }
+
+    /// Value bytes of record `i` (current index order).
+    #[inline]
+    pub(crate) fn value(&self, i: usize) -> &[u8] {
+        let e = &self.entries[i];
+        let start = e.off as usize + e.key_len as usize;
+        &self.bytes[start..start + e.val_len as usize]
+    }
+
+    /// True when records `i` and `j` have byte-identical keys. The prefix
+    /// check short-circuits the common inequality case.
+    #[inline]
+    pub(crate) fn keys_equal(&self, i: usize, j: usize) -> bool {
+        self.entries[i].prefix == self.entries[j].prefix && self.key(i) == self.key(j)
+    }
+
+    /// Iterate `(key, value)` slices in current index order.
+    #[cfg(test)]
+    pub(crate) fn iter(&self) -> impl Iterator<Item = (&[u8], &[u8])> {
+        (0..self.len()).map(|i| (self.key(i), self.value(i)))
+    }
+
+    /// Append every record of `other`, preserving its record order: a
+    /// byte memcpy plus an offset rebase per entry — the whole-bucket
+    /// concatenation the shuffle driver performs.
+    pub(crate) fn absorb(&mut self, other: &SpillArena) {
+        let base = u32::try_from(self.bytes.len()).expect("spill arena exceeds 4 GiB");
+        self.bytes.extend_from_slice(&other.bytes);
+        self.entries.extend(other.entries.iter().map(|e| IndexEntry {
+            off: base.checked_add(e.off).expect("spill arena exceeds 4 GiB"),
+            ..*e
+        }));
+        self.text_bytes += other.text_bytes;
+    }
+
+    /// Sort the record index by `(key bytes, value bytes)`, comparing
+    /// cached prefixes first and falling back to memcmp only on prefix
+    /// ties. Unstable, but observationally deterministic (see module
+    /// docs).
+    pub(crate) fn sort_unstable(&mut self) {
+        let SpillArena { bytes, entries, .. } = self;
+        let slice = |off: u32, len: u32| &bytes[off as usize..off as usize + len as usize];
+        entries.sort_unstable_by(|a, b| {
+            a.prefix.cmp(&b.prefix).then_with(|| {
+                slice(a.off, a.key_len).cmp(slice(b.off, b.key_len)).then_with(|| {
+                    slice(a.off + a.key_len, a.val_len).cmp(slice(b.off + b.key_len, b.val_len))
+                })
+            })
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn collect(arena: &SpillArena) -> Vec<(Vec<u8>, Vec<u8>)> {
+        arena.iter().map(|(k, v)| (k.to_vec(), v.to_vec())).collect()
+    }
+
+    #[test]
+    fn push_and_slice_roundtrip() {
+        let mut a = SpillArena::default();
+        a.push(b"key1", 7, |buf| buf.extend_from_slice(b"value1"));
+        a.push_pair(b"k", b"", 3);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.key(0), b"key1");
+        assert_eq!(a.value(0), b"value1");
+        assert_eq!(a.key(1), b"k");
+        assert_eq!(a.value(1), b"");
+        assert_eq!(a.text_bytes(), 10);
+    }
+
+    #[test]
+    fn prefix_matches_lexicographic_order() {
+        // prefix(a) < prefix(b) must imply key(a) < key(b) bytewise, for
+        // keys shorter, longer, and exactly 8 bytes — including embedded
+        // zero bytes (which collide with padding and must fall through to
+        // the memcmp tie-break, never mis-order).
+        let keys: Vec<&[u8]> = vec![
+            b"",
+            b"\0",
+            b"\0a",
+            b"a",
+            b"a\0",
+            b"ab",
+            b"abcdefgh",
+            b"abcdefghi",
+            b"abcdefgi",
+            b"b",
+            b"\xff\xff\xff\xff\xff\xff\xff\xff\xff",
+        ];
+        for x in &keys {
+            for y in &keys {
+                let (px, py) = (key_prefix(x), key_prefix(y));
+                if px < py {
+                    assert!(x < y, "{x:?} vs {y:?}");
+                } else if px > py {
+                    assert!(x > y, "{x:?} vs {y:?}");
+                }
+                // px == py says nothing; the sort memcmps the full keys.
+            }
+        }
+    }
+
+    #[test]
+    fn sort_matches_owned_pair_reference() {
+        let mut a = SpillArena::default();
+        let mut reference: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
+        for i in [5u32, 3, 11, 3, 0, 7, 3] {
+            let key = format!("key{i}").into_bytes();
+            let val = format!("v{}", i * 2).into_bytes();
+            a.push_pair(&key, &val, 1);
+            reference.push((key, val));
+        }
+        a.sort_unstable();
+        reference.sort();
+        assert_eq!(collect(&a), reference);
+    }
+
+    #[test]
+    fn prefix_tie_keys_sort_and_group_correctly() {
+        // All keys share the same 8-byte prefix; order must come from the
+        // tails (memcmp fallback), and grouping must separate them.
+        let tails = ["", "a", "aa", "b", "\0"];
+        let mut a = SpillArena::default();
+        for t in tails.iter().rev() {
+            let key = format!("SHARED8B{t}");
+            a.push_pair(key.as_bytes(), b"v", 1);
+        }
+        // Two extra records with a duplicate key, to exercise grouping.
+        a.push_pair(b"SHARED8Ba", b"w", 1);
+        a.push_pair(b"SHARED8B", b"u", 1);
+        a.sort_unstable();
+
+        let mut reference: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
+        for t in tails.iter().rev() {
+            reference.push((format!("SHARED8B{t}").into_bytes(), b"v".to_vec()));
+        }
+        reference.push((b"SHARED8Ba".to_vec(), b"w".to_vec()));
+        reference.push((b"SHARED8B".to_vec(), b"u".to_vec()));
+        reference.sort();
+        assert_eq!(collect(&a), reference);
+
+        // Group boundaries: equal keys adjacent, distinct keys separated.
+        let mut groups = Vec::new();
+        let mut i = 0;
+        while i < a.len() {
+            let mut j = i + 1;
+            while j < a.len() && a.keys_equal(i, j) {
+                j += 1;
+            }
+            groups.push((a.key(i).to_vec(), j - i));
+            i = j;
+        }
+        assert_eq!(
+            groups,
+            vec![
+                (b"SHARED8B".to_vec(), 2),
+                (b"SHARED8B\0".to_vec(), 1),
+                (b"SHARED8Ba".to_vec(), 2),
+                (b"SHARED8Baa".to_vec(), 1),
+                (b"SHARED8Bb".to_vec(), 1),
+            ]
+        );
+    }
+
+    #[test]
+    fn absorb_concatenates_in_order() {
+        let mut a = SpillArena::default();
+        a.push_pair(b"z", b"1", 2);
+        let mut b = SpillArena::default();
+        b.push_pair(b"a", b"2", 3);
+        b.push_pair(b"m", b"3", 4);
+        a.absorb(&b);
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.text_bytes(), 9);
+        assert_eq!(
+            collect(&a),
+            vec![
+                (b"z".to_vec(), b"1".to_vec()),
+                (b"a".to_vec(), b"2".to_vec()),
+                (b"m".to_vec(), b"3".to_vec()),
+            ]
+        );
+    }
+
+    #[test]
+    fn equal_keys_sort_by_value() {
+        let mut a = SpillArena::default();
+        a.push_pair(b"k", b"bb", 1);
+        a.push_pair(b"k", b"aa", 1);
+        a.push_pair(b"k", b"", 1);
+        a.sort_unstable();
+        assert_eq!(
+            collect(&a),
+            vec![
+                (b"k".to_vec(), b"".to_vec()),
+                (b"k".to_vec(), b"aa".to_vec()),
+                (b"k".to_vec(), b"bb".to_vec()),
+            ]
+        );
+    }
+}

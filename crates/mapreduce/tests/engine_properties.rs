@@ -279,3 +279,184 @@ mod fault_injection {
         }
     }
 }
+
+/// The arena-backed spill path must be byte-for-byte equivalent to the
+/// owned-pair shuffle it replaced. The reference model below re-implements
+/// map → (combine) → partition → sort → group → reduce over plain owned
+/// `(Vec<u8>, Vec<u8>)` pairs, mirroring the engine's input chunking
+/// (`max(len / (workers × 4), 1024)` records per map task) so per-task
+/// combining sees the same record sets.
+mod arena_shuffle {
+    use super::*;
+
+    /// Mapper fanout used by both the engine job and the reference model:
+    /// `w → (w, 1), (w#t, 2)`.
+    fn map_pairs(w: &str) -> [(String, u64); 2] {
+        [(w.to_string(), 1), (format!("{w}#t"), 2)]
+    }
+
+    /// Owned-pair reference shuffle. Returns the encoded output records in
+    /// partition order — what the engine's output file must contain.
+    fn reference_shuffle(
+        words: &[String],
+        workers: usize,
+        reducers: usize,
+        with_combiner: bool,
+    ) -> Vec<Vec<u8>> {
+        type Pair = (Vec<u8>, Vec<u8>);
+        let mut partitions: Vec<Vec<Pair>> = vec![Vec::new(); reducers];
+        if !words.is_empty() {
+            let target = (words.len() / (workers * 4)).max(1024).min(words.len());
+            for chunk in words.chunks(target) {
+                let mut buckets: Vec<Vec<Pair>> = vec![Vec::new(); reducers];
+                for w in chunk {
+                    for (k, v) in map_pairs(w) {
+                        let kb = k.to_bytes();
+                        let p = mrsim::default_partition(&kb, reducers);
+                        buckets[p].push((kb, v.to_bytes()));
+                    }
+                }
+                if with_combiner {
+                    let mut combined: Vec<Vec<Pair>> = vec![Vec::new(); reducers];
+                    for bucket in &mut buckets {
+                        bucket.sort();
+                        let mut i = 0;
+                        while i < bucket.len() {
+                            let mut j = i + 1;
+                            while j < bucket.len() && bucket[j].0 == bucket[i].0 {
+                                j += 1;
+                            }
+                            let sum: u64 =
+                                bucket[i..j].iter().map(|(_, v)| u64::from_bytes(v).unwrap()).sum();
+                            let p = mrsim::default_partition(&bucket[i].0, reducers);
+                            combined[p].push((bucket[i].0.clone(), sum.to_bytes()));
+                            i = j;
+                        }
+                    }
+                    buckets = combined;
+                }
+                for (p, bucket) in buckets.into_iter().enumerate() {
+                    partitions[p].extend(bucket);
+                }
+            }
+        }
+        let mut out = Vec::new();
+        for part in &mut partitions {
+            part.sort();
+            for (kb, vb) in part.iter() {
+                let rec = (String::from_bytes(kb).unwrap(), u64::from_bytes(vb).unwrap());
+                out.push(rec.to_bytes());
+            }
+        }
+        out
+    }
+
+    /// Run the same job through the real engine and return the raw output
+    /// file records. The identity reducer re-emits every `(key, value)`
+    /// pair, so the output file *is* the sorted per-partition shuffle
+    /// stream, verbatim.
+    fn engine_shuffle(
+        words: &[String],
+        workers: usize,
+        reducers: usize,
+        with_combiner: bool,
+    ) -> Vec<Vec<u8>> {
+        let engine = Engine::unbounded().with_workers(workers);
+        engine.put_records("in", words.to_vec()).unwrap();
+        let mapper = map_fn(|w: String, out: &mut TypedMapEmitter<'_, String, u64>| {
+            for (k, v) in map_pairs(&w) {
+                out.emit(&k, &v);
+            }
+            Ok(())
+        });
+        let reducer =
+            reduce_fn(|w: String, vals: Vec<u64>, out: &mut TypedOutEmitter<'_, (String, u64)>| {
+                for v in vals {
+                    out.emit(&(w.clone(), v))?;
+                }
+                Ok(())
+            });
+        let mut spec = JobSpec::map_reduce(
+            "arena-vs-reference",
+            vec![InputBinding { file: "in".into(), mapper }],
+            reducer,
+            reducers,
+            "out",
+        );
+        if with_combiner {
+            spec = spec.with_combiner(mrsim::combine_fn(
+                |w: String, vals: Vec<u64>, out: &mut TypedMapEmitter<'_, String, u64>| {
+                    out.emit(&w, &vals.iter().sum::<u64>());
+                    Ok(())
+                },
+            ));
+        }
+        engine.run_job(&spec).unwrap();
+        let records = engine.hdfs().lock().get("out").unwrap().records.clone();
+        records
+    }
+
+    /// Vocabulary rich in >8-byte shared prefixes so the prefix-cache
+    /// tie-break (full-key memcmp) is exercised, not just the fast path.
+    fn arb_words() -> impl Strategy<Value = Vec<String>> {
+        prop::collection::vec(
+            prop::sample::select(vec![
+                "sharedprefix-a",
+                "sharedprefix-b",
+                "sharedprefix",
+                "sharedprefix-",
+                "short",
+                "x",
+                "",
+            ]),
+            0..80,
+        )
+        .prop_map(|ws| ws.into_iter().map(String::from).collect())
+    }
+
+    proptest! {
+        #[test]
+        fn arena_matches_owned_pair_reference(
+            words in arb_words(),
+            reducers in 1usize..5,
+            with_combiner in 0usize..2,
+        ) {
+            let with_combiner = with_combiner == 1;
+            for workers in [1usize, 4, 8] {
+                let expected = reference_shuffle(&words, workers, reducers, with_combiner);
+                let got = engine_shuffle(&words, workers, reducers, with_combiner);
+                prop_assert_eq!(
+                    &got,
+                    &expected,
+                    "workers={} reducers={} combiner={}",
+                    workers,
+                    reducers,
+                    with_combiner
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn arena_matches_reference_across_multiple_map_tasks() {
+        // 6 000 input records split into six 1 024-record map tasks at 8
+        // workers, so per-task combining and multi-bucket absorption are
+        // genuinely exercised (small proptest inputs fit in one chunk).
+        let words: Vec<String> = (0..6000)
+            .map(|i| match i % 5 {
+                0 => format!("sharedprefix-{}", i % 23),
+                1 => "sharedprefix".to_string(),
+                2 => format!("k{}", i % 11),
+                3 => String::new(),
+                _ => format!("sharedprefix-{}#x", i % 7),
+            })
+            .collect();
+        for with_combiner in [false, true] {
+            for workers in [1usize, 4, 8] {
+                let expected = reference_shuffle(&words, workers, 4, with_combiner);
+                let got = engine_shuffle(&words, workers, 4, with_combiner);
+                assert_eq!(got, expected, "workers={workers} combiner={with_combiner}");
+            }
+        }
+    }
+}

@@ -15,10 +15,10 @@ pub const TRIPLES_FILE: &str = "triples";
 pub struct TripleRec(pub STriple);
 
 impl Rec for TripleRec {
-    fn encode(&self, buf: &mut Vec<u8>) {
-        self.0.s.encode(buf);
-        self.0.p.encode(buf);
-        self.0.o.encode(buf);
+    fn encode_into(&self, buf: &mut Vec<u8>) {
+        self.0.s.encode_into(buf);
+        self.0.p.encode_into(buf);
+        self.0.o.encode_into(buf);
     }
 
     fn decode(r: &mut SliceReader<'_>) -> Result<Self, MrError> {

@@ -139,22 +139,9 @@ impl AtomTable {
     }
 }
 
-/// Deterministic 64-bit FNV-1a hash.
-///
-/// Used for interning shards and (in `mrsim`) for reducer partitioning,
-/// where determinism across runs is required — `std`'s default hasher is
-/// randomly seeded and would make workloads non-reproducible.
-pub fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h = FNV_OFFSET;
-    for &b in bytes {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(FNV_PRIME);
-    }
-    h
-}
-
-const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+// The spec-stable deterministic hash now lives in [`crate::hash`] (one
+// home for the constants); re-exported here for the existing callers.
+pub use crate::hash::fnv1a;
 
 #[cfg(test)]
 mod tests {
@@ -187,8 +174,8 @@ mod tests {
 
     #[test]
     fn fnv1a_is_stable() {
-        // Known-answer test so a refactor cannot silently change
-        // partitioning of existing workloads.
+        // Known-answer test (duplicated in `crate::hash`) so the re-export
+        // cannot silently change partitioning of existing workloads.
         assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
         assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
     }

@@ -29,6 +29,7 @@
 
 pub mod atom;
 pub mod dict;
+pub mod hash;
 pub mod io;
 pub mod ntriples;
 pub mod store;
@@ -38,6 +39,7 @@ pub mod vp;
 
 pub use atom::{Atom, AtomTable};
 pub use dict::Dictionary;
+pub use hash::{fnv1a, DetHashMap, FnvBuildHasher, FnvHasher};
 pub use io::{read_ntriples, read_ntriples_file, write_ntriples, write_ntriples_file, NtIoError};
 pub use ntriples::{parse_line, parse_str, write_triple, NtParseError};
 pub use store::{PropertyStats, StoreStats, TripleStore};
