@@ -22,8 +22,12 @@ pub struct Row {
     pub write_bytes: u64,
     /// Intermediate HDFS write bytes (all jobs but the last).
     pub intermediate_write_bytes: u64,
-    /// Total shuffle bytes.
+    /// Total shuffle bytes under the text-row cost model.
     pub shuffle_bytes: u64,
+    /// Total post-encoding shuffle bytes (the varint wire format actually
+    /// buffered by the spill arenas). Diverges from `shuffle_bytes` on
+    /// ID-encoded jobs, whose text model charges per-pair separators.
+    pub shuffle_wire_bytes: u64,
     /// Simulated seconds.
     pub sim_seconds: f64,
     /// Worst reduce skew over the workflow's jobs (heaviest partition ÷
@@ -71,6 +75,7 @@ impl Row {
             write_bytes: run.stats.total_write_bytes(),
             intermediate_write_bytes: run.stats.intermediate_write_bytes(),
             shuffle_bytes: run.stats.total_shuffle_bytes(),
+            shuffle_wire_bytes: run.stats.total_shuffle_wire_bytes(),
             sim_seconds: run.stats.sim_seconds,
             reduce_skew: run.stats.max_reduce_skew(),
             beta_expansion: if unnest_in > 0 { unnest_out as f64 / unnest_in as f64 } else { 1.0 },
@@ -111,7 +116,7 @@ pub fn print_table(title: &str, note: &str, rows: &[Row]) {
         println!("{note}");
     }
     let header = format!(
-        "{:<10} {:<26} {:>3} {:>3} {:>12} {:>12} {:>12} {:>12} {:>10} {:>6} {:>7} {:>4} {:>8}  status",
+        "{:<10} {:<26} {:>3} {:>3} {:>12} {:>12} {:>12} {:>12} {:>12} {:>10} {:>6} {:>7} {:>4} {:>8}  status",
         "query",
         "approach",
         "MR",
@@ -120,6 +125,7 @@ pub fn print_table(title: &str, note: &str, rows: &[Row]) {
         "write",
         "interm.w",
         "shuffle",
+        "wire",
         "sim(s)",
         "skew",
         "βx",
@@ -137,7 +143,7 @@ pub fn print_table(title: &str, note: &str, rows: &[Row]) {
         }
         last_query = r.query.clone();
         println!(
-            "{:<10} {:<26} {:>3} {:>3} {:>12} {:>12} {:>12} {:>12} {:>10.1} {:>6.2} {:>7.1} {:>4} {:>8.1}  {}",
+            "{:<10} {:<26} {:>3} {:>3} {:>12} {:>12} {:>12} {:>12} {:>12} {:>10.1} {:>6.2} {:>7.1} {:>4} {:>8.1}  {}",
             r.query,
             r.approach,
             r.mr_cycles,
@@ -146,6 +152,7 @@ pub fn print_table(title: &str, note: &str, rows: &[Row]) {
             human_bytes(r.write_bytes),
             human_bytes(r.intermediate_write_bytes),
             human_bytes(r.shuffle_bytes),
+            human_bytes(r.shuffle_wire_bytes),
             r.sim_seconds,
             r.reduce_skew,
             r.beta_expansion,
@@ -200,6 +207,7 @@ pub fn rows_json(rows: &[Row]) -> String {
         out.push_str(&format!(",\"write_bytes\":{}", r.write_bytes));
         out.push_str(&format!(",\"intermediate_write_bytes\":{}", r.intermediate_write_bytes));
         out.push_str(&format!(",\"shuffle_bytes\":{}", r.shuffle_bytes));
+        out.push_str(&format!(",\"shuffle_wire_bytes\":{}", r.shuffle_wire_bytes));
         out.push_str(",\"sim_seconds\":");
         push_json_f64(&mut out, r.sim_seconds);
         out.push_str(",\"reduce_skew\":");
@@ -265,6 +273,7 @@ mod tests {
             write_bytes: 200,
             intermediate_write_bytes: 50,
             shuffle_bytes: 75,
+            shuffle_wire_bytes: 80,
             sim_seconds: f64::NAN,
             reduce_skew: 1.25,
             beta_expansion: 5.0,
@@ -290,6 +299,7 @@ mod tests {
         assert!(json.contains("\"query\":\"B\\\"1\""), "{json}");
         assert!(json.contains("\"approach\":\"Lazy\\\\Unnest\""), "{json}");
         assert!(json.contains("\"sim_seconds\":null"), "{json}");
+        assert!(json.contains("\"shuffle_wire_bytes\":80"), "{json}");
         assert!(json.contains("\"ntga.unnest.in\":2"), "{json}");
         assert!(json.contains("\"result_bytes\":70"), "{json}");
         assert!(json.contains("\"retry_seconds\":4.5"), "{json}");

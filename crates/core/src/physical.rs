@@ -17,13 +17,14 @@
 
 use crate::logical::{match_star, partial_beta_unnest, TripleGroup};
 use crate::tg::{AnnTg, TgTuple};
-use mr_rdf::TripleRec;
+use mr_rdf::{IdPair, IdStarTest, IdTripleRec, TripleRec};
 use mrsim::{
-    map_fn, map_fn_ctx, reduce_fn, reduce_fn_ctx, InputBinding, JobSpec, MrError, Rec,
-    TypedMapEmitter, TypedOutEmitter,
+    map_fn, map_fn_ctx, reduce_fn, reduce_fn_ctx, InputBinding, JobSpec, MrError, Rec, TaskContext,
+    TypedMapEmitter, TypedOutEmitter, VarId,
 };
 use rdf_model::atom::{atom, fnv1a, Atom};
 use rdf_model::hash::DetHashMap;
+use rdf_model::Dictionary;
 use rdf_query::{Query, StarPattern};
 use std::collections::BTreeSet;
 use std::sync::Arc;
@@ -112,6 +113,99 @@ pub fn group_filter_job(
               out: &mut TypedOutEmitter<'_, TgTuple>| {
             ctx.count(op::GROUPS_IN, 1);
             ctx.count(op::PAIRS_IN, pairs.len() as u64);
+            let tg = TripleGroup { subject, pairs };
+            let mut admitted = 0u64;
+            for (i, star) in stars_red.iter().enumerate() {
+                if let Some(ann) = match_star(&tg, star, i as u64) {
+                    admitted += 1;
+                    if eager {
+                        ctx.count(op::UNNEST_IN, 1);
+                        for perfect in crate::logical::beta_unnest(&ann) {
+                            ctx.count(op::UNNEST_OUT, 1);
+                            out.emit_to(i, &TgTuple(vec![perfect]))?;
+                        }
+                    } else {
+                        out.emit_to(i, &TgTuple(vec![ann]))?;
+                    }
+                }
+            }
+            ctx.count(op::ADMITTED, admitted);
+            if admitted == 0 {
+                ctx.count(op::DROPPED, 1);
+            }
+            Ok(())
+        },
+    );
+    let mut outs = outputs.into_iter();
+    let first = outs.next().expect("at least one star");
+    let mut spec = JobSpec::map_reduce(
+        name,
+        vec![InputBinding { file: input.to_string(), mapper }],
+        reducer,
+        REDUCERS,
+        first,
+    )
+    .with_full_scan();
+    for o in outs {
+        spec = spec.with_extra_output(o);
+    }
+    spec
+}
+
+// ---------------------------------------------------------------------------
+// Job 1, ID-native: varint dictionary ids through the shuffle
+// ---------------------------------------------------------------------------
+
+/// ID-native Job 1: same operators as [`group_filter_job`], but the
+/// shuffle carries LEB128-varint dictionary ids (`VarId` subject keys,
+/// [`IdPair`] property/object values) instead of lexical tokens.
+///
+/// Star constants are compiled to ids against `dict` at plan time, so the
+/// map side matches with integer compares; the reduce side resolves ids
+/// back to [`Atom`]s through the engine's dictionary snapshot (attach it
+/// with `Engine::with_dict`) and re-sorts each group into the lexical
+/// wire order, so the emitted [`TgTuple`]s are byte-identical to the
+/// lexical job's (file order aside — the two paths partition by
+/// different key bytes).
+pub fn group_filter_job_ids(
+    name: impl Into<String>,
+    query: &Query,
+    input: &str,
+    outputs: Vec<String>,
+    eager: bool,
+    dict: &Dictionary,
+) -> JobSpec {
+    assert_eq!(outputs.len(), query.stars.len(), "one output per star");
+    let stars_map: Vec<IdStarTest> =
+        query.stars.iter().map(|s| IdStarTest::compile(s, dict)).collect();
+    let mapper = map_fn_ctx(
+        move |ctx: &TaskContext, rec: IdTripleRec, out: &mut TypedMapEmitter<'_, VarId, IdPair>| {
+            for star in &stars_map {
+                if star.relevant(&rec, ctx)? {
+                    out.emit(&VarId(rec.s), &IdPair(rec.p, rec.o));
+                    return Ok(());
+                }
+            }
+            Ok(())
+        },
+    );
+    let stars_red = query.stars.clone();
+    let reducer = reduce_fn_ctx(
+        move |ctx: &TaskContext,
+              subject: VarId,
+              ids: Vec<IdPair>,
+              out: &mut TypedOutEmitter<'_, TgTuple>| {
+            ctx.count(op::GROUPS_IN, 1);
+            ctx.count(op::PAIRS_IN, ids.len() as u64);
+            let subject = ctx.resolve_atom(subject.0)?;
+            let mut pairs = ids
+                .iter()
+                .map(|&IdPair(p, o)| Ok((ctx.resolve_atom(p)?, ctx.resolve_atom(o)?)))
+                .collect::<Result<Vec<(Atom, Atom)>, MrError>>()?;
+            // The lexical job's reducer sees values in encoded-token
+            // order (the shuffle sorts by value bytes); restore that
+            // order after resolution so outputs are byte-identical.
+            pairs.sort_by_cached_key(Rec::to_bytes);
             let tg = TripleGroup { subject, pairs };
             let mut admitted = 0u64;
             for (i, star) in stars_red.iter().enumerate() {
@@ -630,6 +724,93 @@ mod tests {
         assert_eq!(ops.get(op::ADMITTED), 4);
         assert_eq!(ops.get(op::UNNEST_IN), 0);
         assert_eq!(ops.get(op::UNNEST_OUT), 0);
+    }
+
+    #[test]
+    fn id_native_job1_matches_lexical_and_ships_fewer_bytes() {
+        // A filter star exercises every IdTest arm: Eq on the bound
+        // property, Str on a Contains object filter, Any on the unbound
+        // pattern.
+        let mut s = store();
+        s.insert(STriple::new("<x1>", "<syn>", "\"t\""));
+        let query = rdf_query::parse_query(
+            "SELECT * WHERE { ?g <label> ?l . ?g ?p ?go . ?go <gl> ?x . \
+             FILTER contains(?x, \"u\") }",
+        )
+        .unwrap();
+        for eager in [false, true] {
+            let lex = Engine::unbounded();
+            load_store(&lex, "t", &s).unwrap();
+            let lex_job =
+                group_filter_job("j1", &query, "t", vec!["e0".into(), "e1".into()], eager);
+            let lex_stats = lex.run_job(&lex_job).unwrap();
+
+            let mut dict = Dictionary::new();
+            let ids = Engine::unbounded();
+            mr_rdf::load_store_ids(&ids, mr_rdf::ID_TRIPLES_FILE, &s, &mut dict).unwrap();
+            let ids = ids.with_dict(Arc::new(dict.clone()));
+            let id_job = group_filter_job_ids(
+                "j1-ids",
+                &query,
+                mr_rdf::ID_TRIPLES_FILE,
+                vec!["e0".into(), "e1".into()],
+                eager,
+                &dict,
+            );
+            let id_stats = ids.run_job(&id_job).unwrap();
+
+            // Same operator counters on both planes.
+            for c in [
+                op::GROUPS_IN,
+                op::PAIRS_IN,
+                op::ADMITTED,
+                op::DROPPED,
+                op::UNNEST_IN,
+                op::UNNEST_OUT,
+            ] {
+                assert_eq!(
+                    lex_stats.ops.get(c),
+                    id_stats.ops.get(c),
+                    "counter {c} (eager {eager})"
+                );
+            }
+            // Byte-identical outputs once sorted (the two paths partition
+            // by different key bytes, so file order may differ).
+            for out in ["e0", "e1"] {
+                let mut a: Vec<TgTuple> = lex.read_records(out).unwrap();
+                let mut b: Vec<TgTuple> = ids.read_records(out).unwrap();
+                a.sort_by_cached_key(Rec::to_bytes);
+                b.sort_by_cached_key(Rec::to_bytes);
+                assert_eq!(a, b, "output {out} (eager {eager})");
+            }
+            // The ID plane ships varints where the lexical plane ships
+            // tokens: strictly fewer wire bytes through the shuffle.
+            assert!(
+                id_stats.shuffle_wire_bytes() < lex_stats.shuffle_wire_bytes(),
+                "id wire {} >= lexical wire {} (eager {eager})",
+                id_stats.shuffle_wire_bytes(),
+                lex_stats.shuffle_wire_bytes()
+            );
+        }
+    }
+
+    #[test]
+    fn id_native_job1_fails_on_missing_dictionary() {
+        let s = store();
+        let mut dict = Dictionary::new();
+        let engine = Engine::unbounded();
+        mr_rdf::load_store_ids(&engine, mr_rdf::ID_TRIPLES_FILE, &s, &mut dict).unwrap();
+        // No `with_dict`: the reduce boundary cannot resolve ids.
+        let job = group_filter_job_ids(
+            "j1-ids",
+            &unbound_query(),
+            mr_rdf::ID_TRIPLES_FILE,
+            vec!["e0".into(), "e1".into()],
+            false,
+            &dict,
+        );
+        let err = engine.run_job(&job).unwrap_err();
+        assert!(matches!(err, MrError::Codec(_)), "unexpected error: {err:?}");
     }
 
     #[test]

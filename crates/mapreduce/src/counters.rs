@@ -128,6 +128,14 @@ pub struct JobStats {
     /// Map output text bytes (== shuffle bytes for jobs with a reduce;
     /// after the combiner, if one ran).
     pub map_output_bytes: u64,
+    /// Map output bytes *post-encoding* — the exact size of the encoded
+    /// key/value bytes spilled to the shuffle, as opposed to the
+    /// text-model `map_output_bytes`. For lexical jobs the two differ
+    /// only by framing (length prefixes vs. tab/newline separators); for
+    /// ID-encoded jobs the wire bytes are the compact varints actually
+    /// shuffled, so this is the number fig tables and `--json` must
+    /// report. 0 for map-only jobs (nothing is shuffled).
+    pub map_output_encoded_bytes: u64,
     /// Shuffle bytes routed to each reduce partition (indexed by partition
     /// number; empty for map-only jobs). Sums to `map_output_bytes` on
     /// jobs with a reduce phase.
@@ -170,11 +178,25 @@ pub struct JobStats {
 }
 
 impl JobStats {
-    /// Shuffle bytes (alias for map output bytes on jobs with a reduce
-    /// phase; 0 for map-only jobs).
+    /// Shuffle bytes under the text-row cost model (alias for map output
+    /// bytes on jobs with a reduce phase; 0 for map-only jobs). Compare
+    /// [`shuffle_wire_bytes`](Self::shuffle_wire_bytes), the post-encoding
+    /// size of what the shuffle actually moved.
     pub fn shuffle_bytes(&self) -> u64 {
         if self.reduce_tasks > 0 {
             self.map_output_bytes
+        } else {
+            0
+        }
+    }
+
+    /// Post-encoding shuffle bytes: the exact wire size of the encoded
+    /// key/value records the map phase spilled (0 for map-only jobs).
+    /// Diverges from the text-model [`shuffle_bytes`](Self::shuffle_bytes)
+    /// on ID-encoded jobs, where compact varints cross the wire.
+    pub fn shuffle_wire_bytes(&self) -> u64 {
+        if self.reduce_tasks > 0 {
+            self.map_output_encoded_bytes
         } else {
             0
         }
@@ -269,9 +291,14 @@ impl WorkflowStats {
         total
     }
 
-    /// Sum of shuffle bytes over all jobs.
+    /// Sum of text-model shuffle bytes over all jobs.
     pub fn total_shuffle_bytes(&self) -> u64 {
         self.jobs.iter().map(JobStats::shuffle_bytes).sum()
+    }
+
+    /// Sum of post-encoding shuffle wire bytes over all jobs.
+    pub fn total_shuffle_wire_bytes(&self) -> u64 {
+        self.jobs.iter().map(JobStats::shuffle_wire_bytes).sum()
     }
 
     /// Records in the final output (0 if the workflow failed before the

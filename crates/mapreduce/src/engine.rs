@@ -69,6 +69,11 @@ pub struct Engine {
     /// Optional trace sink receiving [`TraceEvent`]s. `None` (the default)
     /// disables tracing entirely: no events are constructed.
     pub trace: Option<Arc<dyn TraceSink>>,
+    /// Shared dictionary snapshot for ID-native jobs: every task's
+    /// [`TaskContext`] carries a handle so reducers can resolve varint
+    /// dictionary ids back to tokens at output boundaries (the simulated
+    /// analogue of shipping the dictionary via the distributed cache).
+    dict: Option<Arc<rdf_model::Dictionary>>,
 }
 
 /// Per-task metadata collected only while tracing, to lay task spans on
@@ -95,6 +100,7 @@ impl Engine {
             faults: FaultConfig::none(),
             recovery: RecoveryPolicy::FailFast,
             trace: None,
+            dict: None,
         }
     }
 
@@ -130,6 +136,14 @@ impl Engine {
     /// Attach a trace sink receiving structured execution events.
     pub fn with_trace(mut self, sink: Arc<dyn TraceSink>) -> Self {
         self.trace = Some(sink);
+        self
+    }
+
+    /// Attach a shared dictionary snapshot, made available to every task
+    /// through [`TaskContext::resolve_atom`]. ID-native jobs require this;
+    /// lexical jobs ignore it.
+    pub fn with_dict(mut self, dict: Arc<rdf_model::Dictionary>) -> Self {
+        self.dict = Some(dict);
         self
     }
 
@@ -482,7 +496,7 @@ impl Engine {
         }
         self.resolve_faults(epoch, TaskPhase::Map, chunks.len(), false, stats)?;
         let results = self.parallel_over(&chunks, |chunk| {
-            let ctx = TaskContext::new();
+            let ctx = TaskContext::with_dict(self.dict.clone());
             let mut out = OutEmitter::with_outputs(budget, n_outputs);
             for rec in *chunk {
                 mapper.run(&ctx, rec, &mut out)?;
@@ -553,7 +567,7 @@ impl Engine {
         }
         self.resolve_faults(epoch, TaskPhase::Map, work.len(), true, stats)?;
         let results = self.parallel_over(&work, |(mapper, chunk)| {
-            let ctx = TaskContext::new();
+            let ctx = TaskContext::with_dict(self.dict.clone());
             let mut out = MapEmitter::partitioned(reduce_tasks);
             for rec in *chunk {
                 mapper.run(&ctx, rec, &mut out)?;
@@ -573,6 +587,7 @@ impl Engine {
             for (p, bucket) in out.buckets.iter().enumerate() {
                 stats.map_output_records += bucket.len() as u64;
                 stats.map_output_bytes += bucket.text_bytes();
+                stats.map_output_encoded_bytes += bucket.encoded_bytes();
                 stats.shuffle_partition_bytes[p] += bucket.text_bytes();
                 partitions[p].absorb(bucket);
             }
@@ -634,7 +649,7 @@ impl Engine {
         let shared_budget = budget;
         let partitions: Vec<Mutex<SpillArena>> = partitions.into_iter().map(Mutex::new).collect();
         let results = self.parallel_over(&partitions, |cell| {
-            let ctx = TaskContext::new();
+            let ctx = TaskContext::with_dict(self.dict.clone());
             let mut guard = cell.lock();
             guard.sort_unstable();
             let part: &SpillArena = &guard;
@@ -855,6 +870,55 @@ mod tests {
         let stats = engine.run_job(&word_count_spec()).unwrap();
         assert_eq!(stats.map_output_records, stats.reduce_input_records);
         assert_eq!(stats.shuffle_bytes(), stats.map_output_bytes);
+    }
+
+    #[test]
+    fn wire_bytes_diverge_from_text_model_on_id_jobs() {
+        use crate::codec::{uvarint_len, VarId};
+        // ID-encoded job: LEB128 varints cross the wire, and the
+        // post-encoding counter must report exactly those bytes — not the
+        // text-row model's figure.
+        let engine = Engine::unbounded().with_workers(4);
+        engine.put_records("ids", (0..500u32).map(VarId)).unwrap();
+        let mapper =
+            map_fn(|rec: VarId, out: &mut crate::job::TypedMapEmitter<'_, VarId, VarId>| {
+                out.emit(&VarId(rec.0 % 7), &rec);
+                Ok(())
+            });
+        let reducer = reduce_fn(
+            |_k: VarId, vs: Vec<VarId>, out: &mut crate::job::TypedOutEmitter<'_, u64>| {
+                out.emit(&(vs.len() as u64))
+            },
+        );
+        let spec = JobSpec::map_reduce(
+            "idjob",
+            vec![InputBinding { file: "ids".into(), mapper }],
+            reducer,
+            3,
+            "out",
+        );
+        let stats = engine.run_job(&spec).unwrap();
+        let expected_wire: u64 = (0..500u32).map(|i| uvarint_len(i % 7) + uvarint_len(i)).sum();
+        assert_eq!(stats.map_output_encoded_bytes, expected_wire);
+        assert_eq!(stats.shuffle_wire_bytes(), expected_wire);
+        // The text model charges one shared row separator per pair, so the
+        // two counters must diverge on an ID-encoded job.
+        assert_eq!(stats.map_output_bytes, expected_wire - 500);
+        assert_ne!(stats.shuffle_bytes(), stats.shuffle_wire_bytes());
+
+        // Lexical jobs diverge the other way: length-prefix framing makes
+        // the wire bigger than the text rows.
+        let engine = word_count_engine(&["alpha", "beta", "alpha"]);
+        let lex = engine.run_job(&word_count_spec()).unwrap();
+        assert!(lex.shuffle_wire_bytes() > lex.shuffle_bytes());
+
+        // Map-only jobs shuffle nothing under either accounting.
+        let mapper = crate::job::map_only_fn(
+            |w: String, out: &mut crate::job::TypedOutEmitter<'_, String>| out.emit(&w),
+        );
+        let spec = JobSpec::map_only("mo", vec!["input".into()], mapper, "mo_out");
+        let stats = engine.run_job(&spec).unwrap();
+        assert_eq!(stats.shuffle_wire_bytes(), 0);
     }
 
     #[test]

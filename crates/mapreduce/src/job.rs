@@ -9,7 +9,8 @@
 use crate::codec::Rec;
 use crate::counters::OpCounters;
 use crate::error::MrError;
-use rdf_model::atom::AtomTable;
+use rdf_model::atom::{Atom, AtomTable};
+use rdf_model::Dictionary;
 use std::cell::RefCell;
 use std::marker::PhantomData;
 use std::sync::Arc;
@@ -29,17 +30,47 @@ use std::sync::Arc;
 /// operator-level counters through [`TaskContext::count`] (Hadoop's
 /// user-defined `Counter`s), and the engine merges every task's counters
 /// into [`crate::JobStats::ops`] when the job completes.
+///
+/// ID-native jobs additionally read the engine's shared [`Dictionary`]
+/// snapshot (attached with [`crate::Engine::with_dict`]) through
+/// [`TaskContext::resolve_atom`] — the distributed-cache side file a real
+/// Hadoop deployment would ship to every task.
 #[derive(Debug, Default)]
 pub struct TaskContext {
     /// Interner for token (`Atom`) fields decoded by this task.
     pub atoms: AtomTable,
     counters: RefCell<OpCounters>,
+    dict: Option<Arc<Dictionary>>,
 }
 
 impl TaskContext {
     /// Fresh context with an empty atom table.
     pub fn new() -> Self {
-        TaskContext { atoms: AtomTable::new(), counters: RefCell::new(OpCounters::new()) }
+        Self::with_dict(None)
+    }
+
+    /// Fresh context carrying the engine's dictionary snapshot (if any).
+    pub fn with_dict(dict: Option<Arc<Dictionary>>) -> Self {
+        TaskContext { atoms: AtomTable::new(), counters: RefCell::new(OpCounters::new()), dict }
+    }
+
+    /// The dictionary snapshot this task decodes ids against, if the
+    /// engine has one attached.
+    pub fn dict(&self) -> Option<&Arc<Dictionary>> {
+        self.dict.as_ref()
+    }
+
+    /// Resolve a dictionary id to its shared [`Atom`]. An unknown id — a
+    /// corrupt or foreign id reaching this task — or a missing dictionary
+    /// is a [`MrError::Codec`] task failure, which the engine's recovery
+    /// policy handles like any other failed task (no process abort).
+    pub fn resolve_atom(&self, id: u32) -> Result<Atom, MrError> {
+        let dict = self.dict.as_ref().ok_or_else(|| {
+            MrError::Codec(
+                "no dictionary snapshot attached to the engine (Engine::with_dict)".into(),
+            )
+        })?;
+        dict.resolve_atom(id).map_err(|e| MrError::Codec(e.to_string()))
     }
 
     /// Add `delta` to the named operator counter. Names should be

@@ -64,7 +64,7 @@ pub mod workflow;
 /// [`hash::DetHashMap`] deterministic hash-map type for join build sides.
 pub use rdf_model::hash;
 
-pub use codec::{Rec, SliceReader};
+pub use codec::{uvarint_len, write_uvarint, Rec, SliceReader, VarId};
 pub use cost::CostModel;
 pub use counters::{FaultStats, JobStats, OpCounters, WorkflowStats};
 pub use engine::{default_partition, Engine};

@@ -18,6 +18,21 @@
 //! common case of the sort is therefore a single `u64` compare; full key
 //! (then value) memcmp runs only on prefix ties.
 //!
+//! ## Short keys never memcmp
+//!
+//! When two keys tie on the prefix *and both fit entirely inside the
+//! 8-byte cache* (`key_len ≤ 8`), their zero-padded forms are equal, so
+//! the longer key is the shorter key followed by zero bytes: lexicographic
+//! order equals length order, and equal lengths mean byte-identical keys.
+//! The sort therefore breaks such ties with a `key_len` compare and
+//! grouping with a `key_len` equality check — no memcmp. LEB128 varint
+//! dictionary-id keys (≤ 5 bytes for a `u32`) always take this path; in
+//! fact distinct *canonical* varints never even tie on the prefix (a
+//! longer encoding extending a shorter one would need a continuation bit
+//! on the shorter's final byte), so ID-native shuffles sort and group on
+//! integer compares alone. Note the tie-break is still required in
+//! general: `"a"` and `"a\0"` share a prefix and differ only in length.
+//!
 //! ## Determinism
 //!
 //! The sort is `sort_unstable_by` over `(prefix, key bytes, value
@@ -86,6 +101,15 @@ impl SpillArena {
         self.text_bytes
     }
 
+    /// Total *post-encoding* wire bytes of the spilled records — the
+    /// exact size of the concatenated key/value encodings. This is what
+    /// actually crosses the simulated network; it diverges from
+    /// [`text_bytes`](Self::text_bytes) whenever the codec is not the
+    /// text model (e.g. varint dictionary ids vs. lexical tokens).
+    pub(crate) fn encoded_bytes(&self) -> u64 {
+        self.bytes.len() as u64
+    }
+
     /// Append one record: copy the already-encoded key, then let
     /// `encode_val` append the value bytes directly into the arena.
     pub(crate) fn push(
@@ -128,10 +152,16 @@ impl SpillArena {
     }
 
     /// True when records `i` and `j` have byte-identical keys. The prefix
-    /// check short-circuits the common inequality case.
+    /// check short-circuits the common inequality case, and the length
+    /// check lets keys that fit the prefix cache (varint ids in
+    /// particular) skip the memcmp entirely: equal prefixes plus equal
+    /// lengths ≤ 8 imply byte-identical keys (see module docs).
     #[inline]
     pub(crate) fn keys_equal(&self, i: usize, j: usize) -> bool {
-        self.entries[i].prefix == self.entries[j].prefix && self.key(i) == self.key(j)
+        let (a, b) = (&self.entries[i], &self.entries[j]);
+        a.prefix == b.prefix
+            && a.key_len == b.key_len
+            && (a.key_len <= 8 || self.key(i) == self.key(j))
     }
 
     /// Iterate `(key, value)` slices in current index order.
@@ -155,17 +185,28 @@ impl SpillArena {
 
     /// Sort the record index by `(key bytes, value bytes)`, comparing
     /// cached prefixes first and falling back to memcmp only on prefix
-    /// ties. Unstable, but observationally deterministic (see module
-    /// docs).
+    /// ties — and, when both tied keys fit the prefix cache, breaking the
+    /// tie with a length compare instead of a memcmp (see module docs).
+    /// Unstable, but observationally deterministic (see module docs).
     pub(crate) fn sort_unstable(&mut self) {
         let SpillArena { bytes, entries, .. } = self;
         let slice = |off: u32, len: u32| &bytes[off as usize..off as usize + len as usize];
         entries.sort_unstable_by(|a, b| {
-            a.prefix.cmp(&b.prefix).then_with(|| {
-                slice(a.off, a.key_len).cmp(slice(b.off, b.key_len)).then_with(|| {
+            a.prefix
+                .cmp(&b.prefix)
+                .then_with(|| {
+                    if a.key_len <= 8 && b.key_len <= 8 {
+                        // Equal prefixes with both keys inside the cache:
+                        // the longer key is the shorter plus zero bytes,
+                        // so lexicographic order is length order.
+                        a.key_len.cmp(&b.key_len)
+                    } else {
+                        slice(a.off, a.key_len).cmp(slice(b.off, b.key_len))
+                    }
+                })
+                .then_with(|| {
                     slice(a.off + a.key_len, a.val_len).cmp(slice(b.off + b.key_len, b.val_len))
                 })
-            })
         });
     }
 }
@@ -303,6 +344,152 @@ mod tests {
                 (b"m".to_vec(), b"3".to_vec()),
             ]
         );
+    }
+
+    #[test]
+    fn encoded_bytes_is_exact_buffer_size() {
+        let mut a = SpillArena::default();
+        assert_eq!(a.encoded_bytes(), 0);
+        a.push_pair(b"key1", b"value1", 99);
+        a.push_pair(b"k", b"", 99);
+        // 4 + 6 + 1 + 0 buffer bytes, regardless of simulated text size.
+        assert_eq!(a.encoded_bytes(), 11);
+        let mut b = SpillArena::default();
+        b.push_pair(b"xy", b"z", 1);
+        a.absorb(&b);
+        assert_eq!(a.encoded_bytes(), 14);
+    }
+
+    #[test]
+    fn short_key_length_ties_sort_and_group_like_memcmp() {
+        // Keys that share a prefix cache and fit inside it entirely —
+        // including embedded/trailing NULs, the adversarial case for the
+        // zero-padding argument. The length-compare fast path must agree
+        // with full lexicographic order, and grouping must not merge
+        // "a" with "a\0".
+        let keys: Vec<&[u8]> =
+            vec![b"", b"\0", b"\0\0", b"a", b"a\0", b"a\0\0", b"a\0b", b"ab", b"abcdefgh"];
+        let mut a = SpillArena::default();
+        for (i, k) in keys.iter().enumerate().rev() {
+            a.push_pair(k, format!("v{i}").as_bytes(), 1);
+            a.push_pair(k, format!("v{i}").as_bytes(), 1); // duplicate for grouping
+        }
+        a.sort_unstable();
+        let mut reference: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
+        for (i, k) in keys.iter().enumerate() {
+            for _ in 0..2 {
+                reference.push((k.to_vec(), format!("v{i}").into_bytes()));
+            }
+        }
+        reference.sort();
+        assert_eq!(collect(&a), reference);
+
+        // Each distinct key forms exactly one group of two records.
+        let mut i = 0;
+        let mut groups = Vec::new();
+        while i < a.len() {
+            let mut j = i + 1;
+            while j < a.len() && a.keys_equal(i, j) {
+                j += 1;
+            }
+            groups.push((a.key(i).to_vec(), j - i));
+            i = j;
+        }
+        assert_eq!(groups.len(), keys.len());
+        for (k, n) in &groups {
+            assert_eq!(*n, 2, "key {k:?} must group exactly its two records");
+        }
+    }
+
+    #[test]
+    fn composite_varint_keys_share_prefix_and_still_sort() {
+        // Single canonical varints never share an 8-byte prefix (see
+        // module docs), so the prefix-tie path for ID traffic is reached
+        // via *composite* keys — e.g. a (tag, id) pair whose varint
+        // concatenation exceeds 8 bytes. Build keys sharing the first 8
+        // bytes but diverging in the tail.
+        let composite = |a: u32, b: u32| {
+            let mut k = Vec::new();
+            crate::codec::write_uvarint(&mut k, a);
+            crate::codec::write_uvarint(&mut k, b);
+            k
+        };
+        // varint(u32::MAX) = 5 bytes, varint(x >= 2^21) >= 4 bytes: the
+        // 9-byte keys below share their first 8 bytes whenever the second
+        // component agrees in its low 28 bits' first 3 encoded bytes.
+        let k1 = composite(u32::MAX, 0x0fff_ffff); // ff ff ff ff 0f ff ff ff 7f
+        let k2 = composite(u32::MAX, 0x07ff_ffff); // ff ff ff ff 0f ff ff ff 3f
+        assert_eq!(k1.len(), 9);
+        assert_eq!(k2.len(), 9);
+        assert_eq!(key_prefix(&k1), key_prefix(&k2), "test needs a genuine prefix tie");
+        assert_ne!(k1, k2);
+
+        let mut a = SpillArena::default();
+        a.push_pair(&k1, b"big", 1);
+        a.push_pair(&k2, b"small", 1);
+        a.push_pair(&k1, b"big2", 1);
+        a.sort_unstable();
+        // Tail byte 0x3f < 0x7f puts k2 first; the two k1 records group.
+        assert_eq!(
+            collect(&a),
+            vec![
+                (k2.clone(), b"small".to_vec()),
+                (k1.clone(), b"big".to_vec()),
+                (k1.clone(), b"big2".to_vec()),
+            ]
+        );
+        assert!(a.keys_equal(1, 2));
+        assert!(!a.keys_equal(0, 1));
+    }
+
+    #[test]
+    fn distinct_canonical_varints_never_share_a_prefix() {
+        // The claim the integer-compare fast path rests on: single
+        // canonical u32 varints are prefix-complete, so two distinct ids
+        // always differ within the 8-byte cache. Sample the LEB128 length
+        // boundaries plus a spread of interior values.
+        let mut ids: Vec<u32> = vec![
+            0,
+            1,
+            0x7f,
+            0x80,
+            0x3fff,
+            0x4000,
+            0x1f_ffff,
+            0x20_0000,
+            0xfff_ffff,
+            0x1000_0000,
+            u32::MAX,
+        ];
+        for i in 0..=64u32 {
+            ids.push(i.wrapping_mul(0x9e37_79b9)); // golden-ratio spread
+        }
+        ids.sort_unstable();
+        ids.dedup();
+        let encode = |v: u32| {
+            let mut k = Vec::new();
+            crate::codec::write_uvarint(&mut k, v);
+            k
+        };
+        for x in &ids {
+            for y in &ids {
+                let (kx, ky) = (encode(*x), encode(*y));
+                if x != y {
+                    assert_ne!(
+                        key_prefix(&kx),
+                        key_prefix(&ky),
+                        "ids {x} and {y} must not collide in the prefix cache"
+                    );
+                }
+                // And prefix order must equal id order (both ≤ 8 bytes, so
+                // the padded prefix *is* the sort key).
+                assert_eq!(
+                    key_prefix(&kx).cmp(&key_prefix(&ky)).then(kx.len().cmp(&ky.len())),
+                    kx.cmp(&ky),
+                    "prefix+length order must match byte order for {x} vs {y}"
+                );
+            }
+        }
     }
 
     #[test]

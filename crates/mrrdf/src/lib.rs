@@ -9,16 +9,25 @@
 //! * [`Row`] / [`RowSchema`] — schema'd n-tuples, the materialization of
 //!   relational star-join results (3k-arity: subject/property/object per
 //!   pattern, exactly the redundant representation the paper measures);
-//! * [`load_store`] — put a [`rdf_model::TripleStore`] into the simulated DFS.
+//! * [`IdTripleRec`] / [`IdRow`] and friends — the dictionary-ID-encoded
+//!   (LEB128 varint) counterparts used by the ID-native data plane;
+//! * [`load_store`] / [`load_store_ids`] — put a [`rdf_model::TripleStore`]
+//!   into the simulated DFS, lexically or ID-encoded.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod id_match;
+pub mod id_rec;
 pub mod row;
 pub mod run;
 pub mod support;
 pub mod triple_rec;
 
+pub use id_match::{IdPatternTest, IdStarTest, IdTest};
+pub use id_rec::{
+    load_store_ids, IdPair, IdRow, IdTaggedPo, IdTripleRec, SidedIdRow, ID_TRIPLES_FILE,
+};
 pub use row::{Row, RowSchema};
 pub use run::{PlanError, QueryRun};
 pub use support::{check_query, check_star, UnsupportedReason};

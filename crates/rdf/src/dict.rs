@@ -1,12 +1,31 @@
 //! Numeric string dictionary (token ↔ dense id).
 //!
-//! Used where a compact fixed-width encoding of terms is convenient —
-//! e.g. building adjacency statistics, or compact columnar side files.
-//! The MapReduce pipelines move interned [`Atom`] tokens (the paper's byte
-//! accounting is still over their text-row form; see crate docs).
+//! Used wherever a compact fixed-width encoding of terms is needed: the
+//! ID-native data plane ships LEB128 varints of these ids through the
+//! shuffle and stores `(u32, u32)` column pairs in
+//! [`IdVerticalPartitions`](crate::vp::IdVerticalPartitions), resolving
+//! back to [`Atom`]s only at output boundaries. Production decode paths
+//! go through [`Dictionary::resolve`] / [`Dictionary::resolve_atom`],
+//! whose typed [`UnknownId`] error lets a corrupt or foreign id fail the
+//! *task* (and trigger recovery) instead of aborting the process.
 
 use crate::atom::Atom;
 use std::collections::HashMap;
+use std::fmt;
+
+/// A dictionary id that has no entry — the typed error of the
+/// non-panicking decode paths. Carries the offending id so task-failure
+/// diagnostics can report it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UnknownId(pub u32);
+
+impl fmt::Display for UnknownId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown dictionary id {}", self.0)
+    }
+}
+
+impl std::error::Error for UnknownId {}
 
 /// A dense-id string dictionary. Ids are assigned in first-seen order
 /// starting from 0 and never change.
@@ -46,10 +65,18 @@ impl Dictionary {
 
     /// Decode an id back to its string.
     ///
+    /// Test/assertion convenience only: production decode paths (task
+    /// reducers, output materialization) must use [`resolve`] or
+    /// [`resolve_atom`], whose typed error fails the task instead of
+    /// aborting the process.
+    ///
+    /// [`resolve`]: Self::resolve
+    /// [`resolve_atom`]: Self::resolve_atom
+    ///
     /// # Panics
     /// Panics if `id` was never assigned.
     pub fn decode(&self, id: u32) -> &str {
-        &self.reverse[id as usize]
+        self.resolve(id).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Decode an id, returning `None` when unassigned.
@@ -57,10 +84,24 @@ impl Dictionary {
         self.reverse.get(id as usize).map(|a| &**a)
     }
 
+    /// Decode an id, with a typed error naming the offending id. This is
+    /// the production decode path: an [`UnknownId`] (a corrupt or foreign
+    /// id) propagates as a task failure, which the engine's recovery
+    /// policy handles like any other failed task.
+    pub fn resolve(&self, id: u32) -> Result<&str, UnknownId> {
+        self.try_decode(id).ok_or(UnknownId(id))
+    }
+
     /// Decode an id to a cheaply-clonable [`Atom`] sharing the
     /// dictionary's allocation, or `None` when unassigned.
     pub fn decode_atom(&self, id: u32) -> Option<Atom> {
         self.reverse.get(id as usize).cloned()
+    }
+
+    /// Decode an id to a shared [`Atom`], with the same typed error as
+    /// [`resolve`](Self::resolve).
+    pub fn resolve_atom(&self, id: u32) -> Result<Atom, UnknownId> {
+        self.decode_atom(id).ok_or(UnknownId(id))
     }
 
     /// Number of distinct entries.
@@ -102,6 +143,17 @@ mod tests {
         assert_eq!(d.decode(id), "hello");
         assert_eq!(d.try_decode(id), Some("hello"));
         assert_eq!(d.try_decode(99), None);
+    }
+
+    #[test]
+    fn resolve_returns_typed_error_instead_of_panicking() {
+        let mut d = Dictionary::new();
+        let id = d.encode("hello");
+        assert_eq!(d.resolve(id), Ok("hello"));
+        assert_eq!(d.resolve(99), Err(UnknownId(99)));
+        assert_eq!(d.resolve(99).unwrap_err().to_string(), "unknown dictionary id 99");
+        assert_eq!(d.resolve_atom(id).unwrap(), Atom::from("hello"));
+        assert_eq!(d.resolve_atom(12345), Err(UnknownId(12345)));
     }
 
     #[test]

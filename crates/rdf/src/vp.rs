@@ -9,9 +9,11 @@
 //! queries").
 
 use crate::atom::Atom;
+use crate::dict::{Dictionary, UnknownId};
 use crate::store::TripleStore;
 use crate::triple::STriple;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// A vertically-partitioned view of a triple store: property token →
 /// triples carrying that property.
@@ -51,15 +53,106 @@ impl VerticalPartitions {
     }
 
     /// The union of all VP relations — what an unbound-property pattern
-    /// must scan. Returned in property order; total size equals the store.
-    pub fn union_all(&self) -> Vec<STriple> {
-        self.parts.values().flatten().cloned().collect()
+    /// must scan. Yields borrows in property order (total count equals the
+    /// store); the full-`T` scan is the paper's hot case, so it must not
+    /// clone every triple into a second resident copy.
+    pub fn union_all(&self) -> impl Iterator<Item = &STriple> {
+        self.parts.values().flatten()
     }
 
     /// Total text bytes across a subset of relations (used to cost
     /// selective VP scans versus a full union scan).
     pub fn text_bytes_of(&self, props: &[&str]) -> u64 {
         props.iter().filter_map(|p| self.parts.get(*p)).flatten().map(STriple::text_size).sum()
+    }
+}
+
+/// Columnar, dictionary-ID-encoded vertical partitions: per property id,
+/// parallel `(u32 s, u32 o)` columns instead of owned [`STriple`]s.
+///
+/// This is the ID-native storage layout of the data plane: scans and
+/// β-unnest compare `u32` ids, and lexical tokens reappear only at output
+/// boundaries via [`resolve`](Self::resolve) against the shared
+/// [`Dictionary`] snapshot captured at build time. Twelve bytes per triple
+/// (property key amortized) replace three heap tokens.
+#[derive(Debug, Clone)]
+pub struct IdVerticalPartitions {
+    /// property id → (subject column, object column), index-aligned.
+    parts: BTreeMap<u32, (Vec<u32>, Vec<u32>)>,
+    dict: Arc<Dictionary>,
+}
+
+impl IdVerticalPartitions {
+    /// Partition a store by property, interning every term into `dict`
+    /// and keeping a shared snapshot of it for decode.
+    pub fn build(store: &TripleStore, dict: &mut Dictionary) -> Self {
+        let mut parts: BTreeMap<u32, (Vec<u32>, Vec<u32>)> = BTreeMap::new();
+        for t in store.iter() {
+            let p = dict.encode(&t.p);
+            let s = dict.encode(&t.s);
+            let o = dict.encode(&t.o);
+            let (ss, os) = parts.entry(p).or_default();
+            ss.push(s);
+            os.push(o);
+        }
+        IdVerticalPartitions { parts, dict: Arc::new(dict.clone()) }
+    }
+
+    /// The dictionary snapshot every id in this view decodes against.
+    pub fn dict(&self) -> &Arc<Dictionary> {
+        &self.dict
+    }
+
+    /// The `(subjects, objects)` columns for one property id, if present.
+    /// Both slices are empty or equal-length, never ragged.
+    pub fn relation_by_id(&self, prop: u32) -> Option<(&[u32], &[u32])> {
+        self.parts.get(&prop).map(|(s, o)| (s.as_slice(), o.as_slice()))
+    }
+
+    /// The columns for one property *token*: `None` when the token is not
+    /// in the dictionary or carries no triples.
+    pub fn relation(&self, prop: &str) -> Option<(&[u32], &[u32])> {
+        self.relation_by_id(self.dict.get(prop)?)
+    }
+
+    /// Number of property relations.
+    pub fn len(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// True if there are no partitions.
+    pub fn is_empty(&self) -> bool {
+        self.parts.is_empty()
+    }
+
+    /// Iterate `(property id, subject column, object column)` in property
+    /// id order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &[u32], &[u32])> {
+        self.parts.iter().map(|(p, (s, o))| (*p, s.as_slice(), o.as_slice()))
+    }
+
+    /// The union of all ID relations as `(s, p, o)` id rows — the
+    /// unbound-property full-`T` scan over the columnar layout. No token
+    /// materializes; each row is three `u32` copies.
+    pub fn union_all(&self) -> impl Iterator<Item = (u32, u32, u32)> + '_ {
+        self.parts
+            .iter()
+            .flat_map(|(p, (ss, os))| ss.iter().zip(os.iter()).map(|(s, o)| (*s, *p, *o)))
+    }
+
+    /// Resolve one `(s, p, o)` id row back to an owned [`STriple`] at an
+    /// output boundary. A foreign id is a typed error, not a panic.
+    pub fn resolve(&self, row: (u32, u32, u32)) -> Result<STriple, UnknownId> {
+        Ok(STriple {
+            s: self.dict.resolve_atom(row.0)?,
+            p: self.dict.resolve_atom(row.1)?,
+            o: self.dict.resolve_atom(row.2)?,
+        })
+    }
+
+    /// Total triples across all relations.
+    pub fn triple_count(&self) -> usize {
+        self.parts.values().map(|(s, _)| s.len()).sum()
     }
 }
 
@@ -88,7 +181,11 @@ mod tests {
     fn union_all_recovers_store_size() {
         let s = store();
         let vp = VerticalPartitions::build(&s);
-        assert_eq!(vp.union_all().len(), s.len());
+        assert_eq!(vp.union_all().count(), s.len());
+        // Borrowing scan: the yielded triples live in the partitions, not
+        // in a fresh clone.
+        let first = vp.union_all().next().unwrap();
+        assert!(std::ptr::eq(first, &vp.relation("<p1>").unwrap()[0]));
     }
 
     #[test]
@@ -99,5 +196,69 @@ mod tests {
         assert_eq!(all, s.text_bytes());
         assert!(vp.text_bytes_of(&["<p1>"]) < all);
         assert_eq!(vp.text_bytes_of(&["<missing>"]), 0);
+    }
+
+    #[test]
+    fn id_vp_columns_match_lexical_partitions() {
+        let s = store();
+        let mut dict = Dictionary::new();
+        let idvp = IdVerticalPartitions::build(&s, &mut dict);
+        let vp = VerticalPartitions::build(&s);
+        assert_eq!(idvp.len(), vp.len());
+        assert_eq!(idvp.triple_count(), s.len());
+        for (prop, rel) in vp.iter() {
+            let (ss, os) = idvp.relation(prop).unwrap();
+            assert_eq!(ss.len(), rel.len());
+            assert_eq!(os.len(), rel.len());
+            for (i, t) in rel.iter().enumerate() {
+                assert_eq!(idvp.dict().resolve(ss[i]).unwrap(), &*t.s);
+                assert_eq!(idvp.dict().resolve(os[i]).unwrap(), &*t.o);
+            }
+        }
+    }
+
+    #[test]
+    fn id_vp_union_all_resolves_to_store_triples() {
+        let s = store();
+        let mut dict = Dictionary::new();
+        let idvp = IdVerticalPartitions::build(&s, &mut dict);
+        let mut resolved: Vec<STriple> =
+            idvp.union_all().map(|row| idvp.resolve(row).unwrap()).collect();
+        resolved.sort();
+        let mut expected: Vec<STriple> = s.iter().cloned().collect();
+        expected.sort();
+        assert_eq!(resolved, expected);
+    }
+
+    #[test]
+    fn id_vp_empty_relation_scans() {
+        // Empty store: no relations, empty union scan.
+        let empty = TripleStore::from_triples(vec![]);
+        let mut dict = Dictionary::new();
+        let idvp = IdVerticalPartitions::build(&empty, &mut dict);
+        assert!(idvp.is_empty());
+        assert_eq!(idvp.len(), 0);
+        assert_eq!(idvp.triple_count(), 0);
+        assert_eq!(idvp.union_all().count(), 0);
+        assert_eq!(idvp.relation("<p1>"), None);
+
+        // Non-empty store: a property that is in the dictionary (as an
+        // object token) but heads no relation scans as absent, not as a
+        // ragged empty column pair.
+        let mut dict = Dictionary::new();
+        let s = store();
+        let idvp = IdVerticalPartitions::build(&s, &mut dict);
+        let obj_id = dict.get("<a>").unwrap();
+        assert_eq!(idvp.relation_by_id(obj_id), None);
+        assert_eq!(idvp.relation("<a>"), None);
+        assert_eq!(idvp.relation("<never-seen>"), None);
+    }
+
+    #[test]
+    fn id_vp_resolve_rejects_foreign_ids() {
+        let mut dict = Dictionary::new();
+        let idvp = IdVerticalPartitions::build(&store(), &mut dict);
+        let bogus = u32::MAX;
+        assert_eq!(idvp.resolve((bogus, 0, 0)), Err(crate::dict::UnknownId(bogus)));
     }
 }
