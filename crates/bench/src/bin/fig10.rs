@@ -33,26 +33,30 @@ fn main() {
             (t.id, t.query)
         })
         .collect();
-    let rows = run_panel(&cluster, &store, &queries, &Runner::paper_panel(1024));
+    let rows = run_panel(&cluster, &store, &queries, &opts.panel_or(Runner::paper_panel(1024)));
     report::print_table(
         "Figure 10: total HDFS writes, varying bound-property count",
         "paper shape: LazyUnnest 80-86% less writes than Hive/Pig; NTGA writes ~flat in bound arity",
         &rows,
     );
-    let mut lazy_writes = Vec::new();
-    for k in 3..=6 {
-        let q = format!("B1-{k}bnd");
-        let hive = rows.iter().find(|r| r.query == q && r.approach == "Hive").unwrap();
-        let lazy = rows.iter().find(|r| r.query == q && r.approach.contains("Lazy")).unwrap();
-        lazy_writes.push(lazy.write_bytes);
+    if opts.strategy.is_none() {
+        let mut lazy_writes = Vec::new();
+        for k in 3..=6 {
+            let q = format!("B1-{k}bnd");
+            let hive = rows.iter().find(|r| r.query == q && r.approach == "Hive").unwrap();
+            let lazy = rows.iter().find(|r| r.query == q && r.approach.contains("Lazy")).unwrap();
+            lazy_writes.push(lazy.write_bytes);
+            println!(
+                "{q}: LazyUnnest writes {:.0}% less than Hive ({} vs {})",
+                report::pct_less(hive.write_bytes, lazy.write_bytes),
+                report::human_bytes(lazy.write_bytes),
+                report::human_bytes(hive.write_bytes),
+            );
+        }
+        let growth = *lazy_writes.last().unwrap() as f64 / lazy_writes[0] as f64;
         println!(
-            "{q}: LazyUnnest writes {:.0}% less than Hive ({} vs {})",
-            report::pct_less(hive.write_bytes, lazy.write_bytes),
-            report::human_bytes(lazy.write_bytes),
-            report::human_bytes(hive.write_bytes),
+            "LazyUnnest write growth from 3 to 6 bound patterns: {growth:.2}x (paper: ~constant)"
         );
     }
-    let growth = *lazy_writes.last().unwrap() as f64 / lazy_writes[0] as f64;
-    println!("LazyUnnest write growth from 3 to 6 bound patterns: {growth:.2}x (paper: ~constant)");
     opts.finish(&rows);
 }

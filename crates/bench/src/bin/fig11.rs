@@ -12,6 +12,9 @@ use ntga_core::Strategy;
 
 fn main() {
     let opts = BenchOpts::from_env();
+    if opts.strategy.is_some() {
+        eprintln!("note: fig11 is a fixed full-vs-partial ablation; --strategy is ignored");
+    }
     let scale = Scale::from_env();
     let store = datagen::bsbm::generate(&datagen::BsbmConfig {
         products: scale.entities(150),

@@ -37,23 +37,25 @@ fn main() {
     let cluster = opts.cluster(cluster);
     let queries: Vec<(String, rdf_query::Query)> =
         ntga::testbed::a_series().into_iter().map(|t| (t.id, t.query)).collect();
-    let rows = run_panel(&cluster, &store, &queries, &Runner::paper_panel(1024));
+    let rows = run_panel(&cluster, &store, &queries, &opts.panel_or(Runner::paper_panel(1024)));
     report::print_table(
         "Figure 13: Bio2RDF A1-A6",
         "paper shape: NTGA writes orders of magnitude less; Pig fails A4; lazy < eager < Hive/Pig everywhere",
         &rows,
     );
-    for q in ["A1", "A3", "A4"] {
-        let hive = rows.iter().find(|r| r.query == q && r.approach == "Hive").unwrap();
-        let eager = rows.iter().find(|r| r.query == q && r.approach == "EagerUnnest").unwrap();
-        let lazy = rows.iter().find(|r| r.query == q && r.approach.contains("Lazy")).unwrap();
-        println!(
-            "{q}: writes Hive={} Eager={} Lazy={}  (lazy {:.0}% less than Hive)",
-            if hive.ok { report::human_bytes(hive.write_bytes) } else { "FAILED".into() },
-            if eager.ok { report::human_bytes(eager.write_bytes) } else { "FAILED".into() },
-            report::human_bytes(lazy.write_bytes),
-            report::pct_less(hive.write_bytes, lazy.write_bytes),
-        );
+    if opts.strategy.is_none() {
+        for q in ["A1", "A3", "A4"] {
+            let hive = rows.iter().find(|r| r.query == q && r.approach == "Hive").unwrap();
+            let eager = rows.iter().find(|r| r.query == q && r.approach == "EagerUnnest").unwrap();
+            let lazy = rows.iter().find(|r| r.query == q && r.approach.contains("Lazy")).unwrap();
+            println!(
+                "{q}: writes Hive={} Eager={} Lazy={}  (lazy {:.0}% less than Hive)",
+                if hive.ok { report::human_bytes(hive.write_bytes) } else { "FAILED".into() },
+                if eager.ok { report::human_bytes(eager.write_bytes) } else { "FAILED".into() },
+                report::human_bytes(lazy.write_bytes),
+                report::pct_less(hive.write_bytes, lazy.write_bytes),
+            );
+        }
     }
     opts.finish(&rows);
 }

@@ -31,19 +31,21 @@ fn run_dataset(
     let cluster = opts.cluster(cluster);
     let queries: Vec<(String, rdf_query::Query)> =
         ntga::testbed::c_series().into_iter().map(|t| (t.id, t.query)).collect();
-    let rows = run_panel(&cluster, store, &queries, &Runner::paper_panel(1024));
+    let rows = run_panel(&cluster, store, &queries, &opts.panel_or(Runner::paper_panel(1024)));
     report::print_table(&format!("Figure 14 ({name}): C1-C4"), note, &rows);
-    for q in ["C3", "C4"] {
-        let hive = rows.iter().find(|r| r.query == q && r.approach == "Hive").unwrap();
-        let pig = rows.iter().find(|r| r.query == q && r.approach == "Pig").unwrap();
-        let lazy = rows.iter().find(|r| r.query == q && r.approach.contains("Lazy")).unwrap();
-        println!(
-            "{q}: lazy writes {:.0}% less than Hive; sim time {:.0}s vs Hive {:.0}s / Pig {:.0}s",
-            report::pct_less(hive.write_bytes, lazy.write_bytes),
-            lazy.sim_seconds,
-            hive.sim_seconds,
-            pig.sim_seconds,
-        );
+    if opts.strategy.is_none() {
+        for q in ["C3", "C4"] {
+            let hive = rows.iter().find(|r| r.query == q && r.approach == "Hive").unwrap();
+            let pig = rows.iter().find(|r| r.query == q && r.approach == "Pig").unwrap();
+            let lazy = rows.iter().find(|r| r.query == q && r.approach.contains("Lazy")).unwrap();
+            println!(
+                "{q}: lazy writes {:.0}% less than Hive; sim time {:.0}s vs Hive {:.0}s / Pig {:.0}s",
+                report::pct_less(hive.write_bytes, lazy.write_bytes),
+                lazy.sim_seconds,
+                hive.sim_seconds,
+                pig.sim_seconds,
+            );
+        }
     }
     rows
 }

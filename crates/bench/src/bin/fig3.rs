@@ -21,11 +21,11 @@ fn main() {
     );
     let queries: Vec<(String, rdf_query::Query)> =
         ntga::testbed::case_study().into_iter().map(|t| (t.id, t.query)).collect();
-    let runners = vec![
+    let runners = opts.panel_or(vec![
         Runner::Grouping(Grouping::SjPerCycle),
         Runner::Grouping(Grouping::SelSjFirst),
         Runner::Ntga(Strategy::Auto(1024)),
-    ];
+    ]);
     let cluster = opts.cluster(ntga::ClusterConfig {
         cost: mrsim::CostModel::scaled_to(store.text_bytes()),
         ..Default::default()
@@ -38,7 +38,7 @@ fn main() {
     );
 
     // Shape assertions printed for EXPERIMENTS.md.
-    for q in ["Q1a", "Q2a", "Q3a"] {
+    for &q in if opts.strategy.is_none() { ["Q1a", "Q2a", "Q3a"].as_slice() } else { &[] } {
         let get = |a: &str| rows.iter().find(|r| r.query == q && r.approach == a).unwrap();
         let sj = get("SJ-per-cycle");
         let sel = get("Sel-SJ-first");

@@ -35,22 +35,24 @@ fn main() {
         .filter(|t| ["B0", "B1", "B2", "B3", "B4"].contains(&t.id.as_str()))
         .map(|t| (t.id, t.query))
         .collect();
-    let rows = run_panel(&cluster, &store, &queries, &Runner::paper_panel(1024));
+    let rows = run_panel(&cluster, &store, &queries, &opts.panel_or(Runner::paper_panel(1024)));
     report::print_table(
         "Figure 9(b): BSBM-2M, replication 1 — execution times",
         "paper shape: NTGA fastest everywhere; Pig/Hive still fail B3/B4; lazy beats eager on B1/B3/B4",
         &rows,
     );
-    for q in ["B1", "B3", "B4"] {
-        let lazy = rows.iter().find(|r| r.query == q && r.approach.contains("Lazy")).unwrap();
-        let eager = rows.iter().find(|r| r.query == q && r.approach == "EagerUnnest").unwrap();
-        if eager.ok && lazy.ok {
-            println!(
-                "{q}: LazyUnnest writes {:.0}% less HDFS than EagerUnnest (paper: 80% on B3, 61% on B4), sim time {:.0}s vs {:.0}s",
-                report::pct_less(eager.write_bytes, lazy.write_bytes),
-                lazy.sim_seconds,
-                eager.sim_seconds,
-            );
+    if opts.strategy.is_none() {
+        for q in ["B1", "B3", "B4"] {
+            let lazy = rows.iter().find(|r| r.query == q && r.approach.contains("Lazy")).unwrap();
+            let eager = rows.iter().find(|r| r.query == q && r.approach == "EagerUnnest").unwrap();
+            if eager.ok && lazy.ok {
+                println!(
+                    "{q}: LazyUnnest writes {:.0}% less HDFS than EagerUnnest (paper: 80% on B3, 61% on B4), sim time {:.0}s vs {:.0}s",
+                    report::pct_less(eager.write_bytes, lazy.write_bytes),
+                    lazy.sim_seconds,
+                    eager.sim_seconds,
+                );
+            }
         }
     }
     opts.finish(&rows);

@@ -33,23 +33,25 @@ fn main() {
             (t.id, t.query)
         })
         .collect();
-    let rows = run_panel(&cluster, &store, &queries, &Runner::paper_panel(1024));
+    let rows = run_panel(&cluster, &store, &queries, &opts.panel_or(Runner::paper_panel(1024)));
     report::print_table(
         "Figure 9(c): execution times, varying bound-property count",
         "paper shape: Pig fails beyond 3 bound patterns (here: beyond 4 — our Pig/Hive footprints differ\nless than the real systems'); NTGA untroubled and ~flat as bound arity grows",
         &rows,
     );
-    for k in 3..=6 {
-        let q = format!("B1-{k}bnd");
-        let hive = rows.iter().find(|r| r.query == q && r.approach == "Hive").unwrap();
-        let lazy = rows.iter().find(|r| r.query == q && r.approach.contains("Lazy")).unwrap();
-        if hive.ok && lazy.ok {
-            println!(
-                "{q}: LazyUnnest {:.0}s vs Hive {:.0}s ({:.0}% faster)",
-                lazy.sim_seconds,
-                hive.sim_seconds,
-                (1.0 - lazy.sim_seconds / hive.sim_seconds) * 100.0
-            );
+    if opts.strategy.is_none() {
+        for k in 3..=6 {
+            let q = format!("B1-{k}bnd");
+            let hive = rows.iter().find(|r| r.query == q && r.approach == "Hive").unwrap();
+            let lazy = rows.iter().find(|r| r.query == q && r.approach.contains("Lazy")).unwrap();
+            if hive.ok && lazy.ok {
+                println!(
+                    "{q}: LazyUnnest {:.0}s vs Hive {:.0}s ({:.0}% faster)",
+                    lazy.sim_seconds,
+                    hive.sim_seconds,
+                    (1.0 - lazy.sim_seconds / hive.sim_seconds) * 100.0
+                );
+            }
         }
     }
     opts.finish(&rows);

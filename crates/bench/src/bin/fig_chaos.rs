@@ -46,6 +46,9 @@ fn regimes(seed: u64) -> Vec<(&'static str, FaultConfig)> {
 
 fn main() {
     let opts = BenchOpts::from_env();
+    if opts.strategy.is_some() {
+        eprintln!("note: fig_chaos sweeps fault regimes, not strategies; --strategy is ignored");
+    }
     let scale = Scale::from_env();
     let store = datagen::bsbm::generate(&datagen::BsbmConfig {
         products: scale.entities(40),

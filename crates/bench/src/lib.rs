@@ -33,14 +33,19 @@ use std::sync::Arc;
 ///   `chrome://tracing` / Perfetto) at `<path>` plus a JSONL event log at
 ///   `<path>` with the extension replaced by `.jsonl`, both on the
 ///   simulated timeline;
-/// * `--json <path>` — write the report rows as a JSON array.
+/// * `--json <path>` — write the report rows as a JSON array;
+/// * `--strategy <name>` — replace the figure's approach panel with a
+///   single named approach: `auto-cost` (the statistics-driven optimizer),
+///   `eager`, `lazy-full`, `lazy-partial:<m>`, or `auto:<m>`.
 ///
-/// With neither flag, tracing stays disabled and costs nothing.
+/// With no flags, tracing stays disabled and costs nothing.
 pub struct BenchOpts {
     /// Chrome trace output path (`--trace`).
     pub trace: Option<PathBuf>,
     /// Report-row JSON output path (`--json`).
     pub json: Option<PathBuf>,
+    /// Panel override (`--strategy`).
+    pub strategy: Option<Runner>,
     sink: Option<Arc<dyn TraceSink>>,
 }
 
@@ -49,6 +54,7 @@ impl BenchOpts {
     pub fn parse(args: impl IntoIterator<Item = String>) -> Result<BenchOpts, String> {
         let mut trace = None;
         let mut json = None;
+        let mut strategy = None;
         let mut it = args.into_iter();
         while let Some(arg) = it.next() {
             match arg.as_str() {
@@ -62,9 +68,14 @@ impl BenchOpts {
                         it.next().ok_or_else(|| "--json requires a path".to_string())?,
                     ));
                 }
+                "--strategy" => {
+                    let name = it.next().ok_or_else(|| "--strategy requires a name".to_string())?;
+                    strategy = Some(parse_strategy(&name)?);
+                }
                 other => {
                     return Err(format!(
-                        "unknown argument `{other}` (expected --trace <path> and/or --json <path>)"
+                        "unknown argument `{other}` (expected --trace <path>, --json <path> \
+                         and/or --strategy <name>)"
                     ))
                 }
             }
@@ -73,16 +84,28 @@ impl BenchOpts {
             Some(path) => Some(build_trace_sink(path)?),
             None => None,
         };
-        Ok(BenchOpts { trace, json, sink })
+        Ok(BenchOpts { trace, json, strategy, sink })
     }
 
     /// Parse the process arguments; print usage and exit on error.
     pub fn from_env() -> BenchOpts {
         BenchOpts::parse(std::env::args().skip(1)).unwrap_or_else(|e| {
             eprintln!("error: {e}");
-            eprintln!("usage: fig<N> [--trace <path>] [--json <path>]");
+            eprintln!(
+                "usage: fig<N> [--trace <path>] [--json <path>] [--strategy <name>]\n\
+                 strategies: auto-cost | eager | lazy-full | lazy-partial:<m> | auto:<m>"
+            );
             std::process::exit(2);
         })
+    }
+
+    /// The figure's approach panel: the `--strategy` override when given,
+    /// otherwise `default`.
+    pub fn panel_or(&self, default: Vec<Runner>) -> Vec<Runner> {
+        match self.strategy {
+            Some(runner) => vec![runner],
+            None => default,
+        }
     }
 
     /// Attach the trace sink (if any) to a cluster config.
@@ -112,6 +135,29 @@ impl BenchOpts {
                 trace.display(),
                 trace.with_extension("jsonl").display()
             );
+        }
+    }
+}
+
+fn parse_strategy(name: &str) -> Result<Runner, String> {
+    fn phi(name: &str, arg: &str) -> Result<u64, String> {
+        arg.parse().map_err(|_| format!("{name} needs an integer threshold, got `{arg}`"))
+    }
+    match name {
+        "auto-cost" => Ok(Runner::NtgaCost),
+        "eager" => Ok(Runner::Ntga(Strategy::Eager)),
+        "lazy-full" => Ok(Runner::Ntga(Strategy::LazyFull)),
+        other => {
+            if let Some(arg) = other.strip_prefix("lazy-partial:") {
+                Ok(Runner::Ntga(Strategy::LazyPartial(phi("lazy-partial", arg)?)))
+            } else if let Some(arg) = other.strip_prefix("auto:") {
+                Ok(Runner::Ntga(Strategy::Auto(phi("auto", arg)?)))
+            } else {
+                Err(format!(
+                    "unknown strategy `{other}` (expected auto-cost, eager, lazy-full, \
+                     lazy-partial:<m> or auto:<m>)"
+                ))
+            }
         }
     }
 }
@@ -156,6 +202,7 @@ impl Scale {
 /// An execution approach paired with its report label — thin wrapper so
 /// figure binaries can mix relational flavors, NTGA strategies and the
 /// Figure 3 groupings in one panel.
+#[derive(Debug, Clone, Copy)]
 pub enum Runner {
     /// Pig-like or Hive-like relational execution.
     Relational(relbase::RelFlavor),
@@ -163,6 +210,10 @@ pub enum Runner {
     Grouping(relbase::Grouping),
     /// An NTGA strategy.
     Ntga(Strategy),
+    /// The cost-based optimizer: per-star / per-cycle choices derived from
+    /// [`rdf_model::StoreStats`] and the engine's [`mrsim::CostModel`]
+    /// (`--strategy auto-cost`).
+    NtgaCost,
 }
 
 impl Runner {
@@ -172,6 +223,7 @@ impl Runner {
             Runner::Relational(f) => f.label().to_string(),
             Runner::Grouping(g) => g.label().to_string(),
             Runner::Ntga(s) => s.label(),
+            Runner::NtgaCost => "CostBased".to_string(),
         }
     }
 
@@ -203,6 +255,18 @@ impl Runner {
             }
             Runner::Ntga(s) => {
                 ntga_core::execute(*s, &engine, query, mr_rdf::TRIPLES_FILE, label, false)
+            }
+            Runner::NtgaCost => {
+                let stats = store.stats();
+                ntga_core::execute_cost_based(
+                    ntga_core::DataPlane::Lexical,
+                    &engine,
+                    query,
+                    mr_rdf::TRIPLES_FILE,
+                    label,
+                    false,
+                    &stats,
+                )
             }
         };
         result.unwrap_or_else(|e| panic!("{label}: planning failed: {e}"))
@@ -295,5 +359,55 @@ mod tests {
 
         assert!(BenchOpts::parse(["--trace".to_string()]).is_err());
         assert!(BenchOpts::parse(["--bogus".to_string()]).is_err());
+    }
+
+    #[test]
+    fn strategy_flag_overrides_panel() {
+        let opts = BenchOpts::parse(["--strategy", "auto-cost"].map(String::from)).unwrap();
+        assert!(matches!(opts.strategy, Some(Runner::NtgaCost)));
+        let panel = opts.panel_or(Runner::paper_panel(64));
+        assert_eq!(panel.len(), 1);
+        assert_eq!(panel[0].label(), "CostBased");
+
+        let opts = BenchOpts::parse(["--strategy", "lazy-partial:32"].map(String::from)).unwrap();
+        assert!(matches!(opts.strategy, Some(Runner::Ntga(Strategy::LazyPartial(32)))));
+        let opts = BenchOpts::parse(["--strategy", "auto:8"].map(String::from)).unwrap();
+        assert!(matches!(opts.strategy, Some(Runner::Ntga(Strategy::Auto(8)))));
+        let opts = BenchOpts::parse(["--strategy", "eager"].map(String::from)).unwrap();
+        assert!(matches!(opts.strategy, Some(Runner::Ntga(Strategy::Eager))));
+
+        // No override: the default panel passes through untouched.
+        let opts = BenchOpts::parse(Vec::new()).unwrap();
+        assert_eq!(opts.panel_or(Runner::paper_panel(64)).len(), 4);
+
+        assert!(BenchOpts::parse(["--strategy".to_string()]).is_err());
+        assert!(BenchOpts::parse(["--strategy", "bogus"].map(String::from)).is_err());
+        assert!(BenchOpts::parse(["--strategy", "lazy-partial:x"].map(String::from)).is_err());
+    }
+
+    #[test]
+    fn cost_based_runner_reports_q_error() {
+        let store = datagen::bsbm::generate(&datagen::BsbmConfig::with_products(20));
+        let q = rdf_query::parse_query(
+            "SELECT * WHERE { ?p <rdfs:label> ?l . ?p ?u ?x . ?x <rdfs:label> ?l2 . }",
+        )
+        .unwrap();
+        let rows = run_panel(
+            &ntga::ClusterConfig::default(),
+            &store,
+            &[("B1ish".to_string(), q)],
+            &[Runner::NtgaCost, Runner::Ntga(Strategy::Auto(64))],
+        );
+        assert!(rows.iter().all(|r| r.ok));
+        let cost = rows.iter().find(|r| r.approach == "CostBased").unwrap();
+        let auto = rows.iter().find(|r| r.approach.contains("auto")).unwrap();
+        // Same answer, and the cost-based rows carry the estimator's
+        // q-error while hand-picked strategies have no estimates.
+        assert_eq!(cost.result_records, auto.result_records);
+        assert!(cost.max_q_error.is_some());
+        assert!(auto.max_q_error.is_none());
+        let json = report::rows_json(&rows);
+        mrsim::trace::validate_json(&json).unwrap();
+        assert!(json.contains("\"max_q_error\":null"), "{json}");
     }
 }

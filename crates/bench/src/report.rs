@@ -30,6 +30,10 @@ pub struct Row {
     pub shuffle_wire_bytes: u64,
     /// Simulated seconds.
     pub sim_seconds: f64,
+    /// Worst per-job cardinality q-error across the workflow
+    /// (`max(est/actual, actual/est)`); `None` when no job carried an
+    /// optimizer estimate.
+    pub max_q_error: Option<f64>,
     /// Worst reduce skew over the workflow's jobs (heaviest partition ÷
     /// mean partition load; 1.0 = perfectly balanced shuffles).
     pub reduce_skew: f64,
@@ -77,6 +81,7 @@ impl Row {
             shuffle_bytes: run.stats.total_shuffle_bytes(),
             shuffle_wire_bytes: run.stats.total_shuffle_wire_bytes(),
             sim_seconds: run.stats.sim_seconds,
+            max_q_error: run.stats.max_q_error(),
             reduce_skew: run.stats.max_reduce_skew(),
             beta_expansion: if unnest_in > 0 { unnest_out as f64 / unnest_in as f64 } else { 1.0 },
             result_records: run.stats.final_output_records(),
@@ -210,6 +215,11 @@ pub fn rows_json(rows: &[Row]) -> String {
         out.push_str(&format!(",\"shuffle_wire_bytes\":{}", r.shuffle_wire_bytes));
         out.push_str(",\"sim_seconds\":");
         push_json_f64(&mut out, r.sim_seconds);
+        out.push_str(",\"max_q_error\":");
+        match r.max_q_error {
+            Some(q) => push_json_f64(&mut out, q),
+            None => out.push_str("null"),
+        }
         out.push_str(",\"reduce_skew\":");
         push_json_f64(&mut out, r.reduce_skew);
         out.push_str(",\"beta_expansion\":");
@@ -275,6 +285,7 @@ mod tests {
             shuffle_bytes: 75,
             shuffle_wire_bytes: 80,
             sim_seconds: f64::NAN,
+            max_q_error: Some(2.5),
             reduce_skew: 1.25,
             beta_expansion: 5.0,
             result_records: 7,
@@ -299,6 +310,7 @@ mod tests {
         assert!(json.contains("\"query\":\"B\\\"1\""), "{json}");
         assert!(json.contains("\"approach\":\"Lazy\\\\Unnest\""), "{json}");
         assert!(json.contains("\"sim_seconds\":null"), "{json}");
+        assert!(json.contains("\"max_q_error\":2.5"), "{json}");
         assert!(json.contains("\"shuffle_wire_bytes\":80"), "{json}");
         assert!(json.contains("\"ntga.unnest.in\":2"), "{json}");
         assert!(json.contains("\"result_bytes\":70"), "{json}");

@@ -6,7 +6,8 @@
 //! (`TG_UnbJoin` vs `TG_OptUnbJoin` and the φ range), and the paper
 //! vocabulary for each step, so the rewrite from Figure 6 is visible.
 
-use crate::physical::{role_of, JoinRole};
+use crate::optimizer::{JoinAlgo, PhysicalPlan};
+use crate::physical::{role_of, BuildSide, JoinRole, UnnestMode};
 use crate::planner::Strategy;
 use mr_rdf::{check_query, PlanError};
 use rdf_query::{ObjPattern, Query};
@@ -24,13 +25,22 @@ pub struct PlanText {
     /// [`crate::physical::op`]): which of `ntga.group.*`, `ntga.unnest.*`
     /// and `ntga.partial.*` will show up on the run's `JobStats::ops`.
     pub counters: Vec<&'static str>,
+    /// Per-cycle estimated output cardinalities (records, rounded), when
+    /// the plan came from the cost-based optimizer. Empty for hand-picked
+    /// strategies, which plan without statistics. Comparing these against
+    /// the executed run's `JobStats::output_records` is exactly the
+    /// per-job q-error the engine reports.
+    pub estimates: Vec<u64>,
 }
 
 impl std::fmt::Display for PlanText {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(f, "NTGA plan [{}]:", self.strategy)?;
         for (i, c) in self.cycles.iter().enumerate() {
-            writeln!(f, "  MR{}: {}", i + 1, c)?;
+            match self.estimates.get(i) {
+                Some(est) => writeln!(f, "  MR{}: {} (~{est} records)", i + 1, c)?,
+                None => writeln!(f, "  MR{}: {}", i + 1, c)?,
+            }
         }
         writeln!(f, "  counters: {}", self.counters.join(", "))?;
         Ok(())
@@ -174,7 +184,66 @@ pub fn explain(strategy: Strategy, query: &Query) -> Result<PlanText, PlanError>
     if partial_unnest {
         counters.push("ntga.partial.*");
     }
-    Ok(PlanText { cycles, strategy: strategy.label(), counters })
+    Ok(PlanText { cycles, strategy: strategy.label(), counters, estimates: Vec::new() })
+}
+
+/// Render a cost-based [`PhysicalPlan`]: one line per MR cycle with the
+/// chosen operator (reduce-side join with its sized reducer count and φ,
+/// or map-side `TG_BcastJoin` with the broadcast side) and the estimated
+/// output cardinality the executed job will be scored against (q-error).
+pub fn explain_plan(plan: &PhysicalPlan, query: &Query) -> Result<PlanText, PlanError> {
+    query.validate()?;
+    check_query(query)?;
+    if plan.eager_stars.len() != query.stars.len() {
+        return Err(PlanError::Internal("plan shape does not match query".into()));
+    }
+    let mut cycles = Vec::new();
+    let mut estimates = Vec::new();
+
+    let placements: Vec<String> = plan
+        .eager_stars
+        .iter()
+        .enumerate()
+        .map(|(i, &e)| format!("EC{i}={}", if e { "eager μ^β" } else { "lazy" }))
+        .collect();
+    cycles.push(format!(
+        "TG_GroupByMap(T) + TG_UnbGrpFilter -> {} (r={})   [per-star unnest placement]",
+        placements.join(", "),
+        plan.job1_reduce_tasks
+    ));
+    estimates.push(plan.estimated_job1_records.round() as u64);
+
+    let mut eager_unnest = plan.eager_stars.iter().any(|&e| e);
+    let mut partial_unnest = false;
+    for cycle in &plan.cycles {
+        let desc = match cycle.algo {
+            JoinAlgo::Reduce { mode: UnnestMode::Exact, reduce_tasks } => {
+                format!("TG_UnbJoin (reduce-side, exact keys, r={reduce_tasks})")
+            }
+            JoinAlgo::Reduce { mode: UnnestMode::Partial(m), reduce_tasks } => {
+                partial_unnest = true;
+                format!("TG_OptUnbJoin (reduce-side, partial μ^β_φ, φ {m}, r={reduce_tasks})")
+            }
+            JoinAlgo::Broadcast { build } => {
+                eager_unnest = true; // probe-side unnest records ntga.unnest.*
+                let side = match build {
+                    BuildSide::Left => "left",
+                    BuildSide::Right => "right",
+                };
+                format!("TG_BcastJoin (map-side, {side} side broadcast — reduce cycle collapsed)")
+            }
+        };
+        cycles.push(desc);
+        estimates.push(cycle.estimated_output_records.round() as u64);
+    }
+    let mut counters = vec!["ntga.group.*"];
+    if eager_unnest {
+        counters.push("ntga.unnest.*");
+    }
+    if partial_unnest {
+        counters.push("ntga.partial.*");
+    }
+    Ok(PlanText { cycles, strategy: format!("CostBased: {}", plan.summary()), counters, estimates })
 }
 
 #[cfg(test)]
@@ -252,6 +321,36 @@ mod tests {
         assert!(text.contains("MR1:"));
         assert!(text.contains("MR2:"));
         assert!(text.contains("LazyUnnest(full)"));
+    }
+
+    #[test]
+    fn explain_plan_renders_cost_based_choices() {
+        use rdf_model::{STriple, TripleStore};
+        let mut triples = vec![
+            STriple::new("<g1>", "<label>", "\"a\""),
+            STriple::new("<g2>", "<label>", "\"b\""),
+            STriple::new("<go1>", "<gl>", "\"nucleus\""),
+        ];
+        for i in 0..6 {
+            triples.push(STriple::new("<g1>", "<xGO>", format!("<go{i}>")));
+        }
+        let s = TripleStore::from_triples(triples);
+        let plan = crate::optimizer::optimize(
+            &q(),
+            &s.stats(),
+            &mrsim::CostModel::scaled_to(s.text_bytes()),
+            &Default::default(),
+        )
+        .unwrap();
+        let text = explain_plan(&plan, &q()).unwrap();
+        assert_eq!(text.cycles.len(), 2);
+        assert_eq!(text.estimates.len(), 2);
+        assert!(text.cycles[0].contains("per-star unnest placement"), "{}", text.cycles[0]);
+        assert!(text.strategy.starts_with("CostBased:"));
+        let rendered = text.to_string();
+        assert!(rendered.contains("records)"), "{rendered}");
+        // Hand-picked plans carry no estimates.
+        assert!(explain(Strategy::LazyFull, &q()).unwrap().estimates.is_empty());
     }
 
     #[test]

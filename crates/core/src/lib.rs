@@ -11,8 +11,11 @@
 //! * [`physical`] — the MapReduce operators of Section 4: `TG_GroupBy` +
 //!   `TG_UnbGrpFilter` (Algorithm 2), `TG_Join`, `TG_UnbJoin` (lazy full
 //!   β-unnest), `TG_OptUnbJoin` (lazy partial β-unnest, Algorithm 3);
-//! * [`planner`] — query → MR workflow under a [`Strategy`]
+//! * [`planner`] — query → MR workflow under a hand-picked [`Strategy`]
 //!   (EagerUnnest / LazyUnnest-full / LazyUnnest-partial / Auto);
+//! * [`optimizer`] — cost-based plan selection: per-star unnest placement,
+//!   per-cycle exact/partial/broadcast join choice and reducer sizing from
+//!   store statistics and the engine's cost model;
 //! * [`metrics`] — redundancy factors.
 //!
 //! ## Quick start
@@ -43,11 +46,16 @@ pub mod aggregate;
 pub mod explain;
 pub mod logical;
 pub mod metrics;
+pub mod optimizer;
 pub mod physical;
 pub mod planner;
 pub mod rewrite;
 pub mod tg;
 
-pub use explain::{explain, PlanText};
-pub use planner::{execute, expand_tuples, Strategy};
+pub use explain::{explain, explain_plan, PlanText};
+pub use optimizer::{
+    execute_cost_based, execute_plan, execute_plan_on, optimize, DataPlane, JoinAlgo,
+    OptimizerConfig, PhysicalPlan,
+};
+pub use planner::{execute, execute_on, expand_tuples, Strategy};
 pub use tg::{AnnTg, TgTuple};

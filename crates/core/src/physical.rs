@@ -19,8 +19,8 @@ use crate::logical::{match_star, partial_beta_unnest, TripleGroup};
 use crate::tg::{AnnTg, TgTuple};
 use mr_rdf::{IdPair, IdStarTest, IdTripleRec, TripleRec};
 use mrsim::{
-    map_fn, map_fn_ctx, reduce_fn, reduce_fn_ctx, InputBinding, JobSpec, MrError, Rec, TaskContext,
-    TypedMapEmitter, TypedOutEmitter, VarId,
+    map_fn, map_fn_ctx, map_only_fn_ctx, reduce_fn, reduce_fn_ctx, InputBinding, JobSpec, MrError,
+    Rec, TaskContext, TypedMapEmitter, TypedOutEmitter, VarId,
 };
 use rdf_model::atom::{atom, fnv1a, Atom};
 use rdf_model::hash::DetHashMap;
@@ -87,7 +87,24 @@ pub fn group_filter_job(
     outputs: Vec<String>,
     eager: bool,
 ) -> JobSpec {
+    let per_star = vec![eager; query.stars.len()];
+    group_filter_job_stars(name, query, input, outputs, per_star)
+}
+
+/// [`group_filter_job`] with a **per-star** unnest placement: `eager[i]`
+/// says whether equivalence class `i` is β-unnested in the reduce (eager)
+/// or left nested (lazy). The cost-based optimizer uses this to unnest
+/// stars whose triplegroups carry no redundancy (no multi-valued or
+/// unbound candidates) while keeping expansive stars nested.
+pub fn group_filter_job_stars(
+    name: impl Into<String>,
+    query: &Query,
+    input: &str,
+    outputs: Vec<String>,
+    eager: Vec<bool>,
+) -> JobSpec {
     assert_eq!(outputs.len(), query.stars.len(), "one output per star");
+    assert_eq!(eager.len(), query.stars.len(), "one placement per star");
     let stars_map = query.stars.clone();
     let mapper =
         map_fn(move |rec: TripleRec, out: &mut TypedMapEmitter<'_, Atom, (Atom, Atom)>| {
@@ -118,7 +135,7 @@ pub fn group_filter_job(
             for (i, star) in stars_red.iter().enumerate() {
                 if let Some(ann) = match_star(&tg, star, i as u64) {
                     admitted += 1;
-                    if eager {
+                    if eager[i] {
                         ctx.count(op::UNNEST_IN, 1);
                         for perfect in crate::logical::beta_unnest(&ann) {
                             ctx.count(op::UNNEST_OUT, 1);
@@ -175,7 +192,22 @@ pub fn group_filter_job_ids(
     eager: bool,
     dict: &Dictionary,
 ) -> JobSpec {
+    let per_star = vec![eager; query.stars.len()];
+    group_filter_job_ids_stars(name, query, input, outputs, per_star, dict)
+}
+
+/// [`group_filter_job_ids`] with a **per-star** unnest placement (see
+/// [`group_filter_job_stars`]).
+pub fn group_filter_job_ids_stars(
+    name: impl Into<String>,
+    query: &Query,
+    input: &str,
+    outputs: Vec<String>,
+    eager: Vec<bool>,
+    dict: &Dictionary,
+) -> JobSpec {
     assert_eq!(outputs.len(), query.stars.len(), "one output per star");
+    assert_eq!(eager.len(), query.stars.len(), "one placement per star");
     let stars_map: Vec<IdStarTest> =
         query.stars.iter().map(|s| IdStarTest::compile(s, dict)).collect();
     let mapper = map_fn_ctx(
@@ -211,7 +243,7 @@ pub fn group_filter_job_ids(
             for (i, star) in stars_red.iter().enumerate() {
                 if let Some(ann) = match_star(&tg, star, i as u64) {
                     admitted += 1;
-                    if eager {
+                    if eager[i] {
                         ctx.count(op::UNNEST_IN, 1);
                         for perfect in crate::logical::beta_unnest(&ann) {
                             ctx.count(op::UNNEST_OUT, 1);
@@ -535,6 +567,115 @@ pub fn tg_join_job(
         REDUCERS,
         output,
     )
+}
+
+// ---------------------------------------------------------------------------
+// Map-side broadcast join (TG_BcastJoin)
+// ---------------------------------------------------------------------------
+
+/// Which side of a broadcast join ships through the distributed cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BuildSide {
+    /// The left relation is broadcast; the right streams through the map.
+    Left,
+    /// The right relation is broadcast; the left streams through the map.
+    Right,
+}
+
+/// Build a **map-side** join job: the build relation ships to every map
+/// task through the engine's distributed cache ([`JobSpec::with_broadcast`])
+/// and the probe relation streams through a map-only scan — no shuffle, no
+/// reduce phase, an entire MR cycle collapsed.
+///
+/// Each map task lazily materializes the build side's hash table once (via
+/// [`TaskContext::task_state`], the simulated `Mapper.setup()`), keyed by
+/// the same [`join_expansions`] the reduce-side join uses, so output
+/// records are exactly the [`tg_join_job`]-`Exact` records: left
+/// components then right components with the joined positions pinned.
+/// Map-only output is concatenated in input order, so the result is
+/// byte-identical across worker counts; only record *order* may differ
+/// from the reduce-side plan (which orders by shuffle key).
+///
+/// Unnest counters ([`op::UNNEST_IN`]/[`op::UNNEST_OUT`]) are recorded for
+/// the probe side only: build-side expansion happens once per map task,
+/// and per-task counts would break the cross-worker-count stability that
+/// operator counters guarantee.
+///
+/// The engine refuses the job with [`MrError::BroadcastTooLarge`] when the
+/// build file exceeds its broadcast budget — the same bound the cost-based
+/// optimizer uses as its broadcast threshold, so a plan the optimizer
+/// emits always fits.
+pub fn tg_broadcast_join_job(
+    name: impl Into<String>,
+    left: JoinSide,
+    right: JoinSide,
+    build: BuildSide,
+    output: impl Into<String>,
+) -> JobSpec {
+    let (build_spec, probe_spec) = match build {
+        BuildSide::Left => (left, right),
+        BuildSide::Right => (right, left),
+    };
+    let build_file = build_spec.file.clone();
+    let probe_file = probe_spec.file.clone();
+    let mapper = map_only_fn_ctx(
+        move |ctx: &TaskContext, tuple: TgTuple, out: &mut TypedOutEmitter<'_, TgTuple>| {
+            let table = ctx.task_state(|| {
+                let file = ctx.broadcast(0)?;
+                let mut map: DetHashMap<Atom, Vec<TgTuple>> = DetHashMap::default();
+                for raw in &file.records {
+                    let t = TgTuple::from_bytes_with(raw, &ctx.atoms)?;
+                    let comp =
+                        t.0.get(build_spec.component)
+                            .ok_or_else(|| MrError::Op("join component out of range".into()))?;
+                    for (key, pinned) in join_expansions(comp, build_spec.role) {
+                        let mut pt = t.clone();
+                        pt.0[build_spec.component] = pinned;
+                        map.entry(key).or_default().push(pt);
+                    }
+                }
+                Ok(map)
+            })?;
+            let comp = tuple
+                .0
+                .get(probe_spec.component)
+                .ok_or_else(|| MrError::Op("join component out of range".into()))?;
+            let unbound = matches!(probe_spec.role, JoinRole::UnboundObj(_));
+            if unbound {
+                ctx.count(op::UNNEST_IN, 1);
+            }
+            for (key, pinned) in join_expansions(comp, probe_spec.role) {
+                if unbound {
+                    ctx.count(op::UNNEST_OUT, 1);
+                }
+                if let Some(matches) = table.get(&key) {
+                    for b in matches {
+                        // Reduce-side joins emit left components then right
+                        // components; preserve that regardless of which side
+                        // was broadcast.
+                        let joined = match build {
+                            BuildSide::Left => {
+                                let mut j = b.0.clone();
+                                let mut probe = tuple.0.clone();
+                                probe[probe_spec.component] = pinned.clone();
+                                j.extend(probe);
+                                j
+                            }
+                            BuildSide::Right => {
+                                let mut j = tuple.0.clone();
+                                j[probe_spec.component] = pinned.clone();
+                                j.extend(b.0.iter().cloned());
+                                j
+                            }
+                        };
+                        out.emit(&TgTuple(joined))?;
+                    }
+                }
+            }
+            Ok(())
+        },
+    );
+    JobSpec::map_only(name, vec![probe_file], mapper, output).with_broadcast(build_file)
 }
 
 #[cfg(test)]
@@ -893,5 +1034,127 @@ mod tests {
                 assert_eq!(k, phi(key, m));
             }
         }
+    }
+
+    fn ec_sides() -> (JoinSide, JoinSide) {
+        (
+            JoinSide { file: "ec0".into(), component: 0, role: JoinRole::UnboundObj(0) },
+            JoinSide { file: "ec1".into(), component: 0, role: JoinRole::Subject },
+        )
+    }
+
+    #[test]
+    fn broadcast_join_matches_reduce_join_across_workers() {
+        // Reference: the reduce-side exact join, decoded and sorted.
+        let (engine, _) = run_job1(false);
+        let (left, right) = ec_sides();
+        let job = tg_join_job("join", left.clone(), right.clone(), UnnestMode::Exact, "out");
+        engine.run_job(&job).unwrap();
+        let mut gold: Vec<TgTuple> = engine.read_records("out").unwrap();
+        gold.sort_by_cached_key(Rec::to_bytes);
+        assert!(!gold.is_empty());
+
+        for build in [BuildSide::Left, BuildSide::Right] {
+            let mut raw_outputs: Vec<Vec<Vec<u8>>> = Vec::new();
+            for workers in [1usize, 4, 8] {
+                let engine = Engine::unbounded().with_workers(workers);
+                load_store(&engine, "t", &store()).unwrap();
+                let q = unbound_query();
+                let j1 = group_filter_job("j1", &q, "t", vec!["ec0".into(), "ec1".into()], false);
+                engine.run_job(&j1).unwrap();
+                let bj = tg_broadcast_join_job("bjoin", left.clone(), right.clone(), build, "out");
+                let stats = engine.run_job(&bj).unwrap();
+                // An entire shuffle+reduce cycle is elided.
+                assert_eq!(stats.reduce_tasks, 0, "map-only job (build {build:?})");
+                assert_eq!(stats.broadcast_files, 1);
+                let build_file = match build {
+                    BuildSide::Left => &left.file,
+                    BuildSide::Right => &right.file,
+                };
+                assert_eq!(
+                    stats.broadcast_bytes,
+                    engine.hdfs().lock().get(build_file).unwrap().text_bytes
+                );
+                assert_eq!(stats.broadcast_ship_bytes, stats.broadcast_bytes * stats.map_tasks);
+                let mut got: Vec<TgTuple> = engine.read_records("out").unwrap();
+                got.sort_by_cached_key(Rec::to_bytes);
+                assert_eq!(got, gold, "build {build:?} workers {workers}");
+                raw_outputs.push(engine.hdfs().lock().get("out").unwrap().records.clone());
+            }
+            // Unsorted too: map-only output is concatenated in input order,
+            // so the file is byte-identical across worker counts.
+            assert_eq!(raw_outputs[0], raw_outputs[1], "build {build:?} workers 1 vs 4");
+            assert_eq!(raw_outputs[0], raw_outputs[2], "build {build:?} workers 1 vs 8");
+        }
+    }
+
+    #[test]
+    fn broadcast_join_survives_task_faults() {
+        let (engine, _) = run_job1(false);
+        let (left, right) = ec_sides();
+        engine
+            .run_job(&tg_join_job("join", left.clone(), right.clone(), UnnestMode::Exact, "out"))
+            .unwrap();
+        let mut gold: Vec<TgTuple> = engine.read_records("out").unwrap();
+        gold.sort_by_cached_key(Rec::to_bytes);
+
+        let engine = Engine::unbounded()
+            .with_workers(4)
+            .with_faults(mrsim::FaultConfig::with_probability(0.3, 42));
+        load_store(&engine, "t", &store()).unwrap();
+        let q = unbound_query();
+        engine
+            .run_job(&group_filter_job("j1", &q, "t", vec!["ec0".into(), "ec1".into()], false))
+            .unwrap();
+        let stats = engine
+            .run_job(&tg_broadcast_join_job("bjoin", left, right, BuildSide::Right, "out"))
+            .unwrap();
+        let mut got: Vec<TgTuple> = engine.read_records("out").unwrap();
+        got.sort_by_cached_key(Rec::to_bytes);
+        assert_eq!(got, gold, "retried tasks must not duplicate or drop records");
+        assert_eq!(stats.broadcast_files, 1);
+    }
+
+    #[test]
+    fn broadcast_join_agrees_with_naive_evaluation() {
+        let gold = rdf_query::naive::evaluate(&unbound_query(), &store());
+        let (engine, query) = run_job1(false);
+        let (left, right) = ec_sides();
+        engine
+            .run_job(&tg_broadcast_join_job("bjoin", left, right, BuildSide::Right, "out"))
+            .unwrap();
+        let tuples: Vec<TgTuple> = engine.read_records("out").unwrap();
+        let mut set = rdf_query::SolutionSet::new();
+        for t in &tuples {
+            let mut partials: Vec<rdf_query::Binding> = vec![rdf_query::Binding::new()];
+            for (tg, star) in t.0.iter().zip(&query.stars) {
+                let expansions = tg.expand(star).unwrap();
+                let mut next = Vec::new();
+                for p in &partials {
+                    for e in &expansions {
+                        let mut m = p.clone();
+                        if m.merge(e) {
+                            next.push(m);
+                        }
+                    }
+                }
+                partials = next;
+            }
+            for b in partials {
+                set.insert(b);
+            }
+        }
+        assert_eq!(set, gold);
+    }
+
+    #[test]
+    fn broadcast_join_over_budget_is_refused() {
+        let (engine, _) = run_job1(false);
+        let (left, right) = ec_sides();
+        let engine = engine.with_broadcast_budget(4);
+        let err = engine
+            .run_job(&tg_broadcast_join_job("bjoin", left, right, BuildSide::Right, "out"))
+            .unwrap_err();
+        assert!(err.is_broadcast_too_large(), "unexpected error: {err:?}");
     }
 }

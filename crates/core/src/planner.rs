@@ -1,7 +1,17 @@
 //! The NTGA query planner: query → grouping cycle + triplegroup join
-//! cycles, under an unnesting [`Strategy`].
+//! cycles, under a hand-picked unnesting [`Strategy`].
+//!
+//! A [`Strategy`] applies one policy uniformly: the same unnest placement
+//! for every star, the same unnest mode rule for every join cycle, the
+//! engine's default reduce parallelism everywhere. The statistics-driven
+//! alternative lives in [`crate::optimizer`], which derives those choices
+//! *per star* and *per cycle* from [`rdf_model::StoreStats`] and the
+//! engine's cost model (`--strategy auto-cost` in the figure binaries).
 
-use crate::physical::{group_filter_job, role_of, tg_join_job, JoinRole, JoinSide, UnnestMode};
+use crate::optimizer::DataPlane;
+use crate::physical::{
+    group_filter_job, group_filter_job_ids, role_of, tg_join_job, JoinRole, JoinSide, UnnestMode,
+};
 use crate::tg::TgTuple;
 use mr_rdf::{check_query, PlanError, QueryRun};
 use mrsim::{Engine, Workflow};
@@ -9,6 +19,11 @@ use rdf_query::{Binding, ObjPattern, Query, SolutionSet};
 use std::collections::HashSet;
 
 /// When and how β-unnesting happens (Section 4).
+///
+/// These are the paper's hand-picked, query-wide policies; each applies
+/// the same choice to every star and every join cycle. For data-dependent
+/// per-star / per-cycle selection (including map-side broadcast joins),
+/// use [`crate::optimizer::optimize`] instead.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Strategy {
     /// β-unnest during the star-join cycle (Job 1 reduce): intermediate
@@ -119,6 +134,25 @@ pub fn execute(
     label: &str,
     extract_solutions: bool,
 ) -> Result<QueryRun, PlanError> {
+    execute_on(DataPlane::Lexical, strategy, engine, query, input, label, extract_solutions)
+}
+
+/// [`execute`] on an explicit [`DataPlane`].
+///
+/// `DataPlane::Ids` runs Job 1 over the dictionary-encoded relation
+/// ([`mr_rdf::IdTripleRec`] input, e.g. [`mr_rdf::ID_TRIPLES_FILE`]) and
+/// requires the engine to carry the matching dictionary
+/// (`Engine::with_dict`); the join cycles operate on triplegroup tuples
+/// and are identical on both planes.
+pub fn execute_on(
+    plane: DataPlane,
+    strategy: Strategy,
+    engine: &Engine,
+    query: &Query,
+    input: &str,
+    label: &str,
+    extract_solutions: bool,
+) -> Result<QueryRun, PlanError> {
     query.validate()?;
     check_query(query)?;
 
@@ -129,13 +163,28 @@ pub fn execute(
 
     // Job 1: one grouping cycle computes every star subpattern.
     let ec_files: Vec<String> = (0..query.stars.len()).map(|i| format!("{label}.ec{i}")).collect();
-    let job1 = group_filter_job(
-        format!("{label}.group"),
-        query,
-        input,
-        ec_files.clone(),
-        strategy == Strategy::Eager,
-    );
+    let job1 = match plane {
+        DataPlane::Lexical => group_filter_job(
+            format!("{label}.group"),
+            query,
+            input,
+            ec_files.clone(),
+            strategy == Strategy::Eager,
+        ),
+        DataPlane::Ids => {
+            let dict = engine.dict().ok_or_else(|| {
+                PlanError::Internal("ID-native execution needs Engine::with_dict".into())
+            })?;
+            group_filter_job_ids(
+                format!("{label}.group"),
+                query,
+                input,
+                ec_files.clone(),
+                strategy == Strategy::Eager,
+                dict,
+            )
+        }
+    };
     if let Err(e) = wf.run_job(job1) {
         return fail(wf, &e);
     }
@@ -328,6 +377,31 @@ mod tests {
         let r = execute(Strategy::Eager, &engine, &query, "t", "q", true).unwrap();
         assert!(!r.succeeded());
         assert!(r.solutions.is_none());
+    }
+
+    #[test]
+    fn id_plane_matches_lexical_for_every_strategy() {
+        use std::sync::Arc;
+        let s = store();
+        let query = parse_query(UNBOUND_2STAR).unwrap();
+        let gold = rdf_query::naive::evaluate(&query, &s);
+        for strategy in ALL {
+            let engine = Engine::unbounded();
+            let mut dict = rdf_model::Dictionary::default();
+            mr_rdf::load_store_ids(&engine, "tid", &s, &mut dict).unwrap();
+            let engine = engine.with_dict(Arc::new(dict));
+            let r =
+                execute_on(DataPlane::Ids, strategy, &engine, &query, "tid", "q", true).unwrap();
+            assert!(r.succeeded(), "{strategy:?}");
+            assert_eq!(r.solutions.unwrap(), gold, "{strategy:?}");
+        }
+        // Without a dictionary the ID plane is a planning error, not a crash.
+        let engine = Engine::unbounded();
+        mr_rdf::load_store(&engine, "t", &s).unwrap();
+        assert!(matches!(
+            execute_on(DataPlane::Ids, Strategy::Eager, &engine, &query, "t", "q", true),
+            Err(PlanError::Internal(_))
+        ));
     }
 
     #[test]

@@ -85,15 +85,17 @@ impl CostModel {
         }
     }
 
-    /// Seconds the map phase works: input read + map CPU, plus the output
-    /// write for map-only jobs (whose mappers write the DFS output
-    /// directly).
+    /// Seconds the map phase works: input read + broadcast distribution
+    /// (one payload copy per map task, read from the DFS like any other
+    /// bytes) + map CPU, plus the output write for map-only jobs (whose
+    /// mappers write the DFS output directly).
     pub fn map_phase_seconds(&self, s: &JobStats) -> f64 {
         let read = s.hdfs_read_bytes as f64 / self.hdfs_read_bps;
+        let broadcast = s.broadcast_ship_bytes as f64 / self.hdfs_read_bps;
         let map_cpu = s.input_records as f64 * self.map_cpu_s_per_record;
         let write =
             if s.reduce_tasks == 0 { s.hdfs_write_bytes as f64 / self.hdfs_write_bps } else { 0.0 };
-        read + map_cpu + write
+        read + broadcast + map_cpu + write
     }
 
     /// Seconds the reduce phase works: shuffle + sort + reduce CPU + output

@@ -168,6 +168,18 @@ pub struct JobStats {
     /// True if this job scanned the base input relation in full
     /// (the paper's "FS" column in Figure 3).
     pub full_input_scan: bool,
+    /// Broadcast side files attached to this job (the simulated
+    /// distributed cache; 0 for ordinary jobs).
+    pub broadcast_files: u64,
+    /// Total text bytes of the broadcast side files (one copy).
+    pub broadcast_bytes: u64,
+    /// Bytes moved to distribute the broadcast payload: one copy per map
+    /// task, priced by the cost model at HDFS read bandwidth.
+    pub broadcast_ship_bytes: u64,
+    /// The planner's estimated output cardinality, when an optimizer
+    /// supplied one via [`crate::JobSpec::with_estimated_output`];
+    /// compared against `output_records` by [`JobStats::q_error`].
+    pub estimated_output_records: Option<f64>,
     /// Simulated wall-clock seconds for this job (from the cost model).
     pub sim_seconds: f64,
     /// Portion of `sim_seconds` that is fixed job-startup overhead.
@@ -209,6 +221,16 @@ impl JobStats {
             return 0;
         }
         self.shuffle_partition_bytes.iter().copied().max().unwrap_or(0)
+    }
+
+    /// The estimate's q-error: `max(est/actual, actual/est)` with both
+    /// sides clamped to ≥ 1 so empty outputs and sub-row estimates stay
+    /// finite. `1.0` is a perfect estimate; `None` when the job carried no
+    /// estimate (no optimizer planned it).
+    pub fn q_error(&self) -> Option<f64> {
+        let est = self.estimated_output_records?.max(1.0);
+        let actual = (self.output_records as f64).max(1.0);
+        Some((est / actual).max(actual / est))
     }
 
     /// Reduce skew: the most-loaded partition's shuffle bytes divided by
@@ -343,6 +365,18 @@ impl WorkflowStats {
     /// shuffled anything).
     pub fn max_reduce_skew(&self) -> f64 {
         self.jobs.iter().map(JobStats::reduce_skew).fold(1.0, f64::max)
+    }
+
+    /// Broadcast ship bytes summed over all jobs (0 when no job used the
+    /// distributed cache).
+    pub fn total_broadcast_ship_bytes(&self) -> u64 {
+        self.jobs.iter().map(|j| j.broadcast_ship_bytes).sum()
+    }
+
+    /// Worst cardinality q-error over all jobs carrying an estimate;
+    /// `None` when no job in the workflow was planned with one.
+    pub fn max_q_error(&self) -> Option<f64> {
+        self.jobs.iter().filter_map(JobStats::q_error).reduce(f64::max)
     }
 }
 

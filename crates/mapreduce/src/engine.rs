@@ -69,6 +69,12 @@ pub struct Engine {
     /// Optional trace sink receiving [`TraceEvent`]s. `None` (the default)
     /// disables tracing entirely: no events are constructed.
     pub trace: Option<Arc<dyn TraceSink>>,
+    /// Memory budget (bytes) for a job's broadcast side files — the
+    /// simulated distributed cache a task must hold in memory. A job whose
+    /// declared broadcast payload exceeds this fails with
+    /// [`MrError::BroadcastTooLarge`]; the optimizer uses the same bound
+    /// as its broadcast-join threshold.
+    pub broadcast_budget_bytes: u64,
     /// Shared dictionary snapshot for ID-native jobs: every task's
     /// [`TaskContext`] carries a handle so reducers can resolve varint
     /// dictionary ids back to tokens at output boundaries (the simulated
@@ -100,6 +106,7 @@ impl Engine {
             faults: FaultConfig::none(),
             recovery: RecoveryPolicy::FailFast,
             trace: None,
+            broadcast_budget_bytes: 64 * 1024 * 1024, // ~a task heap's worth
             dict: None,
         }
     }
@@ -139,12 +146,24 @@ impl Engine {
         self
     }
 
+    /// Set the broadcast (distributed-cache) memory budget in bytes.
+    pub fn with_broadcast_budget(mut self, bytes: u64) -> Self {
+        self.broadcast_budget_bytes = bytes;
+        self
+    }
+
     /// Attach a shared dictionary snapshot, made available to every task
     /// through [`TaskContext::resolve_atom`]. ID-native jobs require this;
     /// lexical jobs ignore it.
     pub fn with_dict(mut self, dict: Arc<rdf_model::Dictionary>) -> Self {
         self.dict = Some(dict);
         self
+    }
+
+    /// The dictionary snapshot attached with [`Engine::with_dict`], if any.
+    /// Planners compiling constants to ids at plan time read it here.
+    pub fn dict(&self) -> Option<&Arc<rdf_model::Dictionary>> {
+        self.dict.as_ref()
     }
 
     /// Emit a trace event. The closure only runs when a sink is attached,
@@ -326,6 +345,24 @@ impl Engine {
             }
         };
 
+        // Distributed cache: load declared broadcast side files once and
+        // hand every task a shared handle. The whole payload must fit the
+        // engine's task-memory budget — a build side that outgrows it
+        // can't be broadcast-joined and the job is refused up front.
+        let mut broadcast: Vec<Arc<DfsFile>> = Vec::with_capacity(spec.broadcast.len());
+        for name in &spec.broadcast {
+            broadcast.push(self.hdfs.lock().get(name)?);
+        }
+        stats.broadcast_files = broadcast.len() as u64;
+        stats.broadcast_bytes = broadcast.iter().map(|f| f.text_bytes).sum();
+        if stats.broadcast_bytes > self.broadcast_budget_bytes {
+            return Err(MrError::BroadcastTooLarge {
+                job: spec.name.clone(),
+                needed: stats.broadcast_bytes,
+                budget: self.broadcast_budget_bytes,
+            });
+        }
+
         self.emit(|| TraceEvent::JobStart { job: spec.name.clone() });
         let mut scratch = TraceScratch { enabled: self.trace.is_some(), ..Default::default() };
         let n_outputs = spec.outputs.len();
@@ -333,6 +370,7 @@ impl Engine {
             JobKind::MapOnly { files, mapper } => self.run_map_only(
                 files,
                 mapper.as_ref(),
+                &broadcast,
                 budget,
                 n_outputs,
                 spec.fault_epoch,
@@ -343,6 +381,7 @@ impl Engine {
                 let partitions = self.run_map_phase(
                     inputs,
                     combiner.as_deref(),
+                    &broadcast,
                     *reduce_tasks,
                     spec.fault_epoch,
                     &mut stats,
@@ -359,6 +398,7 @@ impl Engine {
                 self.run_reduce_phase(
                     partitions,
                     reducer.as_ref(),
+                    &broadcast,
                     budget,
                     n_outputs,
                     spec.fault_epoch,
@@ -366,6 +406,18 @@ impl Engine {
                 )?
             }
         };
+        // One broadcast copy reaches every map task (Hadoop localizes per
+        // node; the cost model is cluster-aggregate, so per-task is the
+        // conservative charge). map_tasks is final once the phase ran.
+        stats.broadcast_ship_bytes = stats.broadcast_bytes * stats.map_tasks;
+        if stats.broadcast_files > 0 {
+            self.emit(|| TraceEvent::Broadcast {
+                job: spec.name.clone(),
+                files: stats.broadcast_files,
+                bytes: stats.broadcast_bytes,
+                ship_bytes: stats.broadcast_ship_bytes,
+            });
+        }
 
         let mut outputs = outputs;
         if spec.output_compression < 1.0 {
@@ -392,6 +444,16 @@ impl Engine {
             written.push(name);
         }
 
+        stats.estimated_output_records = spec.estimated_output_records;
+        if let Some(est) = spec.estimated_output_records {
+            let q = stats.q_error().unwrap_or(1.0);
+            self.emit(|| TraceEvent::CardinalityEstimate {
+                job: spec.name.clone(),
+                estimated: est,
+                actual: stats.output_records,
+                q_error: q,
+            });
+        }
         stats.startup_seconds = self.cost.job_startup_s;
         stats.retry_seconds = self.cost.retry_seconds(&stats);
         stats.sim_seconds = self.cost.job_seconds(&stats);
@@ -475,6 +537,7 @@ impl Engine {
         &self,
         files: &[String],
         mapper: &dyn RawMapOnlyOp,
+        broadcast: &[Arc<DfsFile>],
         budget: Option<u64>,
         n_outputs: usize,
         epoch: u64,
@@ -496,7 +559,7 @@ impl Engine {
         }
         self.resolve_faults(epoch, TaskPhase::Map, chunks.len(), false, stats)?;
         let results = self.parallel_over(&chunks, |chunk| {
-            let ctx = TaskContext::with_dict(self.dict.clone());
+            let ctx = TaskContext::with_env(self.dict.clone(), broadcast.to_vec());
             let mut out = OutEmitter::with_outputs(budget, n_outputs);
             for rec in *chunk {
                 mapper.run(&ctx, rec, &mut out)?;
@@ -537,10 +600,12 @@ impl Engine {
     /// only moves whole arenas — concatenating each partition's spill
     /// arenas in deterministic input (task) order, exactly the
     /// per-partition sequence the old owned-pair shuffle produced.
+    #[allow(clippy::too_many_arguments)] // internal: one call site, in run_job
     fn run_map_phase(
         &self,
         inputs: &[crate::job::InputBinding],
         combiner: Option<&dyn RawCombineOp>,
+        broadcast: &[Arc<DfsFile>],
         reduce_tasks: usize,
         epoch: u64,
         stats: &mut JobStats,
@@ -567,7 +632,7 @@ impl Engine {
         }
         self.resolve_faults(epoch, TaskPhase::Map, work.len(), true, stats)?;
         let results = self.parallel_over(&work, |(mapper, chunk)| {
-            let ctx = TaskContext::with_dict(self.dict.clone());
+            let ctx = TaskContext::with_env(self.dict.clone(), broadcast.to_vec());
             let mut out = MapEmitter::partitioned(reduce_tasks);
             for rec in *chunk {
                 mapper.run(&ctx, rec, &mut out)?;
@@ -631,10 +696,12 @@ impl Engine {
     /// sorts its record index (prefix-accelerated, in place — the arena
     /// bytes never move) and streams groups of borrowed slices to the
     /// reducer.
+    #[allow(clippy::too_many_arguments)] // internal: one call site, in run_job
     fn run_reduce_phase(
         &self,
         partitions: Vec<SpillArena>,
         reducer: &dyn crate::job::RawReduceOp,
+        broadcast: &[Arc<DfsFile>],
         budget: Option<u64>,
         n_outputs: usize,
         epoch: u64,
@@ -649,7 +716,7 @@ impl Engine {
         let shared_budget = budget;
         let partitions: Vec<Mutex<SpillArena>> = partitions.into_iter().map(Mutex::new).collect();
         let results = self.parallel_over(&partitions, |cell| {
-            let ctx = TaskContext::with_dict(self.dict.clone());
+            let ctx = TaskContext::with_env(self.dict.clone(), broadcast.to_vec());
             let mut guard = cell.lock();
             guard.sort_unstable();
             let part: &SpillArena = &guard;
@@ -1052,6 +1119,84 @@ mod tests {
     #[should_panic(expected = "compression ratio")]
     fn rejects_bad_compression_ratio() {
         word_count_spec().with_output_compression(0.0);
+    }
+
+    #[test]
+    fn broadcast_reaches_every_task_and_is_charged() {
+        use crate::trace::MemorySink;
+        // Map-only "join": each input word is annotated with the size of
+        // the broadcast side file, read per task via the distributed cache.
+        let engine = word_count_engine(&["a", "b", "c"]);
+        engine.put_records("side", (0..4u64).collect::<Vec<_>>()).unwrap();
+        let sink = MemorySink::new();
+        let engine = engine.with_trace(sink.clone());
+        let mapper = crate::job::map_only_fn_ctx(
+            |ctx: &TaskContext, w: String, out: &mut crate::job::TypedOutEmitter<'_, String>| {
+                let n = ctx.task_state(|| Ok(ctx.broadcast(0)?.records.len()))?;
+                out.emit(&format!("{w}:{}", *n))
+            },
+        );
+        let spec = JobSpec::map_only("bjoin", vec!["input".into()], mapper, "out")
+            .with_broadcast("side")
+            .with_estimated_output(6.0);
+        let stats = engine.run_job(&spec).unwrap();
+        let out: Vec<String> = engine.read_records("out").unwrap();
+        assert_eq!(out, vec!["a:4", "b:4", "c:4"]);
+        assert_eq!(stats.broadcast_files, 1);
+        let side_bytes = engine.hdfs().lock().get("side").unwrap().text_bytes;
+        assert_eq!(stats.broadcast_bytes, side_bytes);
+        assert_eq!(stats.broadcast_ship_bytes, side_bytes * stats.map_tasks);
+        // The ship is priced into the map phase at read bandwidth.
+        let mut without = stats.clone();
+        without.broadcast_ship_bytes = 0;
+        let m = CostModel::zero_overhead();
+        assert!(
+            (m.map_phase_seconds(&stats) - m.map_phase_seconds(&without) - side_bytes as f64).abs()
+                < 1e-9
+        );
+        // q-error: estimated 6 vs actual 3 -> 2.0.
+        assert_eq!(stats.estimated_output_records, Some(6.0));
+        assert!((stats.q_error().unwrap() - 2.0).abs() < 1e-9);
+        // Both facts are visible as trace events.
+        let events = sink.events();
+        assert!(events.iter().any(|e| matches!(e, TraceEvent::Broadcast { files: 1, .. })));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, TraceEvent::CardinalityEstimate { actual: 3, .. })));
+    }
+
+    #[test]
+    fn broadcast_over_budget_is_refused() {
+        let engine = word_count_engine(&["a"]).with_broadcast_budget(4);
+        engine.put_records("side", ["0123456789".to_string()]).unwrap();
+        let mapper = crate::job::map_only_fn(
+            |w: String, out: &mut crate::job::TypedOutEmitter<'_, String>| out.emit(&w),
+        );
+        let spec =
+            JobSpec::map_only("big", vec!["input".into()], mapper, "out").with_broadcast("side");
+        let err = engine.run_job(&spec).unwrap_err();
+        assert!(err.is_broadcast_too_large(), "{err}");
+        assert!(!engine.hdfs().lock().exists("out"));
+    }
+
+    #[test]
+    fn task_context_broadcast_and_state_errors() {
+        let ctx = TaskContext::new();
+        assert!(ctx.broadcast(0).is_err());
+        assert!(ctx.broadcast_files().is_empty());
+        let v = ctx.task_state(|| Ok(41u64)).unwrap();
+        assert_eq!(*v, 41);
+        drop(v);
+        // Cached: init does not run again.
+        let v = ctx.task_state::<u64, _>(|| panic!("must not re-init")).unwrap();
+        assert_eq!(*v, 41);
+        drop(v);
+        // Same slot, different type: typed error, not a panic.
+        assert!(ctx.task_state::<String, _>(|| Ok(String::new())).is_err());
+        // A failing init leaves the slot empty for a later retry.
+        let ctx2 = TaskContext::new();
+        assert!(ctx2.task_state::<u64, _>(|| Err(MrError::Op("boom".into()))).is_err());
+        assert_eq!(*ctx2.task_state(|| Ok(7u64)).unwrap(), 7);
     }
 
     #[test]

@@ -39,6 +39,18 @@ pub enum MrError {
         /// Attempt budget that was exhausted.
         attempts: u32,
     },
+    /// A job's broadcast side files exceed the engine's per-task memory
+    /// budget for the simulated distributed cache. A broadcast join whose
+    /// build side outgrows task memory must fall back to a reduce-side
+    /// join; the optimizer treats this bound as its broadcast threshold.
+    BroadcastTooLarge {
+        /// Job that declared the broadcast.
+        job: String,
+        /// Total text bytes of the declared broadcast files.
+        needed: u64,
+        /// The engine's broadcast memory budget in bytes.
+        budget: u64,
+    },
     /// A stage was submitted to a workflow that already failed. The
     /// workflow records its first failure and refuses further stages.
     WorkflowDead,
@@ -60,6 +72,10 @@ impl fmt::Display for MrError {
                 f,
                 "task {task} ({phase}) of '{job}' failed {attempts} consecutive attempts"
             ),
+            MrError::BroadcastTooLarge { job, needed, budget } => write!(
+                f,
+                "broadcast side files of '{job}' need {needed} B but the task memory budget is {budget} B"
+            ),
             MrError::WorkflowDead => write!(f, "workflow already failed; stage refused"),
             MrError::Op(m) => write!(f, "operator error: {m}"),
         }
@@ -79,6 +95,12 @@ impl MrError {
     /// stage retries can recover from.
     pub fn is_task_exhausted(&self) -> bool {
         matches!(self, MrError::TaskExhausted { .. })
+    }
+
+    /// True if this error is a broadcast payload exceeding the engine's
+    /// task memory budget.
+    pub fn is_broadcast_too_large(&self) -> bool {
+        matches!(self, MrError::BroadcastTooLarge { .. })
     }
 }
 

@@ -9,9 +9,11 @@
 use crate::codec::Rec;
 use crate::counters::OpCounters;
 use crate::error::MrError;
+use crate::hdfs::DfsFile;
 use rdf_model::atom::{Atom, AtomTable};
 use rdf_model::Dictionary;
-use std::cell::RefCell;
+use std::any::Any;
+use std::cell::{Ref, RefCell};
 use std::marker::PhantomData;
 use std::sync::Arc;
 
@@ -35,12 +37,31 @@ use std::sync::Arc;
 /// snapshot (attached with [`crate::Engine::with_dict`]) through
 /// [`TaskContext::resolve_atom`] — the distributed-cache side file a real
 /// Hadoop deployment would ship to every task.
-#[derive(Debug, Default)]
+///
+/// Jobs that declare broadcast side files ([`JobSpec::with_broadcast`])
+/// additionally see those files through [`TaskContext::broadcast`], and
+/// can cache a once-per-task derived structure (e.g. a broadcast-join hash
+/// table — Hadoop's `Mapper.setup()`) via [`TaskContext::task_state`].
+#[derive(Default)]
 pub struct TaskContext {
     /// Interner for token (`Atom`) fields decoded by this task.
     pub atoms: AtomTable,
     counters: RefCell<OpCounters>,
     dict: Option<Arc<Dictionary>>,
+    broadcast: Vec<Arc<DfsFile>>,
+    state: RefCell<Option<Box<dyn Any + Send>>>,
+}
+
+impl std::fmt::Debug for TaskContext {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TaskContext")
+            .field("atoms", &self.atoms)
+            .field("counters", &self.counters)
+            .field("dict", &self.dict)
+            .field("broadcast_files", &self.broadcast.len())
+            .field("has_state", &self.state.borrow().is_some())
+            .finish()
+    }
 }
 
 impl TaskContext {
@@ -51,7 +72,61 @@ impl TaskContext {
 
     /// Fresh context carrying the engine's dictionary snapshot (if any).
     pub fn with_dict(dict: Option<Arc<Dictionary>>) -> Self {
-        TaskContext { atoms: AtomTable::new(), counters: RefCell::new(OpCounters::new()), dict }
+        Self::with_env(dict, Vec::new())
+    }
+
+    /// Fresh context carrying the engine's dictionary snapshot and the
+    /// job's loaded broadcast side files (the engine builds every task's
+    /// context through this).
+    pub fn with_env(dict: Option<Arc<Dictionary>>, broadcast: Vec<Arc<DfsFile>>) -> Self {
+        TaskContext {
+            atoms: AtomTable::new(),
+            counters: RefCell::new(OpCounters::new()),
+            dict,
+            broadcast,
+            state: RefCell::new(None),
+        }
+    }
+
+    /// Broadcast side file `idx` (the order of [`JobSpec::with_broadcast`]),
+    /// shipped to every task of this job through the engine's simulated
+    /// distributed cache. [`MrError::Op`] when the job declared no such
+    /// file — an operator wired against the wrong job spec.
+    pub fn broadcast(&self, idx: usize) -> Result<&DfsFile, MrError> {
+        self.broadcast.get(idx).map(Arc::as_ref).ok_or_else(|| {
+            MrError::Op(format!(
+                "broadcast file #{idx} not attached (job declares {} broadcast files)",
+                self.broadcast.len()
+            ))
+        })
+    }
+
+    /// All broadcast side files attached to this task, in declaration
+    /// order.
+    pub fn broadcast_files(&self) -> &[Arc<DfsFile>] {
+        &self.broadcast
+    }
+
+    /// Once-per-task derived state (the simulated `Mapper.setup()`):
+    /// the first call runs `init` and caches its value for the rest of the
+    /// task; later calls return the cached value. Operators are shared
+    /// (`Arc<dyn …>`) across all tasks of a job, so per-task structures
+    /// like a broadcast-join hash table must live here, not in the
+    /// operator. `init` must not recursively call `task_state`, and every
+    /// caller within one task must use the same type `T`.
+    pub fn task_state<T, F>(&self, init: F) -> Result<Ref<'_, T>, MrError>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> Result<T, MrError>,
+    {
+        if self.state.borrow().is_none() {
+            let built = init()?;
+            *self.state.borrow_mut() = Some(Box::new(built));
+        }
+        Ref::filter_map(self.state.borrow(), |slot| {
+            slot.as_deref().and_then(|any| any.downcast_ref::<T>())
+        })
+        .map_err(|_| MrError::Op("task state already initialized with a different type".into()))
     }
 
     /// The dictionary snapshot this task decodes ids against, if the
@@ -503,6 +578,40 @@ where
     Arc::new(CtxReduceFnOp { f, _pd: PhantomData })
 }
 
+struct CtxMapOnlyFnOp<I, O, F> {
+    f: F,
+    _pd: PhantomData<fn(I) -> O>,
+}
+
+impl<I, O, F> RawMapOnlyOp for CtxMapOnlyFnOp<I, O, F>
+where
+    I: Rec,
+    O: Rec,
+    F: Fn(&TaskContext, I, &mut TypedOutEmitter<'_, O>) -> Result<(), MrError> + Send + Sync,
+{
+    fn run(&self, ctx: &TaskContext, record: &[u8], out: &mut OutEmitter) -> Result<(), MrError> {
+        let input = I::from_bytes_with(record, &ctx.atoms)?;
+        let mut emitter = TypedOutEmitter { raw: out, _pd: PhantomData };
+        (self.f)(ctx, input, &mut emitter)
+    }
+}
+
+/// Like [`map_only_fn`], but the closure also receives the
+/// [`TaskContext`] — required by broadcast-join mappers, which read their
+/// build side via [`TaskContext::broadcast`] and cache the built hash
+/// table via [`TaskContext::task_state`].
+pub fn map_only_fn_ctx<I, O, F>(f: F) -> Arc<dyn RawMapOnlyOp>
+where
+    I: Rec,
+    O: Rec,
+    F: Fn(&TaskContext, I, &mut TypedOutEmitter<'_, O>) -> Result<(), MrError>
+        + Send
+        + Sync
+        + 'static,
+{
+    Arc::new(CtxMapOnlyFnOp { f, _pd: PhantomData })
+}
+
 // ---------------------------------------------------------------------------
 // Job specification
 // ---------------------------------------------------------------------------
@@ -566,6 +675,17 @@ pub struct JobSpec {
     /// replaying the identical failure forever. 0 leaves the hash
     /// unchanged.
     pub fault_epoch: u64,
+    /// DFS files shipped to every task through the engine's simulated
+    /// distributed cache (Hadoop `DistributedCache` / Spark broadcast).
+    /// Tasks read them via [`TaskContext::broadcast`]; the engine charges
+    /// one copy per map task against the cost model and bounds the total
+    /// payload by the engine's broadcast memory budget.
+    pub broadcast: Vec<String>,
+    /// Planner's estimated output cardinality for this job, when an
+    /// optimizer produced one. The engine copies it into
+    /// [`crate::JobStats`] next to the actual output count, making the
+    /// estimate's q-error observable per job.
+    pub estimated_output_records: Option<f64>,
 }
 
 impl JobSpec {
@@ -586,6 +706,8 @@ impl JobSpec {
             output_compression: 1.0,
             full_input_scan: false,
             fault_epoch: 0,
+            broadcast: Vec::new(),
+            estimated_output_records: None,
         }
     }
 
@@ -623,7 +745,38 @@ impl JobSpec {
             output_compression: 1.0,
             full_input_scan: false,
             fault_epoch: 0,
+            broadcast: Vec::new(),
+            estimated_output_records: None,
         }
+    }
+
+    /// Ship `file` to every task through the simulated distributed cache;
+    /// tasks read it back with [`TaskContext::broadcast`] by declaration
+    /// index. May be called repeatedly to attach several side files.
+    pub fn with_broadcast(mut self, file: impl Into<String>) -> Self {
+        self.broadcast.push(file.into());
+        self
+    }
+
+    /// Record the planner's estimated output cardinality, surfaced by the
+    /// engine as the job's q-error.
+    pub fn with_estimated_output(mut self, records: f64) -> Self {
+        self.estimated_output_records = Some(records);
+        self
+    }
+
+    /// Override the reduce-task count — how a cost-based planner sizes the
+    /// reduce phase to estimated shuffle bytes instead of a fixed default.
+    ///
+    /// # Panics
+    /// Panics when called on a map-only job or with `reduce_tasks == 0`.
+    pub fn with_reducers(mut self, reduce_tasks: usize) -> Self {
+        assert!(reduce_tasks >= 1, "need at least one reduce task");
+        match &mut self.kind {
+            JobKind::MapReduce { reduce_tasks: r, .. } => *r = reduce_tasks,
+            JobKind::MapOnly { .. } => panic!("map-only jobs have no reduce tasks"),
+        }
+        self
     }
 
     /// Add a further named output (Hadoop `MultipleOutputs`). Reducers

@@ -72,9 +72,9 @@ pub use error::MrError;
 pub use faults::FaultConfig;
 pub use hdfs::{DfsFile, SimHdfs};
 pub use job::{
-    combine_fn, map_fn, map_fn_ctx, map_only_fn, reduce_fn, reduce_fn_ctx, InputBinding, JobKind,
-    JobSpec, MapEmitter, OutEmitter, RawCombineOp, RawMapOnlyOp, RawMapOp, RawReduceOp,
-    TaskContext, TypedMapEmitter, TypedOutEmitter,
+    combine_fn, map_fn, map_fn_ctx, map_only_fn, map_only_fn_ctx, reduce_fn, reduce_fn_ctx,
+    InputBinding, JobKind, JobSpec, MapEmitter, OutEmitter, RawCombineOp, RawMapOnlyOp, RawMapOp,
+    RawReduceOp, TaskContext, TypedMapEmitter, TypedOutEmitter,
 };
 pub use trace::{
     ChromeTraceSink, JsonlSink, MemorySink, MultiSink, TaskPhase, TraceEvent, TraceSink,

@@ -155,6 +155,30 @@ pub enum TraceEvent {
         /// True if the backup finished before the original attempt.
         backup_won: bool,
     },
+    /// A job's broadcast side files were distributed to its map tasks
+    /// through the simulated distributed cache.
+    Broadcast {
+        /// Job name.
+        job: String,
+        /// Number of broadcast side files.
+        files: u64,
+        /// Total text bytes of the payload (one copy).
+        bytes: u64,
+        /// Bytes moved to distribute it (one copy per map task).
+        ship_bytes: u64,
+    },
+    /// The planner's estimated output cardinality for a job against what
+    /// the job actually produced — the per-job q-error feedback loop.
+    CardinalityEstimate {
+        /// Job name.
+        job: String,
+        /// Estimated output records.
+        estimated: f64,
+        /// Actual output records.
+        actual: u64,
+        /// `max(est/actual, actual/est)`, both clamped to ≥ 1.
+        q_error: f64,
+    },
     /// Shuffle bytes/records routed to one reduce partition.
     ShufflePartition {
         /// Job name.
@@ -246,6 +270,8 @@ impl TraceEvent {
             TraceEvent::NodeLoss { .. } => "node_loss",
             TraceEvent::Straggler { .. } => "straggler",
             TraceEvent::SpeculativeTask { .. } => "speculative_task",
+            TraceEvent::Broadcast { .. } => "broadcast",
+            TraceEvent::CardinalityEstimate { .. } => "cardinality_estimate",
             TraceEvent::ShufflePartition { .. } => "shuffle_partition",
             TraceEvent::JobEnd { .. } => "job_end",
             TraceEvent::JobSpan { .. } => "job_span",
@@ -301,6 +327,18 @@ impl TraceEvent {
                 o.str("phase", phase.as_str());
                 o.u64("task", *task);
                 o.bool("backup_won", *backup_won);
+            }
+            TraceEvent::Broadcast { job, files, bytes, ship_bytes } => {
+                o.str("job", job);
+                o.u64("files", *files);
+                o.u64("bytes", *bytes);
+                o.u64("ship_bytes", *ship_bytes);
+            }
+            TraceEvent::CardinalityEstimate { job, estimated, actual, q_error } => {
+                o.str("job", job);
+                o.f64("estimated", *estimated);
+                o.u64("actual", *actual);
+                o.f64("q_error", *q_error);
             }
             TraceEvent::ShufflePartition { job, partition, records, bytes } => {
                 o.str("job", job);
@@ -878,9 +916,11 @@ impl TraceSink for ChromeTraceSink {
                 args.str("error", error);
                 Self::instant(state, JOB_LANE, &format!("stage {stage} retry"), args);
             }
-            TraceEvent::ShufflePartition { .. } => {
-                // Per-partition detail lives in the JSONL log; the timeline
-                // view keeps only spans and retries.
+            TraceEvent::ShufflePartition { .. }
+            | TraceEvent::Broadcast { .. }
+            | TraceEvent::CardinalityEstimate { .. } => {
+                // Per-partition/broadcast/estimate detail lives in the JSONL
+                // log; the timeline view keeps only spans and retries.
             }
             TraceEvent::JobEnd { job, sim_seconds, startup_seconds, task_retries, ops, .. } => {
                 if !state.stage_active {
@@ -1000,6 +1040,13 @@ mod tests {
                 error: "disk \"full\"".into(),
             },
             TraceEvent::ShufflePartition { job: "j1".into(), partition: 1, records: 7, bytes: 99 },
+            TraceEvent::Broadcast { job: "j1".into(), files: 1, bytes: 640, ship_bytes: 2560 },
+            TraceEvent::CardinalityEstimate {
+                job: "j1".into(),
+                estimated: 12.5,
+                actual: 10,
+                q_error: 1.25,
+            },
             TraceEvent::JobEnd {
                 job: "j1".into(),
                 sim_seconds: 40.0,

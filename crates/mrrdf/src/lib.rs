@@ -31,4 +31,4 @@ pub use id_rec::{
 pub use row::{Row, RowSchema};
 pub use run::{PlanError, QueryRun};
 pub use support::{check_query, check_star, UnsupportedReason};
-pub use triple_rec::{load_store, TripleRec, TRIPLES_FILE};
+pub use triple_rec::{load_store, read_store, TripleRec, TRIPLES_FILE};

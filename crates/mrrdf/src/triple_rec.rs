@@ -44,6 +44,19 @@ pub fn load_store(engine: &Engine, name: &str, store: &TripleStore) -> Result<()
     engine.hdfs().lock().put(name, file)
 }
 
+/// Read a triple relation back out of the engine's DFS — the inverse of
+/// [`load_store`]. Cost-based planning uses it to derive
+/// [`rdf_model::StoreStats`] for whatever relation an engine actually
+/// holds when the caller has no handle on the original store.
+pub fn read_store(engine: &Engine, name: &str) -> Result<TripleStore, MrError> {
+    let file = engine.hdfs().lock().get(name)?;
+    let mut triples = Vec::with_capacity(file.records.len());
+    for raw in &file.records {
+        triples.push(TripleRec::from_bytes(raw)?.0);
+    }
+    Ok(TripleStore::from_triples(triples))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -72,5 +85,18 @@ mod tests {
         let file = engine.hdfs().lock().get(TRIPLES_FILE).unwrap();
         assert_eq!(file.records.len(), 2);
         assert_eq!(file.text_bytes, store.text_bytes());
+    }
+
+    #[test]
+    fn read_store_inverts_load_store() {
+        let engine = Engine::unbounded();
+        let store = TripleStore::from_triples(vec![
+            STriple::new("<a>", "<p>", "<b>"),
+            STriple::new("<a>", "<q>", "\"x\""),
+        ]);
+        load_store(&engine, TRIPLES_FILE, &store).unwrap();
+        let back = read_store(&engine, TRIPLES_FILE).unwrap();
+        assert_eq!(back.stats(), store.stats());
+        assert!(matches!(read_store(&engine, "nope"), Err(MrError::NoSuchFile(_))));
     }
 }

@@ -111,6 +111,39 @@ pub fn star_row_cardinality(star: &StarPattern, stats: &StoreStats) -> f64 {
     subjects * per_subject
 }
 
+/// Estimated number of `(property, object)` pairs across all triplegroups
+/// matching a star — the size of the star's *nested* (lazy) equivalence
+/// class, where each matching subject carries the union of its candidate
+/// pairs instead of their cross product.
+///
+/// Where [`star_row_cardinality`] multiplies per-pattern multiplicities
+/// (the flat/eager footprint), this sums them: a nested triplegroup stores
+/// each candidate once. The ratio of the two is exactly the redundancy a
+/// lazy plan avoids shipping, which is what a cost-based planner prices.
+pub fn star_pair_cardinality(star: &StarPattern, stats: &StoreStats) -> f64 {
+    let subjects = star_subject_cardinality(star, stats);
+    if subjects == 0.0 {
+        return 0.0;
+    }
+    let mut per_subject = 0.0;
+    for pat in &star.patterns {
+        let mult = match &pat.property {
+            PropPattern::Bound(p) => {
+                stats.per_property.get(p).map_or(0.0, |ps| ps.mean_multiplicity)
+            }
+            PropPattern::Unbound(_) => {
+                if stats.distinct_subjects == 0 {
+                    0.0
+                } else {
+                    stats.triples as f64 / stats.distinct_subjects as f64
+                }
+            }
+        };
+        per_subject += (mult * object_selectivity(pat, stats)).max(1.0);
+    }
+    subjects * per_subject
+}
+
 /// Rank a query's stars from most to least selective (ascending estimated
 /// row cardinality) — the ordering Sel-SJ-first wants.
 pub fn rank_stars_by_selectivity(stars: &[StarPattern], stats: &StoreStats) -> Vec<(usize, f64)> {
@@ -205,6 +238,26 @@ mod tests {
             vec![TriplePattern::bound("g", "<label>", ObjPattern::Var("l".into()))],
         );
         assert!(star_row_cardinality(&with_xref, &s) > star_row_cardinality(&without, &s));
+    }
+
+    #[test]
+    fn nested_pairs_grow_slower_than_flat_rows() {
+        let s = stats();
+        let star = StarPattern::new(
+            "g",
+            vec![
+                TriplePattern::bound("g", "<label>", ObjPattern::Var("l".into())),
+                TriplePattern::bound("g", "<xRef>", ObjPattern::Var("r".into())),
+                TriplePattern::unbound("g", "p", ObjPattern::Var("o".into())),
+            ],
+        );
+        let pairs = star_pair_cardinality(&star, &s);
+        let rows = star_row_cardinality(&star, &s);
+        // Sum-of-multiplicities (nested) under product-of-multiplicities
+        // (flat): the redundancy gap lazy plans avoid.
+        assert!(pairs > 0.0);
+        assert!(pairs < rows, "pairs {pairs} >= rows {rows}");
+        assert_eq!(star_pair_cardinality(&star, &TripleStore::new().stats()), 0.0);
     }
 
     #[test]

@@ -42,7 +42,7 @@ impl PropertyStats {
 }
 
 /// Whole-store statistics.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct StoreStats {
     /// Number of triples.
     pub triples: u64,

@@ -10,9 +10,9 @@
 
 use crate::atom::Atom;
 use crate::dict::{Dictionary, UnknownId};
-use crate::store::TripleStore;
+use crate::store::{PropertyStats, StoreStats, TripleStore};
 use crate::triple::STriple;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::Arc;
 
 /// A vertically-partitioned view of a triple store: property token →
@@ -154,6 +154,70 @@ impl IdVerticalPartitions {
     pub fn triple_count(&self) -> usize {
         self.parts.values().map(|(s, _)| s.len()).sum()
     }
+
+    /// Compute full store statistics over the columnar layout, without
+    /// materializing a lexical [`TripleStore`]. Equal to
+    /// [`TripleStore::stats`] on the source data: the dictionary is
+    /// injective, so distinct-id counts are distinct-token counts, and
+    /// `text_bytes` resolves each row back to its N-Triples size. This is
+    /// what lets the cost-based planner price ID-native plans with the
+    /// same statistics it uses for lexical ones.
+    pub fn stats(&self) -> StoreStats {
+        let mut subjects: HashSet<u32> = HashSet::new();
+        let mut objects: HashSet<u32> = HashSet::new();
+        let mut text_bytes = 0u64;
+        let mut per_property = BTreeMap::new();
+        let mut multi = 0u64;
+        for (p, (ss, os)) in &self.parts {
+            let prop = self.dict.resolve_atom(*p).expect("property id was interned at build time");
+            let mut subs: HashMap<u32, u64> = HashMap::new();
+            let mut objs: HashSet<u32> = HashSet::new();
+            for (s, o) in ss.iter().zip(os.iter()) {
+                subjects.insert(*s);
+                objects.insert(*o);
+                *subs.entry(*s).or_insert(0) += 1;
+                objs.insert(*o);
+                text_bytes += self
+                    .resolve((*s, *p, *o))
+                    .expect("row ids were interned at build time")
+                    .text_size();
+            }
+            let count = ss.len() as u64;
+            let distinct_subjects = subs.len() as u64;
+            let max_multiplicity = subs.values().copied().max().unwrap_or(0);
+            if max_multiplicity > 1 {
+                multi += 1;
+            }
+            per_property.insert(
+                prop,
+                PropertyStats {
+                    count,
+                    distinct_subjects,
+                    distinct_objects: objs.len() as u64,
+                    max_multiplicity,
+                    mean_multiplicity: if distinct_subjects == 0 {
+                        0.0
+                    } else {
+                        count as f64 / distinct_subjects as f64
+                    },
+                },
+            );
+        }
+        let distinct_properties = self.parts.len() as u64;
+        StoreStats {
+            triples: self.triple_count() as u64,
+            distinct_subjects: subjects.len() as u64,
+            distinct_objects: objects.len() as u64,
+            distinct_properties,
+            text_bytes,
+            multi_valued_fraction: if distinct_properties == 0 {
+                0.0
+            } else {
+                multi as f64 / distinct_properties as f64
+            },
+            per_property,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -252,6 +316,28 @@ mod tests {
         assert_eq!(idvp.relation_by_id(obj_id), None);
         assert_eq!(idvp.relation("<a>"), None);
         assert_eq!(idvp.relation("<never-seen>"), None);
+    }
+
+    #[test]
+    fn id_vp_stats_match_lexical_store_stats() {
+        // Multi-valued property, repeated objects, and literal tokens so
+        // every StoreStats field is exercised, not just the counts.
+        let s = TripleStore::from_triples(vec![
+            STriple::new("<g1>", "<label>", "\"a\""),
+            STriple::new("<g1>", "<xGO>", "<go1>"),
+            STriple::new("<g1>", "<xGO>", "<go2>"),
+            STriple::new("<g2>", "<label>", "\"a\""),
+            STriple::new("<g2>", "<xGO>", "<go1>"),
+            STriple::new("<g3>", "<organism>", "<human>"),
+        ]);
+        let mut dict = Dictionary::new();
+        let idvp = IdVerticalPartitions::build(&s, &mut dict);
+        assert_eq!(idvp.stats(), s.stats());
+
+        let empty = TripleStore::new();
+        let mut dict = Dictionary::new();
+        let idvp = IdVerticalPartitions::build(&empty, &mut dict);
+        assert_eq!(idvp.stats(), empty.stats());
     }
 
     #[test]

@@ -11,9 +11,12 @@
 //! ```
 //!
 //! `--approach` is one of `pig`, `hive`, `eager`, `lazy`, `partial:M`,
-//! `auto:M`. `--disk-factor F` bounds the cluster's disk to `F ×` the
-//! replicated input (reproducing the paper's constrained clusters);
-//! without it the disk is unbounded.
+//! `auto:M`, `auto-cost`. `auto-cost` plans with the statistics-driven
+//! optimizer (per-star unnest placement, broadcast joins, reducer sizing)
+//! and needs `--data` even for `explain`, since the plan depends on the
+//! store's statistics. `--disk-factor F` bounds the cluster's disk to
+//! `F ×` the replicated input (reproducing the paper's constrained
+//! clusters); without it the disk is unbounded.
 
 use ntga::prelude::*;
 use std::collections::HashMap;
@@ -71,12 +74,13 @@ const USAGE: &str = "ntga-cli — unbound-property RDF queries on a simulated Ma
 USAGE:
   ntga-cli generate --dataset bsbm|bio2rdf|dbpedia|btc --scale N --out FILE [--seed S]
   ntga-cli stats    --data FILE
-  ntga-cli explain  --query FILE [--approach APPROACH]
+  ntga-cli explain  --query FILE [--approach APPROACH] [--data FILE]
   ntga-cli query    --data FILE --query FILE [--approach APPROACH]
                     [--replication N] [--disk-factor F] [--limit N] [--no-solutions]
   ntga-cli compare  --data FILE --query FILE [--replication N] [--disk-factor F]
 
-APPROACH: pig | hive | eager | lazy | partial:M | auto:M   (default auto:1024)";
+APPROACH: pig | hive | eager | lazy | partial:M | auto:M | auto-cost
+          (default auto:1024; auto-cost requires --data, also for explain)";
 
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
     let mut out = HashMap::new();
@@ -118,6 +122,7 @@ fn parse_approach(spec: &str) -> Result<Approach, String> {
         "lazy" | "lazyfull" => Ok(Approach::NtgaLazyFull),
         "partial" => Ok(Approach::NtgaLazyPartial(m(param)?)),
         "auto" => Ok(Approach::NtgaAuto(m(param)?)),
+        "auto-cost" | "cost" => Ok(Approach::NtgaAutoCost),
         other => Err(format!("unknown approach '{other}'")),
     }
 }
@@ -212,6 +217,21 @@ fn cmd_explain(opts: &HashMap<String, String>) -> Result<(), String> {
         Approach::NtgaLazyFull => Strategy::LazyFull,
         Approach::NtgaLazyPartial(m) => Strategy::LazyPartial(m),
         Approach::NtgaAuto(m) => Strategy::Auto(m),
+        Approach::NtgaAutoCost => {
+            // The cost-based plan depends on the data: derive statistics,
+            // optimize under the same scaled cost model `query` would use,
+            // and render the chosen physical plan with its estimates.
+            let store = load_data(opts)
+                .map_err(|e| format!("--approach auto-cost needs --data to plan from: {e}"))?;
+            let stats = store.stats();
+            let cost = CostModel::scaled_to(store.text_bytes());
+            let config = ntga_core::OptimizerConfig::default();
+            let plan =
+                ntga_core::optimize(&query, &stats, &cost, &config).map_err(|e| e.to_string())?;
+            let text = ntga_core::explain_plan(&plan, &query).map_err(|e| e.to_string())?;
+            print!("{text}");
+            return Ok(());
+        }
     };
     let plan = ntga_core::explain(strategy, &query).map_err(|e| e.to_string())?;
     print!("{plan}");
@@ -277,6 +297,7 @@ fn cmd_compare(opts: &HashMap<String, String>) -> Result<(), String> {
         Approach::NtgaEager,
         Approach::NtgaLazyFull,
         Approach::NtgaAuto(1024),
+        Approach::NtgaAutoCost,
     ] {
         let engine = cluster.engine_with(&store);
         let run = run_query(approach, &engine, &query, "cmp", true).map_err(|e| e.to_string())?;

@@ -24,6 +24,10 @@ pub enum Approach {
     /// NTGA with the paper's recommended policy (full for partially-bound
     /// objects, partial otherwise).
     NtgaAuto(u64),
+    /// NTGA with cost-based plan selection: per-star unnest placement,
+    /// per-cycle exact/partial/broadcast choice and reducer sizing derived
+    /// from [`rdf_model::StoreStats`] and the engine's cost model.
+    NtgaAutoCost,
 }
 
 impl Approach {
@@ -36,6 +40,7 @@ impl Approach {
             Approach::NtgaLazyFull => "LazyUnnest-full".into(),
             Approach::NtgaLazyPartial(m) => format!("LazyUnnest-phi{m}"),
             Approach::NtgaAuto(m) => format!("LazyUnnest-auto{m}"),
+            Approach::NtgaAutoCost => "CostBased".into(),
         }
     }
 
@@ -99,6 +104,22 @@ pub fn run_query(
             &label,
             extract_solutions,
         ),
+        Approach::NtgaAutoCost => {
+            // ANALYZE step: derive statistics from the relation the engine
+            // actually holds, then plan against them.
+            let stats = mr_rdf::read_store(engine, TRIPLES_FILE)
+                .map_err(|e| PlanError::Internal(format!("reading {TRIPLES_FILE}: {e}")))?
+                .stats();
+            ntga_core::execute_cost_based(
+                ntga_core::DataPlane::Lexical,
+                engine,
+                query,
+                TRIPLES_FILE,
+                &label,
+                extract_solutions,
+                &stats,
+            )
+        }
     }
 }
 
@@ -243,6 +264,7 @@ mod tests {
             Approach::NtgaLazyFull,
             Approach::NtgaLazyPartial(16),
             Approach::NtgaAuto(16),
+            Approach::NtgaAutoCost,
         ] {
             let engine = ClusterConfig::default().engine_with(&store);
             let run = run_query(approach, &engine, &q, "t", true).unwrap();
@@ -273,12 +295,13 @@ mod tests {
             Approach::NtgaLazyFull,
             Approach::NtgaLazyPartial(2),
             Approach::NtgaAuto(2),
+            Approach::NtgaAutoCost,
         ]
         .iter()
         .map(|a| a.label())
         .collect();
         labels.sort();
         labels.dedup();
-        assert_eq!(labels.len(), 6);
+        assert_eq!(labels.len(), 7);
     }
 }
