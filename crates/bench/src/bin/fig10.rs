@@ -58,5 +58,6 @@ fn main() {
             "LazyUnnest write growth from 3 to 6 bound patterns: {growth:.2}x (paper: ~constant)"
         );
     }
+    opts.write_profile(&cluster, &store, &queries);
     opts.finish(&rows);
 }

@@ -81,5 +81,6 @@ fn main() {
         }
         println!("{}", "-".repeat(110));
     }
+    opts.write_profile(&cluster, &store, &queries);
     opts.finish(&rows);
 }

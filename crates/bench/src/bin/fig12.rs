@@ -49,5 +49,6 @@ fn main() {
             );
         }
     }
+    opts.write_profile(&cluster, &store, &queries);
     opts.finish(&rows);
 }

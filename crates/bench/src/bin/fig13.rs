@@ -57,5 +57,6 @@ fn main() {
             );
         }
     }
+    opts.write_profile(&cluster, &store, &queries);
     opts.finish(&rows);
 }

@@ -92,5 +92,14 @@ fn main() {
         "\nC4 star-join redundancy factor on DBInfobox-like data: {:.2} (paper: ~0.89)",
         metrics::tg_redundancy(&tgs)
     );
+    let queries: Vec<(String, rdf_query::Query)> =
+        ntga::testbed::c_series().into_iter().map(|t| (t.id, t.query)).collect();
+    let cluster = opts.cluster(ntga::ClusterConfig {
+        nodes: 5,
+        replication: 2,
+        cost: mrsim::CostModel::scaled_to(dbp.text_bytes()),
+        ..Default::default()
+    });
+    opts.write_profile(&cluster, &dbp, &queries);
     opts.finish(&rows);
 }

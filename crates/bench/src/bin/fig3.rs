@@ -50,5 +50,6 @@ fn main() {
             report::pct_less(sj.read_bytes, ntga.read_bytes)
         );
     }
+    opts.write_profile(&cluster, &store, &queries);
     opts.finish(&rows);
 }

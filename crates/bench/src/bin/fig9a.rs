@@ -48,5 +48,6 @@ fn main() {
         let lazy_ok = rows.iter().filter(|r| r.approach.contains("Lazy")).all(|r| r.ok);
         println!("LazyUnnest completed all queries: {lazy_ok}");
     }
+    opts.write_profile(&cluster, &store, &queries);
     opts.finish(&rows);
 }

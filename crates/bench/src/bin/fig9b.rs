@@ -55,5 +55,6 @@ fn main() {
             }
         }
     }
+    opts.write_profile(&cluster, &store, &queries);
     opts.finish(&rows);
 }

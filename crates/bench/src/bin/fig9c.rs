@@ -54,5 +54,6 @@ fn main() {
             }
         }
     }
+    opts.write_profile(&cluster, &store, &queries);
     opts.finish(&rows);
 }

@@ -151,6 +151,11 @@ fn main() {
     );
 
     rows.extend(policy_rows);
+    opts.write_profile(
+        &opts.cluster(base.clone()),
+        &store,
+        &[(query.id.clone(), query.query.clone())],
+    );
     opts.finish(&rows);
 }
 

@@ -171,6 +171,13 @@ fn main() {
     );
 
     rows.extend(broadcast_identity(&opts, &bsbm));
+    let queries: Vec<(String, rdf_query::Query)> =
+        ntga::testbed::b_series().into_iter().map(|t| (t.id, t.query)).collect();
+    let cluster = opts.cluster(ntga::ClusterConfig {
+        cost: mrsim::CostModel::scaled_to(bsbm.text_bytes()),
+        ..Default::default()
+    });
+    opts.write_profile(&cluster, &bsbm, &queries);
     opts.finish(&rows);
 }
 

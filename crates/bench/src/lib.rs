@@ -36,14 +36,20 @@ use std::sync::Arc;
 /// * `--json <path>` — write the report rows as a JSON array;
 /// * `--strategy <name>` — replace the figure's approach panel with a
 ///   single named approach: `auto-cost` (the statistics-driven optimizer),
-///   `eager`, `lazy-full`, `lazy-partial:<m>`, or `auto:<m>`.
+///   `eager`, `lazy-full`, `lazy-partial:<m>`, or `auto:<m>`;
+/// * `--profile <path>` — run EXPLAIN ANALYZE for the figure's queries
+///   (cost-based plan executed on a profiling engine, joined against the
+///   measured run) and write the profile documents as a JSON array at
+///   `<path>`, printing the annotated plan trees to stdout.
 ///
-/// With no flags, tracing stays disabled and costs nothing.
+/// With no flags, tracing and profiling stay disabled and cost nothing.
 pub struct BenchOpts {
     /// Chrome trace output path (`--trace`).
     pub trace: Option<PathBuf>,
     /// Report-row JSON output path (`--json`).
     pub json: Option<PathBuf>,
+    /// EXPLAIN ANALYZE JSON output path (`--profile`).
+    pub profile: Option<PathBuf>,
     /// Panel override (`--strategy`).
     pub strategy: Option<Runner>,
     sink: Option<Arc<dyn TraceSink>>,
@@ -54,6 +60,7 @@ impl BenchOpts {
     pub fn parse(args: impl IntoIterator<Item = String>) -> Result<BenchOpts, String> {
         let mut trace = None;
         let mut json = None;
+        let mut profile = None;
         let mut strategy = None;
         let mut it = args.into_iter();
         while let Some(arg) = it.next() {
@@ -68,14 +75,19 @@ impl BenchOpts {
                         it.next().ok_or_else(|| "--json requires a path".to_string())?,
                     ));
                 }
+                "--profile" => {
+                    profile = Some(PathBuf::from(
+                        it.next().ok_or_else(|| "--profile requires a path".to_string())?,
+                    ));
+                }
                 "--strategy" => {
                     let name = it.next().ok_or_else(|| "--strategy requires a name".to_string())?;
                     strategy = Some(parse_strategy(&name)?);
                 }
                 other => {
                     return Err(format!(
-                        "unknown argument `{other}` (expected --trace <path>, --json <path> \
-                         and/or --strategy <name>)"
+                        "unknown argument `{other}` (expected --trace <path>, --json <path>, \
+                         --profile <path> and/or --strategy <name>)"
                     ))
                 }
             }
@@ -84,7 +96,7 @@ impl BenchOpts {
             Some(path) => Some(build_trace_sink(path)?),
             None => None,
         };
-        Ok(BenchOpts { trace, json, strategy, sink })
+        Ok(BenchOpts { trace, json, profile, strategy, sink })
     }
 
     /// Parse the process arguments; print usage and exit on error.
@@ -92,7 +104,8 @@ impl BenchOpts {
         BenchOpts::parse(std::env::args().skip(1)).unwrap_or_else(|e| {
             eprintln!("error: {e}");
             eprintln!(
-                "usage: fig<N> [--trace <path>] [--json <path>] [--strategy <name>]\n\
+                "usage: fig<N> [--trace <path>] [--json <path>] [--profile <path>] \
+                 [--strategy <name>]\n\
                  strategies: auto-cost | eager | lazy-full | lazy-partial:<m> | auto:<m>"
             );
             std::process::exit(2);
@@ -137,6 +150,74 @@ impl BenchOpts {
             );
         }
     }
+
+    /// Run EXPLAIN ANALYZE for the figure's queries and write the
+    /// `--profile` JSON array (if requested). Each query is optimized under
+    /// the cluster's cost model, executed on a fresh profiling engine, and
+    /// joined plan-vs-actual; the annotated trees go to stdout and the
+    /// stable JSON documents to the `--profile` path. No-op without the
+    /// flag. Call once, after the figure's tables are printed.
+    pub fn write_profile(
+        &self,
+        cluster: &ntga::ClusterConfig,
+        store: &TripleStore,
+        queries: &[(String, Query)],
+    ) {
+        let Some(path) = &self.profile else { return };
+        let profiles = profile_queries(cluster, store, queries).unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        });
+        for profile in &profiles {
+            print!("{}", profile.render());
+        }
+        let payload =
+            format!("[{}]", profiles.iter().map(|p| p.to_json()).collect::<Vec<_>>().join(","));
+        if let Err(e) = std::fs::write(path, payload) {
+            eprintln!("error: writing {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        println!("wrote {} EXPLAIN ANALYZE profiles to {}", profiles.len(), path.display());
+    }
+}
+
+/// Optimize each query under the cluster's cost model, execute the plan on
+/// a fresh profiling engine, and join it against the measured run — the
+/// engine behind the `--profile` flag and the `fig_profile` exhibit.
+pub fn profile_queries(
+    cluster: &ntga::ClusterConfig,
+    store: &TripleStore,
+    queries: &[(String, Query)],
+) -> Result<Vec<ntga_core::Profile>, String> {
+    let stats = store.stats();
+    let cluster = cluster.clone().with_profiling(true);
+    queries
+        .iter()
+        .map(|(qid, query)| {
+            let engine = cluster.engine_with(store);
+            let config = ntga_core::OptimizerConfig::for_engine(&engine);
+            let plan = ntga_core::optimize(query, &stats, &engine.cost, &config)
+                .map_err(|e| format!("{qid}: planning failed: {e}"))?;
+            let (run, stars) = ntga_core::execute_plan_profiled(
+                ntga_core::DataPlane::Lexical,
+                &plan,
+                &engine,
+                query,
+                mr_rdf::TRIPLES_FILE,
+                qid,
+                false,
+            )
+            .map_err(|e| format!("{qid}: execution failed: {e}"))?;
+            if !run.succeeded() {
+                return Err(format!(
+                    "{qid}: profiled run failed: {}",
+                    run.stats.failure.as_deref().unwrap_or("unknown")
+                ));
+            }
+            ntga_core::explain_analyze(&plan, &run.stats, &stars)
+                .map_err(|e| format!("{qid}: profile join failed: {e}"))
+        })
+        .collect()
 }
 
 fn parse_strategy(name: &str) -> Result<Runner, String> {
@@ -358,7 +439,46 @@ mod tests {
         }
 
         assert!(BenchOpts::parse(["--trace".to_string()]).is_err());
+        assert!(BenchOpts::parse(["--profile".to_string()]).is_err());
         assert!(BenchOpts::parse(["--bogus".to_string()]).is_err());
+    }
+
+    #[test]
+    fn profile_flag_writes_explain_analyze() {
+        let store = datagen::bsbm::generate(&datagen::BsbmConfig::with_products(20));
+        let q = rdf_query::parse_query(
+            "SELECT * WHERE { ?p <rdfs:label> ?l . ?p ?u ?x . ?x <rdfs:label> ?l2 . }",
+        )
+        .unwrap();
+        let queries = vec![("B1ish".to_string(), q)];
+        let path = std::env::temp_dir().join(format!("bench-profile-{}.json", std::process::id()));
+        let opts =
+            BenchOpts::parse(["--profile", path.to_str().unwrap()].map(String::from)).unwrap();
+        assert_eq!(opts.profile.as_deref(), Some(path.as_path()));
+        let cluster = ntga::ClusterConfig::default();
+        opts.write_profile(&cluster, &store, &queries);
+        let json = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        mrsim::trace::validate_json(&json).unwrap_or_else(|e| panic!("{json}: {e}"));
+        assert!(json.contains("\"operators\":["), "{json}");
+        assert!(json.contains("TG_GroupFilter"), "{json}");
+        assert!(json.contains("\"reconciliation\":"), "{json}");
+
+        // Without the flag, write_profile is a no-op.
+        let opts = BenchOpts::parse(Vec::new()).unwrap();
+        opts.write_profile(&cluster, &store, &queries);
+        assert!(!path.exists());
+
+        // The library entry point returns the same profiles directly, and
+        // their q-errors stay consistent with the runs' workflow stats.
+        let profiles = profile_queries(&cluster, &store, &queries).unwrap();
+        assert_eq!(profiles.len(), 1);
+        let op_max = profiles[0]
+            .operators
+            .iter()
+            .filter_map(|o| o.q_error)
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert_eq!(Some(op_max), profiles[0].max_q_error);
     }
 
     #[test]

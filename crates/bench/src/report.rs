@@ -37,6 +37,14 @@ pub struct Row {
     /// Worst reduce skew over the workflow's jobs (heaviest partition ÷
     /// mean partition load; 1.0 = perfectly balanced shuffles).
     pub reduce_skew: f64,
+    /// Heaviest single reduce partition across the workflow, in shuffle
+    /// bytes — the absolute figure behind `reduce_skew`'s ratio.
+    pub max_partition_shuffle_bytes: u64,
+    /// Peak bytes held by any one task's spill arenas (always accounted,
+    /// profiling or not).
+    pub peak_arena_bytes: u64,
+    /// Peak live bytes attributed to a single task across the workflow.
+    pub peak_task_live_bytes: u64,
     /// β-unnest expansion factor: records leaving the unnest operators ÷
     /// records entering them ([`op::UNNEST_OUT`]` + `[`op::PARTIAL_OUT`]
     /// over [`op::UNNEST_IN`]` + `[`op::PARTIAL_IN`]); 1.0 when the plan
@@ -83,6 +91,9 @@ impl Row {
             sim_seconds: run.stats.sim_seconds,
             max_q_error: run.stats.max_q_error(),
             reduce_skew: run.stats.max_reduce_skew(),
+            max_partition_shuffle_bytes: run.stats.max_partition_shuffle_bytes(),
+            peak_arena_bytes: run.stats.peak_arena_bytes(),
+            peak_task_live_bytes: run.stats.peak_task_live_bytes(),
             beta_expansion: if unnest_in > 0 { unnest_out as f64 / unnest_in as f64 } else { 1.0 },
             result_records: run.stats.final_output_records(),
             result_bytes: run.stats.final_output_text_bytes(),
@@ -121,7 +132,7 @@ pub fn print_table(title: &str, note: &str, rows: &[Row]) {
         println!("{note}");
     }
     let header = format!(
-        "{:<10} {:<26} {:>3} {:>3} {:>12} {:>12} {:>12} {:>12} {:>12} {:>10} {:>6} {:>7} {:>4} {:>8}  status",
+        "{:<10} {:<26} {:>3} {:>3} {:>12} {:>12} {:>12} {:>12} {:>12} {:>10} {:>6} {:>12} {:>7} {:>4} {:>8}  status",
         "query",
         "approach",
         "MR",
@@ -133,6 +144,7 @@ pub fn print_table(title: &str, note: &str, rows: &[Row]) {
         "wire",
         "sim(s)",
         "skew",
+        "maxpart",
         "βx",
         "rtry",
         "rty(s)"
@@ -148,7 +160,7 @@ pub fn print_table(title: &str, note: &str, rows: &[Row]) {
         }
         last_query = r.query.clone();
         println!(
-            "{:<10} {:<26} {:>3} {:>3} {:>12} {:>12} {:>12} {:>12} {:>12} {:>10.1} {:>6.2} {:>7.1} {:>4} {:>8.1}  {}",
+            "{:<10} {:<26} {:>3} {:>3} {:>12} {:>12} {:>12} {:>12} {:>12} {:>10.1} {:>6.2} {:>12} {:>7.1} {:>4} {:>8.1}  {}",
             r.query,
             r.approach,
             r.mr_cycles,
@@ -160,6 +172,7 @@ pub fn print_table(title: &str, note: &str, rows: &[Row]) {
             human_bytes(r.shuffle_wire_bytes),
             r.sim_seconds,
             r.reduce_skew,
+            human_bytes(r.max_partition_shuffle_bytes),
             r.beta_expansion,
             r.task_retries + r.stage_retries,
             r.retry_seconds,
@@ -222,6 +235,12 @@ pub fn rows_json(rows: &[Row]) -> String {
         }
         out.push_str(",\"reduce_skew\":");
         push_json_f64(&mut out, r.reduce_skew);
+        out.push_str(&format!(
+            ",\"max_partition_shuffle_bytes\":{}",
+            r.max_partition_shuffle_bytes
+        ));
+        out.push_str(&format!(",\"peak_arena_bytes\":{}", r.peak_arena_bytes));
+        out.push_str(&format!(",\"peak_task_live_bytes\":{}", r.peak_task_live_bytes));
         out.push_str(",\"beta_expansion\":");
         push_json_f64(&mut out, r.beta_expansion);
         out.push_str(&format!(",\"result_records\":{}", r.result_records));
@@ -287,6 +306,9 @@ mod tests {
             sim_seconds: f64::NAN,
             max_q_error: Some(2.5),
             reduce_skew: 1.25,
+            max_partition_shuffle_bytes: 40,
+            peak_arena_bytes: 512,
+            peak_task_live_bytes: 768,
             beta_expansion: 5.0,
             result_records: 7,
             result_bytes: 70,
@@ -312,6 +334,9 @@ mod tests {
         assert!(json.contains("\"sim_seconds\":null"), "{json}");
         assert!(json.contains("\"max_q_error\":2.5"), "{json}");
         assert!(json.contains("\"shuffle_wire_bytes\":80"), "{json}");
+        assert!(json.contains("\"max_partition_shuffle_bytes\":40"), "{json}");
+        assert!(json.contains("\"peak_arena_bytes\":512"), "{json}");
+        assert!(json.contains("\"peak_task_live_bytes\":768"), "{json}");
         assert!(json.contains("\"ntga.unnest.in\":2"), "{json}");
         assert!(json.contains("\"result_bytes\":70"), "{json}");
         assert!(json.contains("\"retry_seconds\":4.5"), "{json}");

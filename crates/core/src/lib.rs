@@ -16,7 +16,9 @@
 //! * [`optimizer`] — cost-based plan selection: per-star unnest placement,
 //!   per-cycle exact/partial/broadcast join choice and reducer sizing from
 //!   store statistics and the engine's cost model;
-//! * [`metrics`] — redundancy factors.
+//! * [`metrics`] — redundancy factors;
+//! * [`profile`] — EXPLAIN ANALYZE: join a priced plan against the measured
+//!   run into a per-operator estimated-vs-actual profile tree.
 //!
 //! ## Quick start
 //!
@@ -49,13 +51,15 @@ pub mod metrics;
 pub mod optimizer;
 pub mod physical;
 pub mod planner;
+pub mod profile;
 pub mod rewrite;
 pub mod tg;
 
 pub use explain::{explain, explain_plan, PlanText};
 pub use optimizer::{
-    execute_cost_based, execute_plan, execute_plan_on, optimize, DataPlane, JoinAlgo,
-    OptimizerConfig, PhysicalPlan,
+    execute_cost_based, execute_plan, execute_plan_on, execute_plan_profiled, optimize, DataPlane,
+    JoinAlgo, OptimizerConfig, PhysicalPlan,
 };
 pub use planner::{execute, execute_on, expand_tuples, Strategy};
+pub use profile::{explain_analyze, OpProfile, Profile, StarProfile};
 pub use tg::{AnnTg, TgTuple};

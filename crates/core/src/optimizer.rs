@@ -105,6 +105,8 @@ pub struct CyclePlan {
     pub algo: JoinAlgo,
     /// Estimated join output cardinality (records).
     pub estimated_output_records: f64,
+    /// Estimated join output size in text bytes.
+    pub estimated_output_bytes: f64,
     /// Estimated shuffle bytes (0 for broadcast cycles).
     pub estimated_shuffle_bytes: u64,
     /// Estimated cost of this cycle in simulated seconds.
@@ -121,6 +123,13 @@ pub struct PhysicalPlan {
     pub job1_reduce_tasks: usize,
     /// Estimated total records Job 1 writes across all equivalence classes.
     pub estimated_job1_records: f64,
+    /// Estimated total text bytes Job 1 writes across all equivalence classes.
+    pub estimated_job1_bytes: f64,
+    /// Estimated records per equivalence-class file (one entry per star,
+    /// under the chosen eager/lazy placement) — the per-star breakdown of
+    /// [`PhysicalPlan::estimated_job1_records`] that `explain_analyze`
+    /// joins against measured per-star admissions.
+    pub estimated_star_records: Vec<f64>,
     /// Estimated cost of Job 1 in simulated seconds.
     pub estimated_job1_seconds: f64,
     /// One entry per join cycle, in the planner's left-deep order.
@@ -519,6 +528,7 @@ pub fn optimize(
             let mut best_cycle = CyclePlan {
                 algo: JoinAlgo::Reduce { mode: UnnestMode::Exact, reduce_tasks: rt },
                 estimated_output_records: out.records,
+                estimated_output_bytes: out.bytes,
                 estimated_shuffle_bytes: shuffle,
                 estimated_seconds: secs,
             };
@@ -539,6 +549,7 @@ pub fn optimize(
                         best_cycle = CyclePlan {
                             algo: JoinAlgo::Reduce { mode, reduce_tasks: rt },
                             estimated_output_records: out.records,
+                            estimated_output_bytes: out.bytes,
                             estimated_shuffle_bytes: shuffle,
                             estimated_seconds: secs,
                         };
@@ -553,6 +564,7 @@ pub fn optimize(
                         best_cycle = CyclePlan {
                             algo: JoinAlgo::Broadcast { build },
                             estimated_output_records: out.records,
+                            estimated_output_bytes: out.bytes,
                             estimated_shuffle_bytes: 0,
                             estimated_seconds: secs,
                         };
@@ -569,6 +581,8 @@ pub fn optimize(
             eager_stars,
             job1_reduce_tasks,
             estimated_job1_records: job1_records,
+            estimated_job1_bytes: ecs.iter().map(|e| e.bytes).sum(),
+            estimated_star_records: ecs.iter().map(|e| e.records).collect(),
             estimated_job1_seconds: job1_seconds,
             cycles,
             estimated_seconds: total,
@@ -611,6 +625,25 @@ pub fn execute_plan_on(
     label: &str,
     extract_solutions: bool,
 ) -> Result<QueryRun, PlanError> {
+    execute_plan_profiled(plane, plan, engine, query, input, label, extract_solutions)
+        .map(|(run, _)| run)
+}
+
+/// [`execute_plan_on`], additionally returning the per-star Job 1 output
+/// cardinalities — the record counts of the `{label}.ec{i}` equivalence-class
+/// files, read *before* the workflow's finish deletes them. Feed the vector
+/// to [`crate::profile::explain_analyze`] for the per-star q-error breakdown.
+/// The vector is empty when Job 1 itself failed.
+#[allow(clippy::too_many_arguments)]
+pub fn execute_plan_profiled(
+    plane: DataPlane,
+    plan: &PhysicalPlan,
+    engine: &Engine,
+    query: &Query,
+    input: &str,
+    label: &str,
+    extract_solutions: bool,
+) -> Result<(QueryRun, Vec<u64>), PlanError> {
     query.validate()?;
     check_query(query)?;
     let steps = join_schedule(query)?;
@@ -619,8 +652,8 @@ pub fn execute_plan_on(
     }
 
     let mut wf = Workflow::new(engine, format!("NTGA-CostBased/{label}"));
-    let fail = |wf: Workflow<'_>, e: &mrsim::MrError| {
-        Ok(QueryRun { stats: wf.finish_failed(e), solutions: None })
+    let fail = |wf: Workflow<'_>, e: &mrsim::MrError, stars: Vec<u64>| {
+        Ok((QueryRun { stats: wf.finish_failed(e), solutions: None }, stars))
     };
 
     let ec_files: Vec<String> = (0..query.stars.len()).map(|i| format!("{label}.ec{i}")).collect();
@@ -649,8 +682,13 @@ pub fn execute_plan_on(
     .with_reducers(plan.job1_reduce_tasks)
     .with_estimated_output(plan.estimated_job1_records);
     if let Err(e) = wf.run_job(job1) {
-        return fail(wf, &e);
+        return fail(wf, &e, Vec::new());
     }
+    // Per-star output cardinalities, read now — finish deletes the ec files.
+    let star_records: Vec<u64> = {
+        let hdfs = engine.hdfs().lock();
+        ec_files.iter().map(|f| hdfs.get(f).map(|d| d.len() as u64).unwrap_or(0)).collect()
+    };
 
     let mut components: Vec<usize> = vec![0];
     let mut current_file = ec_files[0].clone();
@@ -685,7 +723,7 @@ pub fn execute_plan_on(
         }
         .with_estimated_output(cycle.estimated_output_records);
         if let Err(e) = wf.run_job(job) {
-            return fail(wf, &e);
+            return fail(wf, &e, star_records);
         }
         components.push(step.other);
         current_file = out;
@@ -700,7 +738,7 @@ pub fn execute_plan_on(
     } else {
         None
     };
-    Ok(QueryRun { stats, solutions })
+    Ok((QueryRun { stats, solutions }, star_records))
 }
 
 /// [`execute_plan_on`] on the lexical plane.

@@ -64,6 +64,14 @@ pub mod op {
     /// Text bytes a full β-unnest would have shipped for the same tuples
     /// (computed arithmetically, without materializing the expansion).
     pub const PARTIAL_EXPANDED_BYTES: &str = "ntga.partial.expanded_bytes";
+    /// Distribution metric (a log2 histogram recorded through
+    /// [`mrsim::TaskContext::record`], not a counter): the per-group width
+    /// of each β-unnest — how many perfect triplegroups one annotated
+    /// triplegroup expands into. Only populated when the engine profiles
+    /// (`Engine::with_profiling`); surfaces on `JobStats::metrics` with
+    /// p50/p95/p99 so unnest fanout tails are visible, not just the
+    /// [`UNNEST_OUT`]/[`UNNEST_IN`] mean.
+    pub const UNNEST_WIDTH: &str = "ntga.unnest.width";
 }
 
 /// The partition function `φ_m` over a join-key token.
@@ -137,7 +145,9 @@ pub fn group_filter_job_stars(
                     admitted += 1;
                     if eager[i] {
                         ctx.count(op::UNNEST_IN, 1);
-                        for perfect in crate::logical::beta_unnest(&ann) {
+                        let perfects = crate::logical::beta_unnest(&ann);
+                        ctx.record(op::UNNEST_WIDTH, perfects.len() as u64);
+                        for perfect in perfects {
                             ctx.count(op::UNNEST_OUT, 1);
                             out.emit_to(i, &TgTuple(vec![perfect]))?;
                         }
@@ -245,7 +255,9 @@ pub fn group_filter_job_ids_stars(
                     admitted += 1;
                     if eager[i] {
                         ctx.count(op::UNNEST_IN, 1);
-                        for perfect in crate::logical::beta_unnest(&ann) {
+                        let perfects = crate::logical::beta_unnest(&ann);
+                        ctx.record(op::UNNEST_WIDTH, perfects.len() as u64);
+                        for perfect in perfects {
                             ctx.count(op::UNNEST_OUT, 1);
                             out.emit_to(i, &TgTuple(vec![perfect]))?;
                         }
@@ -443,10 +455,12 @@ fn join_mapper(side: u64, spec: JoinSide, mode: UnnestMode) -> Arc<dyn mrsim::Ra
             match mode {
                 UnnestMode::Exact => {
                     let unbound = matches!(spec.role, JoinRole::UnboundObj(_));
+                    let expansions = join_expansions(comp, spec.role);
                     if unbound {
                         ctx.count(op::UNNEST_IN, 1);
+                        ctx.record(op::UNNEST_WIDTH, expansions.len() as u64);
                     }
-                    for (key, pinned) in join_expansions(comp, spec.role) {
+                    for (key, pinned) in expansions {
                         if unbound {
                             ctx.count(op::UNNEST_OUT, 1);
                         }
@@ -641,10 +655,12 @@ pub fn tg_broadcast_join_job(
                 .get(probe_spec.component)
                 .ok_or_else(|| MrError::Op("join component out of range".into()))?;
             let unbound = matches!(probe_spec.role, JoinRole::UnboundObj(_));
+            let expansions = join_expansions(comp, probe_spec.role);
             if unbound {
                 ctx.count(op::UNNEST_IN, 1);
+                ctx.record(op::UNNEST_WIDTH, expansions.len() as u64);
             }
-            for (key, pinned) in join_expansions(comp, probe_spec.role) {
+            for (key, pinned) in expansions {
                 if unbound {
                     ctx.count(op::UNNEST_OUT, 1);
                 }

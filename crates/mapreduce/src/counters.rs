@@ -4,6 +4,7 @@
 //! counters: number of MR cycles, full scans of the input relation, HDFS
 //! bytes read and written (× replication), and shuffle (map-output) bytes.
 
+use crate::metrics::MetricsRegistry;
 use serde::Serialize;
 use std::collections::BTreeMap;
 
@@ -187,6 +188,25 @@ pub struct JobStats {
     /// Operator-level counters recorded by this job's map/reduce operators
     /// (see [`OpCounters`]); empty for jobs whose operators record none.
     pub ops: OpCounters,
+    /// Distribution metrics (per-task durations, per-partition shuffle
+    /// bytes, record wire sizes, reduce group widths) recorded as
+    /// deterministic log2 [`crate::Histogram`]s. Only populated when the
+    /// engine runs with profiling enabled (see `Engine::with_profiling`);
+    /// empty otherwise so the hot path pays nothing.
+    pub metrics: MetricsRegistry,
+    /// Peak `SpillArena` footprint (payload bytes + index
+    /// entries) of any merged reduce partition, in bytes. Arenas only
+    /// grow, so the end-of-phase footprint *is* the high-water mark.
+    /// Always recorded (the accounting is O(partitions), not O(records)).
+    pub peak_arena_bytes: u64,
+    /// Peak live bytes held by a single task: the largest map-task
+    /// emitter footprint (including the combiner's coexisting output
+    /// arena while it runs) or reduce-partition footprint, whichever is
+    /// larger. Worker-count-invariant because task chunking is.
+    pub peak_task_live_bytes: u64,
+    /// High-water mark of any spill index (entry count of the largest
+    /// arena index), bounding the sort working set.
+    pub peak_spill_entries: u64,
 }
 
 impl JobStats {
@@ -378,6 +398,39 @@ impl WorkflowStats {
     pub fn max_q_error(&self) -> Option<f64> {
         self.jobs.iter().filter_map(JobStats::q_error).reduce(f64::max)
     }
+
+    /// Distribution metrics merged across every job in the workflow.
+    /// Histogram merge is commutative and per-bucket, so the result is
+    /// independent of job order and worker count.
+    pub fn metrics(&self) -> MetricsRegistry {
+        let mut total = MetricsRegistry::new();
+        for job in &self.jobs {
+            total.merge(&job.metrics);
+        }
+        total
+    }
+
+    /// Largest merged-arena footprint over all jobs (bytes).
+    pub fn peak_arena_bytes(&self) -> u64 {
+        self.jobs.iter().map(|j| j.peak_arena_bytes).max().unwrap_or(0)
+    }
+
+    /// Largest single-task live-byte high-water mark over all jobs.
+    pub fn peak_task_live_bytes(&self) -> u64 {
+        self.jobs.iter().map(|j| j.peak_task_live_bytes).max().unwrap_or(0)
+    }
+
+    /// Largest spill-index entry count over all jobs.
+    pub fn peak_spill_entries(&self) -> u64 {
+        self.jobs.iter().map(|j| j.peak_spill_entries).max().unwrap_or(0)
+    }
+
+    /// Most-loaded reduce partition's shuffle bytes, over all jobs (0 when
+    /// nothing was shuffled). The absolute counterpart of
+    /// [`max_reduce_skew`](Self::max_reduce_skew).
+    pub fn max_partition_shuffle_bytes(&self) -> u64 {
+        self.jobs.iter().map(JobStats::max_partition_shuffle_bytes).max().unwrap_or(0)
+    }
 }
 
 #[cfg(test)]
@@ -494,6 +547,35 @@ mod tests {
         assert_eq!(wf.final_output_records(), 7);
         assert_eq!(wf.final_output_text_bytes(), 70);
         assert_eq!(WorkflowStats::default().final_output_text_bytes(), 0);
+    }
+
+    #[test]
+    fn metrics_and_memory_marks_aggregate() {
+        use crate::metrics::name;
+        let mut j1 = job(0, 0, 0, 1);
+        j1.metrics.record(name::REDUCE_GROUP_WIDTH, 4);
+        j1.peak_arena_bytes = 100;
+        j1.peak_task_live_bytes = 40;
+        j1.peak_spill_entries = 8;
+        let mut j2 = job(0, 0, 0, 2);
+        j2.metrics.record(name::REDUCE_GROUP_WIDTH, 9);
+        j2.shuffle_partition_bytes = vec![70, 30];
+        j2.peak_arena_bytes = 60;
+        j2.peak_task_live_bytes = 90;
+        j2.peak_spill_entries = 3;
+        let wf = WorkflowStats { jobs: vec![j1, j2], succeeded: true, ..WorkflowStats::default() };
+        let merged = wf.metrics();
+        let h = merged.get(name::REDUCE_GROUP_WIDTH).expect("merged histogram");
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.sum(), 13);
+        assert_eq!(h.max(), 9);
+        assert_eq!(wf.peak_arena_bytes(), 100);
+        assert_eq!(wf.peak_task_live_bytes(), 90);
+        assert_eq!(wf.peak_spill_entries(), 8);
+        assert_eq!(wf.max_partition_shuffle_bytes(), 70);
+        assert_eq!(WorkflowStats::default().peak_arena_bytes(), 0);
+        assert_eq!(WorkflowStats::default().max_partition_shuffle_bytes(), 0);
+        assert!(WorkflowStats::default().metrics().is_empty());
     }
 
     #[test]

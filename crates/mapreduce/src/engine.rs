@@ -80,6 +80,13 @@ pub struct Engine {
     /// dictionary ids back to tokens at output boundaries (the simulated
     /// analogue of shipping the dictionary via the distributed cache).
     dict: Option<Arc<rdf_model::Dictionary>>,
+    /// When true, jobs record distribution metrics (per-task durations,
+    /// per-partition shuffle bytes, record wire sizes, reduce group widths)
+    /// into [`JobStats::metrics`]. Off by default: the map-emit hot path is
+    /// untouched either way (histograms are filled from driver-side
+    /// accounting after the phases run), and task-level recording via
+    /// [`TaskContext::record`] compiles to a single branch.
+    pub profiling: bool,
 }
 
 /// Per-task metadata collected only while tracing, to lay task spans on
@@ -108,6 +115,7 @@ impl Engine {
             trace: None,
             broadcast_budget_bytes: 64 * 1024 * 1024, // ~a task heap's worth
             dict: None,
+            profiling: false,
         }
     }
 
@@ -149,6 +157,15 @@ impl Engine {
     /// Set the broadcast (distributed-cache) memory budget in bytes.
     pub fn with_broadcast_budget(mut self, bytes: u64) -> Self {
         self.broadcast_budget_bytes = bytes;
+        self
+    }
+
+    /// Enable distribution-metric profiling: jobs fill
+    /// [`JobStats::metrics`] with per-task duration, per-partition shuffle,
+    /// record-size, and reduce-group-width histograms, all derived from
+    /// worker-count-invariant accounting.
+    pub fn with_profiling(mut self, on: bool) -> Self {
+        self.profiling = on;
         self
     }
 
@@ -364,7 +381,10 @@ impl Engine {
         }
 
         self.emit(|| TraceEvent::JobStart { job: spec.name.clone() });
-        let mut scratch = TraceScratch { enabled: self.trace.is_some(), ..Default::default() };
+        // Per-task scratch feeds both trace spans and (when profiling) the
+        // task-duration histograms.
+        let mut scratch =
+            TraceScratch { enabled: self.trace.is_some() || self.profiling, ..Default::default() };
         let n_outputs = spec.outputs.len();
         let outputs = match &spec.kind {
             JobKind::MapOnly { files, mapper } => self.run_map_only(
@@ -457,10 +477,53 @@ impl Engine {
         stats.startup_seconds = self.cost.job_startup_s;
         stats.retry_seconds = self.cost.retry_seconds(&stats);
         stats.sim_seconds = self.cost.job_seconds(&stats);
-        if scratch.enabled {
+        if self.profiling {
+            self.record_profile(&mut stats, &scratch);
+        }
+        if self.trace.is_some() {
             self.emit_job_trace(&stats, &scratch);
         }
         Ok(stats)
+    }
+
+    /// Fill the job's duration and shuffle-distribution histograms from
+    /// driver-side accounting, after the cost model has priced the job.
+    /// Per-task durations apportion each phase's cost-model seconds by the
+    /// task's byte share — the same layout [`Engine::emit_job_trace`] uses
+    /// for task spans — so they are pure functions of worker-invariant
+    /// counters. Fault losses are priced separately (`retry_seconds`), so
+    /// the histograms are also fault-regime-invariant.
+    fn record_profile(&self, stats: &mut JobStats, scratch: &TraceScratch) {
+        use crate::metrics::name;
+        fn share_seconds(tasks: &[(u64, u64)], phase_seconds: f64) -> Vec<f64> {
+            let total_bytes: u64 = tasks.iter().map(|&(_, b)| b).sum();
+            let total_records: u64 = tasks.iter().map(|&(r, _)| r).sum();
+            tasks
+                .iter()
+                .map(|&(records, bytes)| {
+                    let share = if total_bytes > 0 {
+                        bytes as f64 / total_bytes as f64
+                    } else if total_records > 0 {
+                        records as f64 / total_records as f64
+                    } else {
+                        1.0 / tasks.len() as f64
+                    };
+                    phase_seconds * share
+                })
+                .collect()
+        }
+        let map_seconds = self.cost.map_phase_seconds(stats);
+        let reduce_seconds = self.cost.reduce_phase_seconds(stats);
+        for dur in share_seconds(&scratch.map_tasks, map_seconds) {
+            stats.metrics.record_seconds(name::TASK_MAP_MICROS, dur);
+        }
+        for dur in share_seconds(&scratch.reduce_tasks, reduce_seconds) {
+            stats.metrics.record_seconds(name::TASK_REDUCE_MICROS, dur);
+        }
+        for p in 0..stats.shuffle_partition_bytes.len() {
+            let bytes = stats.shuffle_partition_bytes[p];
+            stats.metrics.record(name::SHUFFLE_PARTITION_BYTES, bytes);
+        }
     }
 
     /// Emit the per-task spans, per-partition shuffle records, and closing
@@ -508,6 +571,24 @@ impl Engine {
                 partition: p as u64,
                 records,
                 bytes,
+            });
+        }
+        self.emit(|| TraceEvent::MemoryHighWater {
+            job: stats.name.clone(),
+            peak_arena_bytes: stats.peak_arena_bytes,
+            peak_task_live_bytes: stats.peak_task_live_bytes,
+            peak_spill_entries: stats.peak_spill_entries,
+        });
+        for (metric, h) in stats.metrics.iter() {
+            self.emit(|| TraceEvent::HistogramSummary {
+                job: stats.name.clone(),
+                metric: metric.to_string(),
+                count: h.count(),
+                sum: h.sum(),
+                p50: h.p50(),
+                p95: h.p95(),
+                p99: h.p99(),
+                max: h.max(),
             });
         }
         self.emit(|| TraceEvent::JobEnd {
@@ -559,17 +640,22 @@ impl Engine {
         }
         self.resolve_faults(epoch, TaskPhase::Map, chunks.len(), false, stats)?;
         let results = self.parallel_over(&chunks, |chunk| {
-            let ctx = TaskContext::with_env(self.dict.clone(), broadcast.to_vec());
+            let ctx = TaskContext::with_env(self.dict.clone(), broadcast.to_vec())
+                .profiled(self.profiling);
             let mut out = OutEmitter::with_outputs(budget, n_outputs);
             for rec in *chunk {
                 mapper.run(&ctx, rec, &mut out)?;
             }
-            Ok((out, ctx.take_counters()))
+            // Map-only tasks buffer their output records until commit.
+            let live_bytes: u64 = out.records.iter().map(|(_, r, _)| r.len() as u64).sum();
+            Ok((out, live_bytes, ctx.take_counters(), ctx.take_metrics()))
         })?;
         let mut files: Vec<DfsFile> = (0..n_outputs).map(|_| DfsFile::default()).collect();
         let mut total_text = 0u64;
-        for (out, ops) in results {
+        for (out, live_bytes, ops, task_metrics) in results {
             stats.ops.merge(&ops);
+            stats.metrics.merge(&task_metrics);
+            stats.peak_task_live_bytes = stats.peak_task_live_bytes.max(live_bytes);
             total_text += out.emitted_text;
             if let Some(b) = budget {
                 // Each task only bounds its own output against the budget;
@@ -632,30 +718,48 @@ impl Engine {
         }
         self.resolve_faults(epoch, TaskPhase::Map, work.len(), true, stats)?;
         let results = self.parallel_over(&work, |(mapper, chunk)| {
-            let ctx = TaskContext::with_env(self.dict.clone(), broadcast.to_vec());
+            let ctx = TaskContext::with_env(self.dict.clone(), broadcast.to_vec())
+                .profiled(self.profiling);
             let mut out = MapEmitter::partitioned(reduce_tasks);
             for rec in *chunk {
                 mapper.run(&ctx, rec, &mut out)?;
             }
             let pre_combine = out.len() as u64;
+            let mut live_bytes: u64 = out.buckets.iter().map(SpillArena::footprint_bytes).sum();
             if let Some(c) = combiner {
                 out = Self::run_combiner(c, &ctx, out)?;
+                // While the combiner runs, the original spill and its
+                // combined replacement coexist in task memory.
+                live_bytes += out.buckets.iter().map(SpillArena::footprint_bytes).sum::<u64>();
             }
-            Ok((out, pre_combine, ctx.take_counters()))
+            Ok((out, pre_combine, live_bytes, ctx.take_counters(), ctx.take_metrics()))
         })?;
         let mut partitions: Vec<SpillArena> =
             (0..reduce_tasks).map(|_| SpillArena::default()).collect();
         stats.shuffle_partition_bytes = vec![0; reduce_tasks];
-        for (out, pre_combine, ops) in results {
+        for (out, pre_combine, live_bytes, ops, task_metrics) in results {
             stats.ops.merge(&ops);
+            stats.metrics.merge(&task_metrics);
             stats.pre_combine_records += pre_combine;
+            stats.peak_task_live_bytes = stats.peak_task_live_bytes.max(live_bytes);
             for (p, bucket) in out.buckets.iter().enumerate() {
                 stats.map_output_records += bucket.len() as u64;
                 stats.map_output_bytes += bucket.text_bytes();
                 stats.map_output_encoded_bytes += bucket.encoded_bytes();
                 stats.shuffle_partition_bytes[p] += bucket.text_bytes();
+                if self.profiling {
+                    for wire in bucket.record_wire_sizes() {
+                        stats.metrics.record(crate::metrics::name::RECORD_SHUFFLE_BYTES, wire);
+                    }
+                }
                 partitions[p].absorb(bucket);
             }
+        }
+        // Arenas only grow, so the post-merge footprint of each reduce
+        // partition is its lifetime high-water mark.
+        for part in &partitions {
+            stats.peak_arena_bytes = stats.peak_arena_bytes.max(part.footprint_bytes());
+            stats.peak_spill_entries = stats.peak_spill_entries.max(part.len() as u64);
         }
         Ok(partitions)
     }
@@ -716,10 +820,14 @@ impl Engine {
         let shared_budget = budget;
         let partitions: Vec<Mutex<SpillArena>> = partitions.into_iter().map(Mutex::new).collect();
         let results = self.parallel_over(&partitions, |cell| {
-            let ctx = TaskContext::with_env(self.dict.clone(), broadcast.to_vec());
+            let ctx = TaskContext::with_env(self.dict.clone(), broadcast.to_vec())
+                .profiled(self.profiling);
             let mut guard = cell.lock();
             guard.sort_unstable();
             let part: &SpillArena = &guard;
+            // The reduce task's live set is its whole partition arena
+            // (payload bytes + sort index).
+            let live_bytes = part.footprint_bytes();
             let mut out = OutEmitter::with_outputs(shared_budget, n_outputs);
             let mut groups = 0u64;
             let mut values: Vec<&[u8]> = Vec::new();
@@ -731,17 +839,20 @@ impl Engine {
                 }
                 values.clear();
                 values.extend((i..j).map(|t| part.value(t)));
+                ctx.record(crate::metrics::name::REDUCE_GROUP_WIDTH, (j - i) as u64);
                 reducer.run(&ctx, part.key(i), &values, &mut out)?;
                 groups += 1;
                 i = j;
             }
-            Ok((out, groups, ctx.take_counters()))
+            Ok((out, groups, live_bytes, ctx.take_counters(), ctx.take_metrics()))
         })?;
         let mut files: Vec<DfsFile> = (0..n_outputs).map(|_| DfsFile::default()).collect();
         let mut total_text = 0u64;
-        for (out, groups, ops) in results {
+        for (out, groups, live_bytes, ops, task_metrics) in results {
             stats.ops.merge(&ops);
+            stats.metrics.merge(&task_metrics);
             stats.reduce_groups += groups;
+            stats.peak_task_live_bytes = stats.peak_task_live_bytes.max(live_bytes);
             total_text += out.emitted_text;
             if let Some(b) = budget {
                 // Early-abort check across partitions: each partition only
@@ -762,12 +873,17 @@ impl Engine {
         Ok(files)
     }
 
-    /// Split a record slice into roughly worker-count×4 chunks.
+    /// Split a record slice into fixed-size chunks: ~1/32 of the input,
+    /// at least 1024 records. Deliberately independent of the worker
+    /// count — chunks are the engine's "tasks", and everything accounted
+    /// per task (fault draws via `map_tasks_scheduled`, task spans,
+    /// duration histograms, per-task memory high-water marks) must be
+    /// identical whether 1 or 8 threads drain the chunk queue.
     fn chunk<'a>(&self, records: &'a [Vec<u8>]) -> Vec<&'a [Vec<u8>]> {
         if records.is_empty() {
             return Vec::new();
         }
-        let target = (records.len() / (self.workers * 4)).max(1024).min(records.len());
+        let target = (records.len() / 32).max(1024).min(records.len());
         records.chunks(target).collect()
     }
 
@@ -1197,6 +1313,94 @@ mod tests {
         let ctx2 = TaskContext::new();
         assert!(ctx2.task_state::<u64, _>(|| Err(MrError::Op("boom".into()))).is_err());
         assert_eq!(*ctx2.task_state(|| Ok(7u64)).unwrap(), 7);
+    }
+
+    #[test]
+    fn profiling_fills_histograms_and_memory_marks() {
+        use crate::metrics::name;
+        let engine = word_count_engine(&["a", "b", "a", "c", "a", "b"]).with_profiling(true);
+        let stats = engine.run_job(&word_count_spec()).unwrap();
+        let widths = stats.metrics.get(name::REDUCE_GROUP_WIDTH).expect("group widths");
+        assert_eq!(widths.count(), stats.reduce_groups);
+        assert_eq!(widths.sum(), stats.reduce_input_records);
+        assert_eq!(widths.max(), 3); // "a" appears three times
+        let parts = stats.metrics.get(name::SHUFFLE_PARTITION_BYTES).expect("partition bytes");
+        assert_eq!(parts.count(), stats.reduce_tasks);
+        assert_eq!(parts.sum(), stats.map_output_bytes);
+        let recs = stats.metrics.get(name::RECORD_SHUFFLE_BYTES).expect("record sizes");
+        assert_eq!(recs.count(), stats.map_output_records);
+        assert_eq!(recs.sum(), stats.map_output_encoded_bytes);
+        let map_t = stats.metrics.get(name::TASK_MAP_MICROS).expect("map task durations");
+        assert_eq!(map_t.count(), stats.faults.map_tasks_scheduled);
+        let red_t = stats.metrics.get(name::TASK_REDUCE_MICROS).expect("reduce task durations");
+        assert_eq!(red_t.count(), stats.reduce_tasks);
+        // Memory high-water marks are recorded even without profiling.
+        assert!(stats.peak_arena_bytes > 0);
+        assert!(stats.peak_task_live_bytes > 0);
+        assert!(stats.peak_spill_entries > 0);
+
+        let engine = word_count_engine(&["a", "b"]);
+        let plain = engine.run_job(&word_count_spec()).unwrap();
+        assert!(plain.metrics.is_empty(), "no histograms unless profiling");
+        assert!(plain.peak_arena_bytes > 0);
+    }
+
+    #[test]
+    fn profile_deterministic_across_worker_counts_and_faults() {
+        // > 4096 records so the input splits into multiple chunks — the
+        // regime where worker-dependent chunking would skew per-task
+        // histograms and live-byte marks.
+        let words: Vec<String> = (0..6000).map(|i| format!("word{}", i % 37)).collect();
+        let refs: Vec<&str> = words.iter().map(String::as_str).collect();
+        let run = |workers: usize, faults: FaultConfig| {
+            let engine = word_count_engine(&refs)
+                .with_workers(workers)
+                .with_profiling(true)
+                .with_faults(faults);
+            let stats = engine.run_job(&word_count_spec()).unwrap();
+            format!("{stats:?}")
+        };
+        let baseline = run(1, FaultConfig::none());
+        for workers in [4, 8] {
+            assert_eq!(run(workers, FaultConfig::none()), baseline, "workers={workers}");
+        }
+        // Histograms and memory marks must also agree across worker counts
+        // under fault injection (fault draws are schedule-independent).
+        let faulty = FaultConfig { task_failure_probability: 0.2, seed: 7, ..FaultConfig::none() };
+        let fault_base = run(1, faulty.clone());
+        for workers in [4, 8] {
+            assert_eq!(run(workers, faulty.clone()), fault_base, "faulty workers={workers}");
+        }
+        // The duration histograms themselves are fault-regime-invariant:
+        // fault losses are priced into retry_seconds, not phase seconds.
+        let clean_metrics = {
+            let engine = word_count_engine(&refs).with_profiling(true);
+            engine.run_job(&word_count_spec()).unwrap().metrics
+        };
+        let faulty_metrics = {
+            let engine = word_count_engine(&refs).with_profiling(true).with_faults(faulty);
+            engine.run_job(&word_count_spec()).unwrap().metrics
+        };
+        assert_eq!(clean_metrics, faulty_metrics);
+    }
+
+    #[test]
+    fn trace_carries_memory_and_histogram_summaries() {
+        use crate::trace::MemorySink;
+        let sink = MemorySink::new();
+        let engine =
+            word_count_engine(&["a", "b", "a"]).with_profiling(true).with_trace(sink.clone());
+        let stats = engine.run_job(&word_count_spec()).unwrap();
+        let events = sink.events();
+        assert!(events.iter().any(|e| matches!(
+            e,
+            TraceEvent::MemoryHighWater { peak_arena_bytes, .. }
+                if *peak_arena_bytes == stats.peak_arena_bytes
+        )));
+        let summaries =
+            events.iter().filter(|e| matches!(e, TraceEvent::HistogramSummary { .. })).count();
+        assert_eq!(summaries, stats.metrics.iter().count());
+        assert!(summaries >= 4, "map/reduce durations, partition bytes, record sizes");
     }
 
     #[test]

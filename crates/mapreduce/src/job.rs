@@ -10,6 +10,7 @@ use crate::codec::Rec;
 use crate::counters::OpCounters;
 use crate::error::MrError;
 use crate::hdfs::DfsFile;
+use crate::metrics::MetricsRegistry;
 use rdf_model::atom::{Atom, AtomTable};
 use rdf_model::Dictionary;
 use std::any::Any;
@@ -47,6 +48,8 @@ pub struct TaskContext {
     /// Interner for token (`Atom`) fields decoded by this task.
     pub atoms: AtomTable,
     counters: RefCell<OpCounters>,
+    metrics: RefCell<MetricsRegistry>,
+    profiling: bool,
     dict: Option<Arc<Dictionary>>,
     broadcast: Vec<Arc<DfsFile>>,
     state: RefCell<Option<Box<dyn Any + Send>>>,
@@ -57,6 +60,7 @@ impl std::fmt::Debug for TaskContext {
         f.debug_struct("TaskContext")
             .field("atoms", &self.atoms)
             .field("counters", &self.counters)
+            .field("profiling", &self.profiling)
             .field("dict", &self.dict)
             .field("broadcast_files", &self.broadcast.len())
             .field("has_state", &self.state.borrow().is_some())
@@ -82,10 +86,20 @@ impl TaskContext {
         TaskContext {
             atoms: AtomTable::new(),
             counters: RefCell::new(OpCounters::new()),
+            metrics: RefCell::new(MetricsRegistry::new()),
+            profiling: false,
             dict,
             broadcast,
             state: RefCell::new(None),
         }
+    }
+
+    /// Enable distribution-metric recording for this task (the engine sets
+    /// this from its profiling flag). When off — the default —
+    /// [`TaskContext::record`] is a no-op, so un-profiled runs pay nothing.
+    pub fn profiled(mut self, on: bool) -> Self {
+        self.profiling = on;
+        self
     }
 
     /// Broadcast side file `idx` (the order of [`JobSpec::with_broadcast`]),
@@ -158,6 +172,22 @@ impl TaskContext {
     /// task to merge them into the job's stats).
     pub fn take_counters(&self) -> OpCounters {
         self.counters.take()
+    }
+
+    /// Record one sample into the named distribution metric (a log2
+    /// [`crate::Histogram`]). No-op unless the engine enabled profiling
+    /// for this task via [`TaskContext::profiled`], so operators can call
+    /// it unconditionally on hot paths.
+    pub fn record(&self, name: &'static str, value: u64) {
+        if self.profiling {
+            self.metrics.borrow_mut().record(name, value);
+        }
+    }
+
+    /// Drain this task's recorded distribution metrics (the engine merges
+    /// them into [`crate::JobStats::metrics`]).
+    pub fn take_metrics(&self) -> MetricsRegistry {
+        self.metrics.take()
     }
 }
 
@@ -960,6 +990,23 @@ mod tests {
         assert_eq!(counters.get("reduce.groups_seen"), 1);
         // take_counters drains.
         assert!(ctx.take_counters().is_empty());
+    }
+
+    #[test]
+    fn record_is_gated_on_profiling() {
+        let off = TaskContext::new();
+        off.record("reduce.group.width", 7);
+        assert!(off.take_metrics().is_empty());
+
+        let on = TaskContext::new().profiled(true);
+        on.record("reduce.group.width", 7);
+        on.record("reduce.group.width", 3);
+        let metrics = on.take_metrics();
+        let h = metrics.get("reduce.group.width").expect("recorded histogram");
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.sum(), 10);
+        // take_metrics drains.
+        assert!(on.take_metrics().is_empty());
     }
 
     #[test]

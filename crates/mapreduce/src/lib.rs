@@ -55,6 +55,7 @@ pub mod error;
 pub mod faults;
 pub mod hdfs;
 pub mod job;
+pub mod metrics;
 pub(crate) mod spill;
 pub mod trace;
 pub mod workflow;
@@ -76,6 +77,7 @@ pub use job::{
     InputBinding, JobKind, JobSpec, MapEmitter, OutEmitter, RawCombineOp, RawMapOnlyOp, RawMapOp,
     RawReduceOp, TaskContext, TypedMapEmitter, TypedOutEmitter,
 };
+pub use metrics::{Histogram, MetricsRegistry};
 pub use trace::{
     ChromeTraceSink, JsonlSink, MemorySink, MultiSink, TaskPhase, TraceEvent, TraceSink,
 };

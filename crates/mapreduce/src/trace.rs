@@ -190,6 +190,39 @@ pub enum TraceEvent {
         /// Shuffle bytes routed to this partition.
         bytes: u64,
     },
+    /// A job's memory high-water marks (see the matching
+    /// [`crate::JobStats`] fields).
+    MemoryHighWater {
+        /// Job name.
+        job: String,
+        /// Largest merged reduce-partition spill-arena footprint in bytes.
+        peak_arena_bytes: u64,
+        /// Largest per-task live byte footprint (map emitter buffers,
+        /// combiner coexistence included, or a reduce partition).
+        peak_task_live_bytes: u64,
+        /// Largest spill-arena record-index length (entries).
+        peak_spill_entries: u64,
+    },
+    /// Summary of one profiling histogram recorded by a job (full bucket
+    /// detail lives in [`crate::JobStats::metrics`]).
+    HistogramSummary {
+        /// Job name.
+        job: String,
+        /// Metric name (see [`crate::metrics::name`]).
+        metric: String,
+        /// Number of recorded values.
+        count: u64,
+        /// Sum of recorded values.
+        sum: u64,
+        /// Median (bucket upper bound, clamped to max).
+        p50: u64,
+        /// 95th percentile.
+        p95: u64,
+        /// 99th percentile.
+        p99: u64,
+        /// Largest recorded value.
+        max: u64,
+    },
     /// A job finished; carries its headline counters.
     JobEnd {
         /// Job name.
@@ -273,6 +306,8 @@ impl TraceEvent {
             TraceEvent::Broadcast { .. } => "broadcast",
             TraceEvent::CardinalityEstimate { .. } => "cardinality_estimate",
             TraceEvent::ShufflePartition { .. } => "shuffle_partition",
+            TraceEvent::MemoryHighWater { .. } => "memory_high_water",
+            TraceEvent::HistogramSummary { .. } => "histogram_summary",
             TraceEvent::JobEnd { .. } => "job_end",
             TraceEvent::JobSpan { .. } => "job_span",
             TraceEvent::StageRetry { .. } => "stage_retry",
@@ -345,6 +380,27 @@ impl TraceEvent {
                 o.u64("partition", *partition);
                 o.u64("records", *records);
                 o.u64("bytes", *bytes);
+            }
+            TraceEvent::MemoryHighWater {
+                job,
+                peak_arena_bytes,
+                peak_task_live_bytes,
+                peak_spill_entries,
+            } => {
+                o.str("job", job);
+                o.u64("peak_arena_bytes", *peak_arena_bytes);
+                o.u64("peak_task_live_bytes", *peak_task_live_bytes);
+                o.u64("peak_spill_entries", *peak_spill_entries);
+            }
+            TraceEvent::HistogramSummary { job, metric, count, sum, p50, p95, p99, max } => {
+                o.str("job", job);
+                o.str("metric", metric);
+                o.u64("count", *count);
+                o.u64("sum", *sum);
+                o.u64("p50", *p50);
+                o.u64("p95", *p95);
+                o.u64("p99", *p99);
+                o.u64("max", *max);
             }
             TraceEvent::JobEnd {
                 job,
@@ -438,14 +494,18 @@ pub(crate) fn json_f64(v: f64) -> String {
     }
 }
 
-/// Minimal incremental JSON-object writer used by the sinks.
+/// Minimal incremental JSON-object writer. Used by the sinks, and public
+/// because every hand-rolled JSON producer in the workspace (the serde
+/// stand-in is a no-op) wants exactly this: ordered keys, correct escaping,
+/// `null` for non-finite floats.
 #[derive(Default)]
-pub(crate) struct JsonObject {
+pub struct JsonObject {
     buf: String,
 }
 
 impl JsonObject {
-    pub(crate) fn new() -> Self {
+    /// Start an empty object.
+    pub fn new() -> Self {
         JsonObject { buf: String::from("{") }
     }
 
@@ -458,35 +518,40 @@ impl JsonObject {
         self.buf.push_str("\":");
     }
 
-    pub(crate) fn str(&mut self, k: &str, v: &str) {
+    /// Append a string field (escaped).
+    pub fn str(&mut self, k: &str, v: &str) {
         self.key(k);
         self.buf.push('"');
         escape_json_into(v, &mut self.buf);
         self.buf.push('"');
     }
 
-    pub(crate) fn u64(&mut self, k: &str, v: u64) {
+    /// Append an unsigned integer field.
+    pub fn u64(&mut self, k: &str, v: u64) {
         self.key(k);
         self.buf.push_str(&v.to_string());
     }
 
-    pub(crate) fn f64(&mut self, k: &str, v: f64) {
+    /// Append a float field (`null` when non-finite).
+    pub fn f64(&mut self, k: &str, v: f64) {
         self.key(k);
         self.buf.push_str(&json_f64(v));
     }
 
-    pub(crate) fn bool(&mut self, k: &str, v: bool) {
+    /// Append a boolean field.
+    pub fn bool(&mut self, k: &str, v: bool) {
         self.key(k);
         self.buf.push_str(if v { "true" } else { "false" });
     }
 
     /// Insert a pre-rendered JSON value verbatim.
-    pub(crate) fn raw(&mut self, k: &str, json: &str) {
+    pub fn raw(&mut self, k: &str, json: &str) {
         self.key(k);
         self.buf.push_str(json);
     }
 
-    pub(crate) fn finish(mut self) -> String {
+    /// Close the object and return its JSON text.
+    pub fn finish(mut self) -> String {
         self.buf.push('}');
         self.buf
     }
@@ -504,6 +569,21 @@ pub fn validate_json(s: &str) -> Result<(), String> {
     skip_ws(bytes, &mut pos);
     if pos != bytes.len() {
         return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(())
+}
+
+/// Validate a JSON Lines document (e.g. a [`JsonlSink`] event log): every
+/// non-empty line must be one complete JSON value. On failure, reports the
+/// zero-based line index — the offending event's position in the stream —
+/// alongside the inner parse error, instead of leaving the caller to
+/// bisect the file.
+pub fn validate_jsonl(s: &str) -> Result<(), String> {
+    for (line_no, line) in s.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        validate_json(line).map_err(|e| format!("line {line_no} (event {line_no}): {e}"))?;
     }
     Ok(())
 }
@@ -918,9 +998,12 @@ impl TraceSink for ChromeTraceSink {
             }
             TraceEvent::ShufflePartition { .. }
             | TraceEvent::Broadcast { .. }
-            | TraceEvent::CardinalityEstimate { .. } => {
-                // Per-partition/broadcast/estimate detail lives in the JSONL
-                // log; the timeline view keeps only spans and retries.
+            | TraceEvent::CardinalityEstimate { .. }
+            | TraceEvent::MemoryHighWater { .. }
+            | TraceEvent::HistogramSummary { .. } => {
+                // Per-partition/broadcast/estimate/profile detail lives in
+                // the JSONL log; the timeline view keeps only spans and
+                // retries.
             }
             TraceEvent::JobEnd { job, sim_seconds, startup_seconds, task_retries, ops, .. } => {
                 if !state.stage_active {
@@ -1040,6 +1123,22 @@ mod tests {
                 error: "disk \"full\"".into(),
             },
             TraceEvent::ShufflePartition { job: "j1".into(), partition: 1, records: 7, bytes: 99 },
+            TraceEvent::MemoryHighWater {
+                job: "j1".into(),
+                peak_arena_bytes: 4096,
+                peak_task_live_bytes: 2048,
+                peak_spill_entries: 128,
+            },
+            TraceEvent::HistogramSummary {
+                job: "j1".into(),
+                metric: "task.map.micros".into(),
+                count: 4,
+                sum: 1000,
+                p50: 255,
+                p95: 511,
+                p99: 511,
+                max: 400,
+            },
             TraceEvent::Broadcast { job: "j1".into(), files: 1, bytes: 640, ship_bytes: 2560 },
             TraceEvent::CardinalityEstimate {
                 job: "j1".into(),
@@ -1104,6 +1203,16 @@ mod tests {
         {
             assert!(validate_json(bad).is_err(), "accepted: {bad}");
         }
+    }
+
+    #[test]
+    fn validate_jsonl_reports_offending_line() {
+        validate_jsonl("").unwrap();
+        validate_jsonl("{\"a\":1}\n{\"b\":2}\n\n[3]\n").unwrap();
+        let err = validate_jsonl("{\"a\":1}\n{broken\n{\"c\":3}\n").unwrap_err();
+        assert!(err.starts_with("line 1 (event 1):"), "{err}");
+        let err = validate_jsonl("{\"a\":1}\n{\"b\":2}\nnope").unwrap_err();
+        assert!(err.starts_with("line 2"), "{err}");
     }
 
     #[test]

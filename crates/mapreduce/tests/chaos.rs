@@ -18,8 +18,8 @@
 
 use mrsim::trace::TraceEvent;
 use mrsim::{
-    map_fn, reduce_fn, Engine, FaultConfig, InputBinding, JobSpec, MemorySink, TraceSink,
-    TypedMapEmitter, TypedOutEmitter, Workflow, WorkflowStats,
+    combine_fn, map_fn, reduce_fn, Engine, FaultConfig, InputBinding, JobSpec, MemorySink,
+    TraceSink, TypedMapEmitter, TypedOutEmitter, Workflow, WorkflowStats,
 };
 use std::sync::Arc;
 
@@ -276,6 +276,81 @@ fn exhausted_attempts_fail_the_workflow_not_the_process() {
     }
     failures.dedup();
     assert_eq!(failures.len(), 1, "the failing task is worker-invariant: {failures:?}");
+}
+
+/// The profiled chaos workflow: the campaign shape at >4096 input records
+/// (so every map input splits into multiple chunks — the regime where
+/// worker-dependent chunking would skew per-task histograms), with the
+/// combiner optionally attached to every word-count job.
+fn run_profiled(regime: Regime, seed: u64, workers: usize, combiner: bool) -> WorkflowStats {
+    let engine = Engine::unbounded()
+        .with_workers(workers)
+        .with_profiling(true)
+        .with_faults(faults_for(regime, seed));
+    engine.put_records("in", (0..6000).map(|i| format!("word{}", i % 37))).unwrap();
+    let attach = |job: JobSpec| {
+        if combiner {
+            job.with_combiner(combine_fn(
+                |key: String, values: Vec<u64>, out: &mut TypedMapEmitter<'_, String, u64>| {
+                    out.emit(&key, &values.iter().sum());
+                    Ok(())
+                },
+            ))
+        } else {
+            job
+        }
+    };
+    let mut wf = Workflow::new(&engine, format!("profiled-{regime:?}"));
+    wf.run_stage(vec![attach(wc_job("p-a", "in", "a", 4)), attach(wc_job("p-b", "in", "b", 3))])
+        .unwrap();
+    wf.run_job(wc_job("p-merge", "a", "c", 2)).unwrap();
+    wf.finish(&["c"])
+}
+
+#[test]
+fn profiles_are_worker_invariant_under_chaos() {
+    let seed = campaign_seed();
+    // The full profile fingerprint — merged histograms plus every memory
+    // high-water mark — must be bit-identical across worker counts in
+    // every (regime, combiner) cell.
+    for regime in REGIMES {
+        for combiner in [false, true] {
+            let base = run_profiled(regime, seed, 1, combiner);
+            let fingerprint = |stats: &WorkflowStats| {
+                (
+                    stats.metrics().to_json(),
+                    stats.peak_arena_bytes(),
+                    stats.peak_task_live_bytes(),
+                    stats.peak_spill_entries(),
+                    stats.max_partition_shuffle_bytes(),
+                )
+            };
+            assert!(!base.metrics().is_empty(), "{regime:?} combiner={combiner}");
+            assert!(base.peak_arena_bytes() > 0, "{regime:?} combiner={combiner}");
+            assert!(base.peak_task_live_bytes() > 0, "{regime:?} combiner={combiner}");
+            for workers in [4usize, 8] {
+                let stats = run_profiled(regime, seed, workers, combiner);
+                assert_eq!(
+                    fingerprint(&stats),
+                    fingerprint(&base),
+                    "{regime:?} combiner={combiner} workers={workers}"
+                );
+            }
+        }
+    }
+    // Duration histograms are also fault-regime-invariant: fault losses
+    // are priced into retry_seconds, never into the phase histograms.
+    let clean = run_profiled(Regime::None, seed, 4, false);
+    let faulted = run_profiled(Regime::TaskFail, seed, 4, false);
+    assert!(faulted.total_task_retries() > 0, "the regime must inject");
+    assert_eq!(clean.metrics(), faulted.metrics());
+    // The combiner legitimately changes the shuffle-side histograms
+    // (fewer, wider records reach the reducers) — but never the output.
+    let combined = run_profiled(Regime::None, seed, 4, true);
+    assert!(
+        combined.metrics().to_json() != clean.metrics().to_json(),
+        "combiner must be visible in the shuffle histograms"
+    );
 }
 
 #[test]

@@ -284,8 +284,8 @@ mod fault_injection {
 /// owned-pair shuffle it replaced. The reference model below re-implements
 /// map → (combine) → partition → sort → group → reduce over plain owned
 /// `(Vec<u8>, Vec<u8>)` pairs, mirroring the engine's input chunking
-/// (`max(len / (workers × 4), 1024)` records per map task) so per-task
-/// combining sees the same record sets.
+/// (`max(len / 32, 1024)` records per map task, independent of worker
+/// count) so per-task combining sees the same record sets.
 mod arena_shuffle {
     use super::*;
 
@@ -297,16 +297,11 @@ mod arena_shuffle {
 
     /// Owned-pair reference shuffle. Returns the encoded output records in
     /// partition order — what the engine's output file must contain.
-    fn reference_shuffle(
-        words: &[String],
-        workers: usize,
-        reducers: usize,
-        with_combiner: bool,
-    ) -> Vec<Vec<u8>> {
+    fn reference_shuffle(words: &[String], reducers: usize, with_combiner: bool) -> Vec<Vec<u8>> {
         type Pair = (Vec<u8>, Vec<u8>);
         let mut partitions: Vec<Vec<Pair>> = vec![Vec::new(); reducers];
         if !words.is_empty() {
-            let target = (words.len() / (workers * 4)).max(1024).min(words.len());
+            let target = (words.len() / 32).max(1024).min(words.len());
             for chunk in words.chunks(target) {
                 let mut buckets: Vec<Vec<Pair>> = vec![Vec::new(); reducers];
                 for w in chunk {
@@ -422,8 +417,8 @@ mod arena_shuffle {
             with_combiner in 0usize..2,
         ) {
             let with_combiner = with_combiner == 1;
+            let expected = reference_shuffle(&words, reducers, with_combiner);
             for workers in [1usize, 4, 8] {
-                let expected = reference_shuffle(&words, workers, reducers, with_combiner);
                 let got = engine_shuffle(&words, workers, reducers, with_combiner);
                 prop_assert_eq!(
                     &got,
@@ -439,9 +434,10 @@ mod arena_shuffle {
 
     #[test]
     fn arena_matches_reference_across_multiple_map_tasks() {
-        // 6 000 input records split into six 1 024-record map tasks at 8
-        // workers, so per-task combining and multi-bucket absorption are
-        // genuinely exercised (small proptest inputs fit in one chunk).
+        // 6 000 input records split into six 1 024-record map tasks
+        // (regardless of worker count), so per-task combining and
+        // multi-bucket absorption are genuinely exercised (small proptest
+        // inputs fit in one chunk).
         let words: Vec<String> = (0..6000)
             .map(|i| match i % 5 {
                 0 => format!("sharedprefix-{}", i % 23),
@@ -452,8 +448,8 @@ mod arena_shuffle {
             })
             .collect();
         for with_combiner in [false, true] {
+            let expected = reference_shuffle(&words, 4, with_combiner);
             for workers in [1usize, 4, 8] {
-                let expected = reference_shuffle(&words, workers, 4, with_combiner);
                 let got = engine_shuffle(&words, workers, 4, with_combiner);
                 assert_eq!(got, expected, "workers={workers} combiner={with_combiner}");
             }

@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""Validate and diff the repo's BENCH_*.json benchmark records.
+
+Two modes:
+
+  bench_check.py FILE [FILE ...]
+      Validate each record: results are present, timings are positive,
+      the per-bench speedup and the recorded mean are self-consistent,
+      the mean speedup clears the 1.3x gate, and (when present) the
+      shuffle wire-bytes section shows the ID-native plane below the
+      lexical plane with a consistent reduction percentage.
+
+  bench_check.py --diff OLD NEW [--tolerance PCT]
+      Compare two records and fail on a regression larger than PCT
+      (default 10%). Benches are matched by name; for each match the
+      NEW after_ms may not exceed the OLD after_ms by more than the
+      tolerance. When the two records share no bench names (successive
+      PRs rename their benches), the mean speedups are compared
+      instead, and a wire-bytes section present in both must not grow.
+
+Exit status is non-zero on the first failed check, so CI can call this
+directly. Only the standard library is used.
+"""
+
+import argparse
+import json
+import sys
+
+
+def fail(msg):
+    print(f"bench_check: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: {e}")
+
+
+def check_wire(path, rec):
+    """Validate the optional shuffle_wire_bytes section; return it or None."""
+    wire = rec.get("shuffle_wire_bytes")
+    if wire is None:
+        return None
+    if not wire["id_native"] < wire["lexical"]:
+        fail(f"{path}: wire bytes: id_native {wire['id_native']} not below "
+             f"lexical {wire['lexical']}")
+    pct = (1 - wire["id_native"] / wire["lexical"]) * 100
+    if abs(pct - wire["reduction_pct"]) >= 0.1:
+        fail(f"{path}: wire bytes: recorded reduction {wire['reduction_pct']}% "
+             f"but computed {pct:.2f}%")
+    return wire
+
+
+def validate(path, min_mean_speedup=1.3):
+    rec = load(path)
+    results = rec.get("results")
+    if not results:
+        fail(f"{path}: no results")
+    for r in results:
+        if not (r["before_ms"] > 0 and r["after_ms"] > 0):
+            fail(f"{path}: {r['bench']}: non-positive timing")
+        ratio = r["before_ms"] / r["after_ms"]
+        if abs(r["speedup"] - ratio) >= 0.01:
+            fail(f"{path}: {r['bench']}: recorded speedup {r['speedup']} "
+                 f"but before/after gives {ratio:.3f}")
+    mean = sum(r["speedup"] for r in results) / len(results)
+    if abs(mean - rec["mean_speedup"]) >= 0.01:
+        fail(f"{path}: recorded mean_speedup {rec['mean_speedup']} "
+             f"but results give {mean:.3f}")
+    if rec["mean_speedup"] < min_mean_speedup:
+        fail(f"{path}: mean speedup {rec['mean_speedup']} below the "
+             f"{min_mean_speedup}x gate")
+    wire = check_wire(path, rec)
+    extra = f", wire -{wire['reduction_pct']}%" if wire else ""
+    print(f"ok: {path}: {len(results)} benches, "
+          f"mean speedup {rec['mean_speedup']}x{extra}")
+    return rec
+
+
+def diff(old_path, new_path, tolerance_pct):
+    old, new = load(old_path), load(new_path)
+    limit = 1.0 + tolerance_pct / 100.0
+    old_by_name = {r["bench"]: r for r in old.get("results", [])}
+    common = [r for r in new.get("results", []) if r["bench"] in old_by_name]
+    if common:
+        for r in common:
+            before, after = old_by_name[r["bench"]]["after_ms"], r["after_ms"]
+            if after > before * limit:
+                fail(f"{r['bench']}: {after}ms is "
+                     f"{(after / before - 1) * 100:.1f}% slower than "
+                     f"{before}ms (tolerance {tolerance_pct}%)")
+        print(f"ok: {len(common)} matched benches within "
+              f"{tolerance_pct}% of {old_path}")
+    else:
+        # Successive PRs rename their benches; fall back to the headline
+        # mean so the gate still binds across records.
+        old_mean, new_mean = old["mean_speedup"], new["mean_speedup"]
+        if new_mean * limit < old_mean:
+            fail(f"no common bench names; mean speedup regressed "
+                 f"{old_mean}x -> {new_mean}x (tolerance {tolerance_pct}%)")
+        print(f"ok: no common bench names; mean speedup {old_mean}x -> "
+              f"{new_mean}x within {tolerance_pct}%")
+    old_wire, new_wire = old.get("shuffle_wire_bytes"), new.get("shuffle_wire_bytes")
+    if old_wire and new_wire:
+        before, after = old_wire["id_native"], new_wire["id_native"]
+        if after > before * limit:
+            fail(f"id-native wire bytes grew {before} -> {after} "
+                 f"(tolerance {tolerance_pct}%)")
+        print(f"ok: id-native wire bytes {before} -> {after}")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("files", nargs="+", metavar="FILE",
+                    help="BENCH_*.json records (with --diff: exactly OLD NEW)")
+    ap.add_argument("--diff", action="store_true",
+                    help="compare two records instead of validating")
+    ap.add_argument("--tolerance", type=float, default=10.0, metavar="PCT",
+                    help="maximum allowed regression in percent (default 10)")
+    args = ap.parse_args()
+    if args.diff:
+        if len(args.files) != 2:
+            ap.error("--diff takes exactly two files: OLD NEW")
+        diff(args.files[0], args.files[1], args.tolerance)
+    else:
+        for path in args.files:
+            validate(path)
+
+
+if __name__ == "__main__":
+    main()
