@@ -2,8 +2,9 @@
 //!
 //! Not a figure of the paper: a robustness exhibit for the simulated
 //! substrate every figure rests on. Sweeps deterministic fault regimes
-//! {none, task failures, node loss, stragglers, combined} × worker counts
-//! {1, 4, 8} over one unbound-property query and asserts in-process that
+//! {none, task failures, node loss, stragglers, combined, data corruption,
+//! corruption+faults} × worker counts {1, 4, 8} over one unbound-property
+//! query and asserts in-process that
 //!
 //! * the result (records and bytes) is bit-identical to the fault-free
 //!   run in every cell — faults are charged simulated time, never allowed
@@ -40,6 +41,11 @@ fn regimes(seed: u64) -> Vec<(&'static str, FaultConfig)> {
                 .with_node_loss(0.4)
                 .with_stragglers(0.2, 6.0)
                 .with_speculation(2.0),
+        ),
+        ("corrupt", FaultConfig::with_probability(0.0, seed).with_corruption(0.3)),
+        (
+            "corrupt+faults",
+            FaultConfig::with_probability(0.15, seed).with_node_loss(0.4).with_corruption(0.3),
         ),
     ]
 }
@@ -91,6 +97,8 @@ fn main() {
                         "taskfail" => row.task_retries > 0,
                         "nodeloss" => row.node_losses > 0,
                         "straggler" => row.speculative_tasks > 0,
+                        "corrupt" => row.corruptions_detected > 0,
+                        "corrupt+faults" => row.corruptions_detected > 0 && row.task_retries > 0,
                         _ => row.task_retries > 0 && row.node_losses > 0,
                     }
             })

@@ -60,10 +60,16 @@ pub struct Row {
     pub node_losses: u64,
     /// Speculative backup tasks launched across all jobs.
     pub speculative_tasks: u64,
+    /// Checksum mismatches detected (shuffle + DFS) across all jobs.
+    pub corruptions_detected: u64,
+    /// Undecodable input records quarantined by skip mode across all jobs.
+    pub records_skipped: u64,
     /// Simulated seconds charged to retries/re-execution/speculation.
     pub retry_seconds: f64,
     /// Workflow-level stage re-runs under a recovery policy.
     pub stage_retries: u64,
+    /// Stages skipped by a checkpoint resume (outputs already committed).
+    pub stages_skipped: u64,
     /// True if `DegradeOnDiskFull` dropped output replication to 1.
     pub degraded: bool,
     /// Operator-level counters merged across the workflow's jobs.
@@ -100,8 +106,11 @@ impl Row {
             task_retries: run.stats.total_task_retries(),
             node_losses: run.stats.total_node_losses(),
             speculative_tasks: run.stats.total_speculative_tasks(),
+            corruptions_detected: run.stats.total_corruptions_detected(),
+            records_skipped: run.stats.total_records_skipped(),
             retry_seconds: run.stats.total_retry_seconds(),
             stage_retries: run.stats.stage_retries,
+            stages_skipped: run.stats.stages_skipped,
             degraded: run.stats.degraded_replication,
             ops,
             ok: run.succeeded(),
@@ -248,9 +257,12 @@ pub fn rows_json(rows: &[Row]) -> String {
         out.push_str(&format!(",\"task_retries\":{}", r.task_retries));
         out.push_str(&format!(",\"node_losses\":{}", r.node_losses));
         out.push_str(&format!(",\"speculative_tasks\":{}", r.speculative_tasks));
+        out.push_str(&format!(",\"corruptions_detected\":{}", r.corruptions_detected));
+        out.push_str(&format!(",\"records_skipped\":{}", r.records_skipped));
         out.push_str(",\"retry_seconds\":");
         push_json_f64(&mut out, r.retry_seconds);
         out.push_str(&format!(",\"stage_retries\":{}", r.stage_retries));
+        out.push_str(&format!(",\"stages_skipped\":{}", r.stages_skipped));
         out.push_str(&format!(",\"degraded\":{}", r.degraded));
         out.push_str(",\"ops\":");
         out.push_str(&r.ops.to_json());
@@ -315,8 +327,11 @@ mod tests {
             task_retries: 3,
             node_losses: 1,
             speculative_tasks: 2,
+            corruptions_detected: 2,
+            records_skipped: 5,
             retry_seconds: 4.5,
             stage_retries: 1,
+            stages_skipped: 1,
             degraded: false,
             ops,
             ok: true,
@@ -340,6 +355,9 @@ mod tests {
         assert!(json.contains("\"ntga.unnest.in\":2"), "{json}");
         assert!(json.contains("\"result_bytes\":70"), "{json}");
         assert!(json.contains("\"retry_seconds\":4.5"), "{json}");
+        assert!(json.contains("\"corruptions_detected\":2"), "{json}");
+        assert!(json.contains("\"records_skipped\":5"), "{json}");
+        assert!(json.contains("\"stages_skipped\":1"), "{json}");
         assert!(json.contains("\"degraded\":false"), "{json}");
         assert!(json.contains("\"ok\":true"), "{json}");
         assert_eq!(rows_json(&[]), "[]");

@@ -137,12 +137,19 @@ impl CostModel {
 
     /// Simulated seconds of *wasted* work from faults: failed task
     /// attempts that were retried, completed map tasks re-executed after
-    /// node loss, and speculative duplicates — each priced at one average
+    /// node loss or a detected-corruption fetch failure, speculative
+    /// duplicates, and DFS replica refetches — each priced at one average
     /// task-time of its phase. Pure over the job's fault counters, so it
     /// is as worker-count-independent as they are.
     pub fn retry_seconds(&self, s: &JobStats) -> f64 {
         let f = &s.faults;
-        let map_wasted = f.map_task_retries + f.maps_reexecuted + f.speculative_map_tasks;
+        // A DFS refetch re-reads one block from a replica; a map task's
+        // input read is the closest task-shaped unit of that cost.
+        let map_wasted = f.map_task_retries
+            + f.maps_reexecuted
+            + f.speculative_map_tasks
+            + f.corrupt_refetches
+            + f.dfs_refetches;
         let reduce_wasted = f.reduce_task_retries + f.speculative_reduce_tasks;
         map_wasted as f64 * self.avg_map_task_seconds(s)
             + reduce_wasted as f64 * self.avg_reduce_task_seconds(s)

@@ -103,6 +103,16 @@ pub struct FaultStats {
     /// Extra reduce-phase critical-path time from stragglers, in units of
     /// one average reduce-task time.
     pub reduce_straggler_units: f64,
+    /// Checksum mismatches detected by the verified data plane (shuffle
+    /// bucket or DFS block), each triggering a recovery refetch.
+    pub corruptions_detected: u64,
+    /// Map tasks re-executed because a reducer detected a corrupt shuffle
+    /// bucket (Hadoop's fetch-failure path) — priced like node-loss
+    /// re-executions.
+    pub corrupt_refetches: u64,
+    /// DFS reads re-fetched from a replica after a block checksum
+    /// mismatch.
+    pub dfs_refetches: u64,
 }
 
 impl FaultStats {
@@ -160,8 +170,12 @@ pub struct JobStats {
     /// Equals `faults.map_task_retries + faults.reduce_task_retries`.
     pub task_retries: u64,
     /// Detailed fault-injection counters (node losses, re-executed maps,
-    /// stragglers, speculative backups).
+    /// stragglers, speculative backups, detected corruptions).
     pub faults: FaultStats,
+    /// Undecodable records quarantined to the job's bad-record side file
+    /// instead of failing the task (skip-bad-records mode; 0 when the
+    /// policy is off or every record decoded).
+    pub records_skipped: u64,
     /// Simulated seconds lost to faults: wasted attempts, re-executed
     /// maps, and speculative duplicates, priced by
     /// [`crate::CostModel::retry_seconds`]. Included in `sim_seconds`.
@@ -297,6 +311,9 @@ pub struct WorkflowStats {
     /// True if `DegradeOnDiskFull` dropped a stage's output replication to
     /// 1 to survive a `DiskFull` failure.
     pub degraded_replication: bool,
+    /// Stages skipped by [`crate::Workflow::resume`] because all their
+    /// outputs were already committed to the DFS (checkpoint hits).
+    pub stages_skipped: u64,
 }
 
 impl WorkflowStats {
@@ -379,6 +396,16 @@ impl WorkflowStats {
     /// Speculative backup attempts launched, over all jobs.
     pub fn total_speculative_tasks(&self) -> u64 {
         self.jobs.iter().map(|j| j.faults.speculative_tasks()).sum()
+    }
+
+    /// Checksum mismatches detected by the data plane, over all jobs.
+    pub fn total_corruptions_detected(&self) -> u64 {
+        self.jobs.iter().map(|j| j.faults.corruptions_detected).sum()
+    }
+
+    /// Undecodable records quarantined by skip-bad-records, over all jobs.
+    pub fn total_records_skipped(&self) -> u64 {
+        self.jobs.iter().map(|j| j.records_skipped).sum()
     }
 
     /// Worst reduce skew over all jobs in the workflow (1.0 when no job
@@ -536,6 +563,9 @@ mod tests {
         j2.task_retries = 1;
         j2.retry_seconds = 0.25;
         j2.faults.speculative_reduce_tasks = 2;
+        j2.faults.corruptions_detected = 2;
+        j2.faults.corrupt_refetches = 1;
+        j2.records_skipped = 5;
         j2.output_records = 7;
         j2.output_text_bytes = 70;
         let wf = WorkflowStats { jobs: vec![j1, j2], succeeded: true, ..WorkflowStats::default() };
@@ -544,6 +574,8 @@ mod tests {
         assert_eq!(wf.total_node_losses(), 1);
         assert_eq!(wf.total_maps_reexecuted(), 3);
         assert_eq!(wf.total_speculative_tasks(), 3);
+        assert_eq!(wf.total_corruptions_detected(), 2);
+        assert_eq!(wf.total_records_skipped(), 5);
         assert_eq!(wf.final_output_records(), 7);
         assert_eq!(wf.final_output_text_bytes(), 70);
         assert_eq!(WorkflowStats::default().final_output_text_bytes(), 0);

@@ -87,6 +87,25 @@ pub struct Engine {
     /// accounting after the phases run), and task-level recording via
     /// [`TaskContext::record`] compiles to a single branch.
     pub profiling: bool,
+    /// When true (the default, matching Hadoop's always-on block
+    /// checksums), map output is sealed with a checksum per spill bucket
+    /// and verified when the shuffle absorbs it, and DFS reads are
+    /// verified against the checksum recorded at commit. A mismatch is
+    /// handled like Hadoop's fetch failure: the clean copy is recovered
+    /// (re-executed map / replica re-read), the incident is counted in
+    /// [`crate::FaultStats`] and priced into `retry_seconds`, and the job
+    /// proceeds. Turning this off lets injected corruption propagate
+    /// silently into job output — only useful to demonstrate why the
+    /// checksums are load-bearing.
+    pub verify_checksums: bool,
+    /// Hadoop's skip mode (`mapreduce.map.skip.maxrecords`): when set,
+    /// a map task that hits an undecodable input record
+    /// ([`MrError::Codec`]) quarantines the raw record into a
+    /// `<job>.quarantine` side file and keeps going, up to this many
+    /// records per task; one more fails the job with
+    /// [`MrError::SkipBudgetExhausted`]. `None` (the default) fails the
+    /// job on the first bad record.
+    pub skip_bad_records: Option<u64>,
 }
 
 /// Per-task metadata collected only while tracing, to lay task spans on
@@ -116,6 +135,8 @@ impl Engine {
             broadcast_budget_bytes: 64 * 1024 * 1024, // ~a task heap's worth
             dict: None,
             profiling: false,
+            verify_checksums: true,
+            skip_bad_records: None,
         }
     }
 
@@ -169,6 +190,23 @@ impl Engine {
         self
     }
 
+    /// Enable or disable data-plane checksum verification (see
+    /// [`Engine::verify_checksums`]). On by default; disabling is only
+    /// meant for controlled demonstrations of silent corruption.
+    pub fn with_verification(mut self, on: bool) -> Self {
+        self.verify_checksums = on;
+        self
+    }
+
+    /// Enable skip-bad-records mode with the given per-task budget (see
+    /// [`Engine::skip_bad_records`]). A budget of 0 quarantines nothing:
+    /// the first undecodable record fails the job, but as
+    /// [`MrError::SkipBudgetExhausted`] rather than a bare codec error.
+    pub fn with_skip_bad_records(mut self, budget: u64) -> Self {
+        self.skip_bad_records = Some(budget);
+        self
+    }
+
     /// Attach a shared dictionary snapshot, made available to every task
     /// through [`TaskContext::resolve_atom`]. ID-native jobs require this;
     /// lexical jobs ignore it.
@@ -189,6 +227,15 @@ impl Engine {
         if let Some(sink) = &self.trace {
             sink.event(&ev());
         }
+    }
+
+    /// Base hash identifying one `(job, epoch, phase)` for fault draws.
+    /// Task identities are `base.wrapping_add(task_index)`, so every draw
+    /// (task failure, node loss, straggler, corruption) is a pure function
+    /// of `(seed, job, epoch, phase, task)` — independent of worker count
+    /// and thread schedule.
+    fn fault_base(job: &str, epoch: u64, phase: TaskPhase) -> u64 {
+        fnv1a(job.as_bytes()) ^ ((phase as u64) << 56) ^ epoch.wrapping_mul(0x9E37_79B9_7F4A_7C15)
     }
 
     /// Resolve injected faults for `n_tasks` tasks of one phase, updating
@@ -223,9 +270,7 @@ impl Engine {
             return Ok(());
         }
         let job = stats.name.clone();
-        let base = fnv1a(job.as_bytes())
-            ^ ((phase as u64) << 56)
-            ^ epoch.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let base = Self::fault_base(&job, epoch, phase);
 
         if f.task_failure_probability > 0.0 {
             for i in 0..n_tasks {
@@ -605,11 +650,44 @@ impl Engine {
     }
 
     /// Read one input file and account its bytes/records.
+    ///
+    /// This is the at-rest corruption site: the injector may flip one
+    /// payload bit of the fetched copy (a pure function of the fault seed
+    /// and the file name, so every reader — on any worker count — sees the
+    /// same decision). With verification on, the read is checked against
+    /// the checksum recorded at commit; a mismatch is counted, traced, and
+    /// recovered by re-reading from a replica (Hadoop re-reads the block
+    /// from another DataNode and reports the bad one). With verification
+    /// off, the corrupted copy flows into the job.
     fn load_input(&self, name: &str, stats: &mut JobStats) -> Result<Arc<DfsFile>, MrError> {
         let file = self.hdfs.lock().get(name)?;
         stats.input_records += file.records.len() as u64;
         stats.hdfs_read_bytes += file.text_bytes;
         stats.map_tasks += file.text_bytes.div_ceil(self.block_size).max(1);
+        let salt = fnv1a(name.as_bytes());
+        if self.faults.data_corrupted(salt, 0) {
+            if let Some(off) = self.faults.corruption_offset(salt, 0, file.payload_bytes() as usize)
+            {
+                let mut bad = (*file).clone();
+                bad.flip_byte(off as u64);
+                if !self.verify_checksums {
+                    return Ok(Arc::new(bad));
+                }
+                // Single-bit flips never collide in the block checksum, so
+                // detection is certain; keep the error path honest anyway.
+                if bad.verify().is_err() {
+                    stats.faults.corruptions_detected += 1;
+                    stats.faults.dfs_refetches += 1;
+                    let job = stats.name.clone();
+                    self.emit(|| TraceEvent::CorruptionDetected {
+                        job: job.clone(),
+                        site: "dfs",
+                        task: 0,
+                    });
+                    self.emit(|| TraceEvent::Refetch { job: job.clone(), site: "dfs", task: 0 });
+                }
+            }
+        }
         Ok(file)
     }
 
@@ -639,23 +717,29 @@ impl Engine {
             }
         }
         self.resolve_faults(epoch, TaskPhase::Map, chunks.len(), false, stats)?;
+        let job = stats.name.clone();
         let results = self.parallel_over(&chunks, |chunk| {
             let ctx = TaskContext::with_env(self.dict.clone(), broadcast.to_vec())
                 .profiled(self.profiling);
             let mut out = OutEmitter::with_outputs(budget, n_outputs);
+            let mut skipped: Vec<Vec<u8>> = Vec::new();
             for rec in *chunk {
-                mapper.run(&ctx, rec, &mut out)?;
+                let r = mapper.run(&ctx, rec, &mut out);
+                self.filter_record(&job, r, rec, &mut skipped)?;
             }
             // Map-only tasks buffer their output records until commit.
             let live_bytes: u64 = out.records.iter().map(|(_, r, _)| r.len() as u64).sum();
-            Ok((out, live_bytes, ctx.take_counters(), ctx.take_metrics()))
+            Ok((out, live_bytes, skipped, ctx.take_counters(), ctx.take_metrics()))
         })?;
         let mut files: Vec<DfsFile> = (0..n_outputs).map(|_| DfsFile::default()).collect();
         let mut total_text = 0u64;
-        for (out, live_bytes, ops, task_metrics) in results {
+        let mut quarantined: Vec<Vec<u8>> = Vec::new();
+        for (task, (out, live_bytes, skipped, ops, task_metrics)) in results.into_iter().enumerate()
+        {
             stats.ops.merge(&ops);
             stats.metrics.merge(&task_metrics);
             stats.peak_task_live_bytes = stats.peak_task_live_bytes.max(live_bytes);
+            self.account_skipped(task as u64, skipped, &mut quarantined, stats);
             total_text += out.emitted_text;
             if let Some(b) = budget {
                 // Each task only bounds its own output against the budget;
@@ -678,7 +762,75 @@ impl Engine {
         // map-only jobs, but they are NOT shuffle bytes (reduce_tasks == 0).
         stats.map_output_records = files.iter().map(|f| f.records.len() as u64).sum();
         stats.map_output_bytes = files.iter().map(|f| f.text_bytes).sum();
+        self.write_quarantine(&job, quarantined)?;
         Ok(files)
+    }
+
+    /// Skip-mode filter for one map input record: pass non-codec results
+    /// through, quarantine a decode failure when a budget is configured
+    /// and not yet spent, fail the task with
+    /// [`MrError::SkipBudgetExhausted`] once it is. Decode happens before
+    /// any user logic runs, so a quarantined record has emitted nothing.
+    fn filter_record(
+        &self,
+        job: &str,
+        result: Result<(), MrError>,
+        rec: &[u8],
+        skipped: &mut Vec<Vec<u8>>,
+    ) -> Result<(), MrError> {
+        match (result, self.skip_bad_records) {
+            (Err(MrError::Codec(_)), Some(budget)) => {
+                skipped.push(rec.to_vec());
+                if skipped.len() as u64 > budget {
+                    return Err(MrError::SkipBudgetExhausted { job: job.to_string(), budget });
+                }
+                Ok(())
+            }
+            (r, _) => r,
+        }
+    }
+
+    /// Fold one task's quarantined records into the job totals: bump
+    /// `records_skipped`, emit the [`TraceEvent::RecordSkipped`] evidence,
+    /// and append to the job-wide quarantine (tasks are visited in task
+    /// order, so the side file's contents are worker-count-invariant).
+    fn account_skipped(
+        &self,
+        task: u64,
+        skipped: Vec<Vec<u8>>,
+        quarantined: &mut Vec<Vec<u8>>,
+        stats: &mut JobStats,
+    ) {
+        if skipped.is_empty() {
+            return;
+        }
+        stats.records_skipped += skipped.len() as u64;
+        let job = stats.name.clone();
+        let records = skipped.len() as u64;
+        self.emit(|| TraceEvent::RecordSkipped { job, task, records });
+        quarantined.extend(skipped);
+    }
+
+    /// Commit a job's quarantined records as a `<job>.quarantine` side
+    /// file (nothing is written when the quarantine is empty). A leftover
+    /// side file from a previous attempt of the same job is replaced, so
+    /// workflow stage retries and resumes converge on the newest attempt's
+    /// evidence.
+    fn write_quarantine(&self, job: &str, records: Vec<Vec<u8>>) -> Result<(), MrError> {
+        if records.is_empty() {
+            return Ok(());
+        }
+        let name = format!("{job}.quarantine");
+        let file = DfsFile {
+            text_bytes: records.iter().map(|r| r.len() as u64).sum(),
+            records,
+            ..DfsFile::default()
+        };
+        let mut fs = self.hdfs.lock();
+        if fs.exists(&name) {
+            let _ = fs.delete(&name);
+        }
+        fs.put(&name, file)
     }
 
     /// Map phase with map-side shuffle partitioning: every map task spills
@@ -717,12 +869,15 @@ impl Engine {
             }
         }
         self.resolve_faults(epoch, TaskPhase::Map, work.len(), true, stats)?;
+        let job = stats.name.clone();
         let results = self.parallel_over(&work, |(mapper, chunk)| {
             let ctx = TaskContext::with_env(self.dict.clone(), broadcast.to_vec())
                 .profiled(self.profiling);
             let mut out = MapEmitter::partitioned(reduce_tasks);
+            let mut skipped: Vec<Vec<u8>> = Vec::new();
             for rec in *chunk {
-                mapper.run(&ctx, rec, &mut out)?;
+                let r = mapper.run(&ctx, rec, &mut out);
+                self.filter_record(&job, r, rec, &mut skipped)?;
             }
             let pre_combine = out.len() as u64;
             let mut live_bytes: u64 = out.buckets.iter().map(SpillArena::footprint_bytes).sum();
@@ -732,17 +887,72 @@ impl Engine {
                 // combined replacement coexist in task memory.
                 live_bytes += out.buckets.iter().map(SpillArena::footprint_bytes).sum::<u64>();
             }
-            Ok((out, pre_combine, live_bytes, ctx.take_counters(), ctx.take_metrics()))
+            if self.verify_checksums {
+                // Seal once the bucket contents are final (post-combiner):
+                // the checksum the shuffle verifies on absorb.
+                for bucket in &mut out.buckets {
+                    bucket.seal();
+                }
+            }
+            Ok((out, pre_combine, live_bytes, skipped, ctx.take_counters(), ctx.take_metrics()))
         })?;
         let mut partitions: Vec<SpillArena> =
             (0..reduce_tasks).map(|_| SpillArena::default()).collect();
         stats.shuffle_partition_bytes = vec![0; reduce_tasks];
-        for (out, pre_combine, live_bytes, ops, task_metrics) in results {
+        let base = Self::fault_base(&job, epoch, TaskPhase::Map);
+        let mut quarantined: Vec<Vec<u8>> = Vec::new();
+        for (task, (mut out, pre_combine, live_bytes, skipped, ops, task_metrics)) in
+            results.into_iter().enumerate()
+        {
             stats.ops.merge(&ops);
             stats.metrics.merge(&task_metrics);
             stats.pre_combine_records += pre_combine;
             stats.peak_task_live_bytes = stats.peak_task_live_bytes.max(live_bytes);
-            for (p, bucket) in out.buckets.iter().enumerate() {
+            self.account_skipped(task as u64, skipped, &mut quarantined, stats);
+            // In-flight corruption: flip one bit somewhere in this map
+            // task's serialized output before the reducers "fetch" it. The
+            // draw and the offset are pure functions of (seed, job, epoch,
+            // task), so every worker count injects identically.
+            let flipped = if self.faults.data_corrupted(base, task as u64) {
+                let total: usize = out.buckets.iter().map(|b| b.encoded_bytes() as usize).sum();
+                self.faults.corruption_offset(base, task as u64, total).map(|mut off| {
+                    let mut victim = 0;
+                    for (p, bucket) in out.buckets.iter().enumerate() {
+                        victim = p;
+                        let len = bucket.encoded_bytes() as usize;
+                        if off < len {
+                            break;
+                        }
+                        off -= len;
+                    }
+                    out.buckets[victim].flip_byte(off);
+                    (victim, off)
+                })
+            } else {
+                None
+            };
+            for (p, bucket) in out.buckets.iter_mut().enumerate() {
+                // Shuffle-absorb verification (Hadoop checksums every map
+                // output segment a reducer fetches). A mismatch plays out
+                // as a fetch failure: the producing map is re-executed —
+                // priced into `retry_seconds` via the refetch counter —
+                // and its clean output is fetched instead (the flip is
+                // undone; injected corruption is the only way a sealed
+                // bucket can mismatch).
+                if self.verify_checksums && bucket.verify().is_err() {
+                    stats.faults.corruptions_detected += 1;
+                    stats.faults.corrupt_refetches += 1;
+                    let job = job.clone();
+                    let task = task as u64;
+                    self.emit(|| TraceEvent::CorruptionDetected {
+                        job: job.clone(),
+                        site: "shuffle",
+                        task,
+                    });
+                    self.emit(|| TraceEvent::Refetch { job: job.clone(), site: "shuffle", task });
+                    let (_, off) = flipped.expect("only injected corruption fails verification");
+                    bucket.flip_byte(off);
+                }
                 stats.map_output_records += bucket.len() as u64;
                 stats.map_output_bytes += bucket.text_bytes();
                 stats.map_output_encoded_bytes += bucket.encoded_bytes();
@@ -755,6 +965,7 @@ impl Engine {
                 partitions[p].absorb(bucket);
             }
         }
+        self.write_quarantine(&job, quarantined)?;
         // Arenas only grow, so the post-merge footprint of each reduce
         // partition is its lifetime high-water mark.
         for part in &partitions {
@@ -1401,6 +1612,196 @@ mod tests {
             events.iter().filter(|e| matches!(e, TraceEvent::HistogramSummary { .. })).count();
         assert_eq!(summaries, stats.metrics.iter().count());
         assert!(summaries >= 4, "map/reduce durations, partition bytes, record sizes");
+    }
+
+    #[test]
+    fn shuffle_corruption_detected_restored_and_priced() {
+        use crate::trace::MemorySink;
+        let words: Vec<String> = (0..5000).map(|i| format!("word{}", i % 23)).collect();
+        let refs: Vec<&str> = words.iter().map(String::as_str).collect();
+        let clean_out: Vec<String> = {
+            let engine = word_count_engine(&refs);
+            engine.run_job(&word_count_spec()).unwrap();
+            engine.read_records("out").unwrap()
+        };
+        // Find a seed whose draws corrupt at least one map task.
+        let faults =
+            |seed| FaultConfig { corruption_probability: 0.5, seed, ..FaultConfig::none() };
+        let mut hit = None;
+        for seed in 0..32 {
+            let sink = MemorySink::new();
+            let engine =
+                word_count_engine(&refs).with_faults(faults(seed)).with_trace(sink.clone());
+            let stats = engine.run_job(&word_count_spec()).unwrap();
+            assert_eq!(stats.faults.corrupt_refetches, stats.faults.corruptions_detected);
+            let out: Vec<String> = engine.read_records("out").unwrap();
+            assert_eq!(out, clean_out, "verification must hand reducers clean bytes");
+            if stats.faults.corruptions_detected > 0 {
+                assert!(stats.retry_seconds > 0.0, "refetches must be priced");
+                let events = sink.events();
+                assert!(events
+                    .iter()
+                    .any(|e| matches!(e, TraceEvent::CorruptionDetected { site: "shuffle", .. })));
+                assert!(events
+                    .iter()
+                    .any(|e| matches!(e, TraceEvent::Refetch { site: "shuffle", .. })));
+                hit = Some(seed);
+                break;
+            }
+        }
+        let seed = hit.expect("some seed in 0..32 must corrupt a map task");
+        // Counters and outputs are worker-count-invariant under corruption.
+        let run = |workers: usize| {
+            let engine = word_count_engine(&refs).with_workers(workers).with_faults(faults(seed));
+            let stats = engine.run_job(&word_count_spec()).unwrap();
+            let out: Vec<String> = engine.read_records("out").unwrap();
+            (format!("{stats:?}"), out)
+        };
+        let baseline = run(1);
+        for workers in [4, 8] {
+            assert_eq!(run(workers), baseline, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn verification_off_lets_corruption_reach_the_job() {
+        // The controlled demonstration of why the checksums are
+        // load-bearing: same corruption draws, verification disabled.
+        let words: Vec<String> = (0..5000).map(|i| format!("word{}", i % 23)).collect();
+        let refs: Vec<&str> = words.iter().map(String::as_str).collect();
+        let clean_out: Vec<String> = {
+            let engine = word_count_engine(&refs);
+            engine.run_job(&word_count_spec()).unwrap();
+            engine.read_records("out").unwrap()
+        };
+        let faults =
+            |seed| FaultConfig { corruption_probability: 0.5, seed, ..FaultConfig::none() };
+        let seed = (0..32)
+            .find(|&seed| {
+                let engine = word_count_engine(&refs).with_faults(faults(seed));
+                engine.run_job(&word_count_spec()).unwrap().faults.corruptions_detected > 0
+            })
+            .expect("some seed in 0..32 must corrupt a map task");
+        let engine = word_count_engine(&refs).with_faults(faults(seed)).with_verification(false);
+        match engine.run_job(&word_count_spec()) {
+            // Undetected, the flipped byte either silently changes the
+            // output or breaks a record's framing mid-shuffle.
+            Ok(stats) => {
+                assert_eq!(stats.faults.corruptions_detected, 0);
+                let out: Vec<String> = engine.read_records("out").unwrap();
+                assert_ne!(out, clean_out, "silent corruption must alter the output");
+            }
+            Err(e) => assert!(matches!(e, MrError::Codec(_)), "{e:?}"),
+        }
+    }
+
+    #[test]
+    fn dfs_corruption_detected_and_reread_from_replica() {
+        use crate::trace::MemorySink;
+        let faults = FaultConfig { corruption_probability: 1.0, seed: 9, ..FaultConfig::none() };
+        let sink = MemorySink::new();
+        let engine = word_count_engine(&["a", "b", "a", "c"])
+            .with_faults(faults.clone())
+            .with_trace(sink.clone());
+        let stats = engine.run_job(&word_count_spec()).unwrap();
+        assert_eq!(stats.faults.dfs_refetches, 1, "one input file, one replica re-read");
+        assert!(stats.faults.corruptions_detected >= 1);
+        let mut out: Vec<String> = engine.read_records("out").unwrap();
+        out.sort_unstable();
+        assert_eq!(out, vec!["a:2", "b:1", "c:1"]);
+        let events = sink.events();
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, TraceEvent::CorruptionDetected { site: "dfs", .. })));
+        assert!(events.iter().any(|e| matches!(e, TraceEvent::Refetch { site: "dfs", .. })));
+
+        // With verification off the corrupted block flows into the job.
+        let engine =
+            word_count_engine(&["a", "b", "a", "c"]).with_faults(faults).with_verification(false);
+        match engine.run_job(&word_count_spec()) {
+            Ok(stats) => {
+                assert_eq!(stats.faults.dfs_refetches, 0);
+                let mut bad_out: Vec<String> = engine.read_records("out").unwrap();
+                bad_out.sort_unstable();
+                assert_ne!(bad_out, out);
+            }
+            Err(e) => assert!(matches!(e, MrError::Codec(_)), "{e:?}"),
+        }
+    }
+
+    #[test]
+    fn skip_bad_records_quarantines_within_budget() {
+        use crate::codec::Rec;
+        use crate::trace::MemorySink;
+        let bad1 = vec![2, 0, 0, 0, 0xff, 0xfe]; // length-prefixed invalid UTF-8
+        let bad2 = vec![9, 0, 0, 0, 0xff]; // claims 9 payload bytes, has 1
+        let mut records = Vec::new();
+        for w in ["alpha", "beta", "alpha"] {
+            records.push(w.to_string().to_bytes());
+        }
+        records.insert(1, bad1.clone());
+        records.push(bad2.clone());
+        let sink = MemorySink::new();
+        let engine =
+            Engine::unbounded().with_workers(4).with_skip_bad_records(8).with_trace(sink.clone());
+        let file = DfsFile { text_bytes: 24, records, ..DfsFile::default() };
+        engine.hdfs().lock().put("input", file).unwrap();
+        let stats = engine.run_job(&word_count_spec()).unwrap();
+        assert_eq!(stats.records_skipped, 2);
+        let mut out: Vec<String> = engine.read_records("out").unwrap();
+        out.sort_unstable();
+        assert_eq!(out, vec!["alpha:2", "beta:1"]);
+        // The raw undecodable records land in the side file, in task order.
+        let q = engine.hdfs().lock().get("wordcount.quarantine").unwrap();
+        assert_eq!(q.records, vec![bad1, bad2]);
+        assert!(sink
+            .events()
+            .iter()
+            .any(|e| matches!(e, TraceEvent::RecordSkipped { records: 2, .. })));
+    }
+
+    #[test]
+    fn skip_budget_exhaustion_and_default_failfast() {
+        use crate::codec::Rec;
+        let bad = vec![2, 0, 0, 0, 0xff, 0xfe];
+        let records = vec!["alpha".to_string().to_bytes(), bad.clone(), bad.clone()];
+        let seeded = |engine: Engine| {
+            let file = DfsFile { text_bytes: 9, records: records.clone(), ..DfsFile::default() };
+            engine.hdfs().lock().put("input", file).unwrap();
+            engine
+        };
+        // Budget 1, two bad records in one task: typed exhaustion error.
+        let engine = seeded(Engine::unbounded().with_skip_bad_records(1));
+        let err = engine.run_job(&word_count_spec()).unwrap_err();
+        assert!(err.is_skip_budget_exhausted(), "{err:?}");
+        assert!(!engine.hdfs().lock().exists("out"));
+        assert!(!engine.hdfs().lock().exists("wordcount.quarantine"));
+        // Without skip mode the first bad record is a hard codec failure.
+        let engine = seeded(Engine::unbounded());
+        let err = engine.run_job(&word_count_spec()).unwrap_err();
+        assert!(matches!(err, MrError::Codec(_)), "{err:?}");
+    }
+
+    #[test]
+    fn skip_bad_records_in_map_only_jobs() {
+        use crate::codec::Rec;
+        let bad = vec![9, 0, 0, 0, 0xff];
+        let records = vec!["one".to_string().to_bytes(), bad.clone(), "two".to_string().to_bytes()];
+        let engine = Engine::unbounded().with_skip_bad_records(4);
+        let file = DfsFile { text_bytes: 8, records, ..DfsFile::default() };
+        engine.hdfs().lock().put("input", file).unwrap();
+        let mapper = crate::job::map_only_fn(
+            |w: String, out: &mut crate::job::TypedOutEmitter<'_, String>| {
+                out.emit(&w.to_uppercase())
+            },
+        );
+        let spec = JobSpec::map_only("upper", vec!["input".into()], mapper, "out");
+        let stats = engine.run_job(&spec).unwrap();
+        assert_eq!(stats.records_skipped, 1);
+        let out: Vec<String> = engine.read_records("out").unwrap();
+        assert_eq!(out, vec!["ONE", "TWO"]);
+        let q = engine.hdfs().lock().get("upper.quarantine").unwrap();
+        assert_eq!(q.records, vec![bad]);
     }
 
     #[test]

@@ -35,6 +35,9 @@ use serde::{Deserialize, Serialize};
 const STREAM_NODE_LOSS: u64 = 0x4E4F_4445; // "NODE"
 /// Hash-stream tag for straggler selection.
 const STREAM_STRAGGLER: u64 = 0x534C_4F57; // "SLOW"
+/// Hash-stream tag for data corruption (bit flips in map output and
+/// at-rest DFS blocks).
+const STREAM_CORRUPTION: u64 = 0x4352_5054; // "CRPT"
 
 /// Failure-injection configuration.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -61,6 +64,10 @@ pub struct FaultConfig {
     /// task exceeds this multiple of the typical task time. `0.0` disables
     /// speculation (backups never launch; stragglers run to completion).
     pub speculative_multiple: f64,
+    /// Probability in `[0, 1)` that any given data unit (a map task's
+    /// shuffle output, or a DFS file read) is silently corrupted — a
+    /// deterministic bit flip the checksummed data plane must catch.
+    pub corruption_probability: f64,
 }
 
 impl Default for FaultConfig {
@@ -74,6 +81,7 @@ impl Default for FaultConfig {
             straggler_probability: 0.0,
             straggler_slowdown: 6.0,
             speculative_multiple: 0.0,
+            corruption_probability: 0.0,
         }
     }
 }
@@ -130,15 +138,23 @@ impl FaultConfig {
         self
     }
 
+    /// Corrupt each data unit with probability `p`.
+    pub fn with_corruption(mut self, p: f64) -> Self {
+        assert!((0.0..1.0).contains(&p), "probability must be in [0, 1)");
+        self.corruption_probability = p;
+        self
+    }
+
     /// True when any fault channel is active.
     pub fn any(&self) -> bool {
         self.task_failure_probability > 0.0
             || self.node_loss_probability > 0.0
             || self.straggler_probability > 0.0
+            || self.corruption_probability > 0.0
     }
 
-    /// Splitmix64-style hash of `(seed, a, b)` mapped to `[0, 1)`.
-    fn unit(&self, a: u64, b: u64) -> f64 {
+    /// Raw splitmix64-style hash bits of `(seed, a, b)`.
+    fn bits(&self, a: u64, b: u64) -> u64 {
         let mut x = self
             .seed
             .wrapping_mul(0x9E37_79B9_7F4A_7C15)
@@ -150,7 +166,12 @@ impl FaultConfig {
         x ^= x >> 27;
         x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
         x ^= x >> 31;
-        (x >> 11) as f64 / (1u64 << 53) as f64
+        x
+    }
+
+    /// Splitmix64-style hash of `(seed, a, b)` mapped to `[0, 1)`.
+    fn unit(&self, a: u64, b: u64) -> f64 {
+        (self.bits(a, b) >> 11) as f64 / (1u64 << 53) as f64
     }
 
     /// True if attempt `attempt` of task `task_id` should fail.
@@ -186,6 +207,31 @@ impl FaultConfig {
             return false;
         }
         self.unit(task_id ^ STREAM_STRAGGLER.rotate_left(32), 1) < self.straggler_probability
+    }
+
+    /// True if the data unit identified by `(salt, unit_id)` is silently
+    /// corrupted. `salt` is the engine's per-job/phase hash base (or a
+    /// file-name hash for at-rest DFS blocks), `unit_id` the producing
+    /// task or block index — the same identity scheme as node loss, so
+    /// corruption draws are independent of worker count.
+    pub fn data_corrupted(&self, salt: u64, unit_id: u64) -> bool {
+        if self.corruption_probability <= 0.0 {
+            return false;
+        }
+        self.unit(salt ^ STREAM_CORRUPTION.rotate_left(32), unit_id) < self.corruption_probability
+    }
+
+    /// Deterministic byte offset (into a buffer of `len` bytes) at which
+    /// the corruption of unit `(salt, unit_id)` flips a bit. Returns
+    /// `None` for an empty buffer (nothing to flip).
+    pub fn corruption_offset(&self, salt: u64, unit_id: u64, len: usize) -> Option<usize> {
+        if len == 0 {
+            return None;
+        }
+        // A second draw (unit_id rotated) decorrelates the offset from
+        // the corrupted-or-not decision.
+        let raw = self.bits(salt ^ STREAM_CORRUPTION.rotate_left(32), unit_id.rotate_left(17));
+        Some((raw % len as u64) as usize)
     }
 
     /// Outcome of one straggler task under this config:
@@ -319,5 +365,38 @@ mod tests {
         assert!(std::panic::catch_unwind(|| FaultConfig::none().with_nodes(0)).is_err());
         assert!(std::panic::catch_unwind(|| FaultConfig::none().with_stragglers(0.1, 0.5)).is_err());
         assert!(std::panic::catch_unwind(|| FaultConfig::none().with_speculation(0.0)).is_err());
+        assert!(std::panic::catch_unwind(|| FaultConfig::none().with_corruption(1.0)).is_err());
+    }
+
+    #[test]
+    fn corruption_rate_and_independence() {
+        let f = FaultConfig::none().with_corruption(0.2);
+        assert!(f.any());
+        let hits = (0..10_000u64).filter(|&u| f.data_corrupted(99, u)).count();
+        assert!((1_500..2_500).contains(&hits), "{hits}");
+        // Corruption draws are independent of the attempt-failure and
+        // node-loss streams: only corruption is configured here.
+        assert_eq!(f.attempts_needed(3), Some(1));
+        assert!(!f.node_lost(99, 0));
+        // Off by default.
+        assert!(!FaultConfig::none().data_corrupted(99, 7));
+    }
+
+    #[test]
+    fn corruption_offset_is_deterministic_and_in_bounds() {
+        let f = FaultConfig::none().with_corruption(0.5);
+        assert_eq!(f.corruption_offset(1, 2, 0), None);
+        for len in [1usize, 7, 4096] {
+            for unit in 0..50u64 {
+                let a = f.corruption_offset(42, unit, len).unwrap();
+                let b = f.corruption_offset(42, unit, len).unwrap();
+                assert_eq!(a, b);
+                assert!(a < len);
+            }
+        }
+        // Offsets vary across units (not all zero).
+        let distinct: std::collections::BTreeSet<_> =
+            (0..50u64).filter_map(|u| f.corruption_offset(42, u, 4096)).collect();
+        assert!(distinct.len() > 10, "{}", distinct.len());
     }
 }

@@ -25,6 +25,10 @@ pub struct DfsFile {
     pub text_bytes: u64,
     /// Replication factor this file was written with.
     pub replication: u32,
+    /// Block checksum recorded at commit time ([`SimHdfs::put`] computes
+    /// it; whatever the caller set is overwritten). Readers verify reads
+    /// against it, HDFS-block-checksum style.
+    pub checksum: u64,
 }
 
 impl DfsFile {
@@ -41,6 +45,47 @@ impl DfsFile {
     /// Disk consumption including replication.
     pub fn disk_bytes(&self) -> u64 {
         self.text_bytes * u64::from(self.replication)
+    }
+
+    /// Total encoded payload bytes across all records — the address space
+    /// the fault injector draws corruption offsets from.
+    pub fn payload_bytes(&self) -> u64 {
+        self.records.iter().map(|r| r.len() as u64).sum()
+    }
+
+    /// Checksum of the file's contents: each record is one framed block,
+    /// so both record bytes and record boundaries are covered.
+    pub fn compute_checksum(&self) -> u64 {
+        let mut c = crate::hash::BlockChecksum::default();
+        for rec in &self.records {
+            c.update(rec);
+        }
+        c.finish()
+    }
+
+    /// Recompute the checksum and compare against the one recorded at
+    /// commit. `Err((expected, actual))` on mismatch.
+    pub fn verify(&self) -> Result<(), (u64, u64)> {
+        let actual = self.compute_checksum();
+        if actual == self.checksum {
+            Ok(())
+        } else {
+            Err((self.checksum, actual))
+        }
+    }
+
+    /// Flip one bit of payload byte `offset` (record-concatenation order)
+    /// without touching the committed checksum — the injector's model of
+    /// at-rest block corruption. Out-of-range offsets are a no-op.
+    pub fn flip_byte(&mut self, offset: u64) {
+        let mut remaining = offset;
+        for rec in &mut self.records {
+            if remaining < rec.len() as u64 {
+                rec[remaining as usize] ^= 0x01;
+                return;
+            }
+            remaining -= rec.len() as u64;
+        }
     }
 }
 
@@ -116,6 +161,7 @@ impl SimHdfs {
             return Err(MrError::OutputExists(name.to_string()));
         }
         file.replication = replication.max(1);
+        file.checksum = file.compute_checksum();
         let needed = file.disk_bytes();
         let available = self.available();
         if needed > available {
@@ -154,7 +200,12 @@ mod tests {
     use super::*;
 
     fn file(bytes: u64) -> DfsFile {
-        DfsFile { records: vec![vec![0u8; 4]], text_bytes: bytes, replication: 1 }
+        DfsFile {
+            records: vec![vec![0u8; 4]],
+            text_bytes: bytes,
+            replication: 1,
+            ..DfsFile::default()
+        }
     }
 
     #[test]
@@ -223,5 +274,34 @@ mod tests {
         let fs = SimHdfs::with_cluster(60, 20 * 1024, 2);
         assert_eq!(fs.capacity(), 60 * 20 * 1024);
         assert_eq!(fs.default_replication(), 2);
+    }
+
+    #[test]
+    fn commit_checksums_and_verify_catches_flips() {
+        let mut fs = SimHdfs::unbounded();
+        let stored = DfsFile {
+            records: vec![b"alpha".to_vec(), b"beta".to_vec()],
+            text_bytes: 9,
+            replication: 1,
+            checksum: 0xBAD, // caller-set garbage is overwritten at commit
+        };
+        fs.put("a", stored).unwrap();
+        let arc = fs.get("a").unwrap();
+        assert_eq!(arc.verify(), Ok(()));
+        assert_ne!(arc.checksum, 0xBAD);
+
+        // Flip every payload byte in turn: each flip is detected, and
+        // flipping back restores a verifying file.
+        let mut f = (*arc).clone();
+        assert_eq!(f.payload_bytes(), 9);
+        for off in 0..f.payload_bytes() {
+            f.flip_byte(off);
+            assert!(f.verify().is_err(), "flip at {off} undetected");
+            f.flip_byte(off);
+        }
+        assert_eq!(f.verify(), Ok(()));
+        // Record boundaries are framed: ["alpha","beta"] != ["alphabeta"].
+        let merged = DfsFile { records: vec![b"alphabeta".to_vec()], ..DfsFile::default() };
+        assert_ne!(merged.compute_checksum(), f.compute_checksum());
     }
 }

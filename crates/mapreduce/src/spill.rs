@@ -82,6 +82,9 @@ pub(crate) struct SpillArena {
     /// phase's byte counters are per-bucket sums, so the per-record value
     /// never needs to be stored).
     text_bytes: u64,
+    /// Checksum recorded by [`seal`](Self::seal), cleared by any mutation
+    /// through the normal API. `None` = never sealed (nothing to verify).
+    sealed: Option<u64>,
 }
 
 impl SpillArena {
@@ -145,6 +148,7 @@ impl SpillArena {
             val_len: u32::try_from(self.bytes.len() - val_start).expect("value exceeds 4 GiB"),
         });
         self.text_bytes += text_size;
+        self.sealed = None;
     }
 
     /// Append one already-encoded `(key, value)` record.
@@ -197,6 +201,61 @@ impl SpillArena {
             ..*e
         }));
         self.text_bytes += other.text_bytes;
+        self.sealed = None;
+    }
+
+    /// Compute the arena's integrity checksum: the byte buffer as one
+    /// framed block, then each index entry's `(off, key_len, val_len)` in
+    /// current index order — so both the bytes *and* the record layout
+    /// (including post-sort record order) are covered, CRC-framed-block
+    /// style.
+    fn checksum(&self) -> u64 {
+        let mut c = crate::hash::BlockChecksum::default();
+        c.update(&self.bytes);
+        for e in &self.entries {
+            let mut frame = [0u8; 12];
+            frame[..4].copy_from_slice(&e.off.to_le_bytes());
+            frame[4..8].copy_from_slice(&e.key_len.to_le_bytes());
+            frame[8..].copy_from_slice(&e.val_len.to_le_bytes());
+            c.update(&frame);
+        }
+        c.finish()
+    }
+
+    /// Seal the arena: record its checksum for later [`verify`]. The map
+    /// side calls this once a bucket's contents are final (after the
+    /// combiner, if any); any later mutation through the normal API
+    /// clears the seal.
+    ///
+    /// [`verify`]: Self::verify
+    pub(crate) fn seal(&mut self) {
+        self.sealed = Some(self.checksum());
+    }
+
+    /// Recompute the checksum and compare against the seal. `Ok(())` for
+    /// an unsealed arena (nothing committed to verify against);
+    /// `Err((expected, actual))` on mismatch — the shuffle's
+    /// fetch-failure signal.
+    pub(crate) fn verify(&self) -> Result<(), (u64, u64)> {
+        match self.sealed {
+            None => Ok(()),
+            Some(expected) => {
+                let actual = self.checksum();
+                if actual == expected {
+                    Ok(())
+                } else {
+                    Err((expected, actual))
+                }
+            }
+        }
+    }
+
+    /// Flip one bit of buffer byte `offset` **without clearing the
+    /// seal** — the fault injector's model of silent corruption in
+    /// transit or at rest. Flipping the same offset again restores the
+    /// original contents (the re-executed map's clean output).
+    pub(crate) fn flip_byte(&mut self, offset: usize) {
+        self.bytes[offset] ^= 0x01;
     }
 
     /// Sort the record index by `(key bytes, value bytes)`, comparing
@@ -528,6 +587,53 @@ mod tests {
         let mut sizes: Vec<u64> = a.record_wire_sizes().collect();
         sizes.sort_unstable();
         assert_eq!(sizes, vec![1, 3, 10]);
+    }
+
+    #[test]
+    fn seal_and_verify_catch_flips() {
+        let mut a = SpillArena::default();
+        a.push_pair(b"key1", b"value1", 1);
+        a.push_pair(b"key2", b"value2", 1);
+        // Unsealed arenas have nothing to verify against.
+        assert_eq!(a.verify(), Ok(()));
+        a.seal();
+        assert_eq!(a.verify(), Ok(()));
+        // A silent bit flip is caught, and restoring the byte re-verifies.
+        a.flip_byte(3);
+        let err = a.verify().expect_err("flip must be detected");
+        assert_ne!(err.0, err.1);
+        a.flip_byte(3);
+        assert_eq!(a.verify(), Ok(()));
+        // Every byte position is covered.
+        for off in 0..a.encoded_bytes() as usize {
+            a.flip_byte(off);
+            assert!(a.verify().is_err(), "flip at {off} undetected");
+            a.flip_byte(off);
+        }
+        // Mutation through the normal API clears the seal.
+        a.push_pair(b"key3", b"v", 1);
+        assert_eq!(a.verify(), Ok(()));
+    }
+
+    #[test]
+    fn seal_covers_record_order() {
+        // Same bytes, different index order (post-sort) must checksum
+        // differently: the record stream is entries-order, not byte-order.
+        let mut a = SpillArena::default();
+        a.push_pair(b"zz", b"1", 1);
+        a.push_pair(b"aa", b"2", 1);
+        a.seal();
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        sorted.seal();
+        assert_eq!(a.verify(), Ok(()));
+        assert_eq!(sorted.verify(), Ok(()));
+        assert_ne!(a.sealed, sorted.sealed);
+        // absorb clears the seal on the accumulator.
+        let mut acc = SpillArena::default();
+        acc.seal();
+        acc.absorb(&a);
+        assert_eq!(acc.sealed, None);
     }
 
     #[test]

@@ -155,6 +155,38 @@ pub enum TraceEvent {
         /// True if the backup finished before the original attempt.
         backup_won: bool,
     },
+    /// The verified data plane caught a checksum mismatch — a corrupt
+    /// shuffle bucket at reducer fetch, or a corrupt DFS block at read.
+    CorruptionDetected {
+        /// Job name.
+        job: String,
+        /// Where the mismatch was caught (`"shuffle"` or `"dfs"`).
+        site: &'static str,
+        /// Producing map-task index (shuffle) or block index (dfs).
+        task: u64,
+    },
+    /// Recovery from a detected corruption: the producing map task was
+    /// re-executed (fetch-failure semantics) or the DFS block re-read
+    /// from a replica. Always paired with a
+    /// [`TraceEvent::CorruptionDetected`].
+    Refetch {
+        /// Job name.
+        job: String,
+        /// Where the refetch happened (`"shuffle"` or `"dfs"`).
+        site: &'static str,
+        /// Producing map-task index (shuffle) or block index (dfs).
+        task: u64,
+    },
+    /// Skip-bad-records mode quarantined undecodable input records to the
+    /// job's bad-record side file instead of failing the task.
+    RecordSkipped {
+        /// Job name.
+        job: String,
+        /// Task index that hit the bad records.
+        task: u64,
+        /// Records quarantined by this task.
+        records: u64,
+    },
     /// A job's broadcast side files were distributed to its map tasks
     /// through the simulated distributed cache.
     Broadcast {
@@ -273,6 +305,15 @@ pub enum TraceEvent {
         /// Display form of the error that failed the attempt.
         error: String,
     },
+    /// A resumed workflow skipped a stage whose outputs were all already
+    /// committed to the DFS (checkpoint hit; see
+    /// [`crate::Workflow::resume`]).
+    CheckpointResume {
+        /// Zero-based stage index that was skipped.
+        stage: u64,
+        /// Number of jobs in the skipped stage.
+        jobs: u64,
+    },
     /// A stage completed at `sim_end` (start + max startup + Σ work).
     StageEnd {
         /// Zero-based stage index.
@@ -303,6 +344,9 @@ impl TraceEvent {
             TraceEvent::NodeLoss { .. } => "node_loss",
             TraceEvent::Straggler { .. } => "straggler",
             TraceEvent::SpeculativeTask { .. } => "speculative_task",
+            TraceEvent::CorruptionDetected { .. } => "corruption_detected",
+            TraceEvent::Refetch { .. } => "refetch",
+            TraceEvent::RecordSkipped { .. } => "record_skipped",
             TraceEvent::Broadcast { .. } => "broadcast",
             TraceEvent::CardinalityEstimate { .. } => "cardinality_estimate",
             TraceEvent::ShufflePartition { .. } => "shuffle_partition",
@@ -311,6 +355,7 @@ impl TraceEvent {
             TraceEvent::JobEnd { .. } => "job_end",
             TraceEvent::JobSpan { .. } => "job_span",
             TraceEvent::StageRetry { .. } => "stage_retry",
+            TraceEvent::CheckpointResume { .. } => "checkpoint_resume",
             TraceEvent::StageEnd { .. } => "stage_end",
             TraceEvent::WorkflowEnd { .. } => "workflow_end",
         }
@@ -362,6 +407,17 @@ impl TraceEvent {
                 o.str("phase", phase.as_str());
                 o.u64("task", *task);
                 o.bool("backup_won", *backup_won);
+            }
+            TraceEvent::CorruptionDetected { job, site, task }
+            | TraceEvent::Refetch { job, site, task } => {
+                o.str("job", job);
+                o.str("site", site);
+                o.u64("task", *task);
+            }
+            TraceEvent::RecordSkipped { job, task, records } => {
+                o.str("job", job);
+                o.u64("task", *task);
+                o.u64("records", *records);
             }
             TraceEvent::Broadcast { job, files, bytes, ship_bytes } => {
                 o.str("job", job);
@@ -435,6 +491,10 @@ impl TraceEvent {
                 o.u64("attempt", u64::from(*attempt));
                 o.f64("backoff_seconds", *backoff_seconds);
                 o.str("error", error);
+            }
+            TraceEvent::CheckpointResume { stage, jobs } => {
+                o.u64("stage", *stage);
+                o.u64("jobs", *jobs);
             }
             TraceEvent::StageEnd { stage, sim_end } => {
                 o.u64("stage", *stage);
@@ -996,6 +1056,25 @@ impl TraceSink for ChromeTraceSink {
                 args.str("error", error);
                 Self::instant(state, JOB_LANE, &format!("stage {stage} retry"), args);
             }
+            TraceEvent::CorruptionDetected { job, site, task } => {
+                let tid = Self::task_lane(state, job);
+                Self::instant(state, tid, &format!("corrupt {site} {task}"), JsonObject::new());
+            }
+            TraceEvent::Refetch { job, site, task } => {
+                let tid = Self::task_lane(state, job);
+                Self::instant(state, tid, &format!("refetch {site} {task}"), JsonObject::new());
+            }
+            TraceEvent::RecordSkipped { job, task, records } => {
+                let tid = Self::task_lane(state, job);
+                let mut args = JsonObject::new();
+                args.u64("records", *records);
+                Self::instant(state, tid, &format!("skipped records {task}"), args);
+            }
+            TraceEvent::CheckpointResume { stage, jobs } => {
+                let mut args = JsonObject::new();
+                args.u64("jobs", *jobs);
+                Self::instant(state, JOB_LANE, &format!("stage {stage} checkpointed"), args);
+            }
             TraceEvent::ShufflePartition { .. }
             | TraceEvent::Broadcast { .. }
             | TraceEvent::CardinalityEstimate { .. }
@@ -1122,6 +1201,10 @@ mod tests {
                 backoff_seconds: 30.0,
                 error: "disk \"full\"".into(),
             },
+            TraceEvent::CorruptionDetected { job: "j1".into(), site: "shuffle", task: 4 },
+            TraceEvent::Refetch { job: "j1".into(), site: "dfs", task: 0 },
+            TraceEvent::RecordSkipped { job: "j1".into(), task: 2, records: 3 },
+            TraceEvent::CheckpointResume { stage: 1, jobs: 2 },
             TraceEvent::ShufflePartition { job: "j1".into(), partition: 1, records: 7, bytes: 99 },
             TraceEvent::MemoryHighWater {
                 job: "j1".into(),
@@ -1213,6 +1296,32 @@ mod tests {
         assert!(err.starts_with("line 1 (event 1):"), "{err}");
         let err = validate_jsonl("{\"a\":1}\n{\"b\":2}\nnope").unwrap_err();
         assert!(err.starts_with("line 2"), "{err}");
+    }
+
+    #[test]
+    fn validate_jsonl_accepts_integrity_event_stream() {
+        // An event log of the new integrity/recovery events must be a
+        // valid JSONL document carrying the stable kind tags.
+        let events = [
+            TraceEvent::CorruptionDetected { job: "j".into(), site: "shuffle", task: 3 },
+            TraceEvent::Refetch { job: "j".into(), site: "shuffle", task: 3 },
+            TraceEvent::CorruptionDetected { job: "j".into(), site: "dfs", task: 0 },
+            TraceEvent::Refetch { job: "j".into(), site: "dfs", task: 0 },
+            TraceEvent::RecordSkipped { job: "j".into(), task: 1, records: 4 },
+            TraceEvent::CheckpointResume { stage: 2, jobs: 1 },
+        ];
+        let log: String = events.iter().map(|e| e.to_json() + "\n").collect::<Vec<_>>().concat();
+        validate_jsonl(&log).unwrap();
+        for (ev, line) in events.iter().zip(log.lines()) {
+            assert!(line.contains(&format!("\"event\":\"{}\"", ev.kind())), "{line}");
+        }
+        assert!(log.contains("\"event\":\"corruption_detected\""));
+        assert!(log.contains("\"event\":\"record_skipped\""));
+        assert!(log.contains("\"event\":\"checkpoint_resume\""));
+        // A flipped byte in the log itself is caught with its line index.
+        let broken = log.replace("\"event\":\"refetch\"", "\"event\":refetch\"");
+        let err = validate_jsonl(&broken).unwrap_err();
+        assert!(err.starts_with("line 1 (event 1):"), "{err}");
     }
 
     #[test]

@@ -46,8 +46,18 @@ pub enum RecoveryPolicy {
     /// replication to 1 and retry the stage once, recording the
     /// degradation in [`WorkflowStats::degraded_replication`]. Trades
     /// fault tolerance of intermediates for completing the workflow —
-    /// the classic operator move on a nearly-full cluster.
+    /// the classic operator move on a nearly-full cluster. If the stage
+    /// is *already* writing at replication 1 there is nothing left to
+    /// degrade, and the stage fails fast with the original `DiskFull`.
     DegradeOnDiskFull,
+    /// Fail the current driver like [`FailFast`](Self::FailFast), but
+    /// rely on completed stage outputs on the DFS as checkpoints: a new
+    /// driver built with [`Workflow::resume`] resubmits the same stages
+    /// and skips every stage whose outputs are all committed, re-running
+    /// only from the first incomplete stage (partial outputs of which
+    /// are deleted first). This is the restart story of a long NTGA
+    /// workflow after a driver crash.
+    CheckpointRestart,
 }
 
 /// A running workflow over an [`Engine`].
@@ -61,6 +71,10 @@ pub struct Workflow<'e> {
     /// stage retry: every attempt (failed or not) consumes an index so
     /// trace timelines stay unambiguous.
     next_stage: u64,
+    /// True while a [`resume`](Self::resume)d workflow is still replaying
+    /// the checkpointed prefix: stages whose outputs all exist are
+    /// skipped. Cleared at the first incomplete stage.
+    resuming: bool,
 }
 
 impl<'e> Workflow<'e> {
@@ -76,7 +90,21 @@ impl<'e> Workflow<'e> {
             intermediates: Vec::new(),
             failed: false,
             next_stage: 0,
+            resuming: false,
         }
+    }
+
+    /// Restart a workflow after a driver crash (or a
+    /// [`RecoveryPolicy::CheckpointRestart`] failure), treating completed
+    /// stage outputs already on the DFS as checkpoints. The caller
+    /// resubmits the *same* stage sequence; every stage whose outputs all
+    /// exist is skipped (recorded in [`WorkflowStats::stages_skipped`]
+    /// and a `checkpoint_resume` trace event), and execution restarts at
+    /// the first incomplete stage after deleting its partial outputs.
+    pub fn resume(engine: &'e Engine, label: impl Into<String>) -> Self {
+        let mut wf = Workflow::new(engine, label);
+        wf.resuming = true;
+        wf
     }
 
     /// Override the recovery policy for this workflow only.
@@ -99,6 +127,28 @@ impl<'e> Workflow<'e> {
         // cleaned up by `finish`/`finish_failed` like any intermediate.
         let outputs: Vec<String> = specs.iter().flat_map(|s| s.outputs.iter().cloned()).collect();
         self.intermediates.extend(outputs.iter().cloned());
+        if self.resuming {
+            let all_committed = {
+                let fs = self.engine.hdfs().lock();
+                outputs.iter().all(|o| fs.exists(o))
+            };
+            if all_committed {
+                // Checkpoint hit: every output of this stage survived the
+                // crash. Consume a stage index (trace timelines stay
+                // aligned with the original submission order) and move on
+                // without running or charging anything.
+                let stage = self.next_stage;
+                self.next_stage += 1;
+                self.stats.stages_skipped += 1;
+                self.engine
+                    .emit(|| TraceEvent::CheckpointResume { stage, jobs: specs.len() as u64 });
+                return Ok(());
+            }
+            // First incomplete stage: delete any partial outputs the
+            // crashed driver left behind, then run normally from here on.
+            self.resuming = false;
+            self.delete_existing(&outputs);
+        }
         let mut attempt: u32 = 0;
         let mut degraded = false;
         loop {
@@ -111,8 +161,16 @@ impl<'e> Workflow<'e> {
                             (attempt < max_retries).then(|| backoff_s * f64::from(attempt + 1))
                         }
                         RecoveryPolicy::DegradeOnDiskFull => {
-                            (e.is_disk_full() && !degraded).then_some(0.0)
+                            // Nothing to degrade if every job already
+                            // writes at replication 1 — retrying would
+                            // just hit the same wall, so fail fast with
+                            // the original DiskFull.
+                            let default_repl = self.engine.hdfs().lock().default_replication();
+                            let degradable =
+                                specs.iter().any(|s| s.replication.unwrap_or(default_repl) > 1);
+                            (e.is_disk_full() && !degraded && degradable).then_some(0.0)
                         }
+                        RecoveryPolicy::CheckpointRestart => None,
                     };
                     let Some(backoff) = backoff else {
                         self.failed = true;
@@ -347,6 +405,7 @@ mod tests {
                     records: vec!["aaaa".to_string().to_bytes()],
                     text_bytes: 5,
                     replication: 1,
+                    ..Default::default()
                 },
             )
             .unwrap();
@@ -490,5 +549,126 @@ mod tests {
         assert!(deg.succeeded);
         assert!(deg.degraded_replication);
         assert_eq!(deg.stage_retries, 1);
+    }
+
+    #[test]
+    fn degrade_at_replication_one_fails_fast() {
+        // Regression: when the stage is already writing at replication 1
+        // there is nothing to degrade — the policy must surface the
+        // original DiskFull immediately, not burn a pointless retry.
+        let probe = Engine::unbounded();
+        probe.put_records("in", (0..40).map(|i| format!("word{i}"))).unwrap();
+        let in_text = probe.hdfs().lock().usage(); // unbounded => replication 1
+        let out_text = probe.run_job(&identity_job("in", "out", false)).unwrap().output_text_bytes;
+
+        let engine = Engine::new(SimHdfs::new(in_text + out_text / 2, 1));
+        engine.put_records("in", (0..40).map(|i| format!("word{i}"))).unwrap();
+        let mut wf = Workflow::new(&engine, "deg1").with_policy(RecoveryPolicy::DegradeOnDiskFull);
+        let err = wf.run_job(identity_job("in", "out", false)).unwrap_err();
+        assert!(err.is_disk_full());
+        let stats = wf.finish_failed(&err);
+        assert!(!stats.succeeded);
+        assert_eq!(stats.stage_retries, 0, "no retry can help at replication 1");
+        assert!(!stats.degraded_replication);
+
+        // An explicit per-spec replication of 1 is equally non-degradable,
+        // even when the DFS default is higher.
+        let engine = Engine::new(SimHdfs::new(2 * in_text + out_text / 2, 2));
+        engine.put_records("in", (0..40).map(|i| format!("word{i}"))).unwrap();
+        let mut wf = Workflow::new(&engine, "deg2").with_policy(RecoveryPolicy::DegradeOnDiskFull);
+        let mut spec = identity_job("in", "out", false);
+        spec.replication = Some(1);
+        let err = wf.run_job(spec).unwrap_err();
+        assert!(err.is_disk_full());
+        assert_eq!(wf.stats().stage_retries, 0);
+    }
+
+    #[test]
+    fn resume_skips_completed_stages() {
+        use crate::trace::{MemorySink, TraceSink};
+        use std::sync::Arc;
+
+        let sink = MemorySink::new();
+        let engine = Engine::unbounded().with_trace(sink.clone() as Arc<dyn TraceSink>);
+        engine.put_records("in", (0..50).map(|i| format!("w{}", i % 7))).unwrap();
+
+        // First driver completes stages A and B, then "crashes" (dropped
+        // without finish); its committed outputs stay on the DFS.
+        let mut wf = Workflow::new(&engine, "crashed");
+        wf.run_job(identity_job("in", "a", false)).unwrap();
+        wf.run_job(identity_job("a", "b", false)).unwrap();
+        drop(wf);
+        sink.take();
+
+        // The new driver resubmits the same plan plus the unfinished tail.
+        let mut wf =
+            Workflow::resume(&engine, "resumed").with_policy(RecoveryPolicy::CheckpointRestart);
+        wf.run_job(identity_job("in", "a", false)).unwrap();
+        wf.run_job(identity_job("a", "b", false)).unwrap();
+        wf.run_job(identity_job("b", "c", false)).unwrap();
+        let stats = wf.finish(&["c"]);
+        assert!(stats.succeeded);
+        assert_eq!(stats.stages_skipped, 2);
+        assert_eq!(stats.mr_cycles, 1, "only the incomplete stage runs");
+        assert_eq!(stats.jobs.len(), 1);
+        assert_eq!(stats.jobs[0].name, "b->c");
+
+        // Trace evidence: job spans exist only for the re-run stage, and
+        // the skipped prefix shows up as checkpoint_resume events.
+        let events = sink.events();
+        let spans: Vec<&str> = events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::JobSpan { job, .. } => Some(job.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(spans, vec!["b->c"]);
+        let skipped: Vec<u64> = events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::CheckpointResume { stage, .. } => Some(*stage),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(skipped, vec![0, 1]);
+
+        // The resumed result matches an uninterrupted run bit-for-bit.
+        let clean = Engine::unbounded();
+        clean.put_records("in", (0..50).map(|i| format!("w{}", i % 7))).unwrap();
+        let mut wf = Workflow::new(&clean, "clean");
+        wf.run_job(identity_job("in", "a", false)).unwrap();
+        wf.run_job(identity_job("a", "b", false)).unwrap();
+        wf.run_job(identity_job("b", "c", false)).unwrap();
+        wf.finish(&["c"]);
+        assert_eq!(
+            engine.hdfs().lock().get("c").unwrap().records,
+            clean.hdfs().lock().get("c").unwrap().records
+        );
+    }
+
+    #[test]
+    fn resume_cleans_partial_stage_outputs() {
+        // A concurrent stage that crashed after committing only one of its
+        // two outputs is incomplete: resume must delete the partial output
+        // and re-run the whole stage.
+        let engine = Engine::unbounded();
+        engine.put_records("in", (0..30).map(|i| format!("w{}", i % 5))).unwrap();
+        let mut wf = Workflow::new(&engine, "crashed");
+        wf.run_job(identity_job("in", "a", false)).unwrap();
+        // Simulate the crash mid-stage: only "b1" of {b1, b2} committed.
+        wf.run_job(identity_job("a", "b1", false)).unwrap();
+        drop(wf);
+        assert!(engine.hdfs().lock().exists("b1"));
+
+        let mut wf = Workflow::resume(&engine, "resumed");
+        wf.run_job(identity_job("in", "a", false)).unwrap();
+        wf.run_stage(vec![identity_job("a", "b1", false), identity_job("a", "b2", false)]).unwrap();
+        let stats = wf.finish(&["b1", "b2"]);
+        assert!(stats.succeeded);
+        assert_eq!(stats.stages_skipped, 1, "only stage A was checkpointed");
+        assert_eq!(stats.jobs.len(), 2, "the partial stage re-runs both jobs");
+        assert!(engine.hdfs().lock().exists("b1"));
+        assert!(engine.hdfs().lock().exists("b2"));
     }
 }

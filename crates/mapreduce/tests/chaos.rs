@@ -1,10 +1,12 @@
 //! Deterministic chaos campaign over the fault model.
 //!
 //! Sweeps fault regimes {none, task failures, node loss, stragglers,
-//! combined} × worker counts {1, 4, 8} over a two-stage workflow and
-//! asserts the engine's core contract under chaos:
+//! combined, corruption, corruption+combined} × worker counts {1, 4, 8}
+//! over a two-stage workflow and asserts the engine's core contract under
+//! chaos:
 //!
 //! * the final output is **bit-identical** to the fault-free run — faults
+//!   (including injected data corruption, with checksum verification on)
 //!   cost simulated time, never correctness;
 //! * every injected regime surfaces in the fault counters and is charged
 //!   real simulated time (`retry_seconds` > 0 or straggler tail > 0, and
@@ -50,10 +52,19 @@ enum Regime {
     NodeLoss,
     Stragglers,
     Combined,
+    Corruption,
+    CorruptionCombined,
 }
 
-const REGIMES: [Regime; 5] =
-    [Regime::None, Regime::TaskFail, Regime::NodeLoss, Regime::Stragglers, Regime::Combined];
+const REGIMES: [Regime; 7] = [
+    Regime::None,
+    Regime::TaskFail,
+    Regime::NodeLoss,
+    Regime::Stragglers,
+    Regime::Combined,
+    Regime::Corruption,
+    Regime::CorruptionCombined,
+];
 
 fn faults_for(regime: Regime, seed: u64) -> FaultConfig {
     match regime {
@@ -67,6 +78,12 @@ fn faults_for(regime: Regime, seed: u64) -> FaultConfig {
             .with_node_loss(0.5)
             .with_stragglers(0.3, 6.0)
             .with_speculation(2.0),
+        Regime::Corruption => FaultConfig::with_probability(0.0, seed).with_corruption(0.5),
+        Regime::CorruptionCombined => FaultConfig::with_probability(0.2, seed)
+            .with_node_loss(0.5)
+            .with_stragglers(0.3, 6.0)
+            .with_speculation(2.0)
+            .with_corruption(0.4),
     }
 }
 
@@ -77,10 +94,23 @@ type ChaosRun = (WorkflowStats, Vec<TraceEvent>, Vec<Vec<u8>>);
 /// Run the campaign workflow (a concurrent stage of two word counts, then
 /// a merge of both outputs) under one regime.
 fn run_chaos(regime: Regime, seed: u64, workers: usize) -> Result<ChaosRun, mrsim::MrError> {
+    run_chaos_with(regime, seed, workers, true)
+}
+
+/// [`run_chaos`] with an explicit checksum-verification switch — `false`
+/// only for the controlled demonstration that the checksums are
+/// load-bearing.
+fn run_chaos_with(
+    regime: Regime,
+    seed: u64,
+    workers: usize,
+    verify: bool,
+) -> Result<ChaosRun, mrsim::MrError> {
     let sink = MemorySink::new();
     let engine = Engine::unbounded()
         .with_workers(workers)
         .with_faults(faults_for(regime, seed))
+        .with_verification(verify)
         .with_trace(sink.clone() as Arc<dyn TraceSink>);
     engine.put_records("in", (0..800).map(|i| format!("word{}", i % 17))).unwrap();
     let mut wf = Workflow::new(&engine, format!("chaos-{regime:?}"));
@@ -146,6 +176,10 @@ fn campaign_seed() -> u64 {
                     Regime::Combined => {
                         stats.total_task_retries() > 0 && stats.total_node_losses() > 0
                     }
+                    Regime::Corruption => stats.total_corruptions_detected() > 0,
+                    Regime::CorruptionCombined => {
+                        stats.total_corruptions_detected() > 0 && stats.total_task_retries() > 0
+                    }
                 },
             })
         })
@@ -184,7 +218,14 @@ fn chaos_campaign_output_is_bit_identical_across_regimes_and_workers() {
                     clean_stats.sim_seconds
                 );
             }
-            if matches!(regime, Regime::TaskFail | Regime::NodeLoss | Regime::Combined) {
+            if matches!(
+                regime,
+                Regime::TaskFail
+                    | Regime::NodeLoss
+                    | Regime::Combined
+                    | Regime::Corruption
+                    | Regime::CorruptionCombined
+            ) {
                 assert!(stats.total_retry_seconds() > 0.0, "{regime:?} workers={workers}");
             }
             // Trace timeline stays consistent under chaos.
@@ -210,9 +251,20 @@ fn chaos_regimes_emit_their_trace_events() {
     let straggler_kinds = kinds(Regime::Stragglers);
     assert!(straggler_kinds.contains("straggler"));
     assert!(straggler_kinds.contains("speculative_task"));
-    assert!(!kinds(Regime::None)
-        .iter()
-        .any(|k| { matches!(*k, "task_retry" | "node_loss" | "straggler" | "speculative_task") }));
+    let corruption_kinds = kinds(Regime::Corruption);
+    assert!(corruption_kinds.contains("corruption_detected"));
+    assert!(corruption_kinds.contains("refetch"));
+    assert!(!kinds(Regime::None).iter().any(|k| {
+        matches!(
+            *k,
+            "task_retry"
+                | "node_loss"
+                | "straggler"
+                | "speculative_task"
+                | "corruption_detected"
+                | "refetch"
+        )
+    }));
 }
 
 #[test]
@@ -351,6 +403,94 @@ fn profiles_are_worker_invariant_under_chaos() {
         combined.metrics().to_json() != clean.metrics().to_json(),
         "combiner must be visible in the shuffle histograms"
     );
+}
+
+#[test]
+fn corruption_detection_counters_are_worker_invariant() {
+    // FaultStats under corruption regimes — detections, refetches, and
+    // the whole stats fingerprint — must not depend on the worker count.
+    let seed = campaign_seed();
+    for regime in [Regime::Corruption, Regime::CorruptionCombined] {
+        let (base, base_events, base_out) = run_chaos(regime, seed, 1).unwrap();
+        assert!(base.total_corruptions_detected() > 0, "{regime:?} must inject");
+        for workers in [4usize, 8] {
+            let (stats, events, out) = run_chaos(regime, seed, workers).unwrap();
+            assert_eq!(
+                stats.total_corruptions_detected(),
+                base.total_corruptions_detected(),
+                "{regime:?} workers={workers}"
+            );
+            assert_eq!(out, base_out, "{regime:?} workers={workers}");
+            assert_eq!(canonical(&events), canonical(&base_events), "{regime:?} w={workers}");
+        }
+    }
+}
+
+#[test]
+fn verification_off_shows_checksums_are_load_bearing() {
+    // The controlled negative: the exact same corruption draws with
+    // verification disabled either silently change the final output or
+    // break a record's framing mid-flight — which is precisely why the
+    // checksums (and the verified runs' bit-identity above) matter.
+    let (_, _, clean_out) = run_chaos(Regime::None, 0, 1).unwrap();
+    let seed = (0..100)
+        .find(|&seed| {
+            let Ok((stats, _, _)) = run_chaos(Regime::Corruption, seed, 1) else {
+                return false;
+            };
+            if stats.total_corruptions_detected() == 0 {
+                return false;
+            }
+            match run_chaos_with(Regime::Corruption, seed, 1, false) {
+                Ok((_, _, out)) => out != clean_out,
+                Err(_) => true,
+            }
+        })
+        .expect("some seed under 100 must corrupt observably");
+    // With verification: detected, refetched, output clean.
+    let (verified, _, out) = run_chaos(Regime::Corruption, seed, 4).unwrap();
+    assert!(verified.total_corruptions_detected() > 0);
+    assert_eq!(out, clean_out);
+    // Without: the same flips reach the job undetected.
+    match run_chaos_with(Regime::Corruption, seed, 4, false) {
+        Ok((stats, _, out)) => {
+            assert_eq!(stats.total_corruptions_detected(), 0);
+            assert_ne!(out, clean_out, "silent corruption must surface in the output");
+        }
+        Err(e) => assert!(matches!(e, mrsim::MrError::Codec(_)), "{e:?}"),
+    }
+}
+
+#[test]
+fn poison_record_quarantine_is_worker_invariant() {
+    use mrsim::{DfsFile, Rec};
+    let bad1 = vec![2, 0, 0, 0, 0xff, 0xfe]; // invalid UTF-8 payload
+    let bad2 = vec![9, 0, 0, 0, 0xff]; // truncated payload
+    let run = |workers: usize| {
+        let engine = Engine::unbounded().with_workers(workers).with_skip_bad_records(8);
+        // > 4096 records so the input splits into several map tasks and
+        // the two poison records land in different tasks.
+        let mut records: Vec<Vec<u8>> =
+            (0..6000).map(|i| format!("word{}", i % 17).to_bytes()).collect();
+        records.insert(100, bad1.clone());
+        records.insert(3000, bad2.clone());
+        let file = DfsFile {
+            text_bytes: records.iter().map(|r| r.len() as u64).sum(),
+            records,
+            ..DfsFile::default()
+        };
+        engine.hdfs().lock().put("in", file).unwrap();
+        let stats = engine.run_job(&wc_job("poison", "in", "out", 4)).unwrap();
+        let out = engine.hdfs().lock().get("out").unwrap().records.clone();
+        let quarantine = engine.hdfs().lock().get("poison.quarantine").unwrap().records.clone();
+        (stats.records_skipped, out, quarantine)
+    };
+    let base = run(1);
+    assert_eq!(base.0, 2);
+    assert_eq!(base.2, vec![bad1.clone(), bad2.clone()], "quarantine preserves task order");
+    for workers in [4usize, 8] {
+        assert_eq!(run(workers), base, "workers={workers}");
+    }
 }
 
 #[test]
