@@ -19,10 +19,14 @@
 //! Determinism: the same job over the same inputs produces byte-identical
 //! output files and identical counters regardless of worker count. Map
 //! output is concatenated in input order, and each reduce partition's
-//! record *index* is sorted by `(key bytes, value bytes)` before grouping
-//! — an unstable, prefix-accelerated sort that is observationally
-//! deterministic because entries comparing equal are byte-identical
-//! records (see the `spill` module docs for the prefix argument).
+//! record *index* is brought into the canonical `(key bytes, value bytes)`
+//! order before grouping — under the default [`SortStrategy::Radix`] each
+//! map task radix-sorts its buckets over the cached key prefixes and the
+//! reduce side k-way merges the absorbed sorted runs; under
+//! [`SortStrategy::Comparison`] the reduce side pays one full comparison
+//! sort. Both are observationally deterministic because entries comparing
+//! equal are byte-identical records, and both realize the identical index
+//! array (see the `spill` module docs).
 
 use crate::cost::CostModel;
 use crate::counters::JobStats;
@@ -32,7 +36,7 @@ use crate::hdfs::{DfsFile, SimHdfs};
 use crate::job::{
     JobKind, JobSpec, MapEmitter, OutEmitter, RawCombineOp, RawMapOnlyOp, RawMapOp, TaskContext,
 };
-use crate::spill::SpillArena;
+use crate::spill::{SortStrategy, SpillArena};
 use crate::trace::{TaskPhase, TraceEvent, TraceSink};
 use crate::workflow::RecoveryPolicy;
 use parking_lot::Mutex;
@@ -98,6 +102,13 @@ pub struct Engine {
     /// silently into job output — only useful to demonstrate why the
     /// checksums are load-bearing.
     pub verify_checksums: bool,
+    /// How the shuffle orders record indexes: [`SortStrategy::Radix`]
+    /// (the default) radix-sorts each map-side bucket over the cached
+    /// key prefixes and k-way merges the sorted runs at the reduce side;
+    /// [`SortStrategy::Comparison`] is the legacy single full comparison
+    /// sort per reduce partition, kept for differential testing. Both
+    /// produce byte-identical output.
+    pub sort_strategy: SortStrategy,
     /// Hadoop's skip mode (`mapreduce.map.skip.maxrecords`): when set,
     /// a map task that hits an undecodable input record
     /// ([`MrError::Codec`]) quarantines the raw record into a
@@ -136,6 +147,7 @@ impl Engine {
             dict: None,
             profiling: false,
             verify_checksums: true,
+            sort_strategy: SortStrategy::Radix,
             skip_bad_records: None,
         }
     }
@@ -195,6 +207,15 @@ impl Engine {
     /// meant for controlled demonstrations of silent corruption.
     pub fn with_verification(mut self, on: bool) -> Self {
         self.verify_checksums = on;
+        self
+    }
+
+    /// Select the shuffle sort strategy (see [`Engine::sort_strategy`]).
+    /// [`SortStrategy::Radix`] is the default; [`SortStrategy::Comparison`]
+    /// re-enables the legacy comparison-sort pipeline for differential
+    /// testing and benchmarking.
+    pub fn with_sort_strategy(mut self, strategy: SortStrategy) -> Self {
+        self.sort_strategy = strategy;
         self
     }
 
@@ -395,6 +416,7 @@ impl Engine {
         spec.validate()?;
         let mut stats = JobStats { name: spec.name.clone(), ..JobStats::default() };
         stats.full_input_scan = spec.full_input_scan;
+        stats.sort_strategy = self.sort_strategy.as_str();
         let replication =
             spec.replication.unwrap_or_else(|| self.hdfs.lock().default_replication());
         // Budget for early abort: text bytes this job may write.
@@ -453,6 +475,17 @@ impl Engine {
                     &mut scratch,
                 )?;
                 stats.reduce_tasks = *reduce_tasks as u64;
+                // The shuffle's sort configuration and work: how many
+                // map-side sorted runs reached the reduce side, and how
+                // many index entries the reducers order. Both are pure
+                // functions of the input split, so the event stream stays
+                // worker-count-invariant.
+                self.emit(|| TraceEvent::SortPlan {
+                    job: spec.name.clone(),
+                    strategy: self.sort_strategy.as_str(),
+                    map_sorted_runs: partitions.iter().map(|p| p.sorted_run_count() as u64).sum(),
+                    merge_entries: partitions.iter().map(|p| p.len() as u64).sum(),
+                });
                 if scratch.enabled {
                     for (p, part) in partitions.iter().enumerate() {
                         scratch
@@ -882,10 +915,18 @@ impl Engine {
             let pre_combine = out.len() as u64;
             let mut live_bytes: u64 = out.buckets.iter().map(SpillArena::footprint_bytes).sum();
             if let Some(c) = combiner {
-                out = Self::run_combiner(c, &ctx, out)?;
+                out = self.run_combiner(c, &ctx, out)?;
                 // While the combiner runs, the original spill and its
                 // combined replacement coexist in task memory.
                 live_bytes += out.buckets.iter().map(SpillArena::footprint_bytes).sum::<u64>();
+            }
+            if self.sort_strategy == SortStrategy::Radix {
+                // Map-side sort (Hadoop sorts every spill before the
+                // reducers fetch it): each bucket becomes one sorted run
+                // the reduce side can merge instead of re-sorting.
+                for bucket in &mut out.buckets {
+                    bucket.sort_with(SortStrategy::Radix);
+                }
             }
             if self.verify_checksums {
                 // Seal once the bucket contents are final (post-combiner):
@@ -961,8 +1002,21 @@ impl Engine {
                     for wire in bucket.record_wire_sizes() {
                         stats.metrics.record(crate::metrics::name::RECORD_SHUFFLE_BYTES, wire);
                     }
+                    if !bucket.is_empty() && self.sort_strategy == SortStrategy::Radix {
+                        // Map-side sort work: entries per sorted run. A
+                        // pure function of the input split (never of
+                        // worker count or fault draws), like every other
+                        // profiling histogram.
+                        stats.metrics.record(
+                            crate::metrics::name::SORT_MAP_RUN_ENTRIES,
+                            bucket.len() as u64,
+                        );
+                    }
                 }
-                partitions[p].absorb(bucket);
+                match self.sort_strategy {
+                    SortStrategy::Radix => partitions[p].absorb_sorted(bucket),
+                    SortStrategy::Comparison => partitions[p].absorb(bucket),
+                }
             }
         }
         self.write_quarantine(&job, quarantined)?;
@@ -982,6 +1036,7 @@ impl Engine {
     /// clones. Combiner output is re-partitioned by its (possibly
     /// rewritten) keys.
     fn run_combiner(
+        &self,
         combiner: &dyn RawCombineOp,
         ctx: &TaskContext,
         mut out: MapEmitter,
@@ -989,19 +1044,14 @@ impl Engine {
         let mut combined = MapEmitter::partitioned(out.buckets.len());
         let mut values: Vec<&[u8]> = Vec::new();
         for bucket in &mut out.buckets {
-            bucket.sort_unstable();
+            bucket.sort_with(self.sort_strategy);
         }
         for bucket in &out.buckets {
-            let mut i = 0;
-            while i < bucket.len() {
-                let mut j = i + 1;
-                while j < bucket.len() && bucket.keys_equal(i, j) {
-                    j += 1;
-                }
+            // Same grouping iterator the reduce side streams from.
+            for group in bucket.group_ranges() {
                 values.clear();
-                values.extend((i..j).map(|t| bucket.value(t)));
-                combiner.run(ctx, bucket.key(i), &values, &mut combined)?;
-                i = j;
+                values.extend(group.clone().map(|t| bucket.value(t)));
+                combiner.run(ctx, bucket.key(group.start), &values, &mut combined)?;
             }
         }
         Ok(combined)
@@ -1034,7 +1084,19 @@ impl Engine {
             let ctx = TaskContext::with_env(self.dict.clone(), broadcast.to_vec())
                 .profiled(self.profiling);
             let mut guard = cell.lock();
-            guard.sort_unstable();
+            // Reduce-side ordering work, recorded before it happens:
+            // entries to order and sorted runs available to merge — both
+            // pure functions of the input split, never of worker count
+            // or fault draws.
+            ctx.record(crate::metrics::name::SORT_REDUCE_ENTRIES, guard.len() as u64);
+            ctx.record(crate::metrics::name::SORT_MERGE_RUNS, guard.sorted_run_count() as u64);
+            match self.sort_strategy {
+                // The map side already sorted each absorbed bucket:
+                // stream the canonical order out of a k-way run merge
+                // instead of paying a second full sort.
+                SortStrategy::Radix => guard.merge_sorted_runs(),
+                SortStrategy::Comparison => guard.sort_with(SortStrategy::Comparison),
+            }
             let part: &SpillArena = &guard;
             // The reduce task's live set is its whole partition arena
             // (payload bytes + sort index).
@@ -1042,18 +1104,12 @@ impl Engine {
             let mut out = OutEmitter::with_outputs(shared_budget, n_outputs);
             let mut groups = 0u64;
             let mut values: Vec<&[u8]> = Vec::new();
-            let mut i = 0;
-            while i < part.len() {
-                let mut j = i + 1;
-                while j < part.len() && part.keys_equal(i, j) {
-                    j += 1;
-                }
+            for group in part.group_ranges() {
                 values.clear();
-                values.extend((i..j).map(|t| part.value(t)));
-                ctx.record(crate::metrics::name::REDUCE_GROUP_WIDTH, (j - i) as u64);
-                reducer.run(&ctx, part.key(i), &values, &mut out)?;
+                values.extend(group.clone().map(|t| part.value(t)));
+                ctx.record(crate::metrics::name::REDUCE_GROUP_WIDTH, group.len() as u64);
+                reducer.run(&ctx, part.key(group.start), &values, &mut out)?;
                 groups += 1;
-                i = j;
             }
             Ok((out, groups, live_bytes, ctx.take_counters(), ctx.take_metrics()))
         })?;

@@ -56,7 +56,7 @@ pub mod faults;
 pub mod hdfs;
 pub mod job;
 pub mod metrics;
-pub(crate) mod spill;
+pub mod spill;
 pub mod trace;
 pub mod workflow;
 
@@ -78,6 +78,7 @@ pub use job::{
     RawReduceOp, TaskContext, TypedMapEmitter, TypedOutEmitter,
 };
 pub use metrics::{Histogram, MetricsRegistry};
+pub use spill::{SortStrategy, SpillArena};
 pub use trace::{
     ChromeTraceSink, JsonlSink, MemorySink, MultiSink, TaskPhase, TraceEvent, TraceSink,
 };

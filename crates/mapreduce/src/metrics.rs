@@ -42,6 +42,22 @@ pub mod name {
     pub const RECORD_SHUFFLE_BYTES: &str = "record.shuffle.bytes";
     /// Number of values in one reduce group (reduce-side key fanout).
     pub const REDUCE_GROUP_WIDTH: &str = "reduce.group.width";
+    /// Entries in one map-side-sorted spill bucket (one sorted run).
+    /// Recorded only under the radix strategy, which sorts map-side.
+    ///
+    /// Sort-work histograms record deterministic quantities (entries,
+    /// runs), not wall-clock time: profiling output must stay bit-
+    /// identical across worker counts and fault regimes, and wall-clock
+    /// is neither. Wall-clock sort time lives in the `sort_only`
+    /// Criterion bench instead.
+    pub const SORT_MAP_RUN_ENTRIES: &str = "sort.map.run.entries";
+    /// Index entries one reduce partition brings into canonical order
+    /// (by k-way merge or full sort; see `SORT_MAP_RUN_ENTRIES` for why
+    /// this is work, not time).
+    pub const SORT_REDUCE_ENTRIES: &str = "sort.reduce.entries";
+    /// Sorted runs available to one reduce partition's k-way merge
+    /// (0 under the comparison strategy: nothing arrives sorted).
+    pub const SORT_MERGE_RUNS: &str = "sort.merge.runs";
 }
 
 /// Number of buckets: one for 0, one per power of two up to `2^63`.

@@ -2,21 +2,41 @@
 //!
 //! A [`SpillArena`] holds one map task's (or one reduce partition's)
 //! shuffle records as a single contiguous byte buffer plus one small
-//! [`IndexEntry`] per record — `(offset, key_len, val_len)` with an
+//! index entry per record — `(offset, key_len, val_len)` with an
 //! 8-byte big-endian **key-prefix cache**. Emitting appends the encoded
 //! key and value straight into the buffer (no per-record `Vec`
 //! allocations), and the shuffle sort reorders the index entries, not the
 //! bytes.
 //!
-//! ## Prefix-accelerated sort
+//! ## Prefix cache
 //!
 //! Each entry caches the first 8 key bytes, zero-padded, as a big-endian
 //! `u64`. Because big-endian integer order over zero-padded prefixes
 //! equals lexicographic byte order over the prefixes themselves, and a
 //! shorter key that is a prefix of a longer key also compares less in
 //! both orders, `prefix(a) < prefix(b)` implies `key(a) < key(b)`. The
-//! common case of the sort is therefore a single `u64` compare; full key
-//! (then value) memcmp runs only on prefix ties.
+//! prefix decides almost every ordering question; full key (then value)
+//! memcmp runs only on prefix ties.
+//!
+//! ## Sort and merge
+//!
+//! [`SortStrategy::Radix`] (the default) orders the index with an LSD
+//! radix sort over the cached prefixes: one histogram pass over all 8
+//! prefix bytes, then a stable counting pass per byte from least to most
+//! significant, **skipping bytes that are constant across the arena**
+//! (varint-id keys zero-pad the low prefix bytes, IRI keys share their
+//! scheme bytes — most passes skip). Entries inside a prefix-equal run
+//! are then finished with a comparison sort over `(key tail, value,
+//! offset)`; small arenas skip radix entirely and comparison-sort.
+//! [`SortStrategy::Comparison`] is the pre-radix `sort_unstable_by`
+//! pipeline, kept for differential testing.
+//!
+//! Sorting marks the arena as one **sorted run**. The shuffle driver
+//! absorbs map-side-sorted buckets with [`SpillArena::absorb_sorted`],
+//! which concatenates bytes as before but records each bucket as a run,
+//! and the reduce side calls [`SpillArena::merge_sorted_runs`] — a k-way
+//! index-entry merge over the runs (iterative pairwise ping-pong merge,
+//! no payload copies) — instead of paying a second full sort.
 //!
 //! ## Short keys never memcmp
 //!
@@ -35,11 +55,14 @@
 //!
 //! ## Determinism
 //!
-//! The sort is `sort_unstable_by` over `(prefix, key bytes, value
-//! bytes)`. Entries that compare equal have byte-identical keys *and*
-//! values, so any permutation of them yields the same record stream —
-//! unstable sorting is observationally deterministic, exactly as it was
-//! for the owned-pair representation this replaces.
+//! Both strategies realize the same **canonical total order**: `(prefix,
+//! key bytes, value bytes, offset)`. Entries that compare equal under
+//! `(prefix, key, value)` are byte-identical records, so any permutation
+//! of them yields the same record stream — the trailing offset tie-break
+//! adds nothing observable, but it makes the order *total* (offsets are
+//! unique), so radix, comparison, and the k-way merge all produce the
+//! identical index array, bit for bit, checksums included. That is what
+//! the differential tests pin.
 
 /// One record's index entry: where its key/value bytes live in the arena,
 /// plus the sort-prefix cache.
@@ -67,10 +90,65 @@ fn key_prefix(key: &[u8]) -> u64 {
     }
 }
 
+/// Which algorithm orders a [`SpillArena`]'s record index.
+///
+/// Both strategies produce the identical index array (see the module
+/// docs on the canonical total order); `Comparison` exists so the radix
+/// pipeline can be differentially tested and benchmarked against the
+/// path it replaced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SortStrategy {
+    /// LSD radix sort over the cached prefixes, with map-side bucket
+    /// sorting and a k-way sorted-run merge at the reduce side. Default.
+    #[default]
+    Radix,
+    /// The pre-radix comparison sort (`sort_unstable_by` over the
+    /// canonical order), with the reduce side paying a full sort after
+    /// absorb. Kept for differential testing.
+    Comparison,
+}
+
+impl SortStrategy {
+    /// Stable lowercase tag recorded in job stats and trace output.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SortStrategy::Radix => "radix",
+            SortStrategy::Comparison => "comparison",
+        }
+    }
+}
+
+/// The canonical total order over index entries: `(prefix, key bytes,
+/// value bytes, offset)` — with the short-key length fast path on prefix
+/// ties (see module docs). Total because offsets are unique within an
+/// arena; every sort/merge path realizes exactly this order.
+#[inline]
+fn cmp_entries(bytes: &[u8], a: &IndexEntry, b: &IndexEntry) -> std::cmp::Ordering {
+    let slice = |off: u32, len: u32| &bytes[off as usize..off as usize + len as usize];
+    a.prefix
+        .cmp(&b.prefix)
+        .then_with(|| {
+            if a.key_len <= 8 && b.key_len <= 8 {
+                // Equal prefixes with both keys inside the cache: the
+                // longer key is the shorter plus zero bytes, so
+                // lexicographic order is length order.
+                a.key_len.cmp(&b.key_len)
+            } else {
+                slice(a.off, a.key_len).cmp(slice(b.off, b.key_len))
+            }
+        })
+        .then_with(|| slice(a.off + a.key_len, a.val_len).cmp(slice(b.off + b.key_len, b.val_len)))
+        .then_with(|| a.off.cmp(&b.off))
+}
+
+/// Arenas below this size skip the radix passes: the histogram setup
+/// costs more than a comparison sort of a handful of entries.
+const RADIX_FALLBACK: usize = 64;
+
 /// A contiguous spill buffer of `(key, value)` records with a sortable
 /// record index. See the module docs for layout and determinism notes.
 #[derive(Debug, Default, Clone)]
-pub(crate) struct SpillArena {
+pub struct SpillArena {
     /// Concatenated `key ++ value` encodings of every record.
     bytes: Vec<u8>,
     /// One entry per record, in emission order until [`sort_unstable`]
@@ -85,17 +163,22 @@ pub(crate) struct SpillArena {
     /// Checksum recorded by [`seal`](Self::seal), cleared by any mutation
     /// through the normal API. `None` = never sealed (nothing to verify).
     sealed: Option<u64>,
+    /// Exclusive end index (into `entries`) of each tracked sorted run.
+    /// Valid only while the last boundary equals `entries.len()`; empty
+    /// or stale boundaries mean "no run structure" and force a full
+    /// sort. Driver-side bookkeeping, not data-plane bytes, so it is
+    /// excluded from [`footprint_bytes`](Self::footprint_bytes).
+    runs: Vec<u32>,
 }
 
 impl SpillArena {
     /// Number of records.
-    pub(crate) fn len(&self) -> usize {
+    pub fn len(&self) -> usize {
         self.entries.len()
     }
 
     /// True when no record has been spilled.
-    #[cfg(test)]
-    pub(crate) fn is_empty(&self) -> bool {
+    pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
     }
 
@@ -131,12 +214,7 @@ impl SpillArena {
 
     /// Append one record: copy the already-encoded key, then let
     /// `encode_val` append the value bytes directly into the arena.
-    pub(crate) fn push(
-        &mut self,
-        key: &[u8],
-        text_size: u64,
-        encode_val: impl FnOnce(&mut Vec<u8>),
-    ) {
+    pub fn push(&mut self, key: &[u8], text_size: u64, encode_val: impl FnOnce(&mut Vec<u8>)) {
         let off = u32::try_from(self.bytes.len()).expect("spill arena exceeds 4 GiB");
         self.bytes.extend_from_slice(key);
         let val_start = self.bytes.len();
@@ -149,51 +227,88 @@ impl SpillArena {
         });
         self.text_bytes += text_size;
         self.sealed = None;
+        self.runs.clear();
     }
 
     /// Append one already-encoded `(key, value)` record.
-    pub(crate) fn push_pair(&mut self, key: &[u8], value: &[u8], text_size: u64) {
+    pub fn push_pair(&mut self, key: &[u8], value: &[u8], text_size: u64) {
         self.push(key, text_size, |buf| buf.extend_from_slice(value));
     }
 
     /// Key bytes of record `i` (current index order).
     #[inline]
-    pub(crate) fn key(&self, i: usize) -> &[u8] {
+    pub fn key(&self, i: usize) -> &[u8] {
         let e = &self.entries[i];
         &self.bytes[e.off as usize..e.off as usize + e.key_len as usize]
     }
 
     /// Value bytes of record `i` (current index order).
     #[inline]
-    pub(crate) fn value(&self, i: usize) -> &[u8] {
+    pub fn value(&self, i: usize) -> &[u8] {
         let e = &self.entries[i];
         let start = e.off as usize + e.key_len as usize;
         &self.bytes[start..start + e.val_len as usize]
     }
 
-    /// True when records `i` and `j` have byte-identical keys. The prefix
-    /// check short-circuits the common inequality case, and the length
-    /// check lets keys that fit the prefix cache (varint ids in
-    /// particular) skip the memcmp entirely: equal prefixes plus equal
-    /// lengths ≤ 8 imply byte-identical keys (see module docs).
+    /// True when records `i` and `j` have byte-identical keys.
     #[inline]
-    pub(crate) fn keys_equal(&self, i: usize, j: usize) -> bool {
+    pub fn keys_equal(&self, i: usize, j: usize) -> bool {
         let (a, b) = (&self.entries[i], &self.entries[j]);
-        a.prefix == b.prefix
-            && a.key_len == b.key_len
-            && (a.key_len <= 8 || self.key(i) == self.key(j))
+        if a.prefix != b.prefix {
+            // Differing prefixes settle inequality outright — in
+            // particular two *full* prefixes (`key_len > 8` on both
+            // sides) jump straight here without touching the lengths,
+            // the hot path for long-key grouping.
+            return false;
+        }
+        // Prefix tie: equal lengths ≤ 8 imply byte-identical keys (both
+        // fit the cache, see module docs) — varint-id keys never memcmp.
+        a.key_len == b.key_len && (a.key_len <= 8 || self.key(i) == self.key(j))
     }
 
     /// Iterate `(key, value)` slices in current index order.
-    #[cfg(test)]
-    pub(crate) fn iter(&self) -> impl Iterator<Item = (&[u8], &[u8])> {
+    pub fn iter(&self) -> impl Iterator<Item = (&[u8], &[u8])> {
         (0..self.len()).map(|i| (self.key(i), self.value(i)))
+    }
+
+    /// Iterate maximal ranges of equal-key records in current index
+    /// order. Only meaningful on a sorted (or merged) arena, where equal
+    /// keys are adjacent — this is the one grouping loop shared by the
+    /// combiner and the reduce side.
+    pub fn group_ranges(&self) -> GroupRanges<'_> {
+        GroupRanges { arena: self, start: 0 }
     }
 
     /// Append every record of `other`, preserving its record order: a
     /// byte memcpy plus an offset rebase per entry — the whole-bucket
-    /// concatenation the shuffle driver performs.
-    pub(crate) fn absorb(&mut self, other: &SpillArena) {
+    /// concatenation the shuffle driver performs. Drops any tracked run
+    /// structure; use [`absorb_sorted`](Self::absorb_sorted) when the
+    /// incoming bucket is known-sorted.
+    pub fn absorb(&mut self, other: &SpillArena) {
+        self.runs.clear();
+        self.absorb_bytes(other);
+    }
+
+    /// [`absorb`](Self::absorb), but record the incoming bucket as one
+    /// sorted run so the reduce side can
+    /// [`merge_sorted_runs`](Self::merge_sorted_runs) instead of paying
+    /// a full re-sort. The caller guarantees `other` is sorted (the
+    /// driver only routes map-side-sorted, seal-verified buckets here).
+    pub fn absorb_sorted(&mut self, other: &SpillArena) {
+        debug_assert_eq!(
+            self.runs.last().map_or(0, |&e| e as usize),
+            self.entries.len(),
+            "absorb_sorted on an accumulator without run structure"
+        );
+        let before = self.entries.len();
+        self.absorb_bytes(other);
+        let end = self.entries.len();
+        if end > before {
+            self.runs.push(u32::try_from(end).expect("spill arena exceeds 4 Gi records"));
+        }
+    }
+
+    fn absorb_bytes(&mut self, other: &SpillArena) {
         let base = u32::try_from(self.bytes.len()).expect("spill arena exceeds 4 GiB");
         self.bytes.extend_from_slice(&other.bytes);
         self.entries.extend(other.entries.iter().map(|e| IndexEntry {
@@ -202,6 +317,17 @@ impl SpillArena {
         }));
         self.text_bytes += other.text_bytes;
         self.sealed = None;
+    }
+
+    /// Number of tracked sorted runs, or 0 when the arena has no valid
+    /// run structure (freshly pushed records, or a plain
+    /// [`absorb`](Self::absorb)).
+    pub fn sorted_run_count(&self) -> usize {
+        if self.runs.last().map_or(0, |&e| e as usize) == self.entries.len() {
+            self.runs.len()
+        } else {
+            0
+        }
     }
 
     /// Compute the arena's integrity checksum: the byte buffer as one
@@ -258,31 +384,190 @@ impl SpillArena {
         self.bytes[offset] ^= 0x01;
     }
 
-    /// Sort the record index by `(key bytes, value bytes)`, comparing
-    /// cached prefixes first and falling back to memcmp only on prefix
-    /// ties — and, when both tied keys fit the prefix cache, breaking the
-    /// tie with a length compare instead of a memcmp (see module docs).
-    /// Unstable, but observationally deterministic (see module docs).
-    pub(crate) fn sort_unstable(&mut self) {
+    /// Sort the record index into the canonical order with the default
+    /// [`SortStrategy::Radix`] pipeline. Unstable, but observationally
+    /// deterministic (see module docs).
+    pub fn sort_unstable(&mut self) {
+        self.sort_with(SortStrategy::Radix);
+    }
+
+    /// Sort the record index into the canonical `(prefix, key bytes,
+    /// value bytes, offset)` order with the given strategy, and mark the
+    /// arena as a single sorted run. Both strategies produce the
+    /// identical index array (the order is total).
+    pub fn sort_with(&mut self, strategy: SortStrategy) {
+        match strategy {
+            SortStrategy::Radix => self.sort_radix(),
+            SortStrategy::Comparison => self.sort_comparison(),
+        }
+        self.runs.clear();
+        if !self.entries.is_empty() {
+            self.runs.push(u32::try_from(self.entries.len()).expect("spill arena entry count"));
+        }
+    }
+
+    fn sort_comparison(&mut self) {
         let SpillArena { bytes, entries, .. } = self;
-        let slice = |off: u32, len: u32| &bytes[off as usize..off as usize + len as usize];
-        entries.sort_unstable_by(|a, b| {
-            a.prefix
-                .cmp(&b.prefix)
-                .then_with(|| {
-                    if a.key_len <= 8 && b.key_len <= 8 {
-                        // Equal prefixes with both keys inside the cache:
-                        // the longer key is the shorter plus zero bytes,
-                        // so lexicographic order is length order.
-                        a.key_len.cmp(&b.key_len)
+        entries.sort_unstable_by(|a, b| cmp_entries(bytes, a, b));
+    }
+
+    /// LSD radix sort over the cached prefixes: histogram all 8 prefix
+    /// bytes in one pass, run a stable counting pass per non-constant
+    /// byte (least significant first), then comparison-sort each
+    /// prefix-equal run by `(key tail, value, offset)`.
+    fn sort_radix(&mut self) {
+        let n = self.entries.len();
+        if n < RADIX_FALLBACK || n >= u32::MAX as usize {
+            self.sort_comparison();
+            return;
+        }
+        let mut hist = [[0u32; 256]; 8];
+        for e in &self.entries {
+            let b = e.prefix.to_le_bytes();
+            for (h, &byte) in hist.iter_mut().zip(b.iter()) {
+                h[byte as usize] += 1;
+            }
+        }
+        let mut src = std::mem::take(&mut self.entries);
+        let mut dst = vec![src[0]; n];
+        for (pass, h) in hist.iter().enumerate() {
+            if h.iter().any(|&c| c as usize == n) {
+                // Every entry shares this prefix byte (varint zero
+                // padding, IRI scheme bytes, ...): the pass is a no-op.
+                continue;
+            }
+            let mut next = [0u32; 256];
+            let mut acc = 0u32;
+            for (slot, &count) in next.iter_mut().zip(h.iter()) {
+                *slot = acc;
+                acc += count;
+            }
+            for e in &src {
+                let byte = ((e.prefix >> (8 * pass)) & 0xff) as usize;
+                dst[next[byte] as usize] = *e;
+                next[byte] += 1;
+            }
+            std::mem::swap(&mut src, &mut dst);
+        }
+        self.entries = src;
+        // Comparison fallback only *within* prefix-equal runs; the
+        // cached-prefix order between runs is already final.
+        let SpillArena { bytes, entries, .. } = self;
+        let mut i = 0;
+        while i < n {
+            let p = entries[i].prefix;
+            let mut j = i + 1;
+            while j < n && entries[j].prefix == p {
+                j += 1;
+            }
+            if j - i > 1 {
+                entries[i..j].sort_unstable_by(|a, b| cmp_entries(bytes, a, b));
+            }
+            i = j;
+        }
+    }
+
+    /// Bring the arena into the canonical sorted order by k-way merging
+    /// its tracked sorted runs — an index-entry merge; record bytes never
+    /// move and no payloads are copied. Falls back to a full radix sort
+    /// when no valid run structure is tracked. Produces exactly the array
+    /// [`sort_with`](Self::sort_with) would (the canonical order is
+    /// total), in `O(n log k)` compares instead of a second full sort.
+    ///
+    /// The merge is an iterative pairwise ping-pong between two entry
+    /// buffers — `⌈log₂ k⌉` passes each 2-way-merging adjacent runs —
+    /// rather than a k-way heap: a 2-way merge costs ~1 comparison per
+    /// element per pass against the heap's ~2 log₂ k sift comparisons per
+    /// element, which matters precisely in the degenerate case (shared
+    /// long key prefixes) where every comparison is a full memcmp.
+    pub fn merge_sorted_runs(&mut self) {
+        let n = self.entries.len();
+        if self.runs.last().map_or(0, |&e| e as usize) != n {
+            self.sort_with(SortStrategy::Radix);
+            return;
+        }
+        if self.runs.len() <= 1 {
+            return;
+        }
+        let mut bounds: Vec<(usize, usize)> = {
+            let mut v = Vec::with_capacity(self.runs.len());
+            let mut start = 0usize;
+            for &end in &self.runs {
+                v.push((start, end as usize));
+                start = end as usize;
+            }
+            v
+        };
+        let mut src = std::mem::take(&mut self.entries);
+        let mut dst = vec![src[0]; n];
+        let bytes = &self.bytes;
+        while bounds.len() > 1 {
+            let mut next_bounds = Vec::with_capacity(bounds.len().div_ceil(2));
+            let mut pair = 0;
+            while pair + 1 < bounds.len() {
+                let (a_start, a_end) = bounds[pair];
+                let (b_start, b_end) = bounds[pair + 1];
+                let (mut a, mut b, mut out) = (a_start, b_start, a_start);
+                while a < a_end && b < b_end {
+                    // The offset tie-break makes the order total, so
+                    // distinct entries never compare equal and either
+                    // branch choice on a tie would be unreachable.
+                    let take_a = {
+                        let (ea, eb) = (&src[a], &src[b]);
+                        ea.prefix < eb.prefix
+                            || (ea.prefix == eb.prefix && cmp_entries(bytes, ea, eb).is_lt())
+                    };
+                    if take_a {
+                        dst[out] = src[a];
+                        a += 1;
                     } else {
-                        slice(a.off, a.key_len).cmp(slice(b.off, b.key_len))
+                        dst[out] = src[b];
+                        b += 1;
                     }
-                })
-                .then_with(|| {
-                    slice(a.off + a.key_len, a.val_len).cmp(slice(b.off + b.key_len, b.val_len))
-                })
-        });
+                    out += 1;
+                }
+                dst[out..out + (a_end - a)].copy_from_slice(&src[a..a_end]);
+                out += a_end - a;
+                dst[out..out + (b_end - b)].copy_from_slice(&src[b..b_end]);
+                next_bounds.push((a_start, b_end));
+                pair += 2;
+            }
+            if pair < bounds.len() {
+                let (start, end) = bounds[pair];
+                dst[start..end].copy_from_slice(&src[start..end]);
+                next_bounds.push((start, end));
+            }
+            std::mem::swap(&mut src, &mut dst);
+            bounds = next_bounds;
+        }
+        self.entries = src;
+        self.runs = vec![u32::try_from(n).expect("spill arena entry count")];
+    }
+}
+
+/// Iterator over maximal equal-key record ranges of a sorted arena,
+/// produced by [`SpillArena::group_ranges`].
+#[derive(Debug)]
+pub struct GroupRanges<'a> {
+    arena: &'a SpillArena,
+    start: usize,
+}
+
+impl Iterator for GroupRanges<'_> {
+    type Item = std::ops::Range<usize>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let n = self.arena.len();
+        if self.start >= n {
+            return None;
+        }
+        let i = self.start;
+        let mut j = i + 1;
+        while j < n && self.arena.keys_equal(i, j) {
+            j += 1;
+        }
+        self.start = j;
+        Some(i..j)
     }
 }
 
@@ -651,5 +936,268 @@ mod tests {
                 (b"k".to_vec(), b"bb".to_vec()),
             ]
         );
+    }
+
+    /// Every key family the existing fixtures pin: short keys with
+    /// embedded/trailing NULs (length-tie path), long keys sharing an
+    /// 8-byte prefix (memcmp path), long keys with distinct full
+    /// prefixes (the no-touch fast path), and 9-byte composite varints.
+    fn fixture_keys() -> Vec<Vec<u8>> {
+        let mut keys: Vec<Vec<u8>> =
+            [b"" as &[u8], b"\0", b"\0\0", b"a", b"a\0", b"a\0\0", b"a\0b", b"ab", b"abcdefgh"]
+                .iter()
+                .map(|k| k.to_vec())
+                .collect();
+        for t in ["", "a", "aa", "b", "\0"] {
+            keys.push(format!("SHARED8B{t}").into_bytes());
+        }
+        keys.push(b"DIFFER8Bx".to_vec());
+        let composite = |a: u32, b: u32| {
+            let mut k = Vec::new();
+            crate::codec::write_uvarint(&mut k, a);
+            crate::codec::write_uvarint(&mut k, b);
+            k
+        };
+        keys.push(composite(u32::MAX, 0x0fff_ffff));
+        keys.push(composite(u32::MAX, 0x07ff_ffff));
+        keys
+    }
+
+    #[test]
+    fn keys_equal_matches_memcmp_on_prefix_tie_fixtures() {
+        let keys = fixture_keys();
+        let mut a = SpillArena::default();
+        for k in &keys {
+            a.push_pair(k, b"v", 1);
+            a.push_pair(k, b"w", 1); // duplicate: the equality side
+        }
+        for i in 0..a.len() {
+            for j in 0..a.len() {
+                assert_eq!(
+                    a.keys_equal(i, j),
+                    a.key(i) == a.key(j),
+                    "keys_equal diverges from memcmp on {:?} vs {:?}",
+                    a.key(i),
+                    a.key(j)
+                );
+            }
+        }
+    }
+
+    /// Deterministic mixed workload big enough to take the radix path.
+    fn mixed_arena(records: usize) -> SpillArena {
+        let mut a = SpillArena::default();
+        for i in 0..records {
+            let x = (i as u32).wrapping_mul(0x9e37_79b9);
+            let key: Vec<u8> = match i % 4 {
+                0 => {
+                    let mut k = Vec::new();
+                    crate::codec::write_uvarint(&mut k, x % 5000);
+                    k
+                }
+                1 => format!("<http://example.org/r{}>", x % 300).into_bytes(),
+                2 => format!("SHARED8B{}", x % 40).into_bytes(),
+                _ => {
+                    let mut k = Vec::new();
+                    crate::codec::write_uvarint(&mut k, u32::MAX);
+                    crate::codec::write_uvarint(&mut k, 0x0800_0000 + x % 64);
+                    k
+                }
+            };
+            a.push_pair(&key, format!("v{}", x % 7).as_bytes(), 1);
+        }
+        a
+    }
+
+    fn index_snapshot(a: &SpillArena) -> Vec<(u64, u32, u32, u32)> {
+        a.entries.iter().map(|e| (e.prefix, e.off, e.key_len, e.val_len)).collect()
+    }
+
+    #[test]
+    fn radix_and_comparison_agree_on_large_mixed_keys() {
+        let base = mixed_arena(2000);
+        let mut radix = base.clone();
+        radix.sort_with(SortStrategy::Radix);
+        let mut cmp = base.clone();
+        cmp.sort_with(SortStrategy::Comparison);
+        assert_eq!(index_snapshot(&radix), index_snapshot(&cmp));
+        assert_eq!(radix.checksum(), cmp.checksum());
+        // And both match the owned-pair reference order.
+        let mut reference: Vec<(Vec<u8>, Vec<u8>)> =
+            base.iter().map(|(k, v)| (k.to_vec(), v.to_vec())).collect();
+        reference.sort();
+        assert_eq!(collect(&radix), reference);
+    }
+
+    #[test]
+    fn absorb_sorted_merge_equals_full_sort() {
+        // Split a workload into map-style buckets, sort each, absorb as
+        // runs, merge — must equal plain absorb + full sort, entries,
+        // checksum, and group boundaries alike.
+        let buckets: Vec<SpillArena> = (0..5)
+            .map(|b| {
+                let src = mixed_arena(300 + 67 * b);
+                let mut bucket = SpillArena::default();
+                for (k, v) in src.iter().skip(40 * b) {
+                    bucket.push_pair(k, v, 1);
+                }
+                bucket
+            })
+            .collect();
+        let mut merged = SpillArena::default();
+        for bucket in &buckets {
+            let mut sorted = bucket.clone();
+            sorted.sort_with(SortStrategy::Radix);
+            merged.absorb_sorted(&sorted);
+        }
+        assert_eq!(merged.sorted_run_count(), 5);
+        merged.merge_sorted_runs();
+        assert_eq!(merged.sorted_run_count(), 1);
+
+        let mut resorted = SpillArena::default();
+        for bucket in &buckets {
+            let mut sorted = bucket.clone();
+            sorted.sort_with(SortStrategy::Radix);
+            resorted.absorb(&sorted);
+        }
+        assert_eq!(resorted.sorted_run_count(), 0);
+        resorted.sort_with(SortStrategy::Comparison);
+        assert_eq!(index_snapshot(&merged), index_snapshot(&resorted));
+        assert_eq!(merged.checksum(), resorted.checksum());
+        let groups: Vec<_> = merged.group_ranges().collect();
+        assert_eq!(groups, resorted.group_ranges().collect::<Vec<_>>());
+        assert_eq!(groups.iter().map(|r| r.len()).sum::<usize>(), merged.len());
+    }
+
+    #[test]
+    fn merge_without_run_structure_falls_back_to_full_sort() {
+        let mut a = mixed_arena(500);
+        assert_eq!(a.sorted_run_count(), 0);
+        a.merge_sorted_runs();
+        let mut reference = mixed_arena(500);
+        reference.sort_with(SortStrategy::Comparison);
+        assert_eq!(index_snapshot(&a), index_snapshot(&reference));
+        // A push invalidates the run structure again.
+        a.push_pair(b"zzz", b"v", 1);
+        assert_eq!(a.sorted_run_count(), 0);
+    }
+
+    #[test]
+    fn group_ranges_matches_manual_grouping_loop() {
+        let mut a = mixed_arena(700);
+        a.sort_unstable();
+        let mut manual = Vec::new();
+        let mut i = 0;
+        while i < a.len() {
+            let mut j = i + 1;
+            while j < a.len() && a.keys_equal(i, j) {
+                j += 1;
+            }
+            manual.push(i..j);
+            i = j;
+        }
+        assert_eq!(a.group_ranges().collect::<Vec<_>>(), manual);
+    }
+
+    mod differential {
+        use super::*;
+        use proptest::prelude::{prop_assert_eq, proptest};
+        use proptest::strategy::{BoxedStrategy, Just, Strategy, Union};
+
+        fn varint_id_keys() -> BoxedStrategy<Vec<Vec<u8>>> {
+            proptest::collection::vec(0u32..5000, 1..400)
+                .prop_map(|ids| {
+                    ids.into_iter()
+                        .map(|v| {
+                            let mut k = Vec::new();
+                            crate::codec::write_uvarint(&mut k, v);
+                            k
+                        })
+                        .collect()
+                })
+                .boxed()
+        }
+
+        fn lexical_keys() -> BoxedStrategy<Vec<Vec<u8>>> {
+            proptest::collection::vec(0u32..300, 1..400)
+                .prop_map(|ids| {
+                    ids.into_iter()
+                        .map(|v| format!("<http://example.org/res{v}>").into_bytes())
+                        .collect()
+                })
+                .boxed()
+        }
+
+        /// Pathological: every key shares (at least) an 8-byte prefix,
+        /// with short-tail collisions and embedded NULs.
+        fn shared_prefix_keys() -> BoxedStrategy<Vec<Vec<u8>>> {
+            let tail = Union::new([
+                Just(Vec::new()).boxed(),
+                Just(b"\0".to_vec()).boxed(),
+                Just(b"a".to_vec()).boxed(),
+                Just(b"a\0".to_vec()).boxed(),
+                Just(b"ab".to_vec()).boxed(),
+                proptest::collection::vec(0u8..=255, 0..12).boxed(),
+            ]);
+            proptest::collection::vec(tail, 1..400)
+                .prop_map(|tails| {
+                    tails
+                        .into_iter()
+                        .map(|t| {
+                            let mut k = b"SHARED8B".to_vec();
+                            k.extend_from_slice(&t);
+                            k
+                        })
+                        .collect()
+                })
+                .boxed()
+        }
+
+        fn any_key_set() -> Union<Vec<Vec<u8>>> {
+            Union::new([varint_id_keys(), lexical_keys(), shared_prefix_keys()])
+        }
+
+        fn build(keys: &[Vec<u8>]) -> SpillArena {
+            let mut a = SpillArena::default();
+            for (i, k) in keys.iter().enumerate() {
+                // Few distinct values so equal (key, value) pairs occur.
+                a.push_pair(k, format!("v{}", i % 3).as_bytes(), 1);
+            }
+            a
+        }
+
+        proptest! {
+            /// The tentpole contract: both strategies produce the
+            /// byte-identical post-sort arena — entries and checksums.
+            #[test]
+            fn radix_equals_comparison(keys in any_key_set()) {
+                let base = build(&keys);
+                let mut radix = base.clone();
+                radix.sort_with(SortStrategy::Radix);
+                let mut cmp = base;
+                cmp.sort_with(SortStrategy::Comparison);
+                prop_assert_eq!(index_snapshot(&radix), index_snapshot(&cmp));
+                prop_assert_eq!(radix.checksum(), cmp.checksum());
+            }
+
+            /// The merge path is just another route to the same array.
+            #[test]
+            fn run_merge_equals_full_sort(
+                chunks in proptest::collection::vec(any_key_set(), 1..6)
+            ) {
+                let mut merged = SpillArena::default();
+                let mut resorted = SpillArena::default();
+                for keys in &chunks {
+                    let mut bucket = build(keys);
+                    bucket.sort_with(SortStrategy::Radix);
+                    merged.absorb_sorted(&bucket);
+                    resorted.absorb(&bucket);
+                }
+                merged.merge_sorted_runs();
+                resorted.sort_with(SortStrategy::Comparison);
+                prop_assert_eq!(index_snapshot(&merged), index_snapshot(&resorted));
+                prop_assert_eq!(merged.checksum(), resorted.checksum());
+            }
+        }
     }
 }

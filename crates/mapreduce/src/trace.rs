@@ -255,6 +255,23 @@ pub enum TraceEvent {
         /// Largest recorded value.
         max: u64,
     },
+    /// The shuffle sort configuration and work of one map-reduce job:
+    /// which [`SortStrategy`](crate::SortStrategy) ordered the record
+    /// indexes, how many map-side-sorted runs reached the reduce side,
+    /// and how many index entries the reducers brought into canonical
+    /// order. Work counts, not wall-clock: the event stream must stay
+    /// worker-count- and fault-regime-invariant.
+    SortPlan {
+        /// Job name.
+        job: String,
+        /// Sort strategy tag (`"radix"` or `"comparison"`).
+        strategy: &'static str,
+        /// Map-side sorted runs absorbed across all reduce partitions
+        /// (0 under the comparison strategy: nothing arrives sorted).
+        map_sorted_runs: u64,
+        /// Index entries ordered reduce-side (merged or fully sorted).
+        merge_entries: u64,
+    },
     /// A job finished; carries its headline counters.
     JobEnd {
         /// Job name.
@@ -352,6 +369,7 @@ impl TraceEvent {
             TraceEvent::ShufflePartition { .. } => "shuffle_partition",
             TraceEvent::MemoryHighWater { .. } => "memory_high_water",
             TraceEvent::HistogramSummary { .. } => "histogram_summary",
+            TraceEvent::SortPlan { .. } => "sort_plan",
             TraceEvent::JobEnd { .. } => "job_end",
             TraceEvent::JobSpan { .. } => "job_span",
             TraceEvent::StageRetry { .. } => "stage_retry",
@@ -457,6 +475,12 @@ impl TraceEvent {
                 o.u64("p95", *p95);
                 o.u64("p99", *p99);
                 o.u64("max", *max);
+            }
+            TraceEvent::SortPlan { job, strategy, map_sorted_runs, merge_entries } => {
+                o.str("job", job);
+                o.str("strategy", strategy);
+                o.u64("map_sorted_runs", *map_sorted_runs);
+                o.u64("merge_entries", *merge_entries);
             }
             TraceEvent::JobEnd {
                 job,
@@ -1079,9 +1103,10 @@ impl TraceSink for ChromeTraceSink {
             | TraceEvent::Broadcast { .. }
             | TraceEvent::CardinalityEstimate { .. }
             | TraceEvent::MemoryHighWater { .. }
-            | TraceEvent::HistogramSummary { .. } => {
-                // Per-partition/broadcast/estimate/profile detail lives in
-                // the JSONL log; the timeline view keeps only spans and
+            | TraceEvent::HistogramSummary { .. }
+            | TraceEvent::SortPlan { .. } => {
+                // Per-partition/broadcast/estimate/profile/sort detail lives
+                // in the JSONL log; the timeline view keeps only spans and
                 // retries.
             }
             TraceEvent::JobEnd { job, sim_seconds, startup_seconds, task_retries, ops, .. } => {
@@ -1221,6 +1246,12 @@ mod tests {
                 p95: 511,
                 p99: 511,
                 max: 400,
+            },
+            TraceEvent::SortPlan {
+                job: "j1".into(),
+                strategy: "radix",
+                map_sorted_runs: 16,
+                merge_entries: 4096,
             },
             TraceEvent::Broadcast { job: "j1".into(), files: 1, bytes: 640, ship_bytes: 2560 },
             TraceEvent::CardinalityEstimate {

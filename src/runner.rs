@@ -1,7 +1,7 @@
 //! Uniform runner over every execution approach the paper compares.
 
 use mr_rdf::{load_store, PlanError, QueryRun, TRIPLES_FILE};
-use mrsim::{CostModel, Engine, FaultConfig, RecoveryPolicy, SimHdfs, TraceSink};
+use mrsim::{CostModel, Engine, FaultConfig, RecoveryPolicy, SimHdfs, SortStrategy, TraceSink};
 use ntga_core::Strategy;
 use rdf_model::TripleStore;
 use rdf_query::Query;
@@ -149,6 +149,10 @@ pub struct ClusterConfig {
     /// record sizes, group widths) on every engine this config builds.
     /// Off by default: the map-emit hot path stays allocation-free.
     pub profiling: bool,
+    /// Shuffle sort strategy every engine this config builds uses
+    /// (default: [`SortStrategy::Radix`]; `Comparison` is kept for
+    /// differential testing).
+    pub sort_strategy: SortStrategy,
 }
 
 impl std::fmt::Debug for ClusterConfig {
@@ -163,6 +167,7 @@ impl std::fmt::Debug for ClusterConfig {
             .field("workers", &self.workers)
             .field("trace", &self.trace.as_ref().map(|_| "<sink>"))
             .field("profiling", &self.profiling)
+            .field("sort_strategy", &self.sort_strategy)
             .finish()
     }
 }
@@ -179,6 +184,7 @@ impl Default for ClusterConfig {
             workers: None,
             trace: None,
             profiling: false,
+            sort_strategy: SortStrategy::default(),
         }
     }
 }
@@ -196,7 +202,8 @@ impl ClusterConfig {
             .with_cost(self.cost.clone())
             .with_faults(self.faults.clone())
             .with_recovery(self.recovery)
-            .with_profiling(self.profiling);
+            .with_profiling(self.profiling)
+            .with_sort_strategy(self.sort_strategy);
         if let Some(workers) = self.workers {
             engine = engine.with_workers(workers);
         }
@@ -216,6 +223,13 @@ impl ClusterConfig {
     /// Enable histogram profiling on every engine built from this config.
     pub fn with_profiling(mut self, on: bool) -> Self {
         self.profiling = on;
+        self
+    }
+
+    /// Pick the shuffle sort strategy for every engine built from this
+    /// config (`Radix` by default; `Comparison` for differential runs).
+    pub fn with_sort_strategy(mut self, strategy: SortStrategy) -> Self {
+        self.sort_strategy = strategy;
         self
     }
 
